@@ -1,0 +1,92 @@
+// Shared experiment plumbing for the paper-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/encoding.h"
+#include "core/gate_design.h"
+#include "core/micromag_gate.h"
+#include "dispersion/local_1d.h"
+#include "dispersion/waveguide.h"
+#include "mag/material.h"
+
+namespace sw::bench {
+
+/// The paper's device: Fe60Co20B20 PMA waveguide, 50 nm x 1 nm.
+inline sw::disp::Waveguide paper_waveguide() {
+  sw::disp::Waveguide wg;
+  wg.material = sw::mag::make_fecob();
+  wg.width = 50e-9;
+  wg.thickness = 1e-9;
+  return wg;
+}
+
+/// The paper's eight channel frequencies: 10, 20, ..., 80 GHz.
+inline std::vector<double> paper_frequencies() {
+  std::vector<double> f;
+  for (int i = 1; i <= 8; ++i) f.push_back(1e10 * i);
+  return f;
+}
+
+/// Reduced-model byte gate: designed against the solver-consistent 1-D
+/// dispersion so the micromagnetic run and the layout agree exactly.
+struct ByteGateSetup {
+  sw::disp::Waveguide wg;
+  sw::core::GateLayout layout;
+  sw::core::MicromagConfig cfg;
+};
+
+inline ByteGateSetup make_byte_gate_setup(std::size_t channels = 8,
+                                          double t_end = 2.2e-9) {
+  ByteGateSetup s;
+  s.wg = paper_waveguide();
+  s.cfg = sw::core::MicromagConfig{};
+  s.cfg.t_end = t_end;
+
+  auto model = sw::disp::LocalDemag1DDispersion::from_waveguide(s.wg);
+  model.set_discretization(s.cfg.cell_size);
+  const sw::core::InlineGateDesigner designer(model);
+
+  sw::core::GateSpec spec;
+  spec.num_inputs = 3;
+  const auto all = paper_frequencies();
+  spec.frequencies.assign(all.begin(), all.begin() + channels);
+  s.layout = designer.design(spec);
+  return s;
+}
+
+/// Run all 2^m uniform patterns through a micromagnetic runner, splitting
+/// across `threads` workers (each worker gets a calibrated copy).
+inline std::vector<sw::core::MicromagRun> run_all_patterns(
+    const sw::core::MicromagGateRunner& calibrated_prototype,
+    std::size_t num_inputs, unsigned threads) {
+  const auto patterns = sw::core::all_patterns(num_inputs);
+  std::vector<sw::core::MicromagRun> runs(patterns.size());
+  threads = std::max(1u, threads);
+  std::vector<std::thread> pool;
+  for (unsigned w = 0; w < threads; ++w) {
+    pool.emplace_back([&, w]() {
+      sw::core::MicromagGateRunner local = calibrated_prototype;
+      for (std::size_t p = w; p < patterns.size(); p += threads) {
+        runs[p] = local.run_uniform(patterns[p]);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  return runs;
+}
+
+/// Pretty "I1=0, I2=1, I3=0"-style label for a pattern.
+inline std::string pattern_label(const sw::core::Bits& bits) {
+  std::string s;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (i) s += ", ";
+    s += "I" + std::to_string(i + 1) + "=" + (bits[i] ? "1" : "0");
+  }
+  return s;
+}
+
+}  // namespace sw::bench

@@ -1,0 +1,76 @@
+// 8-bit data-parallel XOR gate: the paper's other gate type. Two inputs per
+// channel; the readout is amplitude-threshold instead of phase-threshold —
+// in-phase inputs (00, 11) interfere constructively (logic 0), out-of-phase
+// inputs (01, 10) cancel (logic 1).
+//
+//   $ ./parallel_xor
+#include <cstdio>
+
+#include "core/detector.h"
+#include "core/encoding.h"
+#include "core/gate.h"
+#include "core/gate_design.h"
+#include "dispersion/fvmsw.h"
+#include "io/csv.h"
+#include "mag/material.h"
+#include "util/strings.h"
+#include "util/units.h"
+#include "wavesim/wave_engine.h"
+
+using namespace sw;
+
+int main() {
+  disp::Waveguide wg;
+  wg.material = mag::make_fecob();
+  wg.width = 50 * units::nm;
+  wg.thickness = 1 * units::nm;
+  const disp::FvmswDispersion dispersion(wg);
+
+  core::GateSpec spec;
+  spec.num_inputs = 2;  // XOR is a 2-input, amplitude-decoded gate
+  for (int i = 1; i <= 8; ++i) spec.frequencies.push_back(i * 10.0 * units::GHz);
+
+  const core::InlineGateDesigner designer(dispersion);
+  const auto layout = designer.design(spec);
+  const wavesim::WaveEngine engine(dispersion, wg.material.alpha);
+  const core::DataParallelGate gate(layout, engine);
+
+  // Reference amplitudes: the all-zero (fully constructive) case.
+  const auto ref = gate.evaluate_uniform(core::Bits{0, 0});
+
+  io::TextTable tab({"A B", "XOR", "decoded (8 channels)", "min amp margin"});
+  std::size_t failures = 0;
+  for (const auto& pattern : core::all_patterns(2)) {
+    const auto out = gate.evaluate_uniform(pattern);
+    std::string bits;
+    double min_margin = 1e9;
+    for (std::size_t ch = 0; ch < out.size(); ++ch) {
+      const auto d =
+          core::decide_amplitude(out[ch].amplitude, ref[ch].amplitude);
+      bits += d.logic ? '1' : '0';
+      min_margin = std::min(min_margin, d.margin);
+      failures += (d.logic != static_cast<std::uint8_t>(core::parity(pattern)));
+    }
+    tab.add_row({std::string() + char('0' + pattern[0]) + " " +
+                     char('0' + pattern[1]),
+                 core::parity(pattern) ? "1" : "0", bits,
+                 util::format_sig(min_margin, 3)});
+  }
+  std::printf("8-bit data-parallel XOR (amplitude readout):\n%s\n",
+              tab.str().c_str());
+  std::printf("failures: %zu / 32 channel-pattern pairs\n", failures);
+
+  // Per-channel demonstration with independent data words.
+  const std::vector<core::Bits> a_word{{1, 0}, {0, 0}, {1, 1}, {0, 1},
+                                       {1, 0}, {1, 1}, {0, 0}, {0, 1}};
+  const auto out = gate.evaluate(a_word);
+  std::string result;
+  for (std::size_t ch = 0; ch < out.size(); ++ch) {
+    const auto d = core::decide_amplitude(out[ch].amplitude,
+                                          ref[ch].amplitude);
+    result += d.logic ? '1' : '0';
+  }
+  std::printf("\nindependent per-channel words -> XOR byte = %s\n",
+              result.c_str());
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,77 @@
+// 8-way SIMD full adder on the majority fabric: three cascaded in-line
+// majority gates per bit slice (carry = MAJ(a,b,c); sum = MAJ(!carry,
+// MAJ(a,b,!c), c)), with all eight data lanes riding different frequencies
+// through the same waveguides. Inversions are free: input complements are
+// drive-phase flips, output complements are half-wavelength ports.
+//
+//   $ ./simd_adder
+#include <cstdio>
+
+#include "core/cascade.h"
+#include "dispersion/fvmsw.h"
+#include "io/csv.h"
+#include "mag/material.h"
+#include "util/strings.h"
+#include "util/units.h"
+#include "wavesim/wave_engine.h"
+
+using namespace sw;
+
+namespace {
+
+std::string word_str(const core::Bits& w) {
+  std::string s;
+  for (std::size_t i = w.size(); i-- > 0;) s += w[i] ? '1' : '0';
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  disp::Waveguide wg;
+  wg.material = mag::make_fecob();
+  wg.width = 50 * units::nm;
+  wg.thickness = 1 * units::nm;
+  const disp::FvmswDispersion dispersion(wg);
+  const core::InlineGateDesigner designer(dispersion);
+  const wavesim::WaveEngine engine(dispersion, wg.material.alpha);
+
+  std::vector<double> freqs;
+  for (int i = 1; i <= 8; ++i) freqs.push_back(i * 10.0 * units::GHz);
+
+  core::MajorityCascade cascade(freqs, designer, engine);
+  const auto fa = core::build_full_adder(cascade);
+
+  std::printf("full adder: %zu majority gates x %zu channels, total area "
+              "%.4f um^2\n\n",
+              cascade.num_gates(), cascade.num_channels(),
+              cascade.total_area(wg.width) / units::um2);
+
+  // Exhaustive physical verification (8 scalar patterns x 8 channels).
+  cascade.verify();
+  std::printf("physical == boolean reference for all input patterns on all "
+              "channels\n\n");
+
+  // SIMD demonstration: add two 8-bit vectors lane-wise (each lane is one
+  // frequency channel; this is a 1-bit add per lane with carry in/out).
+  const core::Bits a{1, 0, 1, 1, 0, 0, 1, 0};
+  const core::Bits b{1, 1, 0, 1, 0, 1, 0, 0};
+  const core::Bits cin{0, 1, 0, 1, 0, 0, 1, 0};
+
+  const auto signals = cascade.evaluate({a, b, cin});
+  const auto& sum = signals[fa.sum.id];
+  const auto& cout = signals[fa.carry_out.id];
+
+  io::TextTable tab({"lane (f GHz)", "a", "b", "cin", "sum", "cout"});
+  for (std::size_t ch = 0; ch < 8; ++ch) {
+    tab.add_row({sw::util::format_sig(freqs[ch] / units::GHz, 3),
+                 std::to_string(int(a[ch])), std::to_string(int(b[ch])),
+                 std::to_string(int(cin[ch])), std::to_string(int(sum[ch])),
+                 std::to_string(int(cout[ch]))});
+  }
+  std::printf("%s\n", tab.str().c_str());
+  std::printf("a    = %s\nb    = %s\ncin  = %s\nsum  = %s\ncout = %s\n",
+              word_str(a).c_str(), word_str(b).c_str(), word_str(cin).c_str(),
+              word_str(sum).c_str(), word_str(cout).c_str());
+  return 0;
+}

@@ -1,0 +1,135 @@
+#include "core/cascade.h"
+
+#include "util/error.h"
+
+namespace sw::core {
+
+MajorityCascade::MajorityCascade(std::vector<double> frequencies,
+                                 const InlineGateDesigner& designer,
+                                 const sw::wavesim::WaveEngine& engine)
+    : frequencies_(std::move(frequencies)),
+      designer_(&designer),
+      engine_(&engine) {
+  SW_REQUIRE(!frequencies_.empty(), "need at least one channel");
+}
+
+SignalRef MajorityCascade::input() {
+  SW_REQUIRE(nodes_.empty(), "declare all inputs before adding gates");
+  return {num_inputs_++, false};
+}
+
+SignalRef MajorityCascade::maj(SignalRef a, SignalRef b, SignalRef c,
+                               bool invert_output) {
+  const std::size_t next_id = num_inputs_ + nodes_.size();
+  for (const auto& ref : {a, b, c}) {
+    SW_REQUIRE(ref.id < next_id, "gate references a later signal");
+  }
+  Node node;
+  node.in[0] = a;
+  node.in[1] = b;
+  node.in[2] = c;
+  node.invert = invert_output;
+
+  GateSpec spec;
+  spec.num_inputs = 3;
+  spec.frequencies = frequencies_;
+  if (invert_output) {
+    spec.invert_output.assign(frequencies_.size(), 1);
+  }
+  node.gate =
+      std::make_unique<DataParallelGate>(designer_->design(spec), *engine_);
+  nodes_.push_back(std::move(node));
+  return {next_id, false};
+}
+
+std::vector<Bits> MajorityCascade::evaluate(
+    const std::vector<Bits>& primary) const {
+  SW_REQUIRE(primary.size() == num_inputs_, "primary input count mismatch");
+  const std::size_t n = frequencies_.size();
+  for (const auto& word : primary) {
+    SW_REQUIRE(word.size() == n, "each input needs one bit per channel");
+  }
+
+  std::vector<Bits> signals = primary;
+  signals.reserve(num_inputs_ + nodes_.size());
+  for (const auto& node : nodes_) {
+    // Regenerating transducers drive the next stage; a negated reference
+    // simply flips the drive phase (free complement).
+    std::vector<Bits> gate_inputs(n, Bits(3));
+    for (std::size_t ch = 0; ch < n; ++ch) {
+      for (int k = 0; k < 3; ++k) {
+        const SignalRef& ref = node.in[k];
+        const bool v = signals[ref.id][ch] != 0;
+        gate_inputs[ch][k] = static_cast<std::uint8_t>(v != ref.negated);
+      }
+    }
+    const auto results = node.gate->evaluate(gate_inputs);
+    Bits out(n);
+    for (const auto& r : results) out[r.channel] = r.logic;
+    signals.push_back(std::move(out));
+  }
+  return signals;
+}
+
+std::vector<std::uint8_t> MajorityCascade::reference_eval(
+    const std::vector<std::uint8_t>& primary) const {
+  SW_REQUIRE(primary.size() == num_inputs_, "primary input count mismatch");
+  std::vector<std::uint8_t> signals = primary;
+  for (const auto& node : nodes_) {
+    int ones = 0;
+    for (int k = 0; k < 3; ++k) {
+      const SignalRef& ref = node.in[k];
+      const bool v = (signals[ref.id] != 0) != ref.negated;
+      ones += v ? 1 : 0;
+    }
+    bool out = ones >= 2;
+    if (node.invert) out = !out;
+    signals.push_back(static_cast<std::uint8_t>(out));
+  }
+  return signals;
+}
+
+void MajorityCascade::verify() const {
+  SW_REQUIRE(num_inputs_ <= 16, "exhaustive verification capped at 16 inputs");
+  const std::size_t n = frequencies_.size();
+  const std::size_t total = static_cast<std::size_t>(1) << num_inputs_;
+  for (std::size_t v = 0; v < total; ++v) {
+    std::vector<std::uint8_t> scalar(num_inputs_);
+    std::vector<Bits> parallel(num_inputs_);
+    for (std::size_t i = 0; i < num_inputs_; ++i) {
+      scalar[i] = static_cast<std::uint8_t>((v >> i) & 1);
+      parallel[i] = Bits(n, scalar[i]);
+    }
+    const auto want = reference_eval(scalar);
+    const auto got = evaluate(parallel);
+    for (std::size_t s = 0; s < want.size(); ++s) {
+      for (std::size_t ch = 0; ch < n; ++ch) {
+        SW_REQUIRE(got[s][ch] == want[s],
+                   "cascade physical evaluation diverged from reference");
+      }
+    }
+  }
+}
+
+double MajorityCascade::total_area(double guide_width) const {
+  SW_REQUIRE(guide_width > 0.0, "guide width must be positive");
+  double area = 0.0;
+  for (const auto& node : nodes_) {
+    area += node.gate->layout().length() * guide_width;
+  }
+  return area;
+}
+
+FullAdderSignals build_full_adder(MajorityCascade& cascade) {
+  FullAdderSignals fa;
+  fa.a = cascade.input();
+  fa.b = cascade.input();
+  fa.carry_in = cascade.input();
+  // carry = MAJ(a, b, c); sum = MAJ(!carry, MAJ(a, b, !c), c).
+  fa.carry_out = cascade.maj(fa.a, fa.b, fa.carry_in);
+  const SignalRef t = cascade.maj(fa.a, fa.b, !fa.carry_in);
+  fa.sum = cascade.maj(!fa.carry_out, t, fa.carry_in);
+  return fa;
+}
+
+}  // namespace sw::core

@@ -1,0 +1,96 @@
+// Feed-forward majority netlists over the data-parallel fabric.
+//
+// The paper notes the gate output "can be read by transducers ... or passed
+// to potential following SW gates". This module composes in-line majority
+// gates into multi-stage circuits: every node is a physically designed
+// 3-input gate evaluated on the wave engine, and stage boundaries model the
+// regenerating transducers (which can launch the complement for free by
+// flipping the drive phase — input negation costs nothing, just like the
+// half-wavelength output ports give free output negation).
+//
+// The classic majority-logic full adder ships as a builder:
+//   carry = MAJ(a, b, c)
+//   sum   = MAJ(!carry, MAJ(a, b, !c), c)
+// i.e. three majority gates and two free complements per bit — times n
+// frequency channels, an n-way SIMD adder slice on two waveguides.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/gate.h"
+#include "core/gate_design.h"
+#include "wavesim/wave_engine.h"
+
+namespace sw::core {
+
+/// Reference to a signal in the netlist, with optional complement — the
+/// complement is realised by the driving transducer's phase flip.
+struct SignalRef {
+  std::size_t id = 0;
+  bool negated = false;
+
+  SignalRef operator!() const { return {id, !negated}; }
+};
+
+class MajorityCascade {
+ public:
+  /// `designer`/`engine` are used for every node; `frequencies` defines the
+  /// parallel channel set shared by the whole circuit.
+  MajorityCascade(std::vector<double> frequencies,
+                  const InlineGateDesigner& designer,
+                  const sw::wavesim::WaveEngine& engine);
+
+  /// Declare a primary input; returns its signal.
+  SignalRef input();
+
+  /// Add a 3-input majority node; returns its output signal.
+  /// `invert_output` uses a half-integer output port (free complement).
+  SignalRef maj(SignalRef a, SignalRef b, SignalRef c,
+                bool invert_output = false);
+
+  std::size_t num_inputs() const { return num_inputs_; }
+  std::size_t num_gates() const { return nodes_.size(); }
+  std::size_t num_channels() const { return frequencies_.size(); }
+
+  /// Evaluate physically: `primary[i]` holds the per-channel word of input
+  /// signal i. Returns per-signal, per-channel values for ALL signals
+  /// (primaries first, then node outputs in creation order).
+  std::vector<Bits> evaluate(const std::vector<Bits>& primary) const;
+
+  /// Pure Boolean reference evaluation with scalar inputs.
+  std::vector<std::uint8_t> reference_eval(
+      const std::vector<std::uint8_t>& primary) const;
+
+  /// Exhaustively verify physical == reference over all input patterns on
+  /// every channel (throws on mismatch). Feasible for <= ~16 inputs.
+  void verify() const;
+
+  /// Total waveguide area of all nodes [m^2] given a guide width.
+  double total_area(double guide_width) const;
+
+ private:
+  struct Node {
+    SignalRef in[3];
+    bool invert = false;
+    std::unique_ptr<DataParallelGate> gate;
+  };
+
+  std::vector<double> frequencies_;
+  const InlineGateDesigner* designer_;
+  const sw::wavesim::WaveEngine* engine_;
+  std::size_t num_inputs_ = 0;
+  std::vector<Node> nodes_;
+};
+
+/// Outputs of a full-adder slice built on a cascade.
+struct FullAdderSignals {
+  SignalRef a, b, carry_in;
+  SignalRef sum, carry_out;
+};
+
+/// Build the 3-gate majority full adder on `cascade`.
+FullAdderSignals build_full_adder(MajorityCascade& cascade);
+
+}  // namespace sw::core

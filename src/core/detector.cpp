@@ -1,0 +1,57 @@
+#include "core/detector.h"
+
+#include <cmath>
+#include <vector>
+
+#include "fft/goertzel.h"
+#include "util/constants.h"
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace sw::core {
+
+using sw::util::kPi;
+
+PhaseDecision decide_phase(std::complex<double> phasor,
+                           double reference_phase) {
+  PhaseDecision d;
+  d.amplitude = std::abs(phasor);
+  d.phase = std::arg(phasor);
+  const double dist = sw::util::angle_distance(d.phase, reference_phase);
+  d.logic = dist > kPi / 2.0 ? 1 : 0;
+  d.margin = std::abs(dist - kPi / 2.0) / (kPi / 2.0);
+  return d;
+}
+
+AmplitudeDecision decide_amplitude(double amplitude,
+                                   double reference_amplitude,
+                                   double threshold_frac) {
+  SW_REQUIRE(reference_amplitude > 0.0, "reference amplitude must be > 0");
+  SW_REQUIRE(threshold_frac > 0.0 && threshold_frac < 1.0,
+             "threshold fraction must be in (0, 1)");
+  AmplitudeDecision d;
+  d.amplitude = amplitude;
+  const double threshold = threshold_frac * reference_amplitude;
+  d.logic = amplitude < threshold ? 1 : 0;
+  d.margin = std::abs(amplitude - threshold) / threshold;
+  return d;
+}
+
+std::complex<double> extract_phasor(std::span<const double> signal,
+                                    std::size_t i_begin, std::size_t i_end,
+                                    double sample_rate, double frequency) {
+  SW_REQUIRE(i_begin < i_end && i_end <= signal.size(),
+             "bad extraction window");
+  const std::span<const double> window =
+      signal.subspan(i_begin, i_end - i_begin);
+  const auto ph = sw::fft::goertzel(window, sample_rate, frequency);
+  // Goertzel references the window start t_b = i_begin/fs: the estimate is
+  // x(t) = A cos(2 pi f (t - t_b) + phi_w). Rotate to the absolute t = 0
+  // convention phi_abs = phi_w - 2 pi f t_b so different windows compare.
+  const double shift = sw::util::kTwoPi * frequency *
+                       static_cast<double>(i_begin) / sample_rate;
+  const std::complex<double> rot(std::cos(shift), -std::sin(shift));
+  return std::polar(ph.amplitude, ph.phase) * rot;
+}
+
+}  // namespace sw::core

@@ -1,0 +1,44 @@
+// Output decoding: turn a detected phasor (or sampled signal) into a logic
+// value with an explicit decision margin.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <span>
+
+namespace sw::core {
+
+/// Result of a phase-threshold decision.
+struct PhaseDecision {
+  std::uint8_t logic = 0;   ///< decoded bit
+  double phase = 0.0;       ///< detected phase [rad]
+  double amplitude = 0.0;   ///< detected amplitude [arb]
+  double margin = 0.0;      ///< in [0,1]: distance of the phase from the
+                            ///< decision boundary (pi/2), normalised
+};
+
+/// Decide a bit from a phasor against a reference phase: logic 1 when the
+/// phase sits closer to reference+pi than to reference.
+PhaseDecision decide_phase(std::complex<double> phasor,
+                           double reference_phase);
+
+/// Result of an amplitude-threshold decision (XOR-style readout).
+struct AmplitudeDecision {
+  std::uint8_t logic = 0;
+  double amplitude = 0.0;
+  double margin = 0.0;  ///< |amplitude - threshold| / threshold
+};
+
+/// Decide a bit from an amplitude: logic 1 when the wave has (mostly)
+/// cancelled, i.e. amplitude < threshold_frac * reference_amplitude.
+AmplitudeDecision decide_amplitude(double amplitude,
+                                   double reference_amplitude,
+                                   double threshold_frac = 0.5);
+
+/// Per-channel phasor extraction from a sampled real signal via the
+/// generalised Goertzel transform over [i_begin, i_end) samples.
+std::complex<double> extract_phasor(std::span<const double> signal,
+                                    std::size_t i_begin, std::size_t i_end,
+                                    double sample_rate, double frequency);
+
+}  // namespace sw::core

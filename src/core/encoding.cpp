@@ -1,0 +1,40 @@
+#include "core/encoding.h"
+
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace sw::core {
+
+bool bit_of_phase(double phase) {
+  return sw::util::angle_distance(phase, kPhaseZero) > sw::util::kPi / 2.0;
+}
+
+bool majority(std::span<const std::uint8_t> bits) {
+  SW_REQUIRE(bits.size() % 2 == 1, "majority needs an odd number of inputs");
+  std::size_t ones = 0;
+  for (auto b : bits) ones += (b != 0);
+  return ones * 2 > bits.size();
+}
+
+bool parity(std::span<const std::uint8_t> bits) {
+  bool p = false;
+  for (auto b : bits) p ^= (b != 0);
+  return p;
+}
+
+std::vector<Bits> all_patterns(std::size_t m) {
+  SW_REQUIRE(m <= 20, "pattern enumeration limited to 20 inputs");
+  std::vector<Bits> out;
+  const std::size_t total = static_cast<std::size_t>(1) << m;
+  out.reserve(total);
+  for (std::size_t v = 0; v < total; ++v) {
+    Bits bits(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      bits[i] = static_cast<std::uint8_t>((v >> i) & 1);
+    }
+    out.push_back(std::move(bits));
+  }
+  return out;
+}
+
+}  // namespace sw::core

@@ -1,0 +1,41 @@
+// Phase encoding of logic values and the Boolean reference functions the
+// interference realises.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/constants.h"
+
+namespace sw::core {
+
+/// Bit container used throughout the gate API (uint8_t avoids the
+/// vector<bool> proxy-reference pitfalls).
+using Bits = std::vector<std::uint8_t>;
+
+/// Phase encoding: logic 0 <-> phase 0, logic 1 <-> phase pi.
+inline constexpr double kPhaseZero = 0.0;
+inline constexpr double kPhaseOne = sw::util::kPi;
+
+/// Launch phase for a logic value.
+constexpr double phase_of_bit(bool bit) { return bit ? kPhaseOne : kPhaseZero; }
+
+/// Logic value whose encoding is closest to `phase` (absolute convention).
+bool bit_of_phase(double phase);
+
+/// MAJ of an odd number of bits (throws on even counts).
+bool majority(std::span<const std::uint8_t> bits);
+
+/// 3-input majority.
+inline bool majority3(bool a, bool b, bool c) {
+  return (a && b) || (b && c) || (a && c);
+}
+
+/// Parity (XOR fold) of the bits.
+bool parity(std::span<const std::uint8_t> bits);
+
+/// All 2^m input patterns of m bits, in counting order (bit 0 = input 0).
+std::vector<Bits> all_patterns(std::size_t m);
+
+}  // namespace sw::core

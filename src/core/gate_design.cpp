@@ -1,0 +1,240 @@
+#include "core/gate_design.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/constants.h"
+#include "util/error.h"
+
+namespace sw::core {
+
+using sw::util::kTwoPi;
+
+const PlacedSource& GateLayout::source(std::size_t channel,
+                                       std::size_t input) const {
+  for (const auto& s : sources) {
+    if (s.channel == channel && s.input == input) return s;
+  }
+  SW_REQUIRE(false, "no such source");
+}
+
+double GateLayout::left_edge() const {
+  SW_REQUIRE(!sources.empty(), "empty layout");
+  double lo = std::numeric_limits<double>::infinity();
+  for (const auto& s : sources) lo = std::min(lo, s.x);
+  return lo - 0.5 * spec.transducer_width;
+}
+
+double GateLayout::right_edge() const {
+  SW_REQUIRE(!detectors.empty(), "layout has no detectors");
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& s : sources) hi = std::max(hi, s.x);
+  for (const auto& d : detectors) hi = std::max(hi, d.x);
+  return hi + 0.5 * spec.transducer_width;
+}
+
+double GateLayout::length() const { return right_edge() - left_edge(); }
+
+void GateLayout::validate() const {
+  const std::size_t n = spec.frequencies.size();
+  const std::size_t m = spec.num_inputs;
+  SW_REQUIRE(sources.size() == n * m, "source count mismatch");
+  SW_REQUIRE(detectors.size() == n, "detector count mismatch");
+  SW_REQUIRE(wavelengths.size() == n && spacing.size() == n &&
+                 multiple.size() == n,
+             "per-channel arrays size mismatch");
+
+  constexpr double kTol = 1e-9;  // relative position tolerance
+
+  for (std::size_t i = 0; i < n; ++i) {
+    SW_REQUIRE(multiple[i] >= 1, "spacing multiple must be >= 1");
+    SW_REQUIRE(std::abs(spacing[i] - multiple[i] * wavelengths[i]) <
+                   kTol * wavelengths[i],
+               "spacing is not an integer multiple of the wavelength");
+    // Same-channel sources form an exact lattice.
+    const double x0 = source(i, 0).x;
+    for (std::size_t k = 1; k < m; ++k) {
+      const double expect = x0 + static_cast<double>(k) * spacing[i];
+      SW_REQUIRE(std::abs(source(i, k).x - expect) < kTol * spacing[i],
+                 "source lattice broken");
+    }
+    // Detector sits an exact (half-)integer number of wavelengths past the
+    // last source of its channel.
+    const double last = x0 + static_cast<double>(m - 1) * spacing[i];
+    const double delta = detectors[i].x - last;
+    SW_REQUIRE(delta > 0.0, "detector not beyond its last source");
+    const double cycles = delta / wavelengths[i];
+    const double frac = cycles - std::floor(cycles);
+    if (detectors[i].inverted) {
+      SW_REQUIRE(std::abs(frac - 0.5) < 1e-6,
+                 "inverted detector not at a half-integer multiple");
+    } else {
+      SW_REQUIRE(frac < 1e-6 || frac > 1.0 - 1e-6,
+                 "direct detector not at an integer multiple");
+    }
+  }
+
+  // Global pitch constraint over every transducer.
+  std::vector<double> xs;
+  for (const auto& s : sources) xs.push_back(s.x);
+  for (const auto& d : detectors) xs.push_back(d.x);
+  std::sort(xs.begin(), xs.end());
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    SW_REQUIRE(xs[i] - xs[i - 1] >= spec.pitch() * (1.0 - 1e-9),
+               "transducer pitch violated");
+  }
+  SW_REQUIRE(left_edge() >= -kTol, "layout extends past the origin");
+}
+
+GateLayout InlineGateDesigner::design(const GateSpec& spec) const {
+  const std::size_t n = spec.frequencies.size();
+  const std::size_t m = spec.num_inputs;
+  SW_REQUIRE(n >= 1, "need at least one frequency channel");
+  SW_REQUIRE(m >= 1, "need at least one input");
+  SW_REQUIRE(spec.transducer_width > 0.0 && spec.min_gap > 0.0,
+             "bad transducer geometry");
+  SW_REQUIRE(spec.invert_output.empty() || spec.invert_output.size() == n,
+             "invert_output must be empty or one flag per channel");
+  for (std::size_t i = 0; i < n; ++i) {
+    SW_REQUIRE(spec.frequencies[i] > 0.0, "frequencies must be positive");
+    for (std::size_t j = i + 1; j < n; ++j) {
+      SW_REQUIRE(std::abs(spec.frequencies[i] - spec.frequencies[j]) >
+                     1e-3 * spec.frequencies[i],
+                 "channel frequencies must be distinct");
+    }
+  }
+
+  GateLayout out;
+  out.spec = spec;
+  const double pitch = spec.pitch();
+
+  // Wavelengths and same-channel spacings d_i = n_i * lambda_i. Between two
+  // consecutive same-channel sources sit one source of every other channel,
+  // so d_i must clear n+1 transducer pitches (an exact fit d_i == n*pitch
+  // admits no feasible placement); a caller-supplied floor can raise it.
+  out.wavelengths.resize(n);
+  out.multiple.resize(n);
+  out.spacing.resize(n);
+  const double d_min = std::max(static_cast<double>(n + 1) * pitch,
+                                spec.min_same_channel_spacing);
+  std::vector<int> min_mult(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.wavelengths[i] = model_->wavelength(spec.frequencies[i]);
+    min_mult[i] =
+        std::max(1, static_cast<int>(
+                        std::ceil(d_min / out.wavelengths[i] - 1e-9)));
+  }
+
+  // Sequential exact placement. Offsets are free reals — only the
+  // *relative* spacing within a channel carries phase meaning — so each
+  // channel's lattice is slid right to the first offset clearing every
+  // already-placed source by at least one pitch. A source at p forbids
+  // offsets in (p - k*d_i - pitch, p - k*d_i + pitch) for lattice element k;
+  // the smallest admissible offset is found in one sweep over the sorted
+  // forbidden intervals (complete: a feasible offset always exists beyond
+  // the last interval). Per channel, a few candidate multiples above the
+  // minimum are tried and the one whose lattice ends leftmost wins — larger
+  // d_i sometimes interleaves better than the minimal one.
+  const auto first_free_offset = [&](const std::vector<double>& placed,
+                                     double lo, double d) {
+    std::vector<std::pair<double, double>> forbidden;
+    forbidden.reserve(placed.size() * m);
+    for (double p : placed) {
+      for (std::size_t k = 0; k < m; ++k) {
+        const double c = p - static_cast<double>(k) * d;
+        forbidden.emplace_back(c - pitch, c + pitch);
+      }
+    }
+    std::sort(forbidden.begin(), forbidden.end());
+    double x = lo;
+    for (const auto& [a, b] : forbidden) {
+      if (x > a + pitch * 1e-12 && x < b - pitch * 1e-12) x = b;
+    }
+    return x;
+  };
+
+  std::vector<double> offset(n);
+  std::vector<double> placed;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lo = (i == 0) ? 0.5 * spec.transducer_width
+                               : offset[i - 1] + pitch;
+    const int tries = std::max(0, spec.multiple_search);
+    double best_end = std::numeric_limits<double>::infinity();
+    for (int extra = 0; extra <= tries; ++extra) {
+      const int mult = min_mult[i] + extra;
+      const double d = mult * out.wavelengths[i];
+      const double x = first_free_offset(placed, lo, d);
+      const double end = x + static_cast<double>(m - 1) * d;
+      if (end < best_end - 1e-15) {
+        best_end = end;
+        offset[i] = x;
+        out.multiple[i] = mult;
+        out.spacing[i] = d;
+      }
+    }
+    for (std::size_t k = 0; k < m; ++k) {
+      placed.push_back(offset[i] + static_cast<double>(k) * out.spacing[i]);
+    }
+  }
+
+  // Emit sources.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < m; ++k) {
+      PlacedSource s;
+      s.channel = i;
+      s.input = k;
+      s.x = offset[i] + static_cast<double>(k) * out.spacing[i];
+      out.sources.push_back(s);
+    }
+  }
+
+  // Detectors: for channel i, an exact (half-)integer number of wavelengths
+  // past its last source, beyond every source by one pitch, and clearing
+  // every previously placed detector by one pitch. The smallest admissible
+  // (half-)integer multiple is found by stepping q one wavelength at a time
+  // (terminates: the placed set is finite).
+  double floor_x = 0.0;
+  for (const auto& s : out.sources) floor_x = std::max(floor_x, s.x);
+  floor_x += pitch;
+  std::vector<double> placed_det;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool inv =
+        !spec.invert_output.empty() && spec.invert_output[i] != 0;
+    const double last =
+        offset[i] + static_cast<double>(m - 1) * out.spacing[i];
+    const double lambda = out.wavelengths[i];
+    double q;
+    if (inv) {
+      q = std::ceil((floor_x - last) / lambda - 0.5 - 1e-12) + 0.5;
+      q = std::max(q, 0.5);
+    } else {
+      q = std::ceil((floor_x - last) / lambda - 1e-12);
+      q = std::max(q, 1.0);
+    }
+    double x = last + q * lambda;
+    const auto clears = [&](double cand) {
+      for (double p : placed_det) {
+        if (std::abs(cand - p) < pitch * (1.0 - 1e-12)) return false;
+      }
+      return true;
+    };
+    int guard = 0;
+    while (!clears(x)) {
+      q += 1.0;
+      x = last + q * lambda;
+      SW_ASSERT(++guard < 100000, "detector placement runaway");
+    }
+    PlacedDetector det;
+    det.channel = i;
+    det.inverted = inv;
+    det.x = x;
+    out.detectors.push_back(det);
+    placed_det.push_back(x);
+  }
+
+  out.validate();
+  return out;
+}
+
+}  // namespace sw::core

@@ -1,0 +1,98 @@
+// In-line multi-frequency gate layout synthesis — the paper's core proposal
+// (Fig. 2): all m*n transducers on one straight waveguide, same-frequency
+// source spacing an integer multiple of that frequency's wavelength, output
+// ports at integer (direct) or half-integer (inverted) multiples past the
+// last source of their frequency.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dispersion/model.h"
+
+namespace sw::core {
+
+/// What to build: m inputs processed in parallel on n frequency channels.
+struct GateSpec {
+  std::size_t num_inputs = 3;         ///< m, inputs per channel
+  std::vector<double> frequencies;    ///< channel frequencies [Hz], distinct
+  double transducer_width = 10e-9;    ///< ME cell footprint along x [m]
+  double min_gap = 1e-9;              ///< min edge-to-edge transducer gap [m]
+  std::vector<std::uint8_t> invert_output;  ///< per channel; empty = direct
+
+  /// Extra floor on every same-channel spacing d_i [m]. Used to build the
+  /// scalar reference gates with exactly the spacings of a parallel design
+  /// so that delay figures stay comparable (Section V.B convention).
+  double min_same_channel_spacing = 0.0;
+
+  /// How many candidate multiples beyond the minimum the designer tries per
+  /// channel when compacting the layout (0 = always the minimum multiple).
+  int multiple_search = 3;
+
+  /// Centre-to-centre pitch implied by the transducer geometry.
+  double pitch() const { return transducer_width + min_gap; }
+};
+
+/// A placed input transducer.
+struct PlacedSource {
+  std::size_t channel = 0;  ///< frequency index
+  std::size_t input = 0;    ///< input index within the channel (0 = first)
+  double x = 0.0;           ///< centre position [m]
+  double amplitude = 1.0;   ///< relative drive level (damping compensation)
+};
+
+/// A placed output transducer.
+struct PlacedDetector {
+  std::size_t channel = 0;
+  double x = 0.0;
+  bool inverted = false;  ///< true: half-integer placement, reads NOT(f)
+};
+
+/// Complete physical layout of one in-line gate.
+struct GateLayout {
+  GateSpec spec;
+  std::vector<double> wavelengths;   ///< lambda_i per channel [m]
+  std::vector<int> multiple;         ///< n_i: d_i = n_i * lambda_i
+  std::vector<double> spacing;       ///< d_i per channel [m]
+  std::vector<PlacedSource> sources;     ///< size m*n
+  std::vector<PlacedDetector> detectors; ///< size n
+
+  /// Source lookup (throws if absent).
+  const PlacedSource& source(std::size_t channel, std::size_t input) const;
+
+  /// Leftmost transducer edge [m] (>= 0 by construction).
+  double left_edge() const;
+
+  /// Rightmost transducer edge [m].
+  double right_edge() const;
+
+  /// Device length: rightmost minus leftmost transducer edge.
+  double length() const;
+
+  /// Total transducer count (sources + detectors).
+  std::size_t transducer_count() const {
+    return sources.size() + detectors.size();
+  }
+
+  /// Verify every layout invariant (spacings are exact wavelength multiples,
+  /// pitch respected, detectors beyond all sources); throws on violation.
+  void validate() const;
+};
+
+/// Synthesises in-line layouts from a dispersion model.
+class InlineGateDesigner {
+ public:
+  explicit InlineGateDesigner(const sw::disp::DispersionModel& model)
+      : model_(&model) {}
+
+  /// Design a layout for `spec`. Throws if a frequency is below the guide's
+  /// FMR or if placement cannot be made feasible.
+  GateLayout design(const GateSpec& spec) const;
+
+  const sw::disp::DispersionModel& model() const { return *model_; }
+
+ private:
+  const sw::disp::DispersionModel* model_;
+};
+
+}  // namespace sw::core

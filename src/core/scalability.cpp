@@ -1,0 +1,95 @@
+#include "core/scalability.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace sw::core {
+
+std::vector<double> damping_compensation(
+    const GateLayout& layout, const sw::wavesim::WaveEngine& engine) {
+  std::vector<double> levels;
+  levels.reserve(layout.sources.size());
+  for (const auto& s : layout.sources) {
+    const auto& det = layout.detectors[s.channel];
+    const double f = layout.spec.frequencies[s.channel];
+    const double l = engine.decay_length(f);
+    const double d = std::abs(det.x - s.x);
+    // Boost so that the arrival amplitude matches a source sitting at the
+    // channel's nearest (last) input position.
+    const double d_near =
+        std::abs(det.x - layout.source(s.channel,
+                                       layout.spec.num_inputs - 1).x);
+    levels.push_back(std::exp((d - d_near) / l));
+  }
+  return levels;
+}
+
+GateLayout with_drive_levels(GateLayout layout,
+                             const std::vector<double>& levels) {
+  SW_REQUIRE(levels.size() == layout.sources.size(),
+             "one level per source required");
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    SW_REQUIRE(levels[i] > 0.0, "drive levels must be positive");
+    layout.sources[i].amplitude = levels[i];
+  }
+  return layout;
+}
+
+MarginReport margin_report(const DataParallelGate& gate) {
+  MarginReport rep;
+  const std::size_t m = gate.layout().spec.num_inputs;
+  for (const auto& pattern : all_patterns(m)) {
+    const auto results = gate.evaluate_uniform(pattern);
+    for (const auto& r : results) {
+      const bool correct =
+          r.logic == gate.expected_majority(r.channel, pattern);
+      if (!correct) rep.all_correct = false;
+      // A wrong answer counts as a (negative-side) zero margin.
+      const double margin = correct ? r.margin : 0.0;
+      if (margin < rep.min_margin || !correct) {
+        rep.min_margin = margin;
+        rep.worst_channel = r.channel;
+        rep.worst_pattern = pattern;
+      }
+    }
+  }
+  return rep;
+}
+
+std::vector<ScalabilityPoint> scalability_sweep(
+    const sw::disp::DispersionModel& model, double alpha, double frequency,
+    std::size_t max_inputs) {
+  SW_REQUIRE(max_inputs >= 3, "sweep needs at least 3 inputs");
+  sw::wavesim::WaveEngine engine(model, alpha);
+  InlineGateDesigner designer(model);
+
+  std::vector<ScalabilityPoint> out;
+  for (std::size_t m = 3; m <= max_inputs; m += 2) {
+    GateSpec spec;
+    spec.num_inputs = m;
+    spec.frequencies = {frequency};
+    const GateLayout base = designer.design(spec);
+
+    ScalabilityPoint pt;
+    pt.num_inputs = m;
+    {
+      DataParallelGate gate(base, engine);
+      const auto rep = margin_report(gate);
+      pt.margin_uncompensated = rep.min_margin;
+      pt.correct_uncompensated = rep.all_correct;
+    }
+    {
+      const auto levels = damping_compensation(base, engine);
+      DataParallelGate gate(with_drive_levels(base, levels), engine);
+      const auto rep = margin_report(gate);
+      pt.margin_compensated = rep.min_margin;
+      pt.correct_compensated = rep.all_correct;
+    }
+    out.push_back(pt);
+  }
+  return out;
+}
+
+}  // namespace sw::core

@@ -1,0 +1,53 @@
+// Scalability analysis (paper Section V "Scalability"): damping makes the
+// first (farthest) input of each channel arrive weaker than the last; for
+// large input counts the interference vote can be corrupted. The paper's
+// remedy is graded drive levels (I_n energy < I_{n-1} < ... < I_1). This
+// module computes those levels and the resulting decision margins.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/gate.h"
+#include "core/gate_design.h"
+#include "wavesim/wave_engine.h"
+
+namespace sw::core {
+
+/// Per-source amplitude multipliers that equalise the arrival amplitude of
+/// every source of a channel at that channel's detector (the nearest source
+/// keeps amplitude 1; farther sources are boosted). Order matches
+/// layout.sources.
+std::vector<double> damping_compensation(const GateLayout& layout,
+                                         const sw::wavesim::WaveEngine& engine);
+
+/// Apply compensation levels to a copy of the layout.
+GateLayout with_drive_levels(GateLayout layout,
+                             const std::vector<double>& levels);
+
+/// Worst-case decision margin over all 2^m uniform patterns and channels.
+struct MarginReport {
+  double min_margin = 1.0;          ///< worst margin in [0, 1]
+  std::size_t worst_channel = 0;
+  Bits worst_pattern;
+  bool all_correct = true;          ///< truth table fully satisfied
+};
+
+MarginReport margin_report(const DataParallelGate& gate);
+
+/// Margin as a function of input count m (odd values), with and without
+/// damping compensation, for a single-frequency channel: the data behind
+/// the scalability argument.
+struct ScalabilityPoint {
+  std::size_t num_inputs = 0;
+  double margin_uncompensated = 0.0;
+  double margin_compensated = 0.0;
+  bool correct_uncompensated = false;
+  bool correct_compensated = false;
+};
+
+std::vector<ScalabilityPoint> scalability_sweep(
+    const sw::disp::DispersionModel& model, double alpha, double frequency,
+    std::size_t max_inputs);
+
+}  // namespace sw::core

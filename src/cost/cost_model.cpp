@@ -1,0 +1,75 @@
+#include "cost/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace sw::cost {
+
+GateCost gate_cost(const sw::core::GateLayout& layout, double guide_width,
+                   const TransducerModel& transducer,
+                   const sw::disp::DispersionModel& model) {
+  SW_REQUIRE(guide_width > 0.0, "guide width must be positive");
+  GateCost c;
+  c.length = layout.length();
+  c.area = c.length * guide_width;
+  c.transducers = layout.transducer_count();
+  c.waveguides = 1;
+  c.energy = static_cast<double>(c.transducers) * transducer.energy;
+
+  // Slowest flight time from any source to its channel's detector.
+  double max_flight = 0.0;
+  for (const auto& s : layout.sources) {
+    const double f = layout.spec.frequencies[s.channel];
+    const double vg = model.group_velocity(model.k_from_frequency(f));
+    SW_REQUIRE(vg > 0.0, "non-positive group velocity");
+    const double d = std::abs(layout.detectors[s.channel].x - s.x);
+    max_flight = std::max(max_flight, d / vg);
+  }
+  c.delay = 2.0 * transducer.delay + max_flight;
+  return c;
+}
+
+Comparison compare_parallel_vs_scalar(
+    const sw::core::InlineGateDesigner& designer,
+    const sw::core::GateSpec& parallel_spec, double guide_width,
+    const TransducerModel& transducer) {
+  Comparison cmp;
+
+  const auto parallel_layout = designer.design(parallel_spec);
+  cmp.parallel =
+      gate_cost(parallel_layout, guide_width, transducer, designer.model());
+
+  for (std::size_t i = 0; i < parallel_spec.frequencies.size(); ++i) {
+    sw::core::GateSpec scalar = parallel_spec;
+    scalar.frequencies = {parallel_spec.frequencies[i]};
+    if (!parallel_spec.invert_output.empty()) {
+      scalar.invert_output = {parallel_spec.invert_output[i]};
+    }
+    // Section V.B convention: the scalar reference keeps the parallel
+    // design's source spacing for its channel so flight times (and thus
+    // delay figures) remain identical; only the other channels' transducers
+    // disappear.
+    scalar.min_same_channel_spacing = parallel_layout.spacing[i];
+    scalar.multiple_search = 0;
+    const auto scalar_layout = designer.design(scalar);
+    const auto cost =
+        gate_cost(scalar_layout, guide_width, transducer, designer.model());
+    cmp.scalar_each.push_back(cost);
+    cmp.scalar_total.length += cost.length;
+    cmp.scalar_total.area += cost.area;
+    cmp.scalar_total.energy += cost.energy;
+    cmp.scalar_total.transducers += cost.transducers;
+    cmp.scalar_total.waveguides += 1;
+    // The scalar gates run concurrently; total delay is the slowest one.
+    cmp.scalar_total.delay = std::max(cmp.scalar_total.delay, cost.delay);
+  }
+
+  cmp.area_ratio = cmp.scalar_total.area / cmp.parallel.area;
+  cmp.delay_ratio = cmp.scalar_total.delay / cmp.parallel.delay;
+  cmp.energy_ratio = cmp.scalar_total.energy / cmp.parallel.energy;
+  return cmp;
+}
+
+}  // namespace sw::cost

@@ -1,0 +1,59 @@
+// Area / delay / energy cost models (paper Section V.B).
+//
+// The paper's accounting: excitation/detection ME cells are 10 nm x 50 nm
+// and dominate delay and energy; area is waveguide real estate. The scalar
+// reference implementation instantiates one single-frequency gate per
+// channel; the data-parallel gate multiplexes all channels on one guide.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/gate_design.h"
+
+namespace sw::cost {
+
+/// Physical transducer (ME cell) model.
+struct TransducerModel {
+  double width = 10e-9;     ///< footprint along the guide [m]
+  double length = 50e-9;    ///< footprint across the guide [m]
+  double delay = 0.42e-9;   ///< excite/detect latency [s]
+  double energy = 14.4e-18; ///< energy per operation [J] (aJ scale, ME cell)
+};
+
+/// Cost figures of one physical gate realisation.
+struct GateCost {
+  double length = 0.0;        ///< guide length [m]
+  double area = 0.0;          ///< guide area [m^2]
+  double delay = 0.0;         ///< input-to-output latency [s]
+  double energy = 0.0;        ///< energy per (parallel) evaluation [J]
+  std::size_t transducers = 0;
+  std::size_t waveguides = 0;
+};
+
+/// Cost of a single in-line gate on a guide of the given width.
+/// Delay = 2 transducer delays + slowest source-to-detector flight time;
+/// energy = transducer count * per-op energy (propagation is free).
+GateCost gate_cost(const sw::core::GateLayout& layout, double guide_width,
+                   const TransducerModel& transducer,
+                   const sw::disp::DispersionModel& model);
+
+/// Parallel-vs-scalar comparison (the paper's Table in Section V.B).
+struct Comparison {
+  GateCost parallel;               ///< one n-channel in-line gate
+  GateCost scalar_total;           ///< n single-channel gates, summed
+  std::vector<GateCost> scalar_each;
+  double area_ratio = 0.0;         ///< scalar / parallel (paper: 4.16x)
+  double delay_ratio = 0.0;        ///< scalar / parallel (paper: ~1x)
+  double energy_ratio = 0.0;       ///< scalar / parallel (paper: ~1x)
+};
+
+/// Build both implementations with the same designer and compare.
+/// The scalar reference uses one gate per frequency with the same input
+/// count and transducer geometry.
+Comparison compare_parallel_vs_scalar(
+    const sw::core::InlineGateDesigner& designer,
+    const sw::core::GateSpec& parallel_spec, double guide_width,
+    const TransducerModel& transducer);
+
+}  // namespace sw::cost

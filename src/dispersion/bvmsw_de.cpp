@@ -1,0 +1,58 @@
+#include "dispersion/bvmsw_de.h"
+
+#include <cmath>
+
+#include "util/constants.h"
+#include "util/error.h"
+
+namespace sw::disp {
+
+using sw::util::kGammaMu0;
+using sw::util::kTwoPi;
+
+namespace {
+double thickness_form_factor(double x) {
+  if (x < 1e-6) return 0.5 * x - x * x / 6.0;
+  return 1.0 - (1.0 - std::exp(-x)) / x;
+}
+}  // namespace
+
+BvmswDispersion::BvmswDispersion(const Waveguide& wg, double h_internal)
+    : wg_(wg) {
+  wg.material.validate();
+  SW_REQUIRE(h_internal > 0.0, "internal field must be positive");
+  w0_ = kGammaMu0 * h_internal;
+  wm_ = kGammaMu0 * wg.material.Ms;
+  const double lex = wg.material.exchange_length();
+  lex2_ = lex * lex;
+}
+
+double BvmswDispersion::frequency(double k) const {
+  SW_REQUIRE(k >= 0.0, "k must be non-negative");
+  const double wk = w0_ + wm_ * lex2_ * k * k;
+  const double F = thickness_form_factor(k * wg_.thickness);
+  const double w2 = wk * (wk + wm_ * (1.0 - F));
+  return std::sqrt(w2) / kTwoPi;
+}
+
+DamonEshbachDispersion::DamonEshbachDispersion(const Waveguide& wg,
+                                               double h_internal)
+    : wg_(wg) {
+  wg.material.validate();
+  SW_REQUIRE(h_internal > 0.0, "internal field must be positive");
+  w0_ = kGammaMu0 * h_internal;
+  wm_ = kGammaMu0 * wg.material.Ms;
+  const double lex = wg.material.exchange_length();
+  lex2_ = lex * lex;
+}
+
+double DamonEshbachDispersion::frequency(double k) const {
+  SW_REQUIRE(k >= 0.0, "k must be non-negative");
+  const double wex = wm_ * lex2_ * k * k;
+  const double w0k = w0_ + wex;
+  const double w2 = w0k * (w0k + wm_) +
+                    (wm_ * wm_ / 4.0) * (1.0 - std::exp(-2.0 * k * wg_.thickness));
+  return std::sqrt(w2) / kTwoPi;
+}
+
+}  // namespace sw::disp

@@ -1,0 +1,40 @@
+// Backward-volume and surface (Damon-Eshbach) magnetostatic waves, for
+// completeness of the dispersion library and for cross-configuration tests.
+// Both assume an in-plane magnetised film with internal field H (A/m).
+#pragma once
+
+#include "dispersion/model.h"
+#include "dispersion/waveguide.h"
+
+namespace sw::disp {
+
+/// BVMSW: propagation parallel to in-plane M. Dipole branch is backward
+/// (negative group velocity) until exchange takes over.
+///   omega^2 = wk * (wk + wM * (1 - F(k d)))   with wk = w0 + wM lex^2 k^2.
+class BvmswDispersion final : public DispersionModel {
+ public:
+  BvmswDispersion(const Waveguide& wg, double h_internal);
+
+  double frequency(double k) const override;
+  std::string name() const override { return "bvmsw"; }
+
+ private:
+  Waveguide wg_;
+  double w0_ = 0.0, wm_ = 0.0, lex2_ = 0.0;
+};
+
+/// Damon-Eshbach surface waves: propagation perpendicular to in-plane M.
+///   omega^2 = w0 (w0 + wM) + (wM^2 / 4)(1 - exp(-2 k d)) + exchange term.
+class DamonEshbachDispersion final : public DispersionModel {
+ public:
+  DamonEshbachDispersion(const Waveguide& wg, double h_internal);
+
+  double frequency(double k) const override;
+  std::string name() const override { return "damon-eshbach"; }
+
+ private:
+  Waveguide wg_;
+  double w0_ = 0.0, wm_ = 0.0, lex2_ = 0.0;
+};
+
+}  // namespace sw::disp

@@ -1,0 +1,47 @@
+#include "dispersion/fvmsw.h"
+
+#include <cmath>
+
+#include "util/constants.h"
+#include "util/error.h"
+
+namespace sw::disp {
+
+using sw::util::kGammaMu0;
+using sw::util::kPi;
+using sw::util::kTwoPi;
+
+FvmswDispersion::FvmswDispersion(const Waveguide& wg, double h_ext)
+    : wg_(wg) {
+  wg.material.validate();
+  SW_REQUIRE(wg.width > 0.0 && wg.thickness > 0.0, "bad waveguide geometry");
+  SW_REQUIRE(wg.width_mode >= 1, "width mode must be >= 1");
+  const auto& m = wg.material;
+  h_int_ = m.anisotropy_field() - m.Ms + h_ext;
+  SW_REQUIRE(h_int_ > 0.0,
+             "film is not perpendicularly magnetised (Hk + Hext <= Ms)");
+  ky_ = static_cast<double>(wg.width_mode) * kPi / wg.effective_width();
+  w0_ = kGammaMu0 * h_int_;
+  wm_ = kGammaMu0 * m.Ms;
+  const double lex = m.exchange_length();
+  lex2_ = lex * lex;
+}
+
+double FvmswDispersion::frequency(double k) const {
+  SW_REQUIRE(k >= 0.0, "k must be non-negative");
+  const double kt2 = k * k + ky_ * ky_;
+  const double kt = std::sqrt(kt2);
+  const double x = kt * wg_.thickness;
+  // F(x) = 1 - (1 - exp(-x))/x; series for small x avoids 0/0.
+  double F;
+  if (x < 1e-6) {
+    F = 0.5 * x - x * x / 6.0;
+  } else {
+    F = 1.0 - (1.0 - std::exp(-x)) / x;
+  }
+  const double wk = w0_ + wm_ * lex2_ * kt2;
+  const double w2 = wk * (wk + wm_ * F);
+  return std::sqrt(w2) / kTwoPi;
+}
+
+}  // namespace sw::disp

@@ -1,0 +1,42 @@
+// Forward-volume magnetostatic spin waves (FVMSW) in a perpendicularly
+// magnetised film: the configuration the paper uses, chosen for its
+// isotropic in-plane dispersion.
+#pragma once
+
+#include "dispersion/model.h"
+#include "dispersion/waveguide.h"
+
+namespace sw::disp {
+
+/// Kalinikos-Slavin lowest-thickness-mode FVMSW dispersion with exchange and
+/// width-mode quantisation:
+///
+///   omega(k)^2 = (w0 + wM l_ex^2 kt^2) * (w0 + wM l_ex^2 kt^2 + wM F(kt d))
+///   F(x)     = 1 - (1 - exp(-x)) / x
+///   kt^2     = k^2 + (n pi / w_eff)^2     (total wavenumber incl. width mode)
+///   w0       = gamma mu0 (Hk - Ms + Hext) (internal field, PMA film)
+///
+/// The paper's device has Hk > Ms so Hext = 0 works (self-biased).
+class FvmswDispersion final : public DispersionModel {
+ public:
+  explicit FvmswDispersion(const Waveguide& wg, double h_ext = 0.0);
+
+  double frequency(double k) const override;
+  std::string name() const override { return "fvmsw"; }
+
+  /// Internal (out-of-plane) field Hk - Ms + Hext [A/m].
+  double internal_field() const { return h_int_; }
+
+  /// Quantised transverse wavenumber [rad/m].
+  double k_transverse() const { return ky_; }
+
+ private:
+  Waveguide wg_;
+  double h_int_ = 0.0;
+  double ky_ = 0.0;
+  double w0_ = 0.0;       ///< gamma mu0 H_int [rad/s]
+  double wm_ = 0.0;       ///< gamma mu0 Ms [rad/s]
+  double lex2_ = 0.0;     ///< exchange length squared [m^2]
+};
+
+}  // namespace sw::disp

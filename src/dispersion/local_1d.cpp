@@ -1,0 +1,48 @@
+#include "dispersion/local_1d.h"
+
+#include <cmath>
+
+#include "mag/demag_factors.h"
+#include "util/constants.h"
+#include "util/error.h"
+
+namespace sw::disp {
+
+using sw::util::kGammaMu0;
+using sw::util::kTwoPi;
+
+LocalDemag1DDispersion::LocalDemag1DDispersion(const sw::mag::Material& mat,
+                                               const sw::mag::Vec3& factors,
+                                               double h_ext) {
+  mat.validate();
+  const double hi = mat.anisotropy_field() - factors.z * mat.Ms + h_ext;
+  SW_REQUIRE(hi > 0.0, "magnetisation not stable along +z (Hi <= 0)");
+  h1_ = hi + factors.x * mat.Ms;
+  h2_ = hi + factors.y * mat.Ms;
+  const double lex = mat.exchange_length();
+  ms_lex2_ = mat.Ms * lex * lex;
+}
+
+LocalDemag1DDispersion LocalDemag1DDispersion::from_waveguide(
+    const Waveguide& wg, double h_ext) {
+  const auto n = sw::mag::demag_factors_waveguide(wg.width, wg.thickness);
+  return LocalDemag1DDispersion(wg.material, n, h_ext);
+}
+
+double LocalDemag1DDispersion::effective_k2(double k) const {
+  if (dx_ <= 0.0 || k * dx_ < 1e-4) return k * k;
+  return 2.0 * (1.0 - std::cos(k * dx_)) / (dx_ * dx_);
+}
+
+double LocalDemag1DDispersion::frequency(double k) const {
+  SW_REQUIRE(k >= 0.0, "k must be non-negative");
+  const double ex = ms_lex2_ * effective_k2(k);
+  return kGammaMu0 * std::sqrt((h1_ + ex) * (h2_ + ex)) / kTwoPi;
+}
+
+double LocalDemag1DDispersion::ellipticity(double k) const {
+  const double ex = ms_lex2_ * effective_k2(k);
+  return std::sqrt((h2_ + ex) / (h1_ + ex));
+}
+
+}  // namespace sw::disp

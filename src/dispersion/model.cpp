@@ -1,0 +1,50 @@
+#include "dispersion/model.h"
+
+#include <cmath>
+
+#include "util/constants.h"
+#include "util/error.h"
+#include "util/root_find.h"
+
+namespace sw::disp {
+
+using sw::util::kTwoPi;
+
+double DispersionModel::k_from_frequency(double f, double k_max) const {
+  SW_REQUIRE(f > 0.0, "frequency must be positive");
+  const double f0 = frequency(0.0);
+  SW_REQUIRE(f >= f0,
+             "frequency " + std::to_string(f) + " Hz below the band bottom (" +
+                 std::to_string(f0) + " Hz)");
+  if (f == f0) return 0.0;
+  SW_REQUIRE(frequency(k_max) >= f, "frequency beyond k_max");
+  const auto res = sw::util::brent(
+      [this, f](double k) { return frequency(k) - f; }, 0.0, k_max,
+      {.x_tol = 1e-6, .f_tol = 1e-3 * f, .max_iterations = 300});
+  SW_REQUIRE(res.converged, "dispersion inversion did not converge");
+  return res.x;
+}
+
+double DispersionModel::wavelength(double f) const {
+  const double k = k_from_frequency(f);
+  SW_REQUIRE(k > 0.0, "zero wavenumber has no finite wavelength");
+  return kTwoPi / k;
+}
+
+double DispersionModel::group_velocity(double k) const {
+  const double h = std::max(1e3, std::abs(k) * 1e-5);  // rad/m step
+  const double k_lo = std::max(0.0, k - h);
+  const double k_hi = k + h;
+  return kTwoPi * (frequency(k_hi) - frequency(k_lo)) / (k_hi - k_lo);
+}
+
+double DispersionModel::group_velocity_at_frequency(double f) const {
+  return group_velocity(k_from_frequency(f));
+}
+
+double DispersionModel::phase_velocity(double k) const {
+  SW_REQUIRE(k > 0.0, "phase velocity needs k > 0");
+  return kTwoPi * frequency(k) / k;
+}
+
+}  // namespace sw::disp

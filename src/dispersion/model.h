@@ -1,0 +1,43 @@
+// Spin-wave dispersion model interface.
+//
+// A model maps propagation wavenumber k (rad/m, along the waveguide) to
+// frequency f (Hz). Inversion, wavelength and group velocity are provided
+// generically via Brent root finding and numeric differentiation.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace sw::disp {
+
+class DispersionModel {
+ public:
+  virtual ~DispersionModel() = default;
+
+  /// Frequency [Hz] of the mode at wavenumber k [rad/m] (k >= 0).
+  virtual double frequency(double k) const = 0;
+
+  /// Lowest supported frequency (k -> 0 limit), i.e. the FMR of the guide.
+  virtual double fmr() const { return frequency(0.0); }
+
+  /// Short printable name.
+  virtual std::string name() const = 0;
+
+  /// Wavenumber [rad/m] for frequency f [Hz]; throws if f < fmr() or f is
+  /// beyond `k_max` (default 5 rad/nm, far past any realistic magnon).
+  double k_from_frequency(double f, double k_max = 5e9) const;
+
+  /// Wavelength [m] for frequency f [Hz].
+  double wavelength(double f) const;
+
+  /// Group velocity d(omega)/dk [m/s] at wavenumber k (central difference).
+  double group_velocity(double k) const;
+
+  /// Group velocity at the k corresponding to frequency f.
+  double group_velocity_at_frequency(double f) const;
+
+  /// Phase velocity omega/k [m/s] at wavenumber k (k > 0).
+  double phase_velocity(double k) const;
+};
+
+}  // namespace sw::disp

@@ -1,0 +1,25 @@
+// Waveguide geometry description shared by the dispersion models and the
+// gate designer.
+#pragma once
+
+#include "mag/material.h"
+
+namespace sw::disp {
+
+/// A straight rectangular-cross-section waveguide (the paper's device).
+struct Waveguide {
+  sw::mag::Material material;
+  double width = 50e-9;      ///< in-plane width [m] (paper: 50 nm)
+  double thickness = 1e-9;   ///< film thickness [m] (paper: 1 nm)
+
+  /// Effective width fraction accounting for dipolar edge pinning; the
+  /// quantised transverse wavenumber is n*pi/(pinning_factor*width).
+  double pinning_factor = 0.92;
+
+  /// Transverse (width) mode index used by quantised models.
+  int width_mode = 1;
+
+  double effective_width() const { return pinning_factor * width; }
+};
+
+}  // namespace sw::disp

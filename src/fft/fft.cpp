@@ -1,0 +1,139 @@
+#include "fft/fft.h"
+
+#include <cmath>
+
+#include "util/constants.h"
+#include "util/error.h"
+
+namespace sw::fft {
+
+namespace {
+
+using sw::util::kPi;
+
+// Iterative radix-2 Cooley-Tukey, decimation in time. data.size() must be a
+// power of two. sign = -1 forward, +1 inverse (no normalisation here).
+void fft_pow2(std::vector<Complex>& data, int sign) {
+  const std::size_t n = data.size();
+  if (n < 2) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = static_cast<double>(sign) * 2.0 * kPi /
+                       static_cast<double>(len);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+// Bluestein chirp-z: expresses an arbitrary-N DFT as a circular convolution
+// of chirp-modulated sequences, evaluated with power-of-two FFTs.
+void fft_bluestein(std::vector<Complex>& data, int sign) {
+  const std::size_t n = data.size();
+  const std::size_t m = next_pow2(2 * n + 1);
+
+  // Chirp w[k] = exp(sign * i * pi * k^2 / n). Compute k^2 mod 2n to keep the
+  // argument small and accurate for large k.
+  std::vector<Complex> w(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t k2 = (k * k) % (2 * n);
+    const double ang = static_cast<double>(sign) * kPi *
+                       static_cast<double>(k2) / static_cast<double>(n);
+    w[k] = Complex(std::cos(ang), std::sin(ang));
+  }
+
+  std::vector<Complex> a(m, Complex(0, 0));
+  std::vector<Complex> b(m, Complex(0, 0));
+  for (std::size_t k = 0; k < n; ++k) a[k] = data[k] * w[k];
+  b[0] = std::conj(w[0]);
+  for (std::size_t k = 1; k < n; ++k) {
+    b[k] = b[m - k] = std::conj(w[k]);
+  }
+
+  fft_pow2(a, -1);
+  fft_pow2(b, -1);
+  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  fft_pow2(a, +1);
+  const double inv_m = 1.0 / static_cast<double>(m);
+  for (std::size_t k = 0; k < n; ++k) data[k] = a[k] * inv_m * w[k];
+}
+
+void fft_dispatch(std::vector<Complex>& data, int sign) {
+  if (data.empty()) return;
+  if (is_pow2(data.size())) {
+    fft_pow2(data, sign);
+  } else {
+    fft_bluestein(data, sign);
+  }
+}
+
+}  // namespace
+
+bool is_pow2(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft(std::vector<Complex>& data) { fft_dispatch(data, -1); }
+
+void ifft(std::vector<Complex>& data) {
+  fft_dispatch(data, +1);
+  const double inv_n = data.empty() ? 1.0 : 1.0 / static_cast<double>(data.size());
+  for (auto& v : data) v *= inv_n;
+}
+
+std::vector<Complex> fft_real(const std::vector<double>& data) {
+  std::vector<Complex> c(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) c[i] = Complex(data[i], 0.0);
+  fft(c);
+  return c;
+}
+
+std::vector<Complex> circular_convolve(std::vector<Complex> a,
+                                       std::vector<Complex> b) {
+  SW_REQUIRE(a.size() == b.size(), "circular convolution needs equal sizes");
+  fft(a);
+  fft(b);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] *= b[i];
+  ifft(a);
+  return a;
+}
+
+std::vector<double> linear_convolve(const std::vector<double>& a,
+                                    const std::vector<double>& b) {
+  SW_REQUIRE(!a.empty() && !b.empty(), "empty input");
+  const std::size_t out_n = a.size() + b.size() - 1;
+  const std::size_t m = next_pow2(out_n);
+  std::vector<Complex> fa(m, Complex(0, 0));
+  std::vector<Complex> fb(m, Complex(0, 0));
+  for (std::size_t i = 0; i < a.size(); ++i) fa[i] = Complex(a[i], 0.0);
+  for (std::size_t i = 0; i < b.size(); ++i) fb[i] = Complex(b[i], 0.0);
+  fft(fa);
+  fft(fb);
+  for (std::size_t i = 0; i < m; ++i) fa[i] *= fb[i];
+  ifft(fa);
+  std::vector<double> out(out_n);
+  for (std::size_t i = 0; i < out_n; ++i) out[i] = fa[i].real();
+  return out;
+}
+
+}  // namespace sw::fft

@@ -1,0 +1,40 @@
+// Self-contained FFT library.
+//
+// Provides an iterative radix-2 Cooley-Tukey transform for power-of-two sizes
+// and Bluestein's chirp-z algorithm for arbitrary sizes, so callers never
+// need to pad. Used both for output-spectrum analysis (paper Fig. 3) and the
+// Newell demag-tensor convolution in the micromagnetic solver.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace sw::fft {
+
+using Complex = std::complex<double>;
+
+/// In-place forward FFT, any N >= 1 (radix-2 fast path, Bluestein otherwise).
+/// Convention: X[k] = sum_n x[n] exp(-2*pi*i*n*k/N), no normalisation.
+void fft(std::vector<Complex>& data);
+
+/// In-place inverse FFT including the 1/N normalisation.
+void ifft(std::vector<Complex>& data);
+
+/// Forward FFT of a real signal; returns the full complex spectrum (size N).
+std::vector<Complex> fft_real(const std::vector<double>& data);
+
+/// Circular convolution of two equal-length sequences via FFT.
+std::vector<Complex> circular_convolve(std::vector<Complex> a,
+                                       std::vector<Complex> b);
+
+/// Linear convolution of two real sequences (output size |a|+|b|-1).
+std::vector<double> linear_convolve(const std::vector<double>& a,
+                                    const std::vector<double>& b);
+
+/// True if n is a power of two (n >= 1).
+bool is_pow2(std::size_t n);
+
+/// Smallest power of two >= n.
+std::size_t next_pow2(std::size_t n);
+
+}  // namespace sw::fft

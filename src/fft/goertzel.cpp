@@ -1,0 +1,70 @@
+#include "fft/goertzel.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/constants.h"
+#include "util/error.h"
+
+namespace sw::fft {
+
+using sw::util::kTwoPi;
+
+Phasor goertzel(std::span<const double> signal, double sample_rate,
+                double freq) {
+  SW_REQUIRE(!signal.empty(), "empty signal");
+  SW_REQUIRE(sample_rate > 0.0, "sample rate must be positive");
+  SW_REQUIRE(freq >= 0.0 && freq <= 0.5 * sample_rate,
+             "frequency outside [0, Nyquist]");
+
+  const std::size_t n = signal.size();
+  // Generalised Goertzel (Sysel & Rajmic 2012): non-integer bin index k.
+  const double k = freq * static_cast<double>(n) / sample_rate;
+  const double w = kTwoPi * k / static_cast<double>(n);
+  const double cw = std::cos(w);
+  const double coeff = 2.0 * cw;
+
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    s0 = signal[i] + coeff * s1 - s2;
+    s2 = s1;
+    s1 = s0;
+  }
+  // Final iteration folded in with the phase correction for non-integer k.
+  s0 = signal[n - 1] + coeff * s1 - s2;
+
+  const std::complex<double> wc(std::cos(w), -std::sin(w));
+  std::complex<double> y = s0 - s1 * wc;
+  // Correct the phase so it references sample 0.
+  const double corr = kTwoPi * k * (static_cast<double>(n) - 1.0) /
+                      static_cast<double>(n);
+  y *= std::complex<double>(std::cos(corr), -std::sin(corr));
+
+  Phasor p;
+  p.raw = y;
+  // For a real tone, the DFT bin magnitude is N*A/2 (except DC).
+  const double scale = (freq == 0.0) ? static_cast<double>(n)
+                                     : static_cast<double>(n) / 2.0;
+  p.amplitude = std::abs(y) / scale;
+  p.phase = std::arg(y);
+  return p;
+}
+
+Phasor goertzel_windowed(std::span<const double> signal,
+                         std::span<const double> window, double sample_rate,
+                         double freq) {
+  SW_REQUIRE(signal.size() == window.size(), "window/signal size mismatch");
+  std::vector<double> tmp(signal.size());
+  double gain = 0.0;
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    tmp[i] = signal[i] * window[i];
+    gain += window[i];
+  }
+  gain /= static_cast<double>(window.size());
+  SW_REQUIRE(gain > 0.0, "window has non-positive coherent gain");
+  Phasor p = goertzel(tmp, sample_rate, freq);
+  p.amplitude /= gain;
+  return p;
+}
+
+}  // namespace sw::fft

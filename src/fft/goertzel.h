@@ -1,0 +1,32 @@
+// Goertzel single-bin DFT: amplitude and phase of one frequency component
+// without computing the full spectrum. This is the per-channel detector
+// primitive for multi-frequency gates: O(N) per frequency, exact for
+// bin-aligned tones, and cheap enough to run per output port per channel.
+#pragma once
+
+#include <complex>
+#include <span>
+
+namespace sw::fft {
+
+/// Phasor estimate of a single tone in a real signal.
+struct Phasor {
+  double amplitude = 0.0;  ///< peak amplitude of the cosine component
+  double phase = 0.0;      ///< radians, relative to a cosine at t = t0
+  std::complex<double> raw{0.0, 0.0};  ///< unnormalised complex bin value
+};
+
+/// Estimate the phasor of `signal` (sampled at `sample_rate` Hz) at frequency
+/// `freq` using the generalised Goertzel algorithm (non-integer bin indices
+/// allowed). The estimate is normalised so that for
+/// x[n] = A*cos(2*pi*f*n/fs + phi), amplitude -> A and phase -> phi.
+Phasor goertzel(std::span<const double> signal, double sample_rate,
+                double freq);
+
+/// Same, with a window applied (compensated by the window's coherent gain).
+/// `window` must have signal.size() samples.
+Phasor goertzel_windowed(std::span<const double> signal,
+                         std::span<const double> window, double sample_rate,
+                         double freq);
+
+}  // namespace sw::fft

@@ -1,0 +1,80 @@
+#include "fft/spectrum.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "fft/fft.h"
+#include "util/error.h"
+
+namespace sw::fft {
+
+Spectrum amplitude_spectrum(std::span<const double> signal, double sample_rate,
+                            WindowKind window) {
+  SW_REQUIRE(signal.size() >= 2, "signal too short");
+  SW_REQUIRE(sample_rate > 0.0, "sample rate must be positive");
+
+  const std::size_t n = signal.size();
+  const auto w = make_window(window, n);
+  double gain = 0.0;
+  std::vector<double> tmp(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tmp[i] = signal[i] * w[i];
+    gain += w[i];
+  }
+  gain /= static_cast<double>(n);
+
+  auto bins = fft_real(tmp);
+
+  Spectrum s;
+  const std::size_t half = n / 2 + 1;
+  s.freq.resize(half);
+  s.amplitude.resize(half);
+  s.resolution = sample_rate / static_cast<double>(n);
+  for (std::size_t k = 0; k < half; ++k) {
+    s.freq[k] = s.resolution * static_cast<double>(k);
+    double a = std::abs(bins[k]) / static_cast<double>(n);
+    if (k != 0 && !(n % 2 == 0 && k == half - 1)) a *= 2.0;  // one-sided
+    s.amplitude[k] = a / gain;
+  }
+  return s;
+}
+
+std::vector<Peak> find_peaks(const Spectrum& spec, double min_amplitude) {
+  std::vector<Peak> peaks;
+  const auto& a = spec.amplitude;
+  for (std::size_t k = 1; k + 1 < a.size(); ++k) {
+    if (a[k] >= min_amplitude && a[k] >= a[k - 1] && a[k] >= a[k + 1]) {
+      peaks.push_back({spec.freq[k], a[k], k});
+    }
+  }
+  std::sort(peaks.begin(), peaks.end(),
+            [](const Peak& x, const Peak& y) { return x.amplitude > y.amplitude; });
+  return peaks;
+}
+
+double tone_to_spur_ratio(const Spectrum& spec, std::span<const double> tones,
+                          double guard_hz) {
+  SW_REQUIRE(!tones.empty(), "need at least one tone");
+  double max_tone = 0.0;
+  double max_spur = 0.0;
+  for (std::size_t k = 0; k < spec.freq.size(); ++k) {
+    const double f = spec.freq[k];
+    bool protected_bin = (f < guard_hz);  // exclude DC/near-DC drift
+    for (double t : tones) {
+      if (std::abs(f - t) <= guard_hz) {
+        protected_bin = true;
+        break;
+      }
+    }
+    if (protected_bin) {
+      max_tone = std::max(max_tone, spec.amplitude[k]);
+    } else {
+      max_spur = std::max(max_spur, spec.amplitude[k]);
+    }
+  }
+  if (max_spur == 0.0) return std::numeric_limits<double>::infinity();
+  return max_tone / max_spur;
+}
+
+}  // namespace sw::fft

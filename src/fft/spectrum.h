@@ -1,0 +1,42 @@
+// Amplitude-spectrum analysis of sampled signals (paper Fig. 3 top panel).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "fft/window.h"
+
+namespace sw::fft {
+
+/// One-sided amplitude spectrum of a real signal.
+struct Spectrum {
+  std::vector<double> freq;       ///< bin frequencies [Hz], size N/2+1
+  std::vector<double> amplitude;  ///< amplitude-normalised |X_k|
+  double resolution = 0.0;        ///< bin spacing [Hz]
+};
+
+/// Compute the one-sided amplitude spectrum. Amplitudes are normalised such
+/// that a full-scale tone of amplitude A bin-aligned at f appears with height
+/// A (window coherent gain compensated).
+Spectrum amplitude_spectrum(std::span<const double> signal, double sample_rate,
+                            WindowKind window = WindowKind::kHann);
+
+/// A detected spectral peak.
+struct Peak {
+  double freq = 0.0;
+  double amplitude = 0.0;
+  std::size_t bin = 0;
+};
+
+/// Local maxima above `min_amplitude`, sorted by descending amplitude.
+std::vector<Peak> find_peaks(const Spectrum& spec, double min_amplitude);
+
+/// Ratio (linear) between the largest spectral content inside protected bands
+/// around `tones` and the largest content outside all of them; a spur-free
+/// measure of inter-frequency crosstalk. `guard_hz` is the half-width of each
+/// protected band. Returns +inf when nothing is outside the bands.
+double tone_to_spur_ratio(const Spectrum& spec, std::span<const double> tones,
+                          double guard_hz);
+
+}  // namespace sw::fft

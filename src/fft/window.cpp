@@ -1,0 +1,70 @@
+#include "fft/window.h"
+
+#include <cmath>
+
+#include "util/constants.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace sw::fft {
+
+using sw::util::kTwoPi;
+
+std::vector<double> make_window(WindowKind kind, std::size_t n) {
+  SW_REQUIRE(n >= 1, "window length must be >= 1");
+  std::vector<double> w(n, 1.0);
+  const double N = static_cast<double>(n);  // periodic window
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = kTwoPi * static_cast<double>(i) / N;
+    switch (kind) {
+      case WindowKind::kRect:
+        w[i] = 1.0;
+        break;
+      case WindowKind::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(x);
+        break;
+      case WindowKind::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(x);
+        break;
+      case WindowKind::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(x) + 0.08 * std::cos(2.0 * x);
+        break;
+      case WindowKind::kFlatTop:
+        // SRS flat-top coefficients.
+        w[i] = 1.0 - 1.93 * std::cos(x) + 1.29 * std::cos(2.0 * x) -
+               0.388 * std::cos(3.0 * x) + 0.028 * std::cos(4.0 * x);
+        break;
+    }
+  }
+  return w;
+}
+
+double coherent_gain(WindowKind kind, std::size_t n) {
+  const auto w = make_window(kind, n);
+  double sum = 0.0;
+  for (double v : w) sum += v;
+  return sum / static_cast<double>(n);
+}
+
+WindowKind window_from_name(const std::string& name) {
+  const std::string t = sw::util::to_lower(name);
+  if (t == "rect" || t == "rectangular" || t == "none") return WindowKind::kRect;
+  if (t == "hann" || t == "hanning") return WindowKind::kHann;
+  if (t == "hamming") return WindowKind::kHamming;
+  if (t == "blackman") return WindowKind::kBlackman;
+  if (t == "flattop" || t == "flat-top") return WindowKind::kFlatTop;
+  SW_REQUIRE(false, "unknown window name: " + name);
+}
+
+const char* window_name(WindowKind kind) {
+  switch (kind) {
+    case WindowKind::kRect: return "rect";
+    case WindowKind::kHann: return "hann";
+    case WindowKind::kHamming: return "hamming";
+    case WindowKind::kBlackman: return "blackman";
+    case WindowKind::kFlatTop: return "flattop";
+  }
+  return "unknown";
+}
+
+}  // namespace sw::fft

@@ -1,0 +1,30 @@
+// Spectral window functions for leakage control in detector readout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sw::fft {
+
+enum class WindowKind {
+  kRect,      ///< no tapering
+  kHann,      ///< good general-purpose leakage suppression
+  kHamming,   ///< slightly narrower main lobe than Hann
+  kBlackman,  ///< stronger sidelobe suppression
+  kFlatTop,   ///< amplitude-accurate readout (wide main lobe)
+};
+
+/// Window samples of length n (periodic convention, suited for FFT use).
+std::vector<double> make_window(WindowKind kind, std::size_t n);
+
+/// Coherent gain: mean of the window samples. Divide spectra by this to
+/// recover amplitude-correct peak heights.
+double coherent_gain(WindowKind kind, std::size_t n);
+
+/// Parse a window name ("hann", "rect", ...); throws on unknown names.
+WindowKind window_from_name(const std::string& name);
+
+/// Printable name.
+const char* window_name(WindowKind kind);
+
+}  // namespace sw::fft

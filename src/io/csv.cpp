@@ -1,0 +1,98 @@
+#include "io/csv.h"
+
+#include <filesystem>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace sw::io {
+
+void ensure_parent_dir(const std::string& path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path());
+  }
+}
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : path_(path) {
+  SW_REQUIRE(!header.empty(), "header must not be empty");
+  ensure_parent_dir(path);
+  out_.open(path);
+  SW_REQUIRE(out_.good(), "cannot open " + path + " for writing");
+  width_ = header.size();
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) out_ << ",";
+    out_ << header[i];
+  }
+  out_ << "\n";
+}
+
+CsvWriter::~CsvWriter() = default;
+
+void CsvWriter::row(const std::vector<double>& values) {
+  SW_REQUIRE(values.size() == width_, "row width mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ",";
+    out_ << sw::util::format_sig(values[i], 9);
+  }
+  out_ << "\n";
+  ++rows_;
+}
+
+void CsvWriter::row_text(const std::vector<std::string>& cells) {
+  SW_REQUIRE(cells.size() == width_, "row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ",";
+    out_ << cells[i];
+  }
+  out_ << "\n";
+  ++rows_;
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  SW_REQUIRE(!header_.empty(), "header must not be empty");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  SW_REQUIRE(cells.size() == header_.size(), "row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_numeric_row(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(sw::util::format_sig(v, 4));
+  add_row(std::move(cells));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> w(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) w[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      w[i] = std::max(w[i], row[i].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << " " << cells[i] << std::string(w[i] - cells[i].size(), ' ')
+         << " |";
+    }
+    os << "\n";
+  };
+  emit(header_);
+  os << "|";
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    os << std::string(w[i] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace sw::io

@@ -1,0 +1,57 @@
+// CSV output and aligned console tables for experiment harnesses.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace sw::io {
+
+/// Streams rows to a CSV file; the header is written on construction.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Numeric row; must match the header width.
+  void row(const std::vector<double>& values);
+
+  /// Mixed row of preformatted cells; must match the header width.
+  void row_text(const std::vector<std::string>& cells);
+
+  const std::string& path() const { return path_; }
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t width_ = 0;
+  std::size_t rows_ = 0;
+};
+
+/// Fixed-layout console table (markdown-ish, aligned columns).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for numeric rows (formatted with %.4g).
+  void add_numeric_row(const std::vector<double>& values);
+
+  /// Render with padded columns.
+  std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Ensure the directory for `path` exists (mkdir -p semantics on the parent).
+void ensure_parent_dir(const std::string& path);
+
+}  // namespace sw::io

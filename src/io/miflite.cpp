@@ -1,0 +1,181 @@
+#include "io/miflite.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace sw::io {
+
+using sw::util::parse_bool;
+using sw::util::parse_double;
+using sw::util::parse_long;
+using sw::util::split;
+using sw::util::split_ws;
+using sw::util::to_lower;
+using sw::util::trim;
+
+MifDocument MifDocument::parse(const std::string& text) {
+  MifDocument doc;
+  std::istringstream in(text);
+  std::string line;
+  std::string section;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and whitespace.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    const auto t = trim(line);
+    if (t.empty()) continue;
+    if (t.front() == '[') {
+      SW_REQUIRE(t.back() == ']',
+                 "line " + std::to_string(line_no) + ": unterminated section");
+      section = to_lower(trim(t.substr(1, t.size() - 2)));
+      SW_REQUIRE(!section.empty(),
+                 "line " + std::to_string(line_no) + ": empty section name");
+      doc.sections_[section];  // create (possibly empty) section
+      continue;
+    }
+    const auto eq = t.find('=');
+    SW_REQUIRE(eq != std::string::npos,
+               "line " + std::to_string(line_no) + ": expected key = value");
+    SW_REQUIRE(!section.empty(),
+               "line " + std::to_string(line_no) + ": key outside a section");
+    const std::string key = to_lower(trim(t.substr(0, eq)));
+    const std::string value(trim(t.substr(eq + 1)));
+    SW_REQUIRE(!key.empty(),
+               "line " + std::to_string(line_no) + ": empty key");
+    doc.sections_[section][key] = value;
+  }
+  return doc;
+}
+
+MifDocument MifDocument::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  SW_REQUIRE(in.good(), "cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str());
+}
+
+bool MifDocument::has_section(const std::string& section) const {
+  return sections_.count(to_lower(section)) > 0;
+}
+
+bool MifDocument::has_key(const std::string& section,
+                          const std::string& key) const {
+  const auto it = sections_.find(to_lower(section));
+  if (it == sections_.end()) return false;
+  return it->second.count(to_lower(key)) > 0;
+}
+
+const std::string& MifDocument::raw(const std::string& section,
+                                    const std::string& key) const {
+  const auto it = sections_.find(to_lower(section));
+  SW_REQUIRE(it != sections_.end(), "missing section [" + section + "]");
+  const auto kt = it->second.find(to_lower(key));
+  SW_REQUIRE(kt != it->second.end(),
+             "missing key '" + key + "' in [" + section + "]");
+  return kt->second;
+}
+
+std::string MifDocument::get_string(const std::string& section,
+                                    const std::string& key) const {
+  return raw(section, key);
+}
+
+double MifDocument::get_double(const std::string& section,
+                               const std::string& key) const {
+  const auto v = parse_double(raw(section, key));
+  SW_REQUIRE(v.has_value(),
+             "key '" + key + "' in [" + section + "] is not a number");
+  return *v;
+}
+
+long MifDocument::get_long(const std::string& section,
+                           const std::string& key) const {
+  const auto v = parse_long(raw(section, key));
+  SW_REQUIRE(v.has_value(),
+             "key '" + key + "' in [" + section + "] is not an integer");
+  return *v;
+}
+
+bool MifDocument::get_bool(const std::string& section,
+                           const std::string& key) const {
+  const auto v = parse_bool(raw(section, key));
+  SW_REQUIRE(v.has_value(),
+             "key '" + key + "' in [" + section + "] is not a boolean");
+  return *v;
+}
+
+std::vector<double> MifDocument::get_doubles(const std::string& section,
+                                             const std::string& key) const {
+  std::vector<double> out;
+  for (const auto& tok : split_ws(raw(section, key))) {
+    const auto v = parse_double(tok);
+    SW_REQUIRE(v.has_value(), "key '" + key + "' in [" + section +
+                                  "]: bad number '" + tok + "'");
+    out.push_back(*v);
+  }
+  SW_REQUIRE(!out.empty(), "key '" + key + "' in [" + section + "] is empty");
+  return out;
+}
+
+double MifDocument::get_double_or(const std::string& section,
+                                  const std::string& key,
+                                  double fallback) const {
+  return has_key(section, key) ? get_double(section, key) : fallback;
+}
+
+long MifDocument::get_long_or(const std::string& section,
+                              const std::string& key, long fallback) const {
+  return has_key(section, key) ? get_long(section, key) : fallback;
+}
+
+sw::mag::Material parse_material(const MifDocument& doc) {
+  sw::mag::Material m;
+  if (doc.has_key("material", "name")) {
+    m = sw::mag::material_by_name(doc.get_string("material", "name"));
+  } else {
+    m = sw::mag::make_fecob();
+  }
+  m.Ms = doc.get_double_or("material", "ms", m.Ms);
+  m.Aex = doc.get_double_or("material", "aex", m.Aex);
+  m.alpha = doc.get_double_or("material", "alpha", m.alpha);
+  m.Ku = doc.get_double_or("material", "ku", m.Ku);
+  m.validate();
+  return m;
+}
+
+sw::disp::Waveguide parse_waveguide(const MifDocument& doc) {
+  sw::disp::Waveguide wg;
+  wg.material = parse_material(doc);
+  wg.width = doc.get_double_or("waveguide", "width", wg.width);
+  wg.thickness = doc.get_double_or("waveguide", "thickness", wg.thickness);
+  wg.pinning_factor =
+      doc.get_double_or("waveguide", "pinning_factor", wg.pinning_factor);
+  wg.width_mode = static_cast<int>(
+      doc.get_long_or("waveguide", "width_mode", wg.width_mode));
+  return wg;
+}
+
+sw::core::GateSpec parse_gate_spec(const MifDocument& doc) {
+  sw::core::GateSpec spec;
+  spec.num_inputs =
+      static_cast<std::size_t>(doc.get_long_or("gate", "inputs", 3));
+  spec.frequencies = doc.get_doubles("gate", "frequencies");
+  spec.transducer_width = doc.get_double_or("gate", "transducer_width",
+                                            spec.transducer_width);
+  spec.min_gap = doc.get_double_or("gate", "min_gap", spec.min_gap);
+  if (doc.has_key("gate", "invert")) {
+    const auto flags = doc.get_doubles("gate", "invert");
+    for (double f : flags) {
+      spec.invert_output.push_back(f != 0.0 ? 1 : 0);
+    }
+  }
+  return spec;
+}
+
+}  // namespace sw::io

@@ -1,0 +1,76 @@
+// MIF-lite: a minimal, typed problem-description format in the spirit of
+// OOMMF's MIF files (without the Tcl). Sections in square brackets hold
+// key = value pairs; '#' starts a comment. Example:
+//
+//   [material]
+//   name = FeCoB
+//   Ms = 1.1e6
+//   Aex = 18.5e-12
+//   alpha = 0.004
+//   Ku = 8.3177e5
+//
+//   [waveguide]
+//   width = 50e-9
+//   thickness = 1e-9
+//
+//   [gate]
+//   inputs = 3
+//   frequencies = 10e9 20e9 30e9
+//   transducer_width = 10e-9
+//   min_gap = 1e-9
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/gate_design.h"
+#include "dispersion/waveguide.h"
+#include "mag/material.h"
+
+namespace sw::io {
+
+/// Parsed MIF-lite document: section -> key -> raw value string.
+class MifDocument {
+ public:
+  /// Parse from text; throws sw::util::Error with a line number on errors.
+  static MifDocument parse(const std::string& text);
+
+  /// Parse a file.
+  static MifDocument parse_file(const std::string& path);
+
+  bool has_section(const std::string& section) const;
+  bool has_key(const std::string& section, const std::string& key) const;
+
+  /// Typed getters; throw when the key is missing or malformed.
+  std::string get_string(const std::string& section,
+                         const std::string& key) const;
+  double get_double(const std::string& section, const std::string& key) const;
+  long get_long(const std::string& section, const std::string& key) const;
+  bool get_bool(const std::string& section, const std::string& key) const;
+  std::vector<double> get_doubles(const std::string& section,
+                                  const std::string& key) const;
+
+  /// Same with a default when absent.
+  double get_double_or(const std::string& section, const std::string& key,
+                       double fallback) const;
+  long get_long_or(const std::string& section, const std::string& key,
+                   long fallback) const;
+
+ private:
+  const std::string& raw(const std::string& section,
+                         const std::string& key) const;
+  std::map<std::string, std::map<std::string, std::string>> sections_;
+};
+
+/// Build a material from [material]. Either `name = <preset>` alone or a
+/// preset refined by explicit keys (Ms, Aex, alpha, Ku).
+sw::mag::Material parse_material(const MifDocument& doc);
+
+/// Build a waveguide from [waveguide] (+ its [material]).
+sw::disp::Waveguide parse_waveguide(const MifDocument& doc);
+
+/// Build a gate spec from [gate].
+sw::core::GateSpec parse_gate_spec(const MifDocument& doc);
+
+}  // namespace sw::io

@@ -1,0 +1,61 @@
+#include "io/odt.h"
+
+#include <fstream>
+#include <iomanip>
+
+#include "io/csv.h"
+#include "util/error.h"
+
+namespace sw::io {
+
+void write_odt(const std::string& path, const std::string& title,
+               const std::vector<OdtColumn>& columns) {
+  SW_REQUIRE(!columns.empty(), "need at least one column");
+  const std::size_t rows = columns.front().values.size();
+  for (const auto& c : columns) {
+    SW_REQUIRE(c.values.size() == rows, "column length mismatch");
+  }
+
+  ensure_parent_dir(path);
+  std::ofstream out(path);
+  SW_REQUIRE(out.good(), "cannot open " + path + " for writing");
+  out << std::setprecision(17);
+
+  out << "# ODT 1.0\n";
+  out << "# Table Start\n";
+  out << "# Title: " << title << "\n";
+  out << "# Columns:";
+  for (const auto& c : columns) out << " {" << c.name << "}";
+  out << "\n# Units:";
+  for (const auto& c : columns) out << " {" << c.units << "}";
+  out << "\n";
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t j = 0; j < columns.size(); ++j) {
+      out << (j ? " " : "") << columns[j].values[r];
+    }
+    out << "\n";
+  }
+  out << "# Table End\n";
+  SW_REQUIRE(out.good(), "write failed for " + path);
+}
+
+void write_probes_odt(const std::string& path, const std::string& title,
+                      const std::vector<sw::mag::Probe>& probes) {
+  SW_REQUIRE(!probes.empty(), "need at least one probe");
+  std::vector<OdtColumn> cols;
+  cols.push_back({"Simulation time", "s", probes.front().times()});
+  for (const auto& p : probes) {
+    SW_REQUIRE(p.samples().size() == cols.front().values.size(),
+               "probes must share a time base");
+    for (const char axis : {'x', 'y', 'z'}) {
+      OdtColumn c;
+      c.name = p.name() + "::m" + axis;
+      c.units = "";
+      c.values = p.component(axis);
+      cols.push_back(std::move(c));
+    }
+  }
+  write_odt(path, title, cols);
+}
+
+}  // namespace sw::io

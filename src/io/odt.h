@@ -1,0 +1,29 @@
+// ODT (OOMMF Data Table) writer: the column-oriented text format OOMMF's
+// mmGraph/mmDataTable consume, so probe time series plot directly in the
+// standard micromagnetic tooling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mag/probe.h"
+
+namespace sw::io {
+
+/// One named column of numeric data.
+struct OdtColumn {
+  std::string name;   ///< e.g. "Oxs_TimeDriver::Simulation time"
+  std::string units;  ///< e.g. "s"
+  std::vector<double> values;
+};
+
+/// Write columns as an ODT v1.0 table. All columns must have equal length.
+void write_odt(const std::string& path, const std::string& title,
+               const std::vector<OdtColumn>& columns);
+
+/// Convenience: dump a set of probes (shared time base) as one ODT table
+/// with time plus the mx/my/mz averages of each probe.
+void write_probes_odt(const std::string& path, const std::string& title,
+                      const std::vector<sw::mag::Probe>& probes);
+
+}  // namespace sw::io

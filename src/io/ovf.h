@@ -1,0 +1,21 @@
+// OVF 1.0 (OOMMF Vector Field) text-format writer/reader, so field
+// snapshots interoperate with OOMMF's mmDisp and the wider micromagnetic
+// tooling ecosystem.
+#pragma once
+
+#include <string>
+
+#include "mag/vector_field.h"
+
+namespace sw::io {
+
+/// Write `field` as an OVF 1.0 text file ("rectangular mesh v1.0").
+/// `title` lands in the Title header line.
+void write_ovf(const std::string& path, const sw::mag::VectorField& field,
+               const std::string& title = "spinwave field");
+
+/// Read an OVF 1.0 text file written by write_ovf (subset of the format:
+/// rectangular mesh, text data). Throws on malformed input.
+sw::mag::VectorField read_ovf(const std::string& path);
+
+}  // namespace sw::io

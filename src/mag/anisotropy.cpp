@@ -1,0 +1,21 @@
+#include "mag/anisotropy.h"
+
+#include "util/error.h"
+
+namespace sw::mag {
+
+UniaxialAnisotropyField::UniaxialAnisotropyField(const Material& mat) {
+  mat.validate();
+  hk_ = mat.anisotropy_field();
+  axis_ = mat.easy_axis.normalized();
+}
+
+void UniaxialAnisotropyField::accumulate(double /*t*/, const VectorField& m,
+                                         VectorField& H) const {
+  SW_REQUIRE(m.size() == H.size(), "field size mismatch");
+  for (std::size_t c = 0; c < m.size(); ++c) {
+    H[c] += axis_ * (hk_ * dot(m[c], axis_));
+  }
+}
+
+}  // namespace sw::mag

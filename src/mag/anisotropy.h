@@ -1,0 +1,26 @@
+// Uniaxial magnetocrystalline anisotropy field (PMA in the paper).
+#pragma once
+
+#include "mag/field_term.h"
+#include "mag/material.h"
+
+namespace sw::mag {
+
+/// H_ani = (2*Ku / (mu0*Ms)) * (m . u) * u with easy axis u.
+class UniaxialAnisotropyField final : public FieldTerm {
+ public:
+  explicit UniaxialAnisotropyField(const Material& mat);
+
+  void accumulate(double t, const VectorField& m,
+                  VectorField& H) const override;
+  std::string name() const override { return "uniaxial-anisotropy"; }
+
+  /// Anisotropy field magnitude Hk = 2*Ku/(mu0*Ms) [A/m].
+  double hk() const { return hk_; }
+
+ private:
+  double hk_ = 0.0;
+  Vec3 axis_{0, 0, 1};
+};
+
+}  // namespace sw::mag

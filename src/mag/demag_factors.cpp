@@ -1,0 +1,60 @@
+#include "mag/demag_factors.h"
+
+#include <cmath>
+
+#include "util/constants.h"
+#include "util/error.h"
+
+namespace sw::mag {
+
+using sw::util::kPi;
+
+double demag_factor_z(double lx, double ly, double lz) {
+  SW_REQUIRE(lx > 0.0 && ly > 0.0 && lz > 0.0, "edge lengths must be > 0");
+  // Aharoni's formula uses semi-axes.
+  const double a = 0.5 * lx;
+  const double b = 0.5 * ly;
+  const double c = 0.5 * lz;
+
+  const double a2 = a * a, b2 = b * b, c2 = c * c;
+  const double r_abc = std::sqrt(a2 + b2 + c2);
+  const double r_ab = std::sqrt(a2 + b2);
+  const double r_bc = std::sqrt(b2 + c2);
+  const double r_ac = std::sqrt(a2 + c2);
+
+  double nz = 0.0;
+  nz += (b2 - c2) / (2.0 * b * c) * std::log((r_abc - a) / (r_abc + a));
+  nz += (a2 - c2) / (2.0 * a * c) * std::log((r_abc - b) / (r_abc + b));
+  nz += b / (2.0 * c) * std::log((r_ab + a) / (r_ab - a));
+  nz += a / (2.0 * c) * std::log((r_ab + b) / (r_ab - b));
+  nz += c / (2.0 * a) * std::log((r_bc - b) / (r_bc + b));
+  nz += c / (2.0 * b) * std::log((r_ac - a) / (r_ac + a));
+  nz += 2.0 * std::atan2(a * b, c * r_abc);
+  nz += (a2 * a + b2 * b - 2.0 * c2 * c) / (3.0 * a * b * c);
+  nz += (a2 + b2 - 2.0 * c2) * r_abc / (3.0 * a * b * c);
+  nz += c / (a * b) * (r_ac + r_bc);
+  nz -= (r_ab * r_ab * r_ab + r_bc * r_bc * r_bc + r_ac * r_ac * r_ac) /
+        (3.0 * a * b * c);
+  return nz / kPi;
+}
+
+Vec3 demag_factors(double lx, double ly, double lz) {
+  return {demag_factor_z(ly, lz, lx), demag_factor_z(lz, lx, ly),
+          demag_factor_z(lx, ly, lz)};
+}
+
+Vec3 demag_factors_waveguide(double width, double thickness) {
+  SW_REQUIRE(width > 0.0 && thickness > 0.0, "bad cross-section");
+  // 1e3 aspect keeps the Aharoni expressions well conditioned while the
+  // long-axis factor is already < 1e-3 of the trace.
+  const double long_x = 1e3 * std::max(width, thickness);
+  Vec3 n = demag_factors(long_x, width, thickness);
+  n.x = std::max(n.x, 0.0);
+  n.y = std::max(n.y, 0.0);
+  n.z = std::max(n.z, 0.0);
+  const double tr = n.x + n.y + n.z;
+  SW_REQUIRE(tr > 0.5, "demag factor computation degenerated");
+  return {n.x / tr, n.y / tr, n.z / tr};
+}
+
+}  // namespace sw::mag

@@ -1,0 +1,23 @@
+// Analytic demagnetising factors of a uniformly magnetised rectangular prism
+// (Aharoni, J. Appl. Phys. 83, 3432 (1998)). Used both for the local
+// thin-film demag approximation and as an oracle for the Newell tensor.
+#pragma once
+
+#include "mag/vec3.h"
+
+namespace sw::mag {
+
+/// Demag factor along z of a prism with full edge lengths (lx, ly, lz).
+/// The three factors satisfy Nx + Ny + Nz = 1.
+double demag_factor_z(double lx, double ly, double lz);
+
+/// All three factors {Nx, Ny, Nz} of the prism.
+Vec3 demag_factors(double lx, double ly, double lz);
+
+/// Demag factors of a waveguide cross-section (width x thickness) treated
+/// as infinitely long along x: evaluates the Aharoni factors at a large but
+/// well-conditioned aspect ratio, clamps the tiny negative residue of the
+/// long axis to zero and renormalises the trace to 1.
+Vec3 demag_factors_waveguide(double width, double thickness);
+
+}  // namespace sw::mag

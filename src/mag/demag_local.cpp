@@ -1,0 +1,33 @@
+#include "mag/demag_local.h"
+
+#include <cmath>
+
+#include "mag/demag_factors.h"
+#include "util/error.h"
+
+namespace sw::mag {
+
+DemagLocalField::DemagLocalField(const Material& mat, const Vec3& factors)
+    : ms_(mat.Ms), n_(factors) {
+  mat.validate();
+  const double tr = factors.x + factors.y + factors.z;
+  SW_REQUIRE(std::abs(tr - 1.0) < 1e-3, "demag factors must sum to 1");
+  SW_REQUIRE(factors.x >= 0.0 && factors.y >= 0.0 && factors.z >= 0.0,
+             "demag factors must be non-negative");
+}
+
+DemagLocalField DemagLocalField::from_shape(const Material& mat, double lx,
+                                            double ly, double lz) {
+  return DemagLocalField(mat, demag_factors(lx, ly, lz));
+}
+
+void DemagLocalField::accumulate(double /*t*/, const VectorField& m,
+                                 VectorField& H) const {
+  SW_REQUIRE(m.size() == H.size(), "field size mismatch");
+  for (std::size_t c = 0; c < m.size(); ++c) {
+    H[c] += {-ms_ * n_.x * m[c].x, -ms_ * n_.y * m[c].y,
+             -ms_ * n_.z * m[c].z};
+  }
+}
+
+}  // namespace sw::mag

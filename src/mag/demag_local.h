@@ -1,0 +1,38 @@
+// Local (point-wise) demagnetising field via a constant shape tensor.
+//
+// For a long thin waveguide whose cross-section (1 nm x 50 nm in the paper)
+// is far smaller than every wavelength in play, the non-local part of the
+// dipolar interaction along the propagation axis is weak and the demag field
+// is well approximated cell-locally by H_d = -Ms * diag(Nx, Ny, Nz) * m with
+// the prism shape factors of the cross-section. This is the standard
+// reduction used for 1-D waveguide models and keeps long multi-frequency
+// runs tractable; DemagNewellField provides the exact non-local field.
+#pragma once
+
+#include "mag/field_term.h"
+#include "mag/material.h"
+
+namespace sw::mag {
+
+class DemagLocalField final : public FieldTerm {
+ public:
+  /// `factors` are the shape demag factors (sum must be ~1).
+  DemagLocalField(const Material& mat, const Vec3& factors);
+
+  /// Convenience: factors computed from a cuboid of the given full edge
+  /// lengths (typically waveguide length x width x thickness).
+  static DemagLocalField from_shape(const Material& mat, double lx, double ly,
+                                    double lz);
+
+  void accumulate(double t, const VectorField& m,
+                  VectorField& H) const override;
+  std::string name() const override { return "demag-local"; }
+
+  const Vec3& factors() const { return n_; }
+
+ private:
+  double ms_ = 0.0;
+  Vec3 n_;
+};
+
+}  // namespace sw::mag

@@ -1,0 +1,35 @@
+#include "mag/energy.h"
+
+#include "util/constants.h"
+
+namespace sw::mag {
+
+using sw::util::kMu0;
+
+double term_energy(const FieldTerm& term, const Material& mat,
+                   const VectorField& m, double t) {
+  VectorField h(m.mesh());
+  term.accumulate(t, m, h);
+  double acc = 0.0;
+  for (std::size_t c = 0; c < m.size(); ++c) acc += dot(m[c], h[c]);
+  return -term.energy_prefactor() * kMu0 * mat.Ms * acc *
+         m.mesh().cell_volume();
+}
+
+std::vector<TermEnergy> energy_table(
+    const std::vector<const FieldTerm*>& terms, const Material& mat,
+    const VectorField& m, double t) {
+  std::vector<TermEnergy> out;
+  double total = 0.0;
+  for (const auto* term : terms) {
+    TermEnergy te;
+    te.name = term->name();
+    te.energy = term_energy(*term, mat, m, t);
+    total += te.energy;
+    out.push_back(te);
+  }
+  out.push_back({"total", total});
+  return out;
+}
+
+}  // namespace sw::mag

@@ -1,0 +1,29 @@
+// Energy bookkeeping for field terms.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mag/field_term.h"
+#include "mag/material.h"
+#include "mag/mesh.h"
+
+namespace sw::mag {
+
+/// Energy of one term [J].
+struct TermEnergy {
+  std::string name;
+  double energy = 0.0;
+};
+
+/// Energy of a single field term at time t:
+///   E = -pf * mu0 * Ms * sum_cells (m . H_term) * V_cell.
+double term_energy(const FieldTerm& term, const Material& mat,
+                   const VectorField& m, double t);
+
+/// Energies of a set of terms plus their total.
+std::vector<TermEnergy> energy_table(
+    const std::vector<const FieldTerm*>& terms, const Material& mat,
+    const VectorField& m, double t);
+
+}  // namespace sw::mag

@@ -1,0 +1,58 @@
+#include "mag/exchange.h"
+
+#include "util/constants.h"
+#include "util/error.h"
+
+namespace sw::mag {
+
+using sw::util::kMu0;
+
+ExchangeField::ExchangeField(const Mesh& mesh, const Material& mat)
+    : mesh_(mesh) {
+  mat.validate();
+  prefactor_ = 2.0 * mat.Aex / (kMu0 * mat.Ms);
+  inv_dx2_ = 1.0 / (mesh.dx() * mesh.dx());
+  inv_dy2_ = 1.0 / (mesh.dy() * mesh.dy());
+  inv_dz2_ = 1.0 / (mesh.dz() * mesh.dz());
+}
+
+void ExchangeField::accumulate(double /*t*/, const VectorField& m,
+                               VectorField& H) const {
+  SW_REQUIRE(m.mesh() == mesh_, "field/mesh mismatch");
+  const std::size_t nx = mesh_.nx();
+  const std::size_t ny = mesh_.ny();
+  const std::size_t nz = mesh_.nz();
+
+  for (std::size_t k = 0; k < nz; ++k) {
+    for (std::size_t j = 0; j < ny; ++j) {
+      for (std::size_t i = 0; i < nx; ++i) {
+        const std::size_t c = mesh_.index(i, j, k);
+        const Vec3& mc = m[c];
+        Vec3 lap;
+
+        // Neumann boundaries: missing neighbours mirror the centre cell,
+        // which zeroes their contribution to the second difference.
+        if (nx > 1) {
+          const Vec3& xm = (i > 0) ? m[c - 1] : mc;
+          const Vec3& xp = (i + 1 < nx) ? m[c + 1] : mc;
+          lap += (xm + xp - 2.0 * mc) * inv_dx2_;
+        }
+        if (ny > 1) {
+          const Vec3& ym = (j > 0) ? m[c - nx] : mc;
+          const Vec3& yp = (j + 1 < ny) ? m[c + nx] : mc;
+          lap += (ym + yp - 2.0 * mc) * inv_dy2_;
+        }
+        if (nz > 1) {
+          const std::size_t stride = nx * ny;
+          const Vec3& zm = (k > 0) ? m[c - stride] : mc;
+          const Vec3& zp = (k + 1 < nz) ? m[c + stride] : mc;
+          lap += (zm + zp - 2.0 * mc) * inv_dz2_;
+        }
+
+        H[c] += lap * prefactor_;
+      }
+    }
+  }
+}
+
+}  // namespace sw::mag

@@ -1,0 +1,29 @@
+// Heisenberg exchange field via the 6-neighbour Laplacian.
+#pragma once
+
+#include "mag/field_term.h"
+#include "mag/material.h"
+#include "mag/mesh.h"
+
+namespace sw::mag {
+
+/// H_ex = (2*Aex / (mu0 * Ms)) * Laplacian(m), Neumann (mirror) boundaries,
+/// the same discretisation OOMMF's Oxs_UniformExchange uses.
+class ExchangeField final : public FieldTerm {
+ public:
+  ExchangeField(const Mesh& mesh, const Material& mat);
+
+  void accumulate(double t, const VectorField& m,
+                  VectorField& H) const override;
+  std::string name() const override { return "exchange"; }
+
+  /// Field prefactor 2*Aex/(mu0*Ms) [A*m].
+  double prefactor() const { return prefactor_; }
+
+ private:
+  Mesh mesh_;
+  double prefactor_ = 0.0;
+  double inv_dx2_ = 0.0, inv_dy2_ = 0.0, inv_dz2_ = 0.0;
+};
+
+}  // namespace sw::mag

@@ -1,0 +1,48 @@
+#include "mag/llg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace sw::mag {
+
+void llg_rhs(const LlgParams& p, const VectorField& m, const VectorField& H,
+             VectorField& dmdt) {
+  SW_REQUIRE(m.size() == H.size() && m.size() == dmdt.size(),
+             "field size mismatch");
+  const bool prec = p.precession;
+  if (p.alpha_per_cell != nullptr) {
+    SW_REQUIRE(p.alpha_per_cell->size() == m.size(),
+               "alpha_per_cell size mismatch");
+    for (std::size_t c = 0; c < m.size(); ++c) {
+      const double a = (*p.alpha_per_cell)[c];
+      const double pre = -p.gamma_mu0 / (1.0 + a * a);
+      const Vec3 mxh = cross(m[c], H[c]);
+      Vec3 rhs = cross(m[c], mxh) * a;
+      if (prec) rhs += mxh;
+      dmdt[c] = rhs * pre;
+    }
+    return;
+  }
+  const double pre = -p.gamma_mu0 / (1.0 + p.alpha * p.alpha);
+  const double a = p.alpha;
+  for (std::size_t c = 0; c < m.size(); ++c) {
+    const Vec3 mxh = cross(m[c], H[c]);
+    const Vec3 mxmxh = cross(m[c], mxh);
+    Vec3 rhs = mxmxh * a;
+    if (prec) rhs += mxh;
+    dmdt[c] = rhs * pre;
+  }
+}
+
+double max_torque(const VectorField& m, const VectorField& H) {
+  SW_REQUIRE(m.size() == H.size(), "field size mismatch");
+  double mx = 0.0;
+  for (std::size_t c = 0; c < m.size(); ++c) {
+    mx = std::max(mx, cross(m[c], H[c]).norm2());
+  }
+  return std::sqrt(mx);
+}
+
+}  // namespace sw::mag

@@ -1,0 +1,78 @@
+#include "mag/material.h"
+
+#include <cmath>
+
+#include "util/constants.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace sw::mag {
+
+using sw::util::kGammaMu0;
+using sw::util::kMu0;
+
+double Material::anisotropy_field() const {
+  SW_REQUIRE(Ms > 0.0, "Ms must be positive");
+  return 2.0 * Ku / (kMu0 * Ms);
+}
+
+double Material::exchange_length() const {
+  SW_REQUIRE(Ms > 0.0, "Ms must be positive");
+  return std::sqrt(2.0 * Aex / (kMu0 * Ms * Ms));
+}
+
+double Material::omega_m() const { return kGammaMu0 * Ms; }
+
+void Material::validate() const {
+  SW_REQUIRE(Ms > 0.0, "Ms must be positive");
+  SW_REQUIRE(Aex > 0.0, "Aex must be positive");
+  SW_REQUIRE(alpha >= 0.0 && alpha <= 1.0, "alpha outside [0, 1]");
+  SW_REQUIRE(Ku >= 0.0, "Ku must be non-negative");
+  const double n = easy_axis.norm();
+  SW_REQUIRE(std::abs(n - 1.0) < 1e-6, "easy axis must be a unit vector");
+}
+
+Material make_fecob() {
+  Material m;
+  m.name = "Fe60Co20B20";
+  m.Ms = 1.1e6;
+  m.Aex = 18.5e-12;
+  m.alpha = 0.004;
+  m.Ku = 8.3177e5;
+  m.easy_axis = {0, 0, 1};
+  return m;
+}
+
+Material make_yig() {
+  Material m;
+  m.name = "YIG";
+  m.Ms = 1.4e5;
+  m.Aex = 3.5e-12;
+  m.alpha = 2e-4;
+  m.Ku = 0.0;
+  m.easy_axis = {0, 0, 1};
+  return m;
+}
+
+Material make_permalloy() {
+  Material m;
+  m.name = "Py";
+  m.Ms = 8.0e5;
+  m.Aex = 13e-12;
+  m.alpha = 0.01;
+  m.Ku = 0.0;
+  m.easy_axis = {0, 0, 1};
+  return m;
+}
+
+Material material_by_name(const std::string& name) {
+  const std::string t = sw::util::to_lower(name);
+  if (t == "fecob" || t == "fe60co20b20" || t == "fecob-pma") {
+    return make_fecob();
+  }
+  if (t == "yig") return make_yig();
+  if (t == "py" || t == "permalloy" || t == "nife") return make_permalloy();
+  SW_REQUIRE(false, "unknown material: " + name);
+}
+
+}  // namespace sw::mag

@@ -1,0 +1,45 @@
+// Magnetic material parameters and presets.
+#pragma once
+
+#include <string>
+
+#include "mag/vec3.h"
+
+namespace sw::mag {
+
+/// Homogeneous ferromagnet description (SI units throughout).
+struct Material {
+  std::string name = "unnamed";
+  double Ms = 0.0;        ///< saturation magnetisation [A/m]
+  double Aex = 0.0;       ///< exchange stiffness [J/m]
+  double alpha = 0.0;     ///< Gilbert damping [-]
+  double Ku = 0.0;        ///< uniaxial anisotropy constant [J/m^3]
+  Vec3 easy_axis{0, 0, 1};///< anisotropy easy axis (unit vector)
+
+  /// Anisotropy field magnitude 2*Ku/(mu0*Ms) [A/m].
+  double anisotropy_field() const;
+
+  /// Exchange length sqrt(2*Aex/(mu0*Ms^2)) [m].
+  double exchange_length() const;
+
+  /// gamma*mu0*Ms [rad/s]; the natural magnon frequency scale.
+  double omega_m() const;
+
+  /// Validate physical ranges; throws sw::util::Error on nonsense values.
+  void validate() const;
+};
+
+/// Fe60Co20B20 with PMA, parameters straight from the paper (Devolder 2016):
+/// Ms = 1.1 MA/m, Aex = 18.5 pJ/m, alpha = 0.004, Ku = 8.3177e5 J/m^3.
+Material make_fecob();
+
+/// Yttrium iron garnet, the canonical low-damping magnonic material.
+Material make_yig();
+
+/// Permalloy (Ni80Fe20).
+Material make_permalloy();
+
+/// Look up a preset by case-insensitive name ("FeCoB", "YIG", "Py").
+Material material_by_name(const std::string& name);
+
+}  // namespace sw::mag

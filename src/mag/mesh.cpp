@@ -1,0 +1,24 @@
+#include "mag/mesh.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace sw::mag {
+
+Mesh::Mesh(std::size_t nx, std::size_t ny, std::size_t nz, double dx,
+           double dy, double dz)
+    : nx_(nx), ny_(ny), nz_(nz), dx_(dx), dy_(dy), dz_(dz) {
+  SW_REQUIRE(nx >= 1 && ny >= 1 && nz >= 1, "cell counts must be >= 1");
+  SW_REQUIRE(dx > 0.0 && dy > 0.0 && dz > 0.0, "cell sizes must be > 0");
+}
+
+std::size_t Mesh::cell_at_x(double x) const {
+  const double fi = std::floor(x / dx_);
+  const long i = std::clamp<long>(static_cast<long>(fi), 0,
+                                  static_cast<long>(nx_) - 1);
+  return static_cast<std::size_t>(i);
+}
+
+}  // namespace sw::mag

@@ -1,0 +1,65 @@
+// Rectangular finite-difference mesh (OOMMF's Oxs_RectangularMesh analogue).
+#pragma once
+
+#include <cstddef>
+
+#include "mag/vec3.h"
+
+namespace sw::mag {
+
+/// Uniform rectangular mesh of nx*ny*nz cells with cell size (dx, dy, dz).
+/// Cell (i, j, k) has its centre at ((i+0.5)dx, (j+0.5)dy, (k+0.5)dz).
+class Mesh {
+ public:
+  Mesh() = default;
+
+  /// Construct; all counts >= 1 and sizes > 0 (throws otherwise).
+  Mesh(std::size_t nx, std::size_t ny, std::size_t nz, double dx, double dy,
+       double dz);
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t nz() const { return nz_; }
+  double dx() const { return dx_; }
+  double dy() const { return dy_; }
+  double dz() const { return dz_; }
+
+  std::size_t cell_count() const { return nx_ * ny_ * nz_; }
+  double cell_volume() const { return dx_ * dy_ * dz_; }
+
+  /// Physical extent along each axis.
+  double size_x() const { return static_cast<double>(nx_) * dx_; }
+  double size_y() const { return static_cast<double>(ny_) * dy_; }
+  double size_z() const { return static_cast<double>(nz_) * dz_; }
+
+  /// Flat index of cell (i, j, k); x fastest (matches OOMMF/OVF ordering).
+  std::size_t index(std::size_t i, std::size_t j, std::size_t k) const {
+    return i + nx_ * (j + ny_ * k);
+  }
+
+  /// Inverse of index().
+  void coords(std::size_t idx, std::size_t& i, std::size_t& j,
+              std::size_t& k) const {
+    i = idx % nx_;
+    j = (idx / nx_) % ny_;
+    k = idx / (nx_ * ny_);
+  }
+
+  /// Centre position of cell (i, j, k) in metres.
+  Vec3 cell_center(std::size_t i, std::size_t j, std::size_t k) const {
+    return {(static_cast<double>(i) + 0.5) * dx_,
+            (static_cast<double>(j) + 0.5) * dy_,
+            (static_cast<double>(k) + 0.5) * dz_};
+  }
+
+  /// Index of the cell containing physical x (clamped to the mesh).
+  std::size_t cell_at_x(double x) const;
+
+  bool operator==(const Mesh& o) const = default;
+
+ private:
+  std::size_t nx_ = 0, ny_ = 0, nz_ = 0;
+  double dx_ = 0.0, dy_ = 0.0, dz_ = 0.0;
+};
+
+}  // namespace sw::mag

@@ -1,0 +1,68 @@
+// Time-series probes: record magnetisation at points or region averages
+// while a simulation runs (OOMMF's data-table / mmDisp sampling analogue).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "mag/mesh.h"
+#include "mag/vector_field.h"
+
+namespace sw::mag {
+
+/// One recorded sample.
+struct ProbeSample {
+  double t = 0.0;
+  Vec3 m;
+};
+
+/// Records the average reduced magnetisation over an x-range of the
+/// waveguide (all y, z), sampled at a fixed rate.
+class Probe {
+ public:
+  /// Probe a window [x_center - width/2, x_center + width/2] along x.
+  Probe(std::string probe_name, const Mesh& mesh, double x_center, double width,
+        double sample_interval);
+
+  /// Record a sample if `t` has reached the next sampling deadline (the
+  /// fixed grid k * sample_interval, k = 0, 1, ...).
+  void maybe_sample(double t, const VectorField& m);
+
+  /// Next deadline on the sampling grid [s]. Exposed so a driver can step
+  /// the solver to exactly this time; uses the same arithmetic as
+  /// maybe_sample so scheduler and probe can never disagree.
+  double next_deadline() const {
+    return static_cast<double>(next_index_) * interval_;
+  }
+
+  /// Unconditionally record a sample at time t.
+  void sample(double t, const VectorField& m);
+
+  const std::string& name() const { return name_; }
+  double x_center() const { return x_center_; }
+  const std::vector<ProbeSample>& samples() const { return samples_; }
+  double sample_interval() const { return interval_; }
+
+  /// Extract one component ('x', 'y' or 'z') as a plain signal.
+  std::vector<double> component(char axis) const;
+
+  /// Times of all samples.
+  std::vector<double> times() const;
+
+  /// Effective sample rate [Hz].
+  double sample_rate() const { return 1.0 / interval_; }
+
+  void clear();
+
+ private:
+  std::string name_;
+  Mesh mesh_;
+  double x_center_ = 0.0;
+  double interval_ = 0.0;
+  std::size_t next_index_ = 0;  ///< next deadline is next_index_ * interval_
+  std::size_t i_begin_ = 0, i_end_ = 0;  ///< x-range of the window
+  std::vector<ProbeSample> samples_;
+};
+
+}  // namespace sw::mag

@@ -1,0 +1,86 @@
+// Simulation orchestrator: owns the mesh, material, field terms, integrator
+// and probes, and exposes run/relax entry points (OOMMF driver analogue).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mag/field_term.h"
+#include "mag/integrator.h"
+#include "mag/llg.h"
+#include "mag/material.h"
+#include "mag/mesh.h"
+#include "mag/probe.h"
+#include "mag/vector_field.h"
+
+namespace sw::mag {
+
+class Simulation {
+ public:
+  /// Initial magnetisation is uniform along the material's easy axis.
+  Simulation(const Mesh& mesh, const Material& mat,
+             const IntegratorOptions& opts = {});
+
+  const Mesh& mesh() const { return mesh_; }
+  const Material& material() const { return mat_; }
+  double time() const { return t_; }
+
+  VectorField& magnetization() { return m_; }
+  const VectorField& magnetization() const { return m_; }
+
+  /// Add an effective-field term; the simulation takes ownership.
+  /// Returns a reference to the added term for later inspection.
+  template <typename Term, typename... Args>
+  Term& add_term(Args&&... args) {
+    auto term = std::make_unique<Term>(std::forward<Args>(args)...);
+    Term& ref = *term;
+    terms_.push_back(std::move(term));
+    return ref;
+  }
+
+  /// Add a probe recording an x-window average every `sample_interval`.
+  Probe& add_probe(std::string name, double x_center, double width,
+                   double sample_interval);
+
+  std::vector<Probe>& probes() { return probes_; }
+  const std::vector<Probe>& probes() const { return probes_; }
+
+  /// Install a per-cell Gilbert damping profile (absorbing boundaries);
+  /// pass an empty vector to revert to the material's uniform alpha.
+  void set_damping_profile(std::vector<double> alpha_per_cell);
+
+  /// Graded absorbing regions: damping ramps quadratically from the material
+  /// alpha to `alpha_max` over `width` metres at both x ends of the mesh.
+  void add_absorbing_ends(double width, double alpha_max = 0.5);
+
+  /// Evaluate the total effective field (A/m) at time t into `H`.
+  void effective_field(double t, const VectorField& m, VectorField& H) const;
+
+  /// Advance the dynamics to `t_end`, sampling probes as deadlines pass.
+  void run_until(double t_end);
+
+  /// Damping-dominated relaxation (precession off, alpha forced to
+  /// `relax_alpha`) until max torque < `torque_tol` (A/m) or `max_time`
+  /// simulated seconds elapse. Leaves time() unchanged.
+  /// Returns the final max torque.
+  double relax(double torque_tol = 1.0, double max_time = 20e-9,
+               double relax_alpha = 0.5);
+
+  const StepStats& stats() const { return integrator_.stats(); }
+
+  /// Current max |m x H| (A/m).
+  double current_max_torque() const;
+
+ private:
+  Mesh mesh_;
+  Material mat_;
+  VectorField m_;
+  mutable VectorField h_scratch_;
+  std::vector<std::unique_ptr<FieldTerm>> terms_;
+  std::vector<Probe> probes_;
+  std::vector<double> alpha_profile_;
+  Integrator integrator_;
+  double t_ = 0.0;
+};
+
+}  // namespace sw::mag

@@ -1,0 +1,61 @@
+#include "mag/vector_field.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace sw::mag {
+
+VectorField::VectorField(const Mesh& mesh)
+    : mesh_(mesh), data_(mesh.cell_count()) {}
+
+VectorField::VectorField(const Mesh& mesh, const Vec3& fill)
+    : mesh_(mesh), data_(mesh.cell_count(), fill) {}
+
+void VectorField::fill(const Vec3& v) {
+  std::fill(data_.begin(), data_.end(), v);
+}
+
+void VectorField::add_scaled(const VectorField& other, double s) {
+  SW_REQUIRE(other.size() == size(), "field size mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += other.data_[i] * s;
+  }
+}
+
+void VectorField::assign_sum(const VectorField& a, const VectorField& b,
+                             double s) {
+  SW_REQUIRE(a.size() == b.size(), "field size mismatch");
+  if (data_.size() != a.size()) {
+    mesh_ = a.mesh();
+    data_.resize(a.size());
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] = a.data_[i] + b.data_[i] * s;
+  }
+}
+
+void VectorField::normalize() {
+  for (auto& v : data_) {
+    const double n = v.norm();
+    if (n > 0.0) v *= 1.0 / n;
+  }
+}
+
+Vec3 VectorField::average() const { return average_range(0, data_.size()); }
+
+Vec3 VectorField::average_range(std::size_t begin, std::size_t end) const {
+  SW_REQUIRE(begin <= end && end <= data_.size(), "bad range");
+  if (begin == end) return {};
+  Vec3 acc;
+  for (std::size_t i = begin; i < end; ++i) acc += data_[i];
+  return acc * (1.0 / static_cast<double>(end - begin));
+}
+
+double VectorField::max_norm() const {
+  double m = 0.0;
+  for (const auto& v : data_) m = std::max(m, v.norm2());
+  return std::sqrt(m);
+}
+
+}  // namespace sw::mag

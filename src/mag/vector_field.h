@@ -1,0 +1,69 @@
+// A Vec3-valued field over a Mesh, plus the arithmetic the integrators need.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mag/mesh.h"
+#include "mag/vec3.h"
+
+namespace sw::mag {
+
+/// Dense field of Vec3 values, one per mesh cell, stored x-fastest.
+class VectorField {
+ public:
+  VectorField() = default;
+
+  /// Zero-initialised field over `mesh`.
+  explicit VectorField(const Mesh& mesh);
+
+  /// Field over `mesh` with every cell set to `fill`.
+  VectorField(const Mesh& mesh, const Vec3& fill);
+
+  const Mesh& mesh() const { return mesh_; }
+  std::size_t size() const { return data_.size(); }
+
+  Vec3& operator[](std::size_t idx) { return data_[idx]; }
+  const Vec3& operator[](std::size_t idx) const { return data_[idx]; }
+
+  Vec3& at(std::size_t i, std::size_t j, std::size_t k) {
+    return data_[mesh_.index(i, j, k)];
+  }
+  const Vec3& at(std::size_t i, std::size_t j, std::size_t k) const {
+    return data_[mesh_.index(i, j, k)];
+  }
+
+  std::span<Vec3> values() { return data_; }
+  std::span<const Vec3> values() const { return data_; }
+
+  /// Set every cell to `v`.
+  void fill(const Vec3& v);
+
+  /// Set every cell to zero.
+  void zero() { fill({}); }
+
+  /// this += s * other (axpy, the integrator workhorse).
+  void add_scaled(const VectorField& other, double s);
+
+  /// this = a + s * b. All fields must share a mesh.
+  void assign_sum(const VectorField& a, const VectorField& b, double s);
+
+  /// Renormalise every vector to unit length (LLG norm conservation guard);
+  /// zero vectors are left untouched.
+  void normalize();
+
+  /// Mean value over all cells.
+  Vec3 average() const;
+
+  /// Mean value over cells [begin, end) of flat index.
+  Vec3 average_range(std::size_t begin, std::size_t end) const;
+
+  /// Max |v| over cells.
+  double max_norm() const;
+
+ private:
+  Mesh mesh_;
+  std::vector<Vec3> data_;
+};
+
+}  // namespace sw::mag

@@ -1,0 +1,10 @@
+#include "mag/zeeman.h"
+
+namespace sw::mag {
+
+void UniformZeemanField::accumulate(double /*t*/, const VectorField& /*m*/,
+                                    VectorField& H) const {
+  for (std::size_t c = 0; c < H.size(); ++c) H[c] += h_;
+}
+
+}  // namespace sw::mag

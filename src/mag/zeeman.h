@@ -1,0 +1,24 @@
+// Static external (Zeeman) field.
+#pragma once
+
+#include "mag/field_term.h"
+
+namespace sw::mag {
+
+/// Spatially uniform, time-independent applied field.
+class UniformZeemanField final : public FieldTerm {
+ public:
+  explicit UniformZeemanField(const Vec3& H_ext) : h_(H_ext) {}
+
+  void accumulate(double t, const VectorField& m,
+                  VectorField& H) const override;
+  std::string name() const override { return "zeeman"; }
+  double energy_prefactor() const override { return 1.0; }
+
+  const Vec3& field() const { return h_; }
+
+ private:
+  Vec3 h_;
+};
+
+}  // namespace sw::mag

@@ -1,0 +1,28 @@
+// Physical constants used throughout the library (SI units).
+#pragma once
+
+namespace sw::util {
+
+/// Vacuum permeability [T*m/A].
+inline constexpr double kMu0 = 1.25663706212e-6;
+
+/// Electron gyromagnetic ratio magnitude [rad/(s*T)] (g = 2.002319).
+inline constexpr double kGammaE = 1.76085963023e11;
+
+/// OOMMF-style Landau-Lifshitz gyromagnetic ratio gamma*mu0 [m/(A*s)].
+/// Multiplying a field in A/m yields an angular rate in rad/s.
+inline constexpr double kGammaMu0 = kGammaE * kMu0;
+
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/// Reduced Planck constant [J*s].
+inline constexpr double kHbar = 1.054571817e-34;
+
+/// pi, to double precision.
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// 2*pi.
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+}  // namespace sw::util

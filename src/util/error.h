@@ -1,0 +1,52 @@
+// Error handling: a library-wide exception type plus precondition macros.
+//
+// Following the C++ Core Guidelines (E.2, I.6): throw on violated runtime
+// contracts that callers can reasonably trigger; use SW_ASSERT for internal
+// invariants that indicate a library bug.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sw::util {
+
+/// Exception thrown on violated runtime contracts (bad arguments, malformed
+/// files, non-converging solves).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_error(const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace sw::util
+
+/// Throw sw::util::Error with file/line context when `cond` is false.
+#define SW_REQUIRE(cond, msg)                                       \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::sw::util::detail::throw_error(__FILE__, __LINE__,           \
+                                      std::string("requirement `") + \
+                                          #cond "` failed: " + (msg)); \
+    }                                                               \
+  } while (false)
+
+/// Internal invariant check; same behaviour as SW_REQUIRE but reads as a bug
+/// report rather than caller error.
+#define SW_ASSERT(cond, msg)                                          \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::sw::util::detail::throw_error(                                \
+          __FILE__, __LINE__,                                         \
+          std::string("internal invariant `") + #cond "` broken: " + \
+              (msg));                                                 \
+    }                                                                 \
+  } while (false)

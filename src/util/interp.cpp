@@ -1,0 +1,64 @@
+#include "util/interp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace sw::util {
+
+LinearTable::LinearTable(std::vector<double> xs, std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+  SW_REQUIRE(xs_.size() == ys_.size(), "x/y size mismatch");
+  SW_REQUIRE(xs_.size() >= 2, "need at least two points");
+  for (std::size_t i = 1; i < xs_.size(); ++i) {
+    SW_REQUIRE(xs_[i] > xs_[i - 1], "abscissae must be strictly increasing");
+  }
+}
+
+std::size_t LinearTable::segment(double x) const {
+  // Index of the segment [xs_[i], xs_[i+1]] used for x, clamped to the ends.
+  if (x <= xs_.front()) return 0;
+  if (x >= xs_.back()) return xs_.size() - 2;
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  return static_cast<std::size_t>(it - xs_.begin()) - 1;
+}
+
+double LinearTable::operator()(double x) const {
+  SW_REQUIRE(!xs_.empty(), "empty table");
+  const std::size_t i = segment(x);
+  const double t = (x - xs_[i]) / (xs_[i + 1] - xs_[i]);
+  return ys_[i] + t * (ys_[i + 1] - ys_[i]);
+}
+
+double LinearTable::derivative(double x) const {
+  SW_REQUIRE(!xs_.empty(), "empty table");
+  const std::size_t i = segment(x);
+  return (ys_[i + 1] - ys_[i]) / (xs_[i + 1] - xs_[i]);
+}
+
+double LinearTable::inverse(double y) const {
+  SW_REQUIRE(!xs_.empty(), "empty table");
+  const bool increasing = ys_.back() > ys_.front();
+  for (std::size_t i = 1; i < ys_.size(); ++i) {
+    SW_REQUIRE((ys_[i] > ys_[i - 1]) == increasing && ys_[i] != ys_[i - 1],
+               "table not strictly monotonic in y");
+  }
+  const double lo = increasing ? ys_.front() : ys_.back();
+  const double hi = increasing ? ys_.back() : ys_.front();
+  SW_REQUIRE(y >= lo && y <= hi, "inverse target outside table range");
+  // Find the segment containing y.
+  for (std::size_t i = 0; i + 1 < ys_.size(); ++i) {
+    const double y0 = ys_[i];
+    const double y1 = ys_[i + 1];
+    const bool inside = increasing ? (y >= y0 && y <= y1)
+                                   : (y <= y0 && y >= y1);
+    if (inside) {
+      const double t = (y - y0) / (y1 - y0);
+      return xs_[i] + t * (xs_[i + 1] - xs_[i]);
+    }
+  }
+  SW_ASSERT(false, "segment search failed");
+}
+
+}  // namespace sw::util

@@ -1,0 +1,41 @@
+// Tabulated-function interpolation (used for dispersion tables and
+// solver-calibrated wavelength lookups).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace sw::util {
+
+/// Piecewise-linear interpolant over strictly increasing abscissae.
+/// Evaluation outside the table extrapolates linearly from the end segments.
+class LinearTable {
+ public:
+  LinearTable() = default;
+
+  /// Build from matching x/y arrays; x must be strictly increasing and have
+  /// at least two entries.
+  LinearTable(std::vector<double> xs, std::vector<double> ys);
+
+  /// Interpolated value at x.
+  double operator()(double x) const;
+
+  /// Derivative of the interpolant at x (piecewise constant).
+  double derivative(double x) const;
+
+  /// Solve y(x) = y for x assuming y is monotonic over the table; throws if
+  /// the table is not monotonic in y or y is outside the range.
+  double inverse(double y) const;
+
+  std::size_t size() const { return xs_.size(); }
+  std::span<const double> xs() const { return xs_; }
+  std::span<const double> ys() const { return ys_; }
+
+ private:
+  std::size_t segment(double x) const;
+
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+}  // namespace sw::util

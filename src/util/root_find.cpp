@@ -1,0 +1,124 @@
+#include "util/root_find.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace sw::util {
+
+RootResult brent(const std::function<double(double)>& f, double a, double b,
+                 const RootOptions& opts) {
+  double fa = f(a);
+  double fb = f(b);
+  SW_REQUIRE(std::isfinite(fa) && std::isfinite(fb),
+             "endpoint evaluation not finite");
+  SW_REQUIRE(fa * fb <= 0.0, "root not bracketed");
+
+  if (fa == 0.0) return {a, 0.0, 0, true};
+  if (fb == 0.0) return {b, 0.0, 0, true};
+
+  // Classic Brent: keep b the best estimate, a the previous one, c the
+  // counterpoint bracketing the root with b.
+  double c = a, fc = fa;
+  double d = b - a, e = d;
+
+  RootResult out;
+  for (int it = 1; it <= opts.max_iterations; ++it) {
+    if (std::abs(fc) < std::abs(fb)) {
+      a = b; b = c; c = a;
+      fa = fb; fb = fc; fc = fa;
+    }
+    const double tol = 2.0 * std::numeric_limits<double>::epsilon() *
+                           std::abs(b) + 0.5 * opts.x_tol;
+    const double m = 0.5 * (c - b);
+    if (std::abs(m) <= tol || fb == 0.0 ||
+        (opts.f_tol > 0.0 && std::abs(fb) <= opts.f_tol)) {
+      return {b, fb, it, true};
+    }
+    if (std::abs(e) < tol || std::abs(fa) <= std::abs(fb)) {
+      d = m; e = m;  // bisection
+    } else {
+      double p, q;
+      const double s = fb / fa;
+      if (a == c) {  // secant
+        p = 2.0 * m * s;
+        q = 1.0 - s;
+      } else {  // inverse quadratic interpolation
+        const double qq = fa / fc;
+        const double r = fb / fc;
+        p = s * (2.0 * m * qq * (qq - r) - (b - a) * (r - 1.0));
+        q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q; else p = -p;
+      if (2.0 * p < std::min(3.0 * m * q - std::abs(tol * q),
+                             std::abs(e * q))) {
+        e = d; d = p / q;  // accept interpolation
+      } else {
+        d = m; e = m;  // fall back to bisection
+      }
+    }
+    a = b; fa = fb;
+    b += (std::abs(d) > tol) ? d : (m > 0.0 ? tol : -tol);
+    fb = f(b);
+    if ((fb > 0.0) == (fc > 0.0)) { c = a; fc = fa; e = d = b - a; }
+    out = {b, fb, it, false};
+  }
+  return out;
+}
+
+RootResult bisect(const std::function<double(double)>& f, double a, double b,
+                  const RootOptions& opts) {
+  double fa = f(a);
+  double fb = f(b);
+  SW_REQUIRE(fa * fb <= 0.0, "root not bracketed");
+  if (fa == 0.0) return {a, 0.0, 0, true};
+  if (fb == 0.0) return {b, 0.0, 0, true};
+  for (int it = 1; it <= opts.max_iterations; ++it) {
+    const double m = 0.5 * (a + b);
+    const double fm = f(m);
+    if (fm == 0.0 || 0.5 * (b - a) < opts.x_tol ||
+        (opts.f_tol > 0.0 && std::abs(fm) <= opts.f_tol)) {
+      return {m, fm, it, true};
+    }
+    if ((fm > 0.0) == (fa > 0.0)) { a = m; fa = fm; } else { b = m; fb = fm; }
+  }
+  return {0.5 * (a + b), f(0.5 * (a + b)), opts.max_iterations, false};
+}
+
+bool expand_bracket(const std::function<double(double)>& f, double& a,
+                    double& b, int max_expansions) {
+  SW_REQUIRE(a < b, "bracket must be ordered");
+  double fa = f(a);
+  double fb = f(b);
+  for (int i = 0; i < max_expansions; ++i) {
+    if (fa * fb <= 0.0) return true;
+    const double w = b - a;
+    if (std::abs(fa) < std::abs(fb)) { a -= w; fa = f(a); }
+    else { b += w; fb = f(b); }
+  }
+  return fa * fb <= 0.0;
+}
+
+double golden_min(const std::function<double(double)>& f, double a, double b,
+                  double x_tol) {
+  SW_REQUIRE(a < b, "interval must be ordered");
+  constexpr double kInvPhi = 0.6180339887498949;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  while (b - a > x_tol) {
+    if (f1 < f2) {
+      b = x2; x2 = x1; f2 = f1;
+      x1 = b - kInvPhi * (b - a); f1 = f(x1);
+    } else {
+      a = x1; x1 = x2; f1 = f2;
+      x2 = a + kInvPhi * (b - a); f2 = f(x2);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+}  // namespace sw::util

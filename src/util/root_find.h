@@ -1,0 +1,43 @@
+// Scalar root finding and 1-D minimisation used by the dispersion module to
+// invert f(k) -> k and locate band edges.
+#pragma once
+
+#include <functional>
+
+namespace sw::util {
+
+/// Options for the root finders.
+struct RootOptions {
+  double x_tol = 1e-14;     ///< absolute tolerance on the abscissa
+  double f_tol = 0.0;       ///< stop when |f| <= f_tol (0 disables)
+  int max_iterations = 200; ///< hard iteration cap
+};
+
+/// Result of a root solve.
+struct RootResult {
+  double x = 0.0;        ///< best abscissa found
+  double f = 0.0;        ///< residual at x
+  int iterations = 0;    ///< iterations used
+  bool converged = false;
+};
+
+/// Brent's method on [a, b]. Requires f(a) and f(b) to bracket a root
+/// (opposite signs); throws sw::util::Error otherwise.
+RootResult brent(const std::function<double(double)>& f, double a, double b,
+                 const RootOptions& opts = {});
+
+/// Plain bisection on [a, b]; same bracketing contract as brent(). Slower but
+/// useful as an oracle in tests.
+RootResult bisect(const std::function<double(double)>& f, double a, double b,
+                  const RootOptions& opts = {});
+
+/// Expand [a, b] geometrically until f changes sign or `max_expansions` is
+/// hit. Returns true and updates a/b on success.
+bool expand_bracket(const std::function<double(double)>& f, double& a,
+                    double& b, int max_expansions = 60);
+
+/// Golden-section minimisation of a unimodal f on [a, b].
+double golden_min(const std::function<double(double)>& f, double a, double b,
+                  double x_tol = 1e-12);
+
+}  // namespace sw::util

@@ -1,0 +1,93 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/constants.h"
+#include "util/error.h"
+
+namespace sw::util {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.min = xs[0];
+  s.max = xs[0];
+  for (double x : xs) {
+    s.sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = s.sum / static_cast<double>(s.count);
+  if (s.count > 1) {
+    double acc = 0.0;
+    for (double x : xs) acc += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(acc / static_cast<double>(s.count - 1));
+  }
+  return s;
+}
+
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  SW_REQUIRE(xs.size() == ys.size(), "x/y size mismatch");
+  SW_REQUIRE(xs.size() >= 2, "need at least two points");
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  SW_REQUIRE(std::abs(denom) > 0.0, "degenerate x values");
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double r = ys[i] - (fit.slope * xs[i] + fit.intercept);
+    ss_res += r * r;
+  }
+  fit.r2 = (ss_tot > 0.0) ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+double rms(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += x * x;
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+std::size_t argmax_abs(std::span<const double> xs) {
+  SW_REQUIRE(!xs.empty(), "empty span");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    if (std::abs(xs[i]) > std::abs(xs[best])) best = i;
+  }
+  return best;
+}
+
+double wrap_angle(double a) {
+  a = std::fmod(a + kPi, kTwoPi);
+  if (a <= 0.0) a += kTwoPi;
+  return a - kPi;
+}
+
+double angle_distance(double a, double b) {
+  return std::abs(wrap_angle(a - b));
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  SW_REQUIRE(n >= 2, "linspace needs n >= 2");
+  std::vector<double> v(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) v[i] = lo + step * static_cast<double>(i);
+  v.back() = hi;
+  return v;
+}
+
+}  // namespace sw::util

@@ -1,0 +1,46 @@
+// Summary statistics and small regression helpers for experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sw::util {
+
+/// Basic running summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1)
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+};
+
+/// Compute a Summary over the span (empty spans allowed: count == 0).
+Summary summarize(std::span<const double> xs);
+
+/// Least-squares line y = slope*x + intercept; returns {slope, intercept, r2}.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+};
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys);
+
+/// Root-mean-square of a signal.
+double rms(std::span<const double> xs);
+
+/// Index of the maximum absolute value.
+std::size_t argmax_abs(std::span<const double> xs);
+
+/// Wrap an angle to (-pi, pi].
+double wrap_angle(double a);
+
+/// Smallest absolute difference between two angles, in [0, pi].
+double angle_distance(double a, double b);
+
+/// Linearly spaced vector of n points in [lo, hi] inclusive (n >= 2).
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+}  // namespace sw::util

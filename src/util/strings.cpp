@@ -1,0 +1,99 @@
+#include "util/strings.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sw::util {
+
+std::string_view trim(std::string_view s) {
+  const auto not_space = [](unsigned char c) { return !std::isspace(c); };
+  const auto b = std::find_if(s.begin(), s.end(), not_space);
+  const auto e = std::find_if(s.rbegin(), s.rend(), not_space).base();
+  if (b >= e) return {};
+  return s.substr(static_cast<std::size_t>(b - s.begin()),
+                  static_cast<std::size_t>(e - b));
+}
+
+std::vector<std::string> split(std::string_view s, char delim,
+                               bool trim_fields) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(delim, start);
+    std::string_view field = (pos == std::string_view::npos)
+                                 ? s.substr(start)
+                                 : s.substr(start, pos - start);
+    if (trim_fields) field = trim(field);
+    out.emplace_back(field);
+    if (pos == std::string_view::npos) break;
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> split_ws(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    std::size_t j = i;
+    while (j < s.size() && !std::isspace(static_cast<unsigned char>(s[j]))) ++j;
+    if (j > i) out.emplace_back(s.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::optional<double> parse_double(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  // std::from_chars for double is available in GCC 11+.
+  double v = 0.0;
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (res.ec != std::errc{} || res.ptr != s.data() + s.size()) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<long> parse_long(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  long v = 0;
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (res.ec != std::errc{} || res.ptr != s.data() + s.size()) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<bool> parse_bool(std::string_view s) {
+  const std::string t = to_lower(trim(s));
+  if (t == "true" || t == "1" || t == "yes" || t == "on") return true;
+  if (t == "false" || t == "0" || t == "no" || t == "off") return false;
+  return std::nullopt;
+}
+
+std::string format_sig(double v, int significant_digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", significant_digits, v);
+  return buf;
+}
+
+}  // namespace sw::util

@@ -1,0 +1,35 @@
+// String utilities backing the MIF-lite parser and table writers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sw::util {
+
+/// Strip leading and trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on a delimiter; empty fields are kept. `trim_fields` trims each.
+std::vector<std::string> split(std::string_view s, char delim,
+                               bool trim_fields = false);
+
+/// Split on arbitrary whitespace runs; no empty fields.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parse helpers returning nullopt on malformed input (no exceptions).
+std::optional<double> parse_double(std::string_view s);
+std::optional<long> parse_long(std::string_view s);
+std::optional<bool> parse_bool(std::string_view s);  // true/false/1/0/yes/no
+
+/// printf-style double formatting with given significant digits.
+std::string format_sig(double v, int significant_digits);
+
+}  // namespace sw::util

@@ -1,0 +1,48 @@
+// Small unit helpers so dimensioned quantities read naturally at call sites:
+//   excite(10.0 * units::GHz, 50 * units::nm);
+// All values are plain doubles in SI units; the helpers are multipliers.
+#pragma once
+
+namespace sw::units {
+
+// Length.
+inline constexpr double m = 1.0;
+inline constexpr double cm = 1e-2;
+inline constexpr double mm = 1e-3;
+inline constexpr double um = 1e-6;
+inline constexpr double nm = 1e-9;
+
+// Time.
+inline constexpr double s = 1.0;
+inline constexpr double ms = 1e-3;
+inline constexpr double us = 1e-6;
+inline constexpr double ns = 1e-9;
+inline constexpr double ps = 1e-12;
+inline constexpr double fs = 1e-15;
+
+// Frequency.
+inline constexpr double Hz = 1.0;
+inline constexpr double kHz = 1e3;
+inline constexpr double MHz = 1e6;
+inline constexpr double GHz = 1e9;
+inline constexpr double THz = 1e12;
+
+// Energy / power.
+inline constexpr double J = 1.0;
+inline constexpr double mJ = 1e-3;
+inline constexpr double uJ = 1e-6;
+inline constexpr double nJ = 1e-9;
+inline constexpr double pJ = 1e-12;
+inline constexpr double fJ = 1e-15;
+inline constexpr double aJ = 1e-18;
+inline constexpr double W = 1.0;
+inline constexpr double mW = 1e-3;
+inline constexpr double uW = 1e-6;
+inline constexpr double nW = 1e-9;
+
+// Area.
+inline constexpr double m2 = 1.0;
+inline constexpr double um2 = 1e-12;
+inline constexpr double nm2 = 1e-18;
+
+}  // namespace sw::units

@@ -1,0 +1,597 @@
+// Unit tests for the core data-parallel gate library: encoding, layout
+// synthesis, functional gate evaluation, detection and scalability.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "core/detector.h"
+#include "core/encoding.h"
+#include "core/gate.h"
+#include "core/gate_design.h"
+#include "core/micromag_gate.h"
+#include "core/scalability.h"
+#include "dispersion/fvmsw.h"
+#include "dispersion/local_1d.h"
+#include "mag/material.h"
+#include "util/constants.h"
+#include "util/error.h"
+#include "util/stats.h"
+#include "wavesim/wave_engine.h"
+
+namespace {
+
+using namespace sw::core;
+using sw::disp::FvmswDispersion;
+using sw::disp::LocalDemag1DDispersion;
+using sw::disp::Waveguide;
+using sw::util::Error;
+using sw::util::kPi;
+using sw::util::kTwoPi;
+
+Waveguide paper_waveguide() {
+  Waveguide wg;
+  wg.material = sw::mag::make_fecob();
+  wg.width = 50e-9;
+  wg.thickness = 1e-9;
+  return wg;
+}
+
+std::vector<double> paper_frequencies(std::size_t n) {
+  std::vector<double> f;
+  for (std::size_t i = 1; i <= n; ++i) f.push_back(1e10 * double(i));
+  return f;
+}
+
+// ----------------------------------------------------------------- encoding
+
+TEST(Encoding, PhaseOfBit) {
+  EXPECT_DOUBLE_EQ(phase_of_bit(false), 0.0);
+  EXPECT_DOUBLE_EQ(phase_of_bit(true), kPi);
+}
+
+TEST(Encoding, BitOfPhaseRoundTrip) {
+  EXPECT_FALSE(bit_of_phase(0.0));
+  EXPECT_TRUE(bit_of_phase(kPi));
+  EXPECT_TRUE(bit_of_phase(-kPi));
+  EXPECT_FALSE(bit_of_phase(0.3));
+  EXPECT_TRUE(bit_of_phase(kPi - 0.3));
+  EXPECT_FALSE(bit_of_phase(kTwoPi));  // wraps to 0
+}
+
+TEST(Encoding, Majority3) {
+  EXPECT_FALSE(majority3(false, false, false));
+  EXPECT_FALSE(majority3(true, false, false));
+  EXPECT_TRUE(majority3(true, true, false));
+  EXPECT_TRUE(majority3(true, true, true));
+}
+
+TEST(Encoding, MajoritySpanMatchesMajority3) {
+  for (const auto& p : all_patterns(3)) {
+    EXPECT_EQ(majority(p), majority3(p[0], p[1], p[2]));
+  }
+}
+
+TEST(Encoding, MajorityRejectsEvenCount) {
+  const Bits even{0, 1};
+  EXPECT_THROW(majority(even), Error);
+}
+
+TEST(Encoding, Parity) {
+  EXPECT_FALSE(parity(Bits{}));
+  EXPECT_TRUE(parity(Bits{1}));
+  EXPECT_FALSE(parity(Bits{1, 1}));
+  EXPECT_TRUE(parity(Bits{1, 1, 1}));
+}
+
+TEST(Encoding, AllPatternsEnumerate) {
+  const auto pats = all_patterns(3);
+  ASSERT_EQ(pats.size(), 8u);
+  EXPECT_EQ(pats[0], (Bits{0, 0, 0}));
+  EXPECT_EQ(pats[5], (Bits{1, 0, 1}));  // 5 = 0b101, bit 0 first
+  EXPECT_EQ(pats[7], (Bits{1, 1, 1}));
+}
+
+// ----------------------------------------------------------------- designer
+
+class DesignerParam
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(DesignerParam, LayoutSatisfiesAllInvariants) {
+  const auto [m, n] = GetParam();
+  const FvmswDispersion model(paper_waveguide());
+  const InlineGateDesigner designer(model);
+  GateSpec spec;
+  spec.num_inputs = m;
+  spec.frequencies = paper_frequencies(n);
+  const GateLayout layout = designer.design(spec);
+  EXPECT_NO_THROW(layout.validate());
+  EXPECT_EQ(layout.sources.size(), m * n);
+  EXPECT_EQ(layout.detectors.size(), n);
+  EXPECT_GT(layout.length(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    InputAndChannelCounts, DesignerParam,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 5u, 7u),
+                       ::testing::Values(1u, 2u, 4u, 8u)));
+
+TEST(Designer, ByteGateMatchesPaperShape) {
+  const FvmswDispersion model(paper_waveguide());
+  const InlineGateDesigner designer(model);
+  GateSpec spec;
+  spec.num_inputs = 3;
+  spec.frequencies = paper_frequencies(8);
+  const GateLayout layout = designer.design(spec);
+  // 24 sources + 8 detectors on a sub-micron guide.
+  EXPECT_EQ(layout.transducer_count(), 32u);
+  EXPECT_LT(layout.length(), 1.2e-6);
+  // Spacings are ~100-180 nm, the same range the paper reports.
+  for (double d : layout.spacing) {
+    EXPECT_GT(d, 90e-9);
+    EXPECT_LT(d, 200e-9);
+  }
+}
+
+TEST(Designer, SpacingIsExactWavelengthMultiple) {
+  const FvmswDispersion model(paper_waveguide());
+  const InlineGateDesigner designer(model);
+  GateSpec spec;
+  spec.num_inputs = 3;
+  spec.frequencies = paper_frequencies(4);
+  const GateLayout layout = designer.design(spec);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double ratio = layout.spacing[i] / layout.wavelengths[i];
+    EXPECT_NEAR(ratio, std::round(ratio), 1e-9);
+  }
+}
+
+TEST(Designer, InvertedChannelsGetHalfIntegerDetectors) {
+  const FvmswDispersion model(paper_waveguide());
+  const InlineGateDesigner designer(model);
+  GateSpec spec;
+  spec.num_inputs = 3;
+  spec.frequencies = paper_frequencies(3);
+  spec.invert_output = {0, 1, 0};
+  const GateLayout layout = designer.design(spec);
+  EXPECT_FALSE(layout.detectors[0].inverted);
+  EXPECT_TRUE(layout.detectors[1].inverted);
+  // validate() already checks the half-integer placement; re-check here.
+  const auto& det = layout.detectors[1];
+  const double last = layout.source(1, 2).x;
+  const double cycles = (det.x - last) / layout.wavelengths[1];
+  EXPECT_NEAR(cycles - std::floor(cycles), 0.5, 1e-9);
+}
+
+TEST(Designer, MinSameChannelSpacingHonored) {
+  const FvmswDispersion model(paper_waveguide());
+  const InlineGateDesigner designer(model);
+  GateSpec spec;
+  spec.num_inputs = 3;
+  spec.frequencies = {2e10};
+  spec.min_same_channel_spacing = 117e-9;
+  spec.multiple_search = 0;
+  const GateLayout layout = designer.design(spec);
+  EXPECT_GE(layout.spacing[0], 117e-9 - 1e-12);
+  // And it is still an exact multiple of the wavelength.
+  const double ratio = layout.spacing[0] / layout.wavelengths[0];
+  EXPECT_NEAR(ratio, std::round(ratio), 1e-9);
+}
+
+TEST(Designer, RejectsBadSpecs) {
+  const FvmswDispersion model(paper_waveguide());
+  const InlineGateDesigner designer(model);
+  GateSpec spec;
+  spec.num_inputs = 3;
+
+  spec.frequencies = {};
+  EXPECT_THROW(designer.design(spec), Error);
+
+  spec.frequencies = {2e10, 2e10};  // duplicate
+  EXPECT_THROW(designer.design(spec), Error);
+
+  spec.frequencies = {1e9};  // below FMR
+  EXPECT_THROW(designer.design(spec), Error);
+
+  spec.frequencies = {2e10, 3e10};
+  spec.invert_output = {1};  // wrong flag count
+  EXPECT_THROW(designer.design(spec), Error);
+
+  spec.invert_output.clear();
+  spec.transducer_width = 0.0;
+  EXPECT_THROW(designer.design(spec), Error);
+}
+
+TEST(Designer, SourceLookupThrowsOnMissing) {
+  const FvmswDispersion model(paper_waveguide());
+  const InlineGateDesigner designer(model);
+  GateSpec spec;
+  spec.num_inputs = 2;
+  spec.frequencies = {2e10};
+  const GateLayout layout = designer.design(spec);
+  EXPECT_THROW(layout.source(1, 0), Error);
+  EXPECT_THROW(layout.source(0, 5), Error);
+}
+
+// --------------------------------------------------------------------- gate
+
+class GateTruthTable : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GateTruthTable, MajorityHoldsForAllPatterns) {
+  const std::size_t m = GetParam();
+  const FvmswDispersion model(paper_waveguide());
+  const InlineGateDesigner designer(model);
+  const sw::wavesim::WaveEngine engine(model, 0.004);
+  GateSpec spec;
+  spec.num_inputs = m;
+  spec.frequencies = paper_frequencies(4);
+  DataParallelGate gate(designer.design(spec), engine);
+  const double worst = gate.verify_majority_truth_table();
+  EXPECT_GT(worst, 0.5);  // phases land far from the decision boundary
+}
+
+INSTANTIATE_TEST_SUITE_P(OddInputCounts, GateTruthTable,
+                         ::testing::Values(1u, 3u, 5u));
+
+TEST(Gate, ByteWideMajorityAllChannelsAllPatterns) {
+  // The paper's headline configuration: 8 channels x 3 inputs.
+  const FvmswDispersion model(paper_waveguide());
+  const InlineGateDesigner designer(model);
+  const sw::wavesim::WaveEngine engine(model, 0.004);
+  GateSpec spec;
+  spec.num_inputs = 3;
+  spec.frequencies = paper_frequencies(8);
+  DataParallelGate gate(designer.design(spec), engine);
+
+  for (const auto& pattern : all_patterns(3)) {
+    const auto results = gate.evaluate_uniform(pattern);
+    ASSERT_EQ(results.size(), 8u);
+    for (const auto& r : results) {
+      EXPECT_EQ(r.logic, static_cast<std::uint8_t>(majority(pattern)))
+          << "channel " << r.channel;
+    }
+  }
+}
+
+TEST(Gate, IndependentChannelsCarryIndependentData) {
+  // Different bit patterns per channel: each channel's output must follow
+  // its own inputs only (the data-parallelism property).
+  const FvmswDispersion model(paper_waveguide());
+  const InlineGateDesigner designer(model);
+  const sw::wavesim::WaveEngine engine(model, 0.004);
+  GateSpec spec;
+  spec.num_inputs = 3;
+  spec.frequencies = paper_frequencies(4);
+  DataParallelGate gate(designer.design(spec), engine);
+
+  const std::vector<Bits> inputs{
+      {0, 0, 0}, {1, 1, 0}, {0, 1, 0}, {1, 1, 1}};
+  const auto results = gate.evaluate(inputs);
+  EXPECT_EQ(results[0].logic, 0);
+  EXPECT_EQ(results[1].logic, 1);
+  EXPECT_EQ(results[2].logic, 0);
+  EXPECT_EQ(results[3].logic, 1);
+}
+
+TEST(Gate, InvertedChannelComplementsOutput) {
+  const FvmswDispersion model(paper_waveguide());
+  const InlineGateDesigner designer(model);
+  const sw::wavesim::WaveEngine engine(model, 0.004);
+  GateSpec spec;
+  spec.num_inputs = 3;
+  spec.frequencies = paper_frequencies(2);
+  spec.invert_output = {0, 1};
+  DataParallelGate gate(designer.design(spec), engine);
+
+  for (const auto& pattern : all_patterns(3)) {
+    const auto results = gate.evaluate_uniform(pattern);
+    const bool maj = majority(pattern);
+    EXPECT_EQ(results[0].logic, static_cast<std::uint8_t>(maj));
+    EXPECT_EQ(results[1].logic, static_cast<std::uint8_t>(!maj));
+  }
+}
+
+TEST(Gate, DriveListEncodesPhases) {
+  const FvmswDispersion model(paper_waveguide());
+  const InlineGateDesigner designer(model);
+  const sw::wavesim::WaveEngine engine(model, 0.004);
+  GateSpec spec;
+  spec.num_inputs = 3;
+  spec.frequencies = paper_frequencies(2);
+  DataParallelGate gate(designer.design(spec), engine);
+
+  const std::vector<Bits> inputs{{1, 0, 1}, {0, 0, 0}};
+  const auto drives = gate.drive_list(inputs);
+  ASSERT_EQ(drives.size(), 6u);
+  for (const auto& d : drives) {
+    EXPECT_TRUE(d.phase == 0.0 || d.phase == kPi);
+  }
+  // Channel 0 input 0 is a logic 1.
+  const auto& s = gate.layout().source(0, 0);
+  for (const auto& d : drives) {
+    if (d.x == s.x) {
+      EXPECT_DOUBLE_EQ(d.phase, kPi);
+    }
+  }
+}
+
+TEST(Gate, RejectsMalformedInputs) {
+  const FvmswDispersion model(paper_waveguide());
+  const InlineGateDesigner designer(model);
+  const sw::wavesim::WaveEngine engine(model, 0.004);
+  GateSpec spec;
+  spec.num_inputs = 3;
+  spec.frequencies = paper_frequencies(2);
+  DataParallelGate gate(designer.design(spec), engine);
+
+  EXPECT_THROW(gate.evaluate({{0, 0, 0}}), Error);          // channel count
+  EXPECT_THROW(gate.evaluate({{0, 0}, {0, 0, 0}}), Error);  // bit count
+}
+
+TEST(Gate, XorViaAmplitudeDetection) {
+  // Two-input XOR on amplitude: in-phase inputs (00, 11) superpose
+  // constructively (amplitude 2A -> logic 0), out-of-phase inputs cancel
+  // (amplitude ~0 -> logic 1).
+  const FvmswDispersion model(paper_waveguide());
+  const InlineGateDesigner designer(model);
+  const sw::wavesim::WaveEngine engine(model, 0.004);
+  GateSpec spec;
+  spec.num_inputs = 2;
+  spec.frequencies = paper_frequencies(8);
+  DataParallelGate gate(designer.design(spec), engine);
+
+  // Reference amplitude: both-zero inputs.
+  const auto ref = gate.evaluate_uniform(Bits{0, 0});
+  for (const auto& pattern : all_patterns(2)) {
+    const auto out = gate.evaluate_uniform(pattern);
+    for (std::size_t ch = 0; ch < out.size(); ++ch) {
+      const auto d = decide_amplitude(out[ch].amplitude, ref[ch].amplitude);
+      EXPECT_EQ(d.logic, static_cast<std::uint8_t>(parity(pattern)))
+          << "channel " << ch;
+    }
+  }
+}
+
+// ----------------------------------------------------------------- detector
+
+TEST(Detector, DecidePhaseBasics) {
+  const auto d0 = decide_phase(std::polar(1.0, 0.1), 0.0);
+  EXPECT_EQ(d0.logic, 0);
+  EXPECT_GT(d0.margin, 0.9);
+  const auto d1 = decide_phase(std::polar(2.0, kPi - 0.1), 0.0);
+  EXPECT_EQ(d1.logic, 1);
+  EXPECT_NEAR(d1.amplitude, 2.0, 1e-12);
+}
+
+TEST(Detector, MarginShrinksNearBoundary) {
+  const auto near_b = decide_phase(std::polar(1.0, kPi / 2.0 - 0.05), 0.0);
+  const auto far_b = decide_phase(std::polar(1.0, 0.05), 0.0);
+  EXPECT_LT(near_b.margin, 0.1);
+  EXPECT_GT(far_b.margin, 0.9);
+}
+
+TEST(Detector, DecideAmplitude) {
+  const auto hi = decide_amplitude(2.0, 2.0, 0.5);
+  EXPECT_EQ(hi.logic, 0);
+  const auto lo = decide_amplitude(0.05, 2.0, 0.5);
+  EXPECT_EQ(lo.logic, 1);
+  EXPECT_THROW(decide_amplitude(1.0, 0.0), Error);
+  EXPECT_THROW(decide_amplitude(1.0, 1.0, 1.5), Error);
+}
+
+TEST(Detector, ExtractPhasorRecoversAbsolutePhase) {
+  // A tone sampled from t=0; extraction over a late window must still
+  // report the phase referenced to t=0.
+  const double fs = 1e12;
+  const double f = 2e10;
+  const double phase = 1.234;
+  std::vector<double> x(4000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 0.8 * std::cos(kTwoPi * f * static_cast<double>(i) / fs + phase);
+  }
+  const auto p = extract_phasor(x, 1500, 3500, fs, f);
+  EXPECT_NEAR(std::abs(p), 0.8, 1e-6);
+  EXPECT_NEAR(sw::util::angle_distance(std::arg(p), phase), 0.0, 1e-6);
+}
+
+TEST(Detector, ExtractPhasorWindowValidation) {
+  std::vector<double> x(100, 0.0);
+  EXPECT_THROW(extract_phasor(x, 50, 50, 1e12, 1e10), Error);
+  EXPECT_THROW(extract_phasor(x, 0, 200, 1e12, 1e10), Error);
+}
+
+// -------------------------------------------------------------- scalability
+
+TEST(Scalability, CompensationBoostsFartherSources) {
+  const FvmswDispersion model(paper_waveguide());
+  const InlineGateDesigner designer(model);
+  const sw::wavesim::WaveEngine engine(model, 0.004);
+  GateSpec spec;
+  spec.num_inputs = 5;
+  spec.frequencies = {2e10};
+  const auto layout = designer.design(spec);
+  const auto levels = damping_compensation(layout, engine);
+  ASSERT_EQ(levels.size(), 5u);
+  // Sources are emitted in input order; earlier inputs sit farther from the
+  // detector, so the levels must be non-increasing (paper's I1 > I2 > ...).
+  for (std::size_t k = 1; k < levels.size(); ++k) {
+    EXPECT_GE(levels[k - 1], levels[k]);
+  }
+  EXPECT_NEAR(levels.back(), 1.0, 1e-12);
+}
+
+TEST(Scalability, CompensatedArrivalAmplitudesEqual) {
+  const FvmswDispersion model(paper_waveguide());
+  const InlineGateDesigner designer(model);
+  const sw::wavesim::WaveEngine engine(model, 0.004);
+  GateSpec spec;
+  spec.num_inputs = 3;
+  spec.frequencies = {2e10};
+  const auto layout = designer.design(spec);
+  const auto levels = damping_compensation(layout, engine);
+  const auto boosted = with_drive_levels(layout, levels);
+  const double f = 2e10;
+  const double l = engine.decay_length(f);
+  const double det = boosted.detectors[0].x;
+  double first = -1.0;
+  for (const auto& s : boosted.sources) {
+    const double arrival = s.amplitude * std::exp(-std::abs(det - s.x) / l);
+    if (first < 0.0) first = arrival;
+    EXPECT_NEAR(arrival, first, 1e-9);
+  }
+}
+
+TEST(Scalability, MarginReportFlagsWorstPattern) {
+  const FvmswDispersion model(paper_waveguide());
+  const InlineGateDesigner designer(model);
+  const sw::wavesim::WaveEngine engine(model, 0.004);
+  GateSpec spec;
+  spec.num_inputs = 3;
+  spec.frequencies = paper_frequencies(2);
+  DataParallelGate gate(designer.design(spec), engine);
+  const auto rep = margin_report(gate);
+  EXPECT_TRUE(rep.all_correct);
+  EXPECT_GT(rep.min_margin, 0.0);
+  EXPECT_EQ(rep.worst_pattern.size(), 3u);
+}
+
+TEST(Scalability, SweepImprovesWithCompensation) {
+  const FvmswDispersion model(paper_waveguide());
+  // Exaggerated damping makes the uncompensated margin visibly worse.
+  const auto points = scalability_sweep(model, 0.05, 2e10, 9);
+  ASSERT_EQ(points.size(), 4u);  // m = 3, 5, 7, 9
+  for (const auto& pt : points) {
+    EXPECT_TRUE(pt.correct_compensated);
+    EXPECT_GE(pt.margin_compensated, pt.margin_uncompensated - 1e-9);
+  }
+}
+
+TEST(Scalability, WithDriveLevelsValidates) {
+  const FvmswDispersion model(paper_waveguide());
+  const InlineGateDesigner designer(model);
+  GateSpec spec;
+  spec.num_inputs = 3;
+  spec.frequencies = {2e10};
+  const auto layout = designer.design(spec);
+  EXPECT_THROW(with_drive_levels(layout, {1.0}), Error);
+  EXPECT_THROW(with_drive_levels(layout, {1.0, -1.0, 1.0}), Error);
+}
+
+// ------------------------------------------------------- micromag interface
+
+TEST(MicromagRunner, ValidatesConfiguration) {
+  const Waveguide wg = paper_waveguide();
+  const auto model = LocalDemag1DDispersion::from_waveguide(wg);
+  const InlineGateDesigner designer(model);
+  GateSpec spec;
+  spec.num_inputs = 3;
+  spec.frequencies = {2e10};
+  const auto layout = designer.design(spec);
+
+  MicromagConfig cfg;
+  cfg.sample_dt = 1e-10;  // violates Nyquist for 20 GHz
+  EXPECT_THROW(MicromagGateRunner(layout, wg, cfg), Error);
+
+  cfg = MicromagConfig{};
+  cfg.t_end = 1e-12;  // far too short for settle
+  MicromagGateRunner runner(layout, wg, cfg);
+  EXPECT_THROW(runner.run_uniform(Bits{0, 0, 0}), Error);
+}
+
+TEST(MicromagRunner, GuideGeometry) {
+  const Waveguide wg = paper_waveguide();
+  const auto model = LocalDemag1DDispersion::from_waveguide(wg);
+  const InlineGateDesigner designer(model);
+  GateSpec spec;
+  spec.num_inputs = 3;
+  spec.frequencies = {2e10};
+  const auto layout = designer.design(spec);
+  const MicromagGateRunner runner(layout, wg);
+  EXPECT_GT(runner.guide_length(),
+            layout.length());  // leads included
+  EXPECT_DOUBLE_EQ(runner.to_mesh_x(0.0), runner.config().lead_in);
+}
+
+}  // namespace
+
+// Appended: randomized property tests for the layout designer.
+#include <random>
+
+namespace {
+
+class DesignerFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DesignerFuzz, RandomSpecsAlwaysProduceValidLayouts) {
+  // Random channel counts, input counts and frequency sets drawn from the
+  // guide's band; design() must either throw a contract error (never
+  // triggered here — inputs are pre-sanitised) or produce a layout that
+  // passes every invariant in GateLayout::validate().
+  std::mt19937 rng(GetParam());
+  const FvmswDispersion model(paper_waveguide());
+  const InlineGateDesigner designer(model);
+  const double f_lo = model.fmr() * 1.2;
+  const double f_hi = 9e10;
+
+  std::uniform_int_distribution<std::size_t> n_dist(1, 8);
+  std::uniform_int_distribution<std::size_t> m_dist(0, 2);
+  std::uniform_real_distribution<double> f_dist(f_lo, f_hi);
+  std::uniform_int_distribution<int> inv_dist(0, 1);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    GateSpec spec;
+    spec.num_inputs = 2 * m_dist(rng) + 1;  // 1, 3, 5
+    const std::size_t n = n_dist(rng);
+    while (spec.frequencies.size() < n) {
+      const double f = f_dist(rng);
+      bool distinct = true;
+      for (double g : spec.frequencies) {
+        distinct &= std::abs(f - g) > 0.02 * g;
+      }
+      if (distinct) spec.frequencies.push_back(f);
+    }
+    if (inv_dist(rng)) {
+      for (std::size_t i = 0; i < n; ++i) {
+        spec.invert_output.push_back(static_cast<std::uint8_t>(inv_dist(rng)));
+      }
+    }
+    const GateLayout layout = designer.design(spec);
+    EXPECT_NO_THROW(layout.validate());
+    // And the gate built on it computes majority on every channel.
+    const sw::wavesim::WaveEngine engine(model, 0.004);
+    const DataParallelGate gate(layout, engine);
+    EXPECT_GT(gate.verify_majority_truth_table(), 0.4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DesignerFuzz,
+                         ::testing::Values(11u, 23u, 37u, 59u, 71u, 97u));
+
+TEST(Designer, LayoutLengthScalesWithChannels) {
+  const FvmswDispersion model(paper_waveguide());
+  const InlineGateDesigner designer(model);
+  double prev = 0.0;
+  for (std::size_t n = 1; n <= 8; n += 1) {
+    GateSpec spec;
+    spec.num_inputs = 3;
+    spec.frequencies = paper_frequencies(n);
+    const auto layout = designer.design(spec);
+    EXPECT_GE(layout.length(), prev * 0.8);  // roughly monotone growth
+    prev = layout.length();
+  }
+}
+
+TEST(Designer, PitchTightensAndLoosens) {
+  // A wider transducer or gap must never shrink the layout.
+  const FvmswDispersion model(paper_waveguide());
+  const InlineGateDesigner designer(model);
+  GateSpec narrow;
+  narrow.num_inputs = 3;
+  narrow.frequencies = paper_frequencies(4);
+  GateSpec wide = narrow;
+  wide.transducer_width = 20e-9;
+  wide.min_gap = 5e-9;
+  EXPECT_GE(designer.design(wide).length(),
+            designer.design(narrow).length());
+}
+
+}  // namespace

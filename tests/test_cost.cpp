@@ -1,0 +1,127 @@
+// Unit tests for the area/delay/energy cost models (paper Section V.B).
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+#include "dispersion/fvmsw.h"
+#include "mag/material.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace sw::cost;
+using sw::core::GateSpec;
+using sw::core::InlineGateDesigner;
+using sw::disp::FvmswDispersion;
+using sw::disp::Waveguide;
+using sw::util::Error;
+
+Waveguide paper_waveguide() {
+  Waveguide wg;
+  wg.material = sw::mag::make_fecob();
+  wg.width = 50e-9;
+  wg.thickness = 1e-9;
+  return wg;
+}
+
+GateSpec byte_spec() {
+  GateSpec spec;
+  spec.num_inputs = 3;
+  for (int i = 1; i <= 8; ++i) spec.frequencies.push_back(1e10 * i);
+  return spec;
+}
+
+TEST(GateCost, AreaIsLengthTimesWidth) {
+  const FvmswDispersion model(paper_waveguide());
+  const InlineGateDesigner designer(model);
+  const auto layout = designer.design(byte_spec());
+  const TransducerModel t;
+  const auto c = gate_cost(layout, 50e-9, t, model);
+  EXPECT_NEAR(c.area, c.length * 50e-9, 1e-25);
+  EXPECT_EQ(c.transducers, 32u);
+  EXPECT_EQ(c.waveguides, 1u);
+  EXPECT_NEAR(c.energy, 32.0 * t.energy, 1e-25);
+}
+
+TEST(GateCost, DelayIncludesTransducersAndFlight) {
+  const FvmswDispersion model(paper_waveguide());
+  const InlineGateDesigner designer(model);
+  GateSpec spec;
+  spec.num_inputs = 3;
+  spec.frequencies = {2e10};
+  const auto layout = designer.design(spec);
+  const TransducerModel t;
+  const auto c = gate_cost(layout, 50e-9, t, model);
+  EXPECT_GT(c.delay, 2.0 * t.delay);
+  // Flight time bounded by layout length over the slowest group velocity.
+  const double vg = model.group_velocity_at_frequency(2e10);
+  EXPECT_LT(c.delay, 2.0 * t.delay + layout.length() / vg * 1.01);
+}
+
+TEST(GateCost, RejectsBadWidth) {
+  const FvmswDispersion model(paper_waveguide());
+  const InlineGateDesigner designer(model);
+  const auto layout = designer.design(byte_spec());
+  EXPECT_THROW(gate_cost(layout, 0.0, TransducerModel{}, model), Error);
+}
+
+TEST(Comparison, ByteMajorityReproducesPaperShape) {
+  // The paper: 4.16x area reduction, delay and energy parity. Our layouts
+  // are self-consistent with our dispersion so the exact ratio differs,
+  // but it must be a substantial (>2.5x) area win at exact delay/energy
+  // parity.
+  const FvmswDispersion model(paper_waveguide());
+  const InlineGateDesigner designer(model);
+  const auto cmp = compare_parallel_vs_scalar(designer, byte_spec(), 50e-9,
+                                              TransducerModel{});
+  EXPECT_GT(cmp.area_ratio, 2.5);
+  EXPECT_LT(cmp.area_ratio, 6.0);
+  EXPECT_NEAR(cmp.delay_ratio, 1.0, 1e-9);
+  EXPECT_NEAR(cmp.energy_ratio, 1.0, 1e-9);
+  EXPECT_EQ(cmp.scalar_each.size(), 8u);
+  EXPECT_EQ(cmp.scalar_total.waveguides, 8u);
+  EXPECT_EQ(cmp.scalar_total.transducers, cmp.parallel.transducers);
+}
+
+TEST(Comparison, ScalarGatesPreserveParallelSpacings) {
+  const FvmswDispersion model(paper_waveguide());
+  const InlineGateDesigner designer(model);
+  const auto spec = byte_spec();
+  const auto parallel = designer.design(spec);
+  const auto cmp =
+      compare_parallel_vs_scalar(designer, spec, 50e-9, TransducerModel{});
+  // Each scalar gate spans at least (m-1) parallel spacings: its length
+  // cannot be smaller than that.
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_GE(cmp.scalar_each[i].length,
+              2.0 * parallel.spacing[i] - 1e-12);
+  }
+}
+
+TEST(Comparison, AreaRatioGrowsWithChannelCount) {
+  // More channels amortise the single waveguide better.
+  const FvmswDispersion model(paper_waveguide());
+  const InlineGateDesigner designer(model);
+  GateSpec two;
+  two.num_inputs = 3;
+  two.frequencies = {1e10, 2e10};
+  GateSpec eight = byte_spec();
+  const auto cmp2 =
+      compare_parallel_vs_scalar(designer, two, 50e-9, TransducerModel{});
+  const auto cmp8 =
+      compare_parallel_vs_scalar(designer, eight, 50e-9, TransducerModel{});
+  EXPECT_GT(cmp8.area_ratio, cmp2.area_ratio);
+}
+
+TEST(Comparison, SingleChannelIsNeutral) {
+  const FvmswDispersion model(paper_waveguide());
+  const InlineGateDesigner designer(model);
+  GateSpec one;
+  one.num_inputs = 3;
+  one.frequencies = {2e10};
+  const auto cmp =
+      compare_parallel_vs_scalar(designer, one, 50e-9, TransducerModel{});
+  EXPECT_NEAR(cmp.area_ratio, 1.0, 1e-9);
+  EXPECT_NEAR(cmp.energy_ratio, 1.0, 1e-9);
+}
+
+}  // namespace

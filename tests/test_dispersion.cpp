@@ -1,0 +1,275 @@
+// Unit tests for the spin-wave dispersion library.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dispersion/bvmsw_de.h"
+#include "dispersion/fvmsw.h"
+#include "dispersion/local_1d.h"
+#include "dispersion/model.h"
+#include "dispersion/waveguide.h"
+#include "mag/demag_factors.h"
+#include "mag/material.h"
+#include "util/constants.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace sw::disp;
+using sw::mag::make_fecob;
+using sw::mag::make_yig;
+using sw::util::Error;
+using sw::util::kGammaMu0;
+using sw::util::kTwoPi;
+
+Waveguide paper_waveguide() {
+  Waveguide wg;
+  wg.material = make_fecob();
+  wg.width = 50e-9;
+  wg.thickness = 1e-9;
+  return wg;
+}
+
+// -------------------------------------------------------------------- fvmsw
+
+TEST(Fvmsw, FmrMatchesClosedForm) {
+  const Waveguide wg = paper_waveguide();
+  const FvmswDispersion fv(wg);
+  // At k = 0 the dispersion reduces to the width-quantised mode frequency;
+  // evaluate the closed form independently.
+  const auto& m = wg.material;
+  const double hi = m.anisotropy_field() - m.Ms;
+  EXPECT_NEAR(fv.internal_field(), hi, 1e-3);
+  EXPECT_GT(fv.fmr(), kGammaMu0 * hi / kTwoPi);  // quantisation raises it
+}
+
+TEST(Fvmsw, MonotonicallyIncreasing) {
+  const FvmswDispersion fv(paper_waveguide());
+  double prev = fv.frequency(0.0);
+  for (double k = 1e6; k <= 3e8; k *= 1.5) {
+    const double f = fv.frequency(k);
+    EXPECT_GT(f, prev);
+    prev = f;
+  }
+}
+
+TEST(Fvmsw, PaperFrequenciesAreReachable) {
+  // All eight channel frequencies used in the paper (10..80 GHz) must lie
+  // in the band and have nanometre-scale wavelengths.
+  const FvmswDispersion fv(paper_waveguide());
+  for (int i = 1; i <= 8; ++i) {
+    const double f = 1e10 * i;
+    const double lambda = fv.wavelength(f);
+    EXPECT_GT(lambda, 5e-9);
+    EXPECT_LT(lambda, 500e-9);
+  }
+}
+
+TEST(Fvmsw, WavelengthOrderingMatchesPaper) {
+  // Higher frequency -> shorter wavelength; the paper's lambda range spans
+  // roughly 170 nm (10 GHz) down to ~22 nm (80 GHz).
+  const FvmswDispersion fv(paper_waveguide());
+  const double l10 = fv.wavelength(1e10);
+  const double l80 = fv.wavelength(8e10);
+  EXPECT_GT(l10, l80);
+  EXPECT_NEAR(l10, 166e-9, 40e-9);
+  EXPECT_NEAR(l80, 22e-9, 8e-9);
+}
+
+TEST(Fvmsw, InversionRoundTrip) {
+  const FvmswDispersion fv(paper_waveguide());
+  for (double f = 1.2e10; f < 9e10; f *= 1.7) {
+    const double k = fv.k_from_frequency(f);
+    EXPECT_NEAR(fv.frequency(k), f, 1e-3 * f);
+  }
+}
+
+TEST(Fvmsw, WavelengthKRelation) {
+  const FvmswDispersion fv(paper_waveguide());
+  const double f = 3e10;
+  EXPECT_NEAR(fv.wavelength(f) * fv.k_from_frequency(f), kTwoPi, 1e-6);
+}
+
+TEST(Fvmsw, GroupVelocityPositiveAndIncreasing) {
+  const FvmswDispersion fv(paper_waveguide());
+  const double vg10 = fv.group_velocity_at_frequency(1e10);
+  const double vg80 = fv.group_velocity_at_frequency(8e10);
+  EXPECT_GT(vg10, 0.0);
+  EXPECT_GT(vg80, vg10);  // exchange-dominated regime accelerates
+}
+
+TEST(Fvmsw, GroupVelocityMatchesFiniteDifference) {
+  const FvmswDispersion fv(paper_waveguide());
+  const double k = 1e8;
+  const double h = 1e4;
+  const double fd =
+      kTwoPi * (fv.frequency(k + h) - fv.frequency(k - h)) / (2.0 * h);
+  EXPECT_NEAR(fv.group_velocity(k), fd, 1e-3 * std::abs(fd));
+}
+
+TEST(Fvmsw, WiderGuideLowersFmr) {
+  // The paper's width-variation observation: FMR decreases with width.
+  Waveguide narrow = paper_waveguide();
+  Waveguide wide = paper_waveguide();
+  wide.width = 500e-9;
+  EXPECT_LT(FvmswDispersion(wide).fmr(), FvmswDispersion(narrow).fmr());
+}
+
+TEST(Fvmsw, HigherWidthModeRaisesFrequency) {
+  Waveguide wg = paper_waveguide();
+  const FvmswDispersion m1(wg);
+  wg.width_mode = 2;
+  const FvmswDispersion m2(wg);
+  EXPECT_GT(m2.fmr(), m1.fmr());
+}
+
+TEST(Fvmsw, ExternalFieldStiffensTheBand) {
+  const Waveguide wg = paper_waveguide();
+  const FvmswDispersion biased(wg, 1e5);
+  const FvmswDispersion bare(wg);
+  EXPECT_GT(biased.fmr(), bare.fmr());
+}
+
+TEST(Fvmsw, RejectsInPlaneFilm) {
+  Waveguide wg = paper_waveguide();
+  wg.material.Ku = 0.0;  // no PMA: Hk < Ms
+  EXPECT_THROW(FvmswDispersion{wg}, Error);
+}
+
+TEST(Fvmsw, RejectsFrequencyBelowBand) {
+  const FvmswDispersion fv(paper_waveguide());
+  EXPECT_THROW(fv.k_from_frequency(0.5 * fv.fmr()), Error);
+  EXPECT_THROW(fv.wavelength(-1.0), Error);
+}
+
+// ---------------------------------------------------------------- bvmsw/de
+
+TEST(Bvmsw, StartsAtInternalFieldFmr) {
+  Waveguide wg = paper_waveguide();
+  wg.material = make_yig();
+  const double h = 5e4;
+  const BvmswDispersion bv(wg, h);
+  const double w0 = kGammaMu0 * h;
+  const double wm = kGammaMu0 * wg.material.Ms;
+  EXPECT_NEAR(bv.frequency(0.0), std::sqrt(w0 * (w0 + wm)) / kTwoPi, 1e6);
+}
+
+TEST(Bvmsw, DipoleBranchIsBackward) {
+  // BVMSW frequency initially *decreases* with k (negative group velocity)
+  // before exchange lifts it: the defining feature of the geometry.
+  Waveguide wg = paper_waveguide();
+  wg.material = make_yig();
+  wg.thickness = 30e-9;
+  const BvmswDispersion bv(wg, 5e4);
+  EXPECT_LT(bv.frequency(5e6), bv.frequency(0.0));
+}
+
+TEST(Bvmsw, ExchangeDominatesAtLargeK) {
+  Waveguide wg = paper_waveguide();
+  wg.material = make_yig();
+  const BvmswDispersion bv(wg, 5e4);
+  EXPECT_GT(bv.frequency(5e8), bv.frequency(0.0));
+}
+
+TEST(DamonEshbach, LiesAboveBvmsw) {
+  // For the same film and field, the surface branch sits above the backward
+  // volume branch at every k > 0.
+  Waveguide wg = paper_waveguide();
+  wg.material = make_yig();
+  wg.thickness = 30e-9;
+  const BvmswDispersion bv(wg, 5e4);
+  const DamonEshbachDispersion de(wg, 5e4);
+  for (double k = 1e6; k < 1e8; k *= 3.0) {
+    EXPECT_GT(de.frequency(k), bv.frequency(k));
+  }
+}
+
+TEST(DamonEshbach, ForwardBranch) {
+  Waveguide wg = paper_waveguide();
+  wg.material = make_yig();
+  wg.thickness = 30e-9;
+  const DamonEshbachDispersion de(wg, 5e4);
+  EXPECT_GT(de.frequency(1e7), de.frequency(0.0));
+}
+
+TEST(BvmswDe, RejectNonPositiveField) {
+  const Waveguide wg = paper_waveguide();
+  EXPECT_THROW(BvmswDispersion(wg, 0.0), Error);
+  EXPECT_THROW(DamonEshbachDispersion(wg, -1.0), Error);
+}
+
+// ----------------------------------------------------------------- local 1d
+
+TEST(Local1D, FmrMatchesKittelForm) {
+  const auto mat = make_fecob();
+  const auto nf = sw::mag::demag_factors_waveguide(50e-9, 1e-9);
+  const LocalDemag1DDispersion d(mat, nf);
+  const double hi = mat.anisotropy_field() - nf.z * mat.Ms;
+  const double expect = kGammaMu0 *
+                        std::sqrt((hi + nf.x * mat.Ms) *
+                                  (hi + nf.y * mat.Ms)) /
+                        kTwoPi;
+  EXPECT_NEAR(d.fmr(), expect, 1.0);
+}
+
+TEST(Local1D, FromWaveguideEqualsManualFactors) {
+  const Waveguide wg = paper_waveguide();
+  const auto d1 = LocalDemag1DDispersion::from_waveguide(wg);
+  const auto nf = sw::mag::demag_factors_waveguide(wg.width, wg.thickness);
+  const LocalDemag1DDispersion d2(wg.material, nf);
+  EXPECT_NEAR(d1.frequency(1e8), d2.frequency(1e8), 1.0);
+}
+
+TEST(Local1D, DiscretizationLowersHighKFrequencies) {
+  const auto mat = make_fecob();
+  const auto nf = sw::mag::demag_factors_waveguide(50e-9, 1e-9);
+  LocalDemag1DDispersion cont(mat, nf);
+  LocalDemag1DDispersion disc(mat, nf);
+  disc.set_discretization(2e-9);
+  const double k = 2.5e8;  // ~ lambda = 25 nm
+  EXPECT_LT(disc.frequency(k), cont.frequency(k));
+  // At low k the difference is negligible.
+  EXPECT_NEAR(disc.frequency(1e7), cont.frequency(1e7), 1e6);
+}
+
+TEST(Local1D, EllipticityReflectsDemagAsymmetry) {
+  const auto mat = make_fecob();
+  const auto nf = sw::mag::demag_factors_waveguide(50e-9, 1e-9);
+  const LocalDemag1DDispersion d(mat, nf);
+  // Ny > Nx for the flat cross-section -> H2 > H1 -> ellipticity > 1.
+  EXPECT_GT(d.ellipticity(0.0), 1.0);
+  // Exchange dominates at large k: precession tends circular.
+  EXPECT_LT(std::abs(d.ellipticity(5e8) - 1.0),
+            std::abs(d.ellipticity(0.0) - 1.0));
+}
+
+TEST(Local1D, WiderGuideLowersFmr) {
+  Waveguide narrow = paper_waveguide();
+  Waveguide wide = paper_waveguide();
+  wide.width = 500e-9;
+  const auto dn = LocalDemag1DDispersion::from_waveguide(narrow);
+  const auto dw = LocalDemag1DDispersion::from_waveguide(wide);
+  EXPECT_LT(dw.fmr(), dn.fmr());
+}
+
+TEST(Local1D, RejectsUnstableFilm) {
+  auto mat = make_fecob();
+  mat.Ku = 1e4;  // far below shape anisotropy
+  EXPECT_THROW(LocalDemag1DDispersion(mat, {0.0, 0.05, 0.95}), Error);
+}
+
+// ---------------------------------------------------------- generic model
+
+TEST(Model, PhaseVelocityDefinition) {
+  const FvmswDispersion fv(paper_waveguide());
+  const double k = 1e8;
+  EXPECT_NEAR(fv.phase_velocity(k), kTwoPi * fv.frequency(k) / k, 1e-6);
+  EXPECT_THROW(fv.phase_velocity(0.0), Error);
+}
+
+TEST(Model, KFromFrequencyAtBandBottomIsZero) {
+  const FvmswDispersion fv(paper_waveguide());
+  EXPECT_DOUBLE_EQ(fv.k_from_frequency(fv.frequency(0.0)), 0.0);
+}
+
+}  // namespace

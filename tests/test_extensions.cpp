@@ -1,0 +1,383 @@
+// Tests for the extension modules: thermal (Langevin) field, derived
+// Boolean gates, majority cascades, and 2-D mesh operation of the solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cascade.h"
+#include "core/logic_ops.h"
+#include "dispersion/fvmsw.h"
+#include "mag/anisotropy.h"
+#include "mag/antenna.h"
+#include "mag/demag_factors.h"
+#include "mag/demag_local.h"
+#include "mag/demag_newell.h"
+#include "mag/exchange.h"
+#include "mag/simulation.h"
+#include "mag/thermal.h"
+#include "util/constants.h"
+#include "util/error.h"
+#include "util/stats.h"
+#include "wavesim/wave_engine.h"
+
+namespace {
+
+using namespace sw;
+using sw::util::Error;
+
+disp::Waveguide paper_waveguide() {
+  disp::Waveguide wg;
+  wg.material = mag::make_fecob();
+  wg.width = 50e-9;
+  wg.thickness = 1e-9;
+  return wg;
+}
+
+// ------------------------------------------------------------------ thermal
+
+TEST(ThermalField, ZeroTemperatureIsSilent) {
+  const mag::Mesh mesh(8, 1, 1, 2e-9, 50e-9, 1e-9);
+  const mag::ThermalField th(mesh, mag::make_fecob(), 0.0, 1e-13);
+  const mag::VectorField m(mesh, {0, 0, 1});
+  mag::VectorField h(mesh);
+  th.accumulate(0.0, m, h);
+  EXPECT_DOUBLE_EQ(h.max_norm(), 0.0);
+  EXPECT_DOUBLE_EQ(th.sigma(), 0.0);
+}
+
+TEST(ThermalField, SigmaFollowsBrownFormula) {
+  const mag::Mesh mesh(4, 1, 1, 2e-9, 50e-9, 1e-9);
+  const auto mat = mag::make_fecob();
+  const double dt = 1e-13;
+  const mag::ThermalField th(mesh, mat, 300.0, dt);
+  const double expect = std::sqrt(
+      2.0 * mat.alpha * sw::util::kBoltzmann * 300.0 /
+      (sw::util::kGammaMu0 * sw::util::kMu0 * mat.Ms * mesh.cell_volume() *
+       dt));
+  EXPECT_NEAR(th.sigma(), expect, 1e-9 * expect);
+}
+
+TEST(ThermalField, RealisationFrozenWithinStep) {
+  const mag::Mesh mesh(16, 1, 1, 2e-9, 50e-9, 1e-9);
+  const mag::ThermalField th(mesh, mag::make_fecob(), 300.0, 1e-13);
+  const mag::VectorField m(mesh, {0, 0, 1});
+  mag::VectorField h1(mesh), h2(mesh);
+  th.accumulate(0.05e-13, m, h1);   // two times inside step 0
+  th.accumulate(0.95e-13, m, h2);
+  for (std::size_t c = 0; c < h1.size(); ++c) {
+    EXPECT_DOUBLE_EQ(h1[c].x, h2[c].x);
+  }
+}
+
+TEST(ThermalField, RealisationRefreshesBetweenSteps) {
+  const mag::Mesh mesh(16, 1, 1, 2e-9, 50e-9, 1e-9);
+  const mag::ThermalField th(mesh, mag::make_fecob(), 300.0, 1e-13);
+  const mag::VectorField m(mesh, {0, 0, 1});
+  mag::VectorField h1(mesh), h2(mesh);
+  th.accumulate(0.5e-13, m, h1);
+  th.accumulate(1.5e-13, m, h2);
+  double diff = 0.0;
+  for (std::size_t c = 0; c < h1.size(); ++c) {
+    diff += std::abs(h1[c].x - h2[c].x);
+  }
+  EXPECT_GT(diff, 0.0);
+}
+
+TEST(ThermalField, DeterministicAcrossInstances) {
+  const mag::Mesh mesh(16, 1, 1, 2e-9, 50e-9, 1e-9);
+  const mag::ThermalField a(mesh, mag::make_fecob(), 300.0, 1e-13, 42);
+  const mag::ThermalField b(mesh, mag::make_fecob(), 300.0, 1e-13, 42);
+  const mag::VectorField m(mesh, {0, 0, 1});
+  mag::VectorField ha(mesh), hb(mesh);
+  a.accumulate(0.0, m, ha);
+  b.accumulate(0.0, m, hb);
+  for (std::size_t c = 0; c < ha.size(); ++c) {
+    EXPECT_DOUBLE_EQ(ha[c].x, hb[c].x);
+    EXPECT_DOUBLE_EQ(ha[c].y, hb[c].y);
+    EXPECT_DOUBLE_EQ(ha[c].z, hb[c].z);
+  }
+}
+
+TEST(ThermalField, EmpiricalVarianceMatchesSigma) {
+  const mag::Mesh mesh(64, 1, 1, 2e-9, 50e-9, 1e-9);
+  const mag::ThermalField th(mesh, mag::make_fecob(), 300.0, 1e-13);
+  const mag::VectorField m(mesh, {0, 0, 1});
+  std::vector<double> samples;
+  for (int step = 0; step < 40; ++step) {
+    mag::VectorField h(mesh);
+    th.accumulate(step * 1e-13, m, h);
+    for (std::size_t c = 0; c < h.size(); ++c) {
+      samples.push_back(h[c].x);
+      samples.push_back(h[c].y);
+      samples.push_back(h[c].z);
+    }
+  }
+  const auto s = sw::util::summarize(samples);
+  EXPECT_NEAR(s.mean, 0.0, 0.05 * th.sigma());
+  EXPECT_NEAR(s.stddev, th.sigma(), 0.03 * th.sigma());
+}
+
+TEST(ThermalField, ThermalizedMacrospinFluctuates) {
+  // A single-cell run at 300 K must show transverse fluctuations with the
+  // expected order of magnitude, while T = 0 stays perfectly aligned.
+  const auto mat = mag::make_fecob();
+  const mag::Mesh mesh(1, 1, 1, 10e-9, 50e-9, 1e-9);
+
+  auto run_rms = [&](double temperature) {
+    mag::IntegratorOptions opts;
+    opts.stepper = mag::Stepper::kHeun;
+    opts.dt = 1e-13;
+    mag::Simulation sim(mesh, mat, opts);
+    sim.add_term<mag::UniaxialAnisotropyField>(mat);
+    sim.add_term<mag::DemagLocalField>(
+        mat, mag::demag_factors_waveguide(50e-9, 1e-9));
+    sim.add_term<mag::ThermalField>(mesh, mat, temperature, opts.dt);
+    auto& probe = sim.add_probe("p", 5e-9, 10e-9, 1e-12);
+    sim.run_until(0.5e-9);
+    return sw::util::rms(probe.component('x'));
+  };
+
+  EXPECT_EQ(run_rms(0.0), 0.0);
+  const double rms300 = run_rms(300.0);
+  EXPECT_GT(rms300, 1e-5);
+  EXPECT_LT(rms300, 0.3);  // still far from switching
+}
+
+TEST(ThermalField, RejectsBadArguments) {
+  const mag::Mesh mesh(4, 1, 1, 2e-9, 50e-9, 1e-9);
+  EXPECT_THROW(mag::ThermalField(mesh, mag::make_fecob(), -1.0, 1e-13),
+               Error);
+  EXPECT_THROW(mag::ThermalField(mesh, mag::make_fecob(), 300.0, 0.0),
+               Error);
+}
+
+// ---------------------------------------------------------------- logic ops
+
+class LogicOpParam : public ::testing::TestWithParam<core::BooleanOp> {};
+
+TEST_P(LogicOpParam, TruthTableHoldsOnAllChannels) {
+  const auto wg = paper_waveguide();
+  const disp::FvmswDispersion model(wg);
+  const core::InlineGateDesigner designer(model);
+  const wavesim::WaveEngine engine(model, wg.material.alpha);
+  std::vector<double> freqs;
+  for (int i = 1; i <= 4; ++i) freqs.push_back(1e10 * i);
+
+  const core::ParallelLogicGate gate(GetParam(), freqs, designer, engine);
+  EXPECT_NO_THROW(gate.verify());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, LogicOpParam,
+                         ::testing::Values(core::BooleanOp::kAnd,
+                                           core::BooleanOp::kOr,
+                                           core::BooleanOp::kNand,
+                                           core::BooleanOp::kNor,
+                                           core::BooleanOp::kBuffer,
+                                           core::BooleanOp::kNot));
+
+TEST(LogicOps, IndependentLanes) {
+  const auto wg = paper_waveguide();
+  const disp::FvmswDispersion model(wg);
+  const core::InlineGateDesigner designer(model);
+  const wavesim::WaveEngine engine(model, wg.material.alpha);
+  std::vector<double> freqs{1e10, 2e10, 3e10, 4e10};
+
+  const core::ParallelLogicGate andg(core::BooleanOp::kAnd, freqs, designer,
+                                     engine);
+  const core::Bits a{1, 1, 0, 0};
+  const core::Bits b{1, 0, 1, 0};
+  const auto out = andg.evaluate(a, b);
+  EXPECT_EQ(out, (std::vector<std::uint8_t>{1, 0, 0, 0}));
+}
+
+TEST(LogicOps, UnaryGatesUseOneDataInput) {
+  const auto wg = paper_waveguide();
+  const disp::FvmswDispersion model(wg);
+  const core::InlineGateDesigner designer(model);
+  const wavesim::WaveEngine engine(model, wg.material.alpha);
+
+  const core::ParallelLogicGate notg(core::BooleanOp::kNot, {2e10}, designer,
+                                     engine);
+  EXPECT_EQ(notg.data_inputs(), 1u);
+  EXPECT_EQ(notg.evaluate({1}, {})[0], 0);
+  EXPECT_EQ(notg.evaluate({0}, {})[0], 1);
+}
+
+TEST(LogicOps, NamesRoundTrip) {
+  EXPECT_STREQ(core::boolean_op_name(core::BooleanOp::kNand), "nand");
+  EXPECT_TRUE(core::boolean_op_eval(core::BooleanOp::kNand, false, true));
+  EXPECT_FALSE(core::boolean_op_eval(core::BooleanOp::kAnd, false, true));
+}
+
+TEST(LogicOps, OperandSizeValidated) {
+  const auto wg = paper_waveguide();
+  const disp::FvmswDispersion model(wg);
+  const core::InlineGateDesigner designer(model);
+  const wavesim::WaveEngine engine(model, wg.material.alpha);
+  const core::ParallelLogicGate org(core::BooleanOp::kOr, {2e10, 3e10},
+                                    designer, engine);
+  EXPECT_THROW(org.evaluate({1}, {0, 1}), Error);
+}
+
+// ------------------------------------------------------------------ cascade
+
+TEST(Cascade, SingleMajNodeMatchesGate) {
+  const auto wg = paper_waveguide();
+  const disp::FvmswDispersion model(wg);
+  const core::InlineGateDesigner designer(model);
+  const wavesim::WaveEngine engine(model, wg.material.alpha);
+
+  core::MajorityCascade c({2e10, 4e10}, designer, engine);
+  const auto a = c.input();
+  const auto b = c.input();
+  const auto d = c.input();
+  const auto out = c.maj(a, b, d);
+  EXPECT_NO_THROW(c.verify());
+  EXPECT_EQ(c.num_gates(), 1u);
+
+  const auto signals =
+      c.evaluate({core::Bits{1, 0}, core::Bits{1, 1}, core::Bits{0, 0}});
+  EXPECT_EQ(signals[out.id][0], 1);  // MAJ(1,1,0)
+  EXPECT_EQ(signals[out.id][1], 0);  // MAJ(0,1,0)
+}
+
+TEST(Cascade, NegatedInputsAreFree) {
+  const auto wg = paper_waveguide();
+  const disp::FvmswDispersion model(wg);
+  const core::InlineGateDesigner designer(model);
+  const wavesim::WaveEngine engine(model, wg.material.alpha);
+
+  core::MajorityCascade c({2e10}, designer, engine);
+  const auto a = c.input();
+  const auto b = c.input();
+  const auto d = c.input();
+  const auto out = c.maj(!a, !b, !d);  // NOT-MAJ = minority
+  const auto signals =
+      c.evaluate({core::Bits{1}, core::Bits{1}, core::Bits{0}});
+  EXPECT_EQ(signals[out.id][0], 0);  // MAJ(0,0,1) = 0
+}
+
+TEST(Cascade, InvertedOutputNode) {
+  const auto wg = paper_waveguide();
+  const disp::FvmswDispersion model(wg);
+  const core::InlineGateDesigner designer(model);
+  const wavesim::WaveEngine engine(model, wg.material.alpha);
+
+  core::MajorityCascade c({2e10}, designer, engine);
+  const auto a = c.input();
+  const auto b = c.input();
+  const auto d = c.input();
+  const auto out = c.maj(a, b, d, /*invert_output=*/true);
+  const auto signals =
+      c.evaluate({core::Bits{1}, core::Bits{1}, core::Bits{0}});
+  EXPECT_EQ(signals[out.id][0], 0);  // !MAJ(1,1,0)
+}
+
+TEST(Cascade, FullAdderExhaustive) {
+  const auto wg = paper_waveguide();
+  const disp::FvmswDispersion model(wg);
+  const core::InlineGateDesigner designer(model);
+  const wavesim::WaveEngine engine(model, wg.material.alpha);
+
+  core::MajorityCascade c({1e10, 3e10, 6e10}, designer, engine);
+  const auto fa = core::build_full_adder(c);
+  EXPECT_EQ(c.num_gates(), 3u);
+
+  for (int v = 0; v < 8; ++v) {
+    const bool a = v & 1, b = v & 2, ci = v & 4;
+    const std::size_t n = c.num_channels();
+    const auto signals = c.evaluate({core::Bits(n, a), core::Bits(n, b),
+                                     core::Bits(n, ci)});
+    const int total = int(a) + int(b) + int(ci);
+    for (std::size_t ch = 0; ch < n; ++ch) {
+      EXPECT_EQ(int(signals[fa.sum.id][ch]), total % 2)
+          << "sum wrong for v=" << v;
+      EXPECT_EQ(int(signals[fa.carry_out.id][ch]), total / 2)
+          << "carry wrong for v=" << v;
+    }
+  }
+}
+
+TEST(Cascade, RejectsMalformedNetlists) {
+  const auto wg = paper_waveguide();
+  const disp::FvmswDispersion model(wg);
+  const core::InlineGateDesigner designer(model);
+  const wavesim::WaveEngine engine(model, wg.material.alpha);
+
+  core::MajorityCascade c({2e10}, designer, engine);
+  const auto a = c.input();
+  EXPECT_THROW(c.maj(a, a, {.id = 99}), Error);  // dangling reference
+  c.maj(a, a, a);
+  EXPECT_THROW(c.input(), Error);  // inputs after gates
+  EXPECT_THROW(c.evaluate({}), Error);
+}
+
+TEST(Cascade, AreaAccounting) {
+  const auto wg = paper_waveguide();
+  const disp::FvmswDispersion model(wg);
+  const core::InlineGateDesigner designer(model);
+  const wavesim::WaveEngine engine(model, wg.material.alpha);
+
+  core::MajorityCascade c({2e10}, designer, engine);
+  const auto a = c.input();
+  const auto b = c.input();
+  const auto d = c.input();
+  c.maj(a, b, d);
+  c.maj(a, b, d);
+  EXPECT_GT(c.total_area(50e-9), 0.0);
+  EXPECT_THROW(c.total_area(0.0), Error);
+}
+
+// ------------------------------------------------------------------ 2-D runs
+
+TEST(TwoDimensional, WavePropagatesAcrossAWideGuide) {
+  // The solver is not restricted to chains: a 2-D film strip (ny > 1) with
+  // the exact Newell demag still carries spin waves. This is the substrate
+  // for the paper's width-variation study.
+  const auto mat = mag::make_fecob();
+  const std::size_t nx = 90, ny = 5;
+  const double dx = 4e-9, dy = 10e-9;  // 360 x 50 nm strip
+  const mag::Mesh mesh(nx, ny, 1, dx, dy, 1e-9);
+  mag::IntegratorOptions opts;
+  opts.stepper = mag::Stepper::kRk4;
+  opts.dt = 2e-13;
+  mag::Simulation sim(mesh, mat, opts);
+  sim.add_term<mag::ExchangeField>(mesh, mat);
+  sim.add_term<mag::UniaxialAnisotropyField>(mat);
+  sim.add_term<mag::DemagNewellField>(mesh, mat);
+
+  auto& ant = sim.add_term<mag::AntennaField>(mesh);
+  mag::Antenna a;
+  a.x_center = 80e-9;
+  a.width = 12e-9;
+  a.frequency = 1.5e10;
+  a.amplitude = 3e3;
+  a.ramp = 5e-11;
+  ant.add(a);
+  sim.add_absorbing_ends(50e-9, 0.5);
+
+  // The uniform +z state is an exact equilibrium here (the demag field is
+  // z-parallel by the odd symmetry of Nxz/Nyz), so no relaxation pass.
+  auto& probe = sim.add_probe("far", 250e-9, 12e-9, 2e-12);
+  sim.run_until(0.45e-9);
+
+  double max_abs = 0.0;
+  for (double v : probe.component('x')) max_abs = std::max(max_abs, std::abs(v));
+  EXPECT_GT(max_abs, 1e-5);
+
+  // Linear regime, no blow-up: the film stays essentially saturated along
+  // +z and every cell stays exactly unit length. (The instantaneous mx
+  // profile across the width is *not* mirror-symmetric: magnetisation is a
+  // pseudovector, so the plain y-mirror is not a symmetry of the
+  // out-of-plane state, and the odd-in-y Nxy/Nyz dipolar couplings mix
+  // symmetric and antisymmetric width profiles — physics, not a solver
+  // artefact; per-term symmetry on symmetric inputs is covered by the
+  // DemagNewellField unit tests.)
+  const auto& m = sim.magnetization();
+  EXPECT_GT(m.average().z, 0.999);
+  for (std::size_t c = 0; c < m.size(); ++c) {
+    ASSERT_NEAR(m[c].norm(), 1.0, 1e-9);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,408 @@
+// Unit tests for the FFT library: transforms, windows, Goertzel, spectra.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <random>
+#include <vector>
+
+#include "fft/fft.h"
+#include "fft/goertzel.h"
+#include "fft/spectrum.h"
+#include "fft/window.h"
+#include "util/constants.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace sw::fft;
+using sw::util::kPi;
+using sw::util::kTwoPi;
+
+std::vector<Complex> naive_dft(const std::vector<Complex>& x) {
+  const std::size_t n = x.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc{0, 0};
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = -kTwoPi * static_cast<double>(k * j) /
+                         static_cast<double>(n);
+      acc += x[j] * Complex(std::cos(ang), std::sin(ang));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::vector<Complex> random_signal(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = Complex(dist(rng), dist(rng));
+  return x;
+}
+
+// ------------------------------------------------------------------ helpers
+
+TEST(FftHelpers, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(1000));
+}
+
+TEST(FftHelpers, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+// --------------------------------------------------------------------- fft
+
+TEST(Fft, DeltaHasFlatSpectrum) {
+  std::vector<Complex> x(8, Complex(0, 0));
+  x[0] = 1.0;
+  fft(x);
+  for (const auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, ConstantIsDcBin) {
+  std::vector<Complex> x(16, Complex(1, 0));
+  fft(x);
+  EXPECT_NEAR(x[0].real(), 16.0, 1e-12);
+  for (std::size_t k = 1; k < x.size(); ++k) {
+    EXPECT_NEAR(std::abs(x[k]), 0.0, 1e-11);
+  }
+}
+
+TEST(Fft, SingleToneLandsInItsBin) {
+  const std::size_t n = 64;
+  std::vector<Complex> x(n);
+  const std::size_t bin = 5;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ang = kTwoPi * static_cast<double>(bin * i) /
+                       static_cast<double>(n);
+    x[i] = Complex(std::cos(ang), 0.0);
+  }
+  fft(x);
+  EXPECT_NEAR(std::abs(x[bin]), static_cast<double>(n) / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(x[n - bin]), static_cast<double>(n) / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(x[bin + 1]), 0.0, 1e-9);
+}
+
+class FftMatchesNaiveDft : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftMatchesNaiveDft, ForwardAgreesWithNaive) {
+  const std::size_t n = GetParam();
+  auto x = random_signal(n, 42 + static_cast<unsigned>(n));
+  const auto ref = naive_dft(x);
+  fft(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(std::abs(x[k] - ref[k]), 0.0, 1e-8 * static_cast<double>(n))
+        << "bin " << k << " of n=" << n;
+  }
+}
+
+TEST_P(FftMatchesNaiveDft, RoundTripIsIdentity) {
+  const std::size_t n = GetParam();
+  const auto orig = random_signal(n, 7 + static_cast<unsigned>(n));
+  auto x = orig;
+  fft(x);
+  ifft(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(std::abs(x[k] - orig[k]), 0.0, 1e-10);
+  }
+}
+
+// Mix of power-of-two, prime, composite and awkward sizes: exercises both
+// the radix-2 path and Bluestein.
+INSTANTIATE_TEST_SUITE_P(Sizes, FftMatchesNaiveDft,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16, 17,
+                                           31, 32, 45, 64, 100, 127, 128,
+                                           243, 256));
+
+TEST(Fft, ParsevalHolds) {
+  auto x = random_signal(256, 99);
+  double time_energy = 0.0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  fft(x);
+  double freq_energy = 0.0;
+  for (const auto& v : x) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / 256.0, time_energy, 1e-8 * time_energy);
+}
+
+TEST(Fft, Linearity) {
+  auto a = random_signal(128, 1);
+  auto b = random_signal(128, 2);
+  std::vector<Complex> sum(128);
+  for (std::size_t i = 0; i < 128; ++i) sum[i] = 2.0 * a[i] + 3.0 * b[i];
+  fft(a);
+  fft(b);
+  fft(sum);
+  for (std::size_t i = 0; i < 128; ++i) {
+    EXPECT_NEAR(std::abs(sum[i] - (2.0 * a[i] + 3.0 * b[i])), 0.0, 1e-8);
+  }
+}
+
+TEST(FftReal, MatchesComplexPath) {
+  std::vector<double> x(100);
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (auto& v : x) v = dist(rng);
+  const auto spec = fft_real(x);
+  std::vector<Complex> xc(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) xc[i] = Complex(x[i], 0.0);
+  fft(xc);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(spec[i] - xc[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(FftReal, HermitianSymmetry) {
+  std::vector<double> x(64);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(0.3 * static_cast<double>(i)) +
+           0.2 * std::cos(1.1 * static_cast<double>(i));
+  }
+  const auto spec = fft_real(x);
+  for (std::size_t k = 1; k < x.size() / 2; ++k) {
+    EXPECT_NEAR(std::abs(spec[k] - std::conj(spec[x.size() - k])), 0.0, 1e-9);
+  }
+}
+
+// ------------------------------------------------------------- convolution
+
+TEST(Convolve, CircularAgainstNaive) {
+  const std::size_t n = 12;
+  auto a = random_signal(n, 11);
+  auto b = random_signal(n, 12);
+  std::vector<Complex> ref(n, Complex(0, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      ref[(i + j) % n] += a[i] * b[j];
+    }
+  }
+  const auto got = circular_convolve(a, b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(got[i] - ref[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(Convolve, CircularSizeMismatchThrows) {
+  std::vector<Complex> a(4), b(5);
+  EXPECT_THROW(circular_convolve(a, b), sw::util::Error);
+}
+
+TEST(Convolve, LinearAgainstNaive) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{0.5, -1.0, 2.0, 1.0};
+  const auto got = linear_convolve(a, b);
+  ASSERT_EQ(got.size(), 6u);
+  std::vector<double> ref(6, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) ref[i + j] += a[i] * b[j];
+  }
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(got[i], ref[i], 1e-10);
+}
+
+// ------------------------------------------------------------------ window
+
+class WindowGain : public ::testing::TestWithParam<WindowKind> {};
+
+TEST_P(WindowGain, CoherentGainMatchesMean) {
+  const auto w = make_window(GetParam(), 128);
+  double mean = 0.0;
+  for (double v : w) mean += v;
+  mean /= 128.0;
+  EXPECT_NEAR(coherent_gain(GetParam(), 128), mean, 1e-14);
+}
+
+TEST_P(WindowGain, NonNegativeEnergy) {
+  const auto w = make_window(GetParam(), 64);
+  EXPECT_EQ(w.size(), 64u);
+  double energy = 0.0;
+  for (double v : w) energy += v * v;
+  EXPECT_GT(energy, 0.0);
+}
+
+TEST_P(WindowGain, RoundTripName) {
+  EXPECT_EQ(window_from_name(window_name(GetParam())), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, WindowGain,
+                         ::testing::Values(WindowKind::kRect, WindowKind::kHann,
+                                           WindowKind::kHamming,
+                                           WindowKind::kBlackman,
+                                           WindowKind::kFlatTop));
+
+TEST(Window, RectIsUnity) {
+  for (double v : make_window(WindowKind::kRect, 16)) {
+    EXPECT_DOUBLE_EQ(v, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(coherent_gain(WindowKind::kRect, 16), 1.0);
+}
+
+TEST(Window, HannGainIsHalf) {
+  EXPECT_NEAR(coherent_gain(WindowKind::kHann, 4096), 0.5, 1e-3);
+}
+
+TEST(Window, UnknownNameThrows) {
+  EXPECT_THROW(window_from_name("kaiser"), sw::util::Error);
+}
+
+// ---------------------------------------------------------------- goertzel
+
+TEST(Goertzel, ExactToneBinAligned) {
+  const double fs = 1e12;
+  const double f = 1e10;  // 100 samples per period, 10 periods in 1000
+  const std::size_t n = 1000;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = 0.7 * std::cos(kTwoPi * f * static_cast<double>(i) / fs + 0.4);
+  }
+  const auto p = goertzel(x, fs, f);
+  EXPECT_NEAR(p.amplitude, 0.7, 1e-9);
+  EXPECT_NEAR(p.phase, 0.4, 1e-9);
+}
+
+TEST(Goertzel, NonBinAlignedTone) {
+  const double fs = 1e12;
+  const double f = 1.37e10;  // not an integer number of cycles in the window
+  const std::size_t n = 2000;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = 1.3 * std::cos(kTwoPi * f * static_cast<double>(i) / fs - 1.1);
+  }
+  const auto p = goertzel(x, fs, f);
+  // Leakage from the rectangular window bounds accuracy here.
+  EXPECT_NEAR(p.amplitude, 1.3, 0.05);
+  EXPECT_NEAR(p.phase, -1.1, 0.05);
+}
+
+TEST(Goertzel, PhaseOfLogicOneIsPi) {
+  const double fs = 1e12;
+  const double f = 2e10;
+  const std::size_t n = 1500;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::cos(kTwoPi * f * static_cast<double>(i) / fs + kPi);
+  }
+  const auto p = goertzel(x, fs, f);
+  EXPECT_NEAR(std::abs(p.phase), kPi, 1e-6);
+}
+
+TEST(Goertzel, RejectsOtherFrequencies) {
+  // A 20 GHz tone leaks almost nothing into the 40 GHz estimate when the
+  // window holds whole periods of both.
+  const double fs = 1e12;
+  const std::size_t n = 1000;  // 20 and 40 periods
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::cos(kTwoPi * 2e10 * static_cast<double>(i) / fs);
+  }
+  const auto p = goertzel(x, fs, 4e10);
+  EXPECT_LT(p.amplitude, 1e-9);
+}
+
+TEST(Goertzel, MultiToneSeparation) {
+  const double fs = 1e12;
+  const std::size_t n = 1000;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / fs;
+    x[i] = 0.5 * std::cos(kTwoPi * 1e10 * t + 0.2) +
+           0.8 * std::cos(kTwoPi * 3e10 * t - 0.9);
+  }
+  const auto p1 = goertzel(x, fs, 1e10);
+  const auto p3 = goertzel(x, fs, 3e10);
+  EXPECT_NEAR(p1.amplitude, 0.5, 1e-9);
+  EXPECT_NEAR(p1.phase, 0.2, 1e-8);
+  EXPECT_NEAR(p3.amplitude, 0.8, 1e-9);
+  EXPECT_NEAR(p3.phase, -0.9, 1e-8);
+}
+
+TEST(Goertzel, WindowedCompensatesGain) {
+  const double fs = 1e12;
+  const std::size_t n = 1000;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = 0.6 * std::cos(kTwoPi * 1e10 * static_cast<double>(i) / fs);
+  }
+  const auto w = make_window(WindowKind::kHann, n);
+  const auto p = goertzel_windowed(x, w, fs, 1e10);
+  EXPECT_NEAR(p.amplitude, 0.6, 0.01);
+}
+
+TEST(Goertzel, GuardsContract) {
+  std::vector<double> x(10, 0.0);
+  EXPECT_THROW(goertzel(x, 1e9, 6e8), sw::util::Error);  // above Nyquist
+  EXPECT_THROW(goertzel({}, 1e9, 1e8), sw::util::Error);
+  EXPECT_THROW(goertzel(x, -1.0, 0.0), sw::util::Error);
+}
+
+// ---------------------------------------------------------------- spectrum
+
+TEST(Spectrum, PeakAtToneWithCorrectAmplitude) {
+  const double fs = 1e12;
+  const std::size_t n = 4096;
+  std::vector<double> x(n);
+  const double f = fs * 64.0 / static_cast<double>(n);  // bin-aligned
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = 0.9 * std::cos(kTwoPi * f * static_cast<double>(i) / fs);
+  }
+  const auto s = amplitude_spectrum(x, fs, WindowKind::kHann);
+  const auto peaks = find_peaks(s, 0.1);
+  ASSERT_FALSE(peaks.empty());
+  EXPECT_NEAR(peaks[0].freq, f, s.resolution);
+  EXPECT_NEAR(peaks[0].amplitude, 0.9, 0.02);
+}
+
+TEST(Spectrum, ResolutionIsSampleRateOverN) {
+  std::vector<double> x(1000, 0.0);
+  x[1] = 1.0;
+  const auto s = amplitude_spectrum(x, 2e9);
+  EXPECT_NEAR(s.resolution, 2e6, 1e-6);
+  EXPECT_EQ(s.freq.size(), 501u);
+}
+
+TEST(Spectrum, ToneToSpurRatioCleanSignal) {
+  const double fs = 1e12;
+  const std::size_t n = 2048;
+  std::vector<double> x(n);
+  const double f = fs * 100.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::cos(kTwoPi * f * static_cast<double>(i) / fs);
+  }
+  const auto s = amplitude_spectrum(x, fs, WindowKind::kHann);
+  const std::vector<double> tones{f};
+  EXPECT_GT(tone_to_spur_ratio(s, tones, 10.0 * s.resolution), 100.0);
+}
+
+TEST(Spectrum, ToneToSpurRatioDetectsSpur) {
+  const double fs = 1e12;
+  const std::size_t n = 2048;
+  std::vector<double> x(n);
+  const double f = fs * 100.0 / static_cast<double>(n);
+  const double spur = fs * 400.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / fs;
+    x[i] = std::cos(kTwoPi * f * t) + 0.1 * std::cos(kTwoPi * spur * t);
+  }
+  const auto s = amplitude_spectrum(x, fs, WindowKind::kHann);
+  const std::vector<double> tones{f};
+  const double ratio = tone_to_spur_ratio(s, tones, 10.0 * s.resolution);
+  EXPECT_NEAR(ratio, 10.0, 1.5);
+}
+
+TEST(Spectrum, RejectsBadInput) {
+  std::vector<double> x(1, 0.0);
+  EXPECT_THROW(amplitude_spectrum(x, 1e9), sw::util::Error);
+}
+
+}  // namespace

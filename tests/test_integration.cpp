@@ -1,0 +1,287 @@
+// Integration tests: full solver runs validating the physics chain the
+// benches rely on — dispersion self-consistency, micromagnetic majority
+// gates, demag model agreement and OOMMF-format interop.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "core/encoding.h"
+#include "core/gate.h"
+#include "core/gate_design.h"
+#include "core/micromag_gate.h"
+#include "dispersion/local_1d.h"
+#include "io/ovf.h"
+#include "mag/anisotropy.h"
+#include "mag/antenna.h"
+#include "mag/demag_factors.h"
+#include "mag/demag_local.h"
+#include "mag/demag_newell.h"
+#include "mag/exchange.h"
+#include "mag/simulation.h"
+#include "util/constants.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace sw::core;
+using namespace sw::mag;
+using sw::disp::LocalDemag1DDispersion;
+using sw::disp::Waveguide;
+using sw::util::kPi;
+using sw::util::kTwoPi;
+
+Waveguide paper_waveguide() {
+  Waveguide wg;
+  wg.material = make_fecob();
+  wg.width = 50e-9;
+  wg.thickness = 1e-9;
+  return wg;
+}
+
+// Dispersion self-consistency: a wave excited at frequency f in the reduced
+// 1-D solver must propagate with the wavelength the design model predicts.
+// This is the property that makes d_i = n_i lambda_i placements meaningful.
+TEST(Integration, SolverWavelengthMatchesDesignModel) {
+  const Waveguide wg = paper_waveguide();
+  const double cell = 2e-9;
+  const double f = 2e10;
+
+  auto model = LocalDemag1DDispersion::from_waveguide(wg);
+  model.set_discretization(cell);
+  const double lambda_model = model.wavelength(f);
+  const double vg = model.group_velocity(model.k_from_frequency(f));
+
+  const std::size_t nx = 400;  // 800 nm
+  const Mesh mesh(nx, 1, 1, cell, wg.width, wg.thickness);
+  IntegratorOptions opts;
+  opts.stepper = Stepper::kRk4;
+  opts.dt = 1.5e-13;
+  Simulation sim(mesh, wg.material, opts);
+  sim.add_term<ExchangeField>(mesh, wg.material);
+  sim.add_term<UniaxialAnisotropyField>(wg.material);
+  sim.add_term<DemagLocalField>(
+      wg.material, demag_factors_waveguide(wg.width, wg.thickness));
+
+  auto& ant = sim.add_term<AntennaField>(mesh);
+  Antenna a;
+  a.x_center = 100e-9;
+  a.width = 10e-9;
+  a.frequency = f;
+  a.amplitude = 2e3;
+  a.ramp = 1.0 / f;
+  ant.add(a);
+  sim.add_absorbing_ends(60e-9, 0.5);
+
+  // Run until the wavefront has comfortably crossed the analysis window.
+  const double t_end = (500e-9) / vg + 10.0 / f;
+  sim.run_until(t_end);
+
+  // Unwrap the spatial phase of the precession over a window downstream of
+  // the antenna and fit the slope -> wavenumber.
+  const double r = model.ellipticity(model.k_from_frequency(f));
+  const auto& m = sim.magnetization();
+  std::vector<double> xs, phis;
+  double prev = 0.0, accum = 0.0;
+  const std::size_t i0 = mesh.cell_at_x(160e-9);
+  const std::size_t i1 = mesh.cell_at_x(560e-9);
+  for (std::size_t i = i0; i <= i1; ++i) {
+    const double phi = std::atan2(m[i].y / r, m[i].x);
+    if (!xs.empty()) {
+      double d = phi - prev;
+      while (d > kPi) d -= kTwoPi;
+      while (d < -kPi) d += kTwoPi;
+      accum += d;
+    }
+    prev = phi;
+    xs.push_back((static_cast<double>(i) + 0.5) * cell);
+    phis.push_back(accum);
+  }
+  const auto fit = sw::util::fit_line(xs, phis);
+  const double k_measured = std::abs(fit.slope);
+  const double lambda_measured = kTwoPi / k_measured;
+
+  EXPECT_GT(fit.r2, 0.99);  // clean single-mode propagation
+  EXPECT_NEAR(lambda_measured, lambda_model, 0.02 * lambda_model);
+}
+
+// The core validation (paper Fig. 4 reduced to one channel): a 3-input
+// in-line majority gate simulated with the full LLG solver must reproduce
+// the majority truth table for all 8 input patterns.
+TEST(Integration, MicromagMajorityTruthTableSingleChannel) {
+  const Waveguide wg = paper_waveguide();
+  MicromagConfig cfg;
+  cfg.t_end = 1.0e-9;
+
+  auto model = LocalDemag1DDispersion::from_waveguide(wg);
+  model.set_discretization(cfg.cell_size);
+  const InlineGateDesigner designer(model);
+  GateSpec spec;
+  spec.num_inputs = 3;
+  spec.frequencies = {2e10};
+  const auto layout = designer.design(spec);
+
+  MicromagGateRunner runner(layout, wg, cfg);
+  for (const auto& pattern : all_patterns(3)) {
+    const auto run = runner.run_uniform(pattern);
+    ASSERT_EQ(run.channels.size(), 1u);
+    EXPECT_EQ(run.channels[0].logic,
+              static_cast<std::uint8_t>(majority(pattern)))
+        << "pattern " << int(pattern[0]) << int(pattern[1])
+        << int(pattern[2]);
+    EXPECT_GT(run.channels[0].margin, 0.2)
+        << "margin too small for pattern " << int(pattern[0])
+        << int(pattern[1]) << int(pattern[2]);
+  }
+}
+
+// Two frequency channels carrying *different* data through one waveguide:
+// each channel's output must follow its own inputs (the data-parallelism
+// claim, micromagnetic version).
+TEST(Integration, MicromagTwoChannelIndependence) {
+  const Waveguide wg = paper_waveguide();
+  MicromagConfig cfg;
+  cfg.t_end = 1.2e-9;
+
+  auto model = LocalDemag1DDispersion::from_waveguide(wg);
+  model.set_discretization(cfg.cell_size);
+  const InlineGateDesigner designer(model);
+  GateSpec spec;
+  spec.num_inputs = 3;
+  spec.frequencies = {2e10, 4e10};
+  const auto layout = designer.design(spec);
+
+  MicromagGateRunner runner(layout, wg, cfg);
+  // Channel 0 sees MAJ = 1, channel 1 sees MAJ = 0, then swapped.
+  {
+    const auto run = runner.run({Bits{1, 1, 0}, Bits{0, 0, 1}});
+    EXPECT_EQ(run.channels[0].logic, 1);
+    EXPECT_EQ(run.channels[1].logic, 0);
+  }
+  {
+    const auto run = runner.run({Bits{0, 1, 0}, Bits{1, 0, 1}});
+    EXPECT_EQ(run.channels[0].logic, 0);
+    EXPECT_EQ(run.channels[1].logic, 1);
+  }
+}
+
+// Local cross-section demag vs the exact Newell convolution: deep inside a
+// long thin chain the two agree on the static field.
+TEST(Integration, NewellMatchesLocalDemagInLongChain) {
+  const Waveguide wg = paper_waveguide();
+  const std::size_t nx = 256;
+  const Mesh mesh(nx, 1, 1, 2e-9, wg.width, wg.thickness);
+  const Material mat = wg.material;
+
+  const DemagNewellField newell(mesh, mat);
+  const auto nf = demag_factors_waveguide(wg.width, wg.thickness);
+
+  const VectorField m(mesh, {0, 0, 1});
+  VectorField h(mesh);
+  newell.accumulate(0.0, m, h);
+
+  // Mid-chain cells: the local approximation predicts -Nz*Ms along z. The
+  // finite chain and cell-tensor discreteness leave a few-percent residue.
+  const double expect = -nf.z * mat.Ms;
+  const double got = h[nx / 2].z;
+  EXPECT_NEAR(got, expect, 0.05 * std::abs(expect));
+  // Ends are less screened: |H_z| must be smaller there.
+  EXPECT_LT(std::abs(h[0].z), std::abs(got));
+}
+
+// A spin wave also propagates under the full Newell demag (the physics does
+// not depend on the local-tensor shortcut).
+TEST(Integration, WavePropagatesUnderNewellDemag) {
+  const Waveguide wg = paper_waveguide();
+  const std::size_t nx = 200;
+  const double cell = 2e-9;
+  const Mesh mesh(nx, 1, 1, cell, wg.width, wg.thickness);
+  IntegratorOptions opts;
+  opts.stepper = Stepper::kRk4;
+  opts.dt = 1.5e-13;
+  Simulation sim(mesh, wg.material, opts);
+  sim.add_term<ExchangeField>(mesh, wg.material);
+  sim.add_term<UniaxialAnisotropyField>(wg.material);
+  sim.add_term<DemagNewellField>(mesh, wg.material);
+
+  auto& ant = sim.add_term<AntennaField>(mesh);
+  Antenna a;
+  a.x_center = 60e-9;
+  a.width = 10e-9;
+  a.frequency = 2e10;
+  a.amplitude = 2e3;
+  a.ramp = 5e-11;
+  ant.add(a);
+  sim.add_absorbing_ends(40e-9, 0.5);
+
+  // Uniform +z is an exact equilibrium of the chain (odd Nxz symmetry), so
+  // the run starts hot with no relaxation pass.
+  auto& probe = sim.add_probe("far", 300e-9, 10e-9, 1e-12);
+  sim.run_until(0.6e-9);
+
+  const auto mx = probe.component('x');
+  double max_abs = 0.0;
+  for (double v : mx) max_abs = std::max(max_abs, std::abs(v));
+  EXPECT_GT(max_abs, 1e-5);  // the wave reached the distant probe
+}
+
+// Full-pipeline interop: simulate, snapshot to OVF, read back.
+TEST(Integration, SimulationSnapshotRoundTripsThroughOvf) {
+  const Waveguide wg = paper_waveguide();
+  const Mesh mesh(64, 1, 1, 2e-9, wg.width, wg.thickness);
+  Simulation sim(mesh, wg.material);
+  sim.add_term<ExchangeField>(mesh, wg.material);
+  sim.add_term<UniaxialAnisotropyField>(wg.material);
+  sim.add_term<DemagLocalField>(
+      wg.material, demag_factors_waveguide(wg.width, wg.thickness));
+  auto& ant = sim.add_term<AntennaField>(mesh);
+  Antenna a;
+  a.x_center = 30e-9;
+  a.width = 10e-9;
+  a.frequency = 2e10;
+  a.amplitude = 2e3;
+  ant.add(a);
+  sim.run_until(0.1e-9);
+
+  const auto path =
+      (std::filesystem::temp_directory_path() / "sw_integ.ovf").string();
+  sw::io::write_ovf(path, sim.magnetization(), "integration snapshot");
+  const auto back = sw::io::read_ovf(path);
+  ASSERT_EQ(back.size(), sim.magnetization().size());
+  for (std::size_t c = 0; c < back.size(); ++c) {
+    EXPECT_NEAR(back[c].x, sim.magnetization()[c].x, 1e-9);
+    EXPECT_NEAR(back[c].z, sim.magnetization()[c].z, 1e-9);
+  }
+  std::remove(path.c_str());
+}
+
+// Functional model vs micromagnetics: the analytic gate and the LLG gate
+// must agree on every output bit of the truth table.
+TEST(Integration, WavesimAgreesWithMicromagnetics) {
+  const Waveguide wg = paper_waveguide();
+  MicromagConfig cfg;
+  cfg.t_end = 1.0e-9;
+
+  auto model = LocalDemag1DDispersion::from_waveguide(wg);
+  model.set_discretization(cfg.cell_size);
+  const InlineGateDesigner designer(model);
+  GateSpec spec;
+  spec.num_inputs = 3;
+  spec.frequencies = {3e10};
+  const auto layout = designer.design(spec);
+
+  const sw::wavesim::WaveEngine engine(model, wg.material.alpha);
+  DataParallelGate analytic(layout, engine);
+  MicromagGateRunner micromag(layout, wg, cfg);
+
+  for (const auto& pattern : all_patterns(3)) {
+    const auto a = analytic.evaluate_uniform(pattern);
+    const auto m = micromag.run_uniform(pattern);
+    EXPECT_EQ(a[0].logic, m.channels[0].logic)
+        << "pattern " << int(pattern[0]) << int(pattern[1])
+        << int(pattern[2]);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,306 @@
+// Unit tests for the util substrate: constants, root finding, statistics,
+// interpolation and string handling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/constants.h"
+#include "util/error.h"
+#include "util/interp.h"
+#include "util/root_find.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace sw::util;
+
+// ---------------------------------------------------------------- constants
+
+TEST(Constants, GammaMu0MatchesOommfValue) {
+  // OOMMF's default gyromagnetic ratio is 2.211e5 m/(A s) within 0.1%.
+  EXPECT_NEAR(kGammaMu0, 2.211e5, 2.3e2);
+}
+
+TEST(Constants, Mu0IsCodata) { EXPECT_NEAR(kMu0, 4e-7 * kPi, 1e-12); }
+
+TEST(Constants, TwoPi) { EXPECT_DOUBLE_EQ(kTwoPi, 2.0 * kPi); }
+
+TEST(Units, LengthScales) {
+  EXPECT_DOUBLE_EQ(sw::units::nm, 1e-9);
+  EXPECT_DOUBLE_EQ(50 * sw::units::nm, 5e-8);
+  EXPECT_DOUBLE_EQ(sw::units::um2, 1e-12);
+}
+
+TEST(Units, TimeAndFrequency) {
+  EXPECT_DOUBLE_EQ(10 * sw::units::GHz, 1e10);
+  EXPECT_DOUBLE_EQ(3 * sw::units::ns, 3e-9);
+  EXPECT_DOUBLE_EQ(sw::units::fs, 1e-15);
+}
+
+// --------------------------------------------------------------- root find
+
+TEST(Brent, FindsPolynomialRoot) {
+  const auto f = [](double x) { return x * x * x - 2.0 * x - 5.0; };
+  const auto r = brent(f, 2.0, 3.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 2.0945514815423265, 1e-12);
+}
+
+TEST(Brent, FindsTrigRoot) {
+  const auto r = brent([](double x) { return std::cos(x); }, 0.0, 3.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, kPi / 2.0, 1e-12);
+}
+
+TEST(Brent, ExactEndpointRoot) {
+  const auto r = brent([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.x, 0.0);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+TEST(Brent, ThrowsWhenNotBracketed) {
+  EXPECT_THROW(brent([](double x) { return x * x + 1.0; }, -1.0, 1.0), Error);
+}
+
+TEST(Brent, ThrowsOnNonFiniteEndpoint) {
+  EXPECT_THROW(brent([](double x) { return 1.0 / x; }, 0.0, 1.0), Error);
+}
+
+TEST(Brent, RespectsFTolerance) {
+  RootOptions opts;
+  opts.f_tol = 1e-3;
+  const auto r = brent([](double x) { return x - 0.25; }, 0.0, 1.0, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(std::abs(r.f), 1e-3);
+}
+
+TEST(Bisect, AgreesWithBrent) {
+  const auto f = [](double x) { return std::exp(x) - 3.0; };
+  const auto rb = brent(f, 0.0, 2.0);
+  const auto ri = bisect(f, 0.0, 2.0, {.x_tol = 1e-13});
+  EXPECT_NEAR(rb.x, ri.x, 1e-10);
+  EXPECT_NEAR(rb.x, std::log(3.0), 1e-10);
+}
+
+TEST(Bisect, ThrowsWhenNotBracketed) {
+  EXPECT_THROW(bisect([](double) { return 1.0; }, 0.0, 1.0), Error);
+}
+
+TEST(ExpandBracket, GrowsUntilSignChange) {
+  double a = 10.0, b = 11.0;
+  const auto f = [](double x) { return x - 3.0; };
+  EXPECT_TRUE(expand_bracket(f, a, b));
+  EXPECT_LE(f(a) * f(b), 0.0);
+}
+
+TEST(ExpandBracket, FailsWhenNoRoot) {
+  double a = 0.0, b = 1.0;
+  EXPECT_FALSE(expand_bracket([](double) { return 2.0; }, a, b, 8));
+}
+
+TEST(GoldenMin, FindsParabolaMinimum) {
+  const double x =
+      golden_min([](double t) { return (t - 1.25) * (t - 1.25); }, -4.0, 4.0);
+  EXPECT_NEAR(x, 1.25, 1e-9);
+}
+
+TEST(GoldenMin, ThrowsOnBadInterval) {
+  EXPECT_THROW(golden_min([](double t) { return t; }, 1.0, 0.0), Error);
+}
+
+// -------------------------------------------------------------------- stats
+
+TEST(Summarize, EmptySpan) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, KnownSample) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const auto s = summarize(xs);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(FitLine, ExactLine) {
+  const std::vector<double> xs{0, 1, 2, 3, 4};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(3.0 * x - 2.0);
+  const auto fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, -2.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(FitLine, ThrowsOnMismatch) {
+  const std::vector<double> xs{0, 1};
+  const std::vector<double> ys{0, 1, 2};
+  EXPECT_THROW(fit_line(xs, ys), Error);
+}
+
+TEST(FitLine, ThrowsOnDegenerateX) {
+  const std::vector<double> xs{2, 2, 2};
+  const std::vector<double> ys{0, 1, 2};
+  EXPECT_THROW(fit_line(xs, ys), Error);
+}
+
+TEST(Rms, SineWave) {
+  std::vector<double> xs(10000);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = std::sin(kTwoPi * static_cast<double>(i) / 100.0);
+  }
+  EXPECT_NEAR(rms(xs), 1.0 / std::sqrt(2.0), 1e-3);
+}
+
+TEST(ArgmaxAbs, PicksLargestMagnitude) {
+  const std::vector<double> xs{1.0, -5.0, 3.0};
+  EXPECT_EQ(argmax_abs(xs), 1u);
+}
+
+TEST(WrapAngle, StaysInRange) {
+  for (double a = -30.0; a <= 30.0; a += 0.37) {
+    const double w = wrap_angle(a);
+    EXPECT_GT(w, -kPi - 1e-12);
+    EXPECT_LE(w, kPi + 1e-12);
+    // Same angle modulo 2 pi.
+    EXPECT_NEAR(std::cos(w), std::cos(a), 1e-12);
+    EXPECT_NEAR(std::sin(w), std::sin(a), 1e-12);
+  }
+}
+
+TEST(AngleDistance, SymmetricAndBounded) {
+  EXPECT_NEAR(angle_distance(0.1, kTwoPi + 0.1), 0.0, 1e-12);
+  EXPECT_NEAR(angle_distance(0.0, kPi), kPi, 1e-12);
+  EXPECT_NEAR(angle_distance(-kPi / 2, kPi / 2), kPi, 1e-12);
+  EXPECT_NEAR(angle_distance(0.3, 0.8), angle_distance(0.8, 0.3), 1e-15);
+}
+
+TEST(Linspace, EndpointsAndSpacing) {
+  const auto v = linspace(1.0, 2.0, 11);
+  ASSERT_EQ(v.size(), 11u);
+  EXPECT_DOUBLE_EQ(v.front(), 1.0);
+  EXPECT_DOUBLE_EQ(v.back(), 2.0);
+  EXPECT_NEAR(v[5], 1.5, 1e-12);
+}
+
+TEST(Linspace, ThrowsOnTooFewPoints) { EXPECT_THROW(linspace(0, 1, 1), Error); }
+
+// ------------------------------------------------------------------- interp
+
+TEST(LinearTable, InterpolatesAndExtrapolates) {
+  const LinearTable t({0.0, 1.0, 2.0}, {0.0, 10.0, 40.0});
+  EXPECT_DOUBLE_EQ(t(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(t(1.5), 25.0);
+  EXPECT_DOUBLE_EQ(t(3.0), 70.0);   // extrapolation from last segment
+  EXPECT_DOUBLE_EQ(t(-1.0), -10.0); // extrapolation from first segment
+}
+
+TEST(LinearTable, Derivative) {
+  const LinearTable t({0.0, 1.0, 2.0}, {0.0, 10.0, 40.0});
+  EXPECT_DOUBLE_EQ(t.derivative(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(t.derivative(1.5), 30.0);
+}
+
+TEST(LinearTable, Inverse) {
+  const LinearTable t({0.0, 1.0, 2.0}, {0.0, 10.0, 40.0});
+  EXPECT_DOUBLE_EQ(t.inverse(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(t.inverse(25.0), 1.5);
+}
+
+TEST(LinearTable, InverseThrowsOutsideRange) {
+  const LinearTable t({0.0, 1.0}, {0.0, 1.0});
+  EXPECT_THROW(t.inverse(2.0), Error);
+}
+
+TEST(LinearTable, InverseThrowsOnNonMonotonicY) {
+  const LinearTable t({0.0, 1.0, 2.0}, {0.0, 1.0, 0.5});
+  EXPECT_THROW(t.inverse(0.7), Error);
+}
+
+TEST(LinearTable, RejectsUnsortedX) {
+  EXPECT_THROW(LinearTable({1.0, 0.0}, {0.0, 1.0}), Error);
+}
+
+// ------------------------------------------------------------------ strings
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\n x \r"), "x");
+  EXPECT_EQ(trim("    "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  const auto trimmed = split(" a ; b ", ';', true);
+  EXPECT_EQ(trimmed[0], "a");
+  EXPECT_EQ(trimmed[1], "b");
+}
+
+TEST(Strings, SplitWs) {
+  const auto parts = split_ws("  10e9   20e9\t30e9 ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "20e9");
+}
+
+TEST(Strings, ToLowerAndStartsWith) {
+  EXPECT_EQ(to_lower("FeCoB"), "fecob");
+  EXPECT_TRUE(starts_with("# comment", "#"));
+  EXPECT_FALSE(starts_with("x", "xy"));
+}
+
+TEST(Strings, ParseDouble) {
+  EXPECT_DOUBLE_EQ(*parse_double(" 1.5e-9 "), 1.5e-9);
+  EXPECT_DOUBLE_EQ(*parse_double("-3"), -3.0);
+  EXPECT_FALSE(parse_double("abc").has_value());
+  EXPECT_FALSE(parse_double("1.5x").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+}
+
+TEST(Strings, ParseLong) {
+  EXPECT_EQ(*parse_long("42"), 42);
+  EXPECT_EQ(*parse_long(" -7 "), -7);
+  EXPECT_FALSE(parse_long("4.2").has_value());
+}
+
+TEST(Strings, ParseBool) {
+  EXPECT_TRUE(*parse_bool("true"));
+  EXPECT_TRUE(*parse_bool("YES"));
+  EXPECT_FALSE(*parse_bool("0"));
+  EXPECT_FALSE(parse_bool("maybe").has_value());
+}
+
+TEST(Strings, FormatSig) {
+  EXPECT_EQ(format_sig(1234.5678, 4), "1235");
+  EXPECT_EQ(format_sig(0.000123456, 3), "0.000123");
+}
+
+// -------------------------------------------------------------------- error
+
+TEST(Error, RequireThrowsWithContext) {
+  try {
+    SW_REQUIRE(false, "broken thing");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("broken thing"), std::string::npos);
+    EXPECT_NE(what.find("test_util.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(SW_REQUIRE(true, "fine"));
+}
+
+}  // namespace

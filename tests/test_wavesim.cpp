@@ -1,0 +1,176 @@
+// Unit tests for the analytic travelling-wave engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "dispersion/local_1d.h"
+#include "mag/demag_factors.h"
+#include "mag/material.h"
+#include "util/constants.h"
+#include "util/error.h"
+#include "util/stats.h"
+#include "wavesim/wave_engine.h"
+
+namespace {
+
+using namespace sw::wavesim;
+using sw::disp::LocalDemag1DDispersion;
+using sw::util::Error;
+using sw::util::kPi;
+using sw::util::kTwoPi;
+
+LocalDemag1DDispersion test_model() {
+  const auto nf = sw::mag::demag_factors_waveguide(50e-9, 1e-9);
+  return LocalDemag1DDispersion(sw::mag::make_fecob(), nf);
+}
+
+TEST(WaveEngine, DecayLengthFormula) {
+  const auto model = test_model();
+  const WaveEngine engine(model, 0.004);
+  const double f = 2e10;
+  const double k = model.k_from_frequency(f);
+  const double vg = model.group_velocity(k);
+  EXPECT_NEAR(engine.decay_length(f), vg / (0.004 * kTwoPi * f), 1e-6);
+}
+
+TEST(WaveEngine, ZeroDampingMeansNoDecay) {
+  const auto model = test_model();
+  const WaveEngine engine(model, 0.0);
+  EXPECT_TRUE(std::isinf(engine.decay_length(2e10)));
+}
+
+TEST(WaveEngine, SingleSourcePhasorAccumulatesKd) {
+  const auto model = test_model();
+  const WaveEngine engine(model, 0.0);  // no decay: pure phase
+  const double f = 2e10;
+  const double k = model.k_from_frequency(f);
+  const double lambda = kTwoPi / k;
+
+  const WaveSource src{.x = 0.0, .frequency = f, .phase = 0.3,
+                       .amplitude = 1.0};
+  const std::vector<WaveSource> sources{src};
+
+  // One wavelength downstream: phase unchanged (mod 2 pi).
+  const auto p1 = engine.steady_phasor(sources, lambda, f);
+  EXPECT_NEAR(std::arg(p1), 0.3, 1e-9);
+  EXPECT_NEAR(std::abs(p1), 1.0, 1e-12);
+
+  // Half a wavelength: phase flipped.
+  const auto p2 = engine.steady_phasor(sources, 0.5 * lambda, f);
+  EXPECT_NEAR(sw::util::angle_distance(std::arg(p2), 0.3 + kPi), 0.0, 1e-9);
+}
+
+TEST(WaveEngine, DampedAmplitudeDecays) {
+  const auto model = test_model();
+  const WaveEngine engine(model, 0.004);
+  const double f = 2e10;
+  const double l = engine.decay_length(f);
+  const std::vector<WaveSource> sources{{0.0, f, 0.0, 1.0, 0.0}};
+  const auto p = engine.steady_phasor(sources, l, f);
+  EXPECT_NEAR(std::abs(p), std::exp(-1.0), 1e-9);
+}
+
+TEST(WaveEngine, ConstructiveInterferenceDoubles) {
+  const auto model = test_model();
+  const WaveEngine engine(model, 0.0);
+  const double f = 2e10;
+  const double lambda = model.wavelength(f);
+  const std::vector<WaveSource> sources{
+      {0.0, f, 0.0, 1.0, 0.0}, {lambda, f, 0.0, 1.0, 0.0}};
+  const auto p = engine.steady_phasor(sources, 3.0 * lambda, f);
+  EXPECT_NEAR(std::abs(p), 2.0, 1e-9);
+}
+
+TEST(WaveEngine, DestructiveInterferenceCancels) {
+  const auto model = test_model();
+  const WaveEngine engine(model, 0.0);
+  const double f = 2e10;
+  const double lambda = model.wavelength(f);
+  // Same launch phase, half-wavelength spacing: cancellation downstream.
+  const std::vector<WaveSource> sources{
+      {0.0, f, 0.0, 1.0, 0.0}, {0.5 * lambda, f, 0.0, 1.0, 0.0}};
+  const auto p = engine.steady_phasor(sources, 4.0 * lambda, f);
+  EXPECT_NEAR(std::abs(p), 0.0, 1e-9);
+}
+
+TEST(WaveEngine, OppositePhasesAtSamePointCancel) {
+  const auto model = test_model();
+  const WaveEngine engine(model, 0.0);
+  const double f = 2e10;
+  const double lambda = model.wavelength(f);
+  const std::vector<WaveSource> sources{
+      {0.0, f, 0.0, 1.0, 0.0}, {lambda, f, kPi, 1.0, 0.0}};
+  const auto p = engine.steady_phasor(sources, 2.0 * lambda, f);
+  EXPECT_NEAR(std::abs(p), 0.0, 1e-9);
+}
+
+TEST(WaveEngine, MajorityVoteOfThreeWaves) {
+  const auto model = test_model();
+  const WaveEngine engine(model, 0.0);
+  const double f = 2e10;
+  const double lambda = model.wavelength(f);
+  // Two logic-1 (pi) and one logic-0 (0): resultant phase must be pi.
+  const std::vector<WaveSource> sources{{0.0, f, kPi, 1.0, 0.0},
+                                        {lambda, f, kPi, 1.0, 0.0},
+                                        {2 * lambda, f, 0.0, 1.0, 0.0}};
+  const auto p = engine.steady_phasor(sources, 4.0 * lambda, f);
+  EXPECT_NEAR(std::abs(p), 1.0, 1e-9);
+  EXPECT_NEAR(sw::util::angle_distance(std::arg(p), kPi), 0.0, 1e-9);
+}
+
+TEST(WaveEngine, FrequencyIsolation) {
+  // A 20 GHz source contributes nothing to the 40 GHz phasor: the heart of
+  // the paper's parallelism claim.
+  const auto model = test_model();
+  const WaveEngine engine(model, 0.004);
+  const std::vector<WaveSource> sources{{0.0, 2e10, 0.0, 1.0, 0.0}};
+  const auto p = engine.steady_phasor(sources, 100e-9, 4e10);
+  EXPECT_DOUBLE_EQ(std::abs(p), 0.0);
+}
+
+TEST(WaveEngine, SignalGatedByGroupArrival) {
+  const auto model = test_model();
+  const WaveEngine engine(model, 0.004);
+  const double f = 2e10;
+  const double k = model.k_from_frequency(f);
+  const double vg = model.group_velocity(k);
+  const double x = 200e-9;
+  const std::vector<WaveSource> sources{{0.0, f, 0.0, 1.0, 0.0}};
+
+  EXPECT_DOUBLE_EQ(engine.signal(sources, x, 0.5 * x / vg), 0.0);
+  // Well after arrival the signal oscillates.
+  double max_abs = 0.0;
+  for (double t = 2.0 * x / vg; t < 2.0 * x / vg + 1.0 / f; t += 0.02 / f) {
+    max_abs = std::max(max_abs, std::abs(engine.signal(sources, x, t)));
+  }
+  EXPECT_GT(max_abs, 0.5);
+}
+
+TEST(WaveEngine, RecordProducesRequestedSamples) {
+  const auto model = test_model();
+  const WaveEngine engine(model, 0.004);
+  const std::vector<WaveSource> sources{{0.0, 2e10, 0.0, 1.0, 0.0}};
+  const auto rec = engine.record(sources, 50e-9, 0.0, 1e-9, 1e-12);
+  EXPECT_EQ(rec.size(), 1000u);
+  EXPECT_THROW(engine.record(sources, 0.0, 1e-9, 0.0, 1e-12), Error);
+}
+
+TEST(WaveEngine, SettleTimeCoversSlowestPath) {
+  const auto model = test_model();
+  const WaveEngine engine(model, 0.004);
+  const double f = 2e10;
+  const double k = model.k_from_frequency(f);
+  const double vg = model.group_velocity(k);
+  const std::vector<WaveSource> sources{{0.0, f, 0.0, 1.0, 0.0}};
+  const double x = 300e-9;
+  const double t = engine.settle_time(sources, x, 5.0);
+  EXPECT_GE(t, x / vg + 5.0 / f - 1e-15);
+}
+
+TEST(WaveEngine, RejectsNegativeAlpha) {
+  const auto model = test_model();
+  EXPECT_THROW(WaveEngine(model, -0.1), Error);
+}
+
+}  // namespace
