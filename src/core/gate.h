@@ -28,6 +28,7 @@ class DataParallelGate {
   DataParallelGate(GateLayout layout, const sw::wavesim::WaveEngine& engine);
 
   const GateLayout& layout() const { return layout_; }
+  const sw::wavesim::WaveEngine& engine() const { return *engine_; }
 
   /// Evaluate the gate: `inputs[channel]` holds the m bits applied to that
   /// channel's sources (inputs.size() == #channels, each of size m).
@@ -38,6 +39,23 @@ class DataParallelGate {
 
   /// Convenience: apply the same m-bit pattern to every channel.
   std::vector<ChannelResult> evaluate_uniform(const Bits& pattern) const;
+
+  /// Batched evaluation of many input assignments via a one-shot
+  /// sw::wavesim::BatchEvaluator (shared dispersion/decay precompute +
+  /// thread-pool fan-out). Results match a per-word `evaluate` loop
+  /// bit-for-bit. Callers with a long-lived gate and repeated batches
+  /// should hold a BatchEvaluator instead to reuse the precompute — also
+  /// the route for calling from several threads, since building the
+  /// one-shot evaluator here touches the engine's unsynchronised cache.
+  std::vector<std::vector<ChannelResult>> evaluate_batch(
+      const std::vector<std::vector<Bits>>& batch,
+      std::size_t num_threads = 0) const;
+
+  /// Batched uniform evaluation: word w applies patterns[w] on every
+  /// channel. The exhaustive majority sweep is `evaluate_batch_uniform(
+  /// all_patterns(m))`.
+  std::vector<std::vector<ChannelResult>> evaluate_batch_uniform(
+      const std::vector<Bits>& patterns, std::size_t num_threads = 0) const;
 
   /// Expected (reference Boolean) output of a channel for the given bits:
   /// MAJ for odd m, complemented when the channel's detector is inverted.

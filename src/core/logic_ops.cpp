@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "util/error.h"
+#include "wavesim/batch_evaluator.h"
 
 namespace sw::core {
 
@@ -79,6 +80,48 @@ std::vector<std::uint8_t> ParallelLogicGate::evaluate(const Bits& a,
   const auto results = gate_->evaluate(inputs);
   std::vector<std::uint8_t> out(n);
   for (const auto& r : results) out[r.channel] = r.logic;
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> ParallelLogicGate::evaluate_batch(
+    const std::vector<Bits>& a_words, const std::vector<Bits>& b_words,
+    std::size_t num_threads) const {
+  const std::size_t n = layout().spec.frequencies.size();
+  const std::size_t words = a_words.size();
+  SW_REQUIRE(data_inputs_ == 1 || b_words.size() == words,
+             "need one b word per a word");
+  for (std::size_t w = 0; w < words; ++w) {
+    SW_REQUIRE(a_words[w].size() == n,
+               "operand a must have one bit per channel");
+    SW_REQUIRE(data_inputs_ == 1 || b_words[w].size() == n,
+               "operand b must have one bit per channel");
+  }
+
+  sw::wavesim::BatchOptions opts;
+  opts.num_threads = sw::wavesim::clamp_batch_threads(num_threads, words);
+  const sw::wavesim::BatchEvaluator evaluator(*gate_, opts);
+
+  // Pack the operands into the evaluator's flat slot matrix. Input slot
+  // layout per channel (see evaluate()): slot 0 = a, slot 1 = b for binary
+  // ops, last slot = the pinned constant when present.
+  const std::size_t stride = evaluator.slot_count();
+  const std::size_t m = stride / n;
+  std::vector<std::uint8_t> packed(words * stride);
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint8_t* row = packed.data() + w * stride;
+    for (std::size_t ch = 0; ch < n; ++ch) {
+      row[ch * m] = a_words[w][ch];
+      if (data_inputs_ == 2) row[ch * m + 1] = b_words[w][ch];
+      if (has_pin_) row[ch * m + m - 1] = pinned_value_;
+    }
+  }
+  const auto decoded = evaluator.evaluate_bits(words, packed);
+
+  std::vector<std::vector<std::uint8_t>> out(words);
+  for (std::size_t w = 0; w < words; ++w) {
+    out[w].assign(decoded.begin() + static_cast<std::ptrdiff_t>(w * n),
+                  decoded.begin() + static_cast<std::ptrdiff_t>((w + 1) * n));
+  }
   return out;
 }
 

@@ -50,12 +50,28 @@ class ParallelLogicGate {
   BooleanOp op() const { return op_; }
   const GateLayout& layout() const { return gate_->layout(); }
 
+  /// The underlying majority fabric. Long-lived callers with repeated
+  /// batches should build a sw::wavesim::BatchEvaluator over this once
+  /// (input slots per channel: 0 = a, 1 = b for binary ops, last = the
+  /// pinned constant) instead of paying evaluate_batch's per-call
+  /// precompute.
+  const DataParallelGate& gate() const { return *gate_; }
+
   /// Data inputs per channel: 2 bits for binary ops, 1 for buffer/not.
   std::size_t data_inputs() const { return data_inputs_; }
 
   /// Evaluate with per-channel operand words a and b (b ignored for unary
   /// ops). Sizes must equal the channel count.
   std::vector<std::uint8_t> evaluate(const Bits& a, const Bits& b) const;
+
+  /// Batched evaluation: word w is the operand pair (a_words[w],
+  /// b_words[w]); b_words may be empty for unary ops. Shares the gate's
+  /// dispersion/decay precompute across the whole batch and fans words
+  /// across a thread pool; output words match a per-word `evaluate` loop
+  /// bit-for-bit. `num_threads == 0` selects hardware concurrency.
+  std::vector<std::vector<std::uint8_t>> evaluate_batch(
+      const std::vector<Bits>& a_words, const std::vector<Bits>& b_words,
+      std::size_t num_threads = 0) const;
 
   /// Exhaustive check over all operand combinations on every channel;
   /// throws on any mismatch with boolean_op_eval.

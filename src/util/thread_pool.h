@@ -1,0 +1,49 @@
+// Minimal fixed-size worker pool for data-parallel fan-out.
+//
+// The batch-evaluation subsystem needs to sweep large input batches across
+// every core without paying thread start-up per call, so the pool keeps its
+// workers alive and parked on a condition variable between jobs.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sw::util {
+
+class ThreadPool {
+ public:
+  /// `num_threads == 0` selects std::thread::hardware_concurrency() (at
+  /// least 1). A single-thread pool runs jobs inline on the calling thread,
+  /// so small hosts pay no synchronisation overhead.
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return size_; }
+
+  /// Partition [0, n) into contiguous chunks (roughly one per worker) and
+  /// run `fn(begin, end)` on each; blocks until every chunk is done.
+  /// Exceptions thrown by `fn` are rethrown on the calling thread (the
+  /// first one wins; remaining chunks still run to completion).
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::size_t size_ = 1;
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> jobs_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stop_ = false;
+};
+
+}  // namespace sw::util

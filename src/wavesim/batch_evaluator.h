@@ -1,0 +1,113 @@
+// Batched gate evaluation: many input words through one gate layout.
+//
+// The scalar path (DataParallelGate::evaluate) recomputes, for every word,
+// the per-source dispersion lookups and the exp/cos/sin of each source's
+// propagated phasor — yet none of that depends on the input bits. For a
+// fixed layout the contribution of source j to detector d is one of exactly
+// two complex constants (launch phase 0 or pi). BatchEvaluator precomputes
+// both constants for every (detector, source) pair once, so evaluating a
+// word collapses to a handful of complex additions, and fans the word batch
+// across a ThreadPool. Decoded results are bit-for-bit identical to the
+// scalar path: the precomputed constants are produced by the same
+// arithmetic, and per-detector accumulation preserves the scalar source
+// order.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/gate.h"
+#include "util/thread_pool.h"
+
+namespace sw::wavesim {
+
+/// Worker count for a one-shot evaluation of `num_words` words: resolves 0
+/// to hardware concurrency, then clamps so a small batch does not pay the
+/// spawn/join cost of workers that would never receive a chunk.
+std::size_t clamp_batch_threads(std::size_t num_threads,
+                                std::size_t num_words);
+
+struct BatchOptions {
+  /// Worker count; 0 selects std::thread::hardware_concurrency().
+  std::size_t num_threads = 0;
+  /// Relative frequency tolerance for source/detector matching; defaults
+  /// to the scalar path's tolerance, which bit-exact equivalence requires.
+  double freq_tol = kDefaultFreqTol;
+};
+
+class BatchEvaluator {
+ public:
+  /// Precomputes the evaluation plan from the gate's layout. The gate (and
+  /// its engine) must outlive the evaluator. The engine is only consulted
+  /// here, never in the per-word hot loop, so the evaluate* methods of a
+  /// constructed evaluator are safe to call concurrently. Construction
+  /// itself is not: it drives the engine's unsynchronised memoisation
+  /// cache, so don't build evaluators (or call the gates' one-shot
+  /// evaluate_batch hooks, which build one per call) on several threads
+  /// sharing a WaveEngine.
+  explicit BatchEvaluator(const sw::core::DataParallelGate& gate,
+                          BatchOptions options = {});
+
+  const sw::core::DataParallelGate& gate() const { return *gate_; }
+  std::size_t num_threads() const { return pool_.size(); }
+
+  /// Evaluate a batch of input assignments; element w has the same shape as
+  /// the argument of DataParallelGate::evaluate (one m-bit vector per
+  /// channel). Returns one result vector per word, in batch order.
+  std::vector<std::vector<sw::core::ChannelResult>> evaluate(
+      std::span<const std::vector<sw::core::Bits>> batch) const;
+
+  /// Evaluate uniform patterns: word w applies patterns[w] to every channel
+  /// (the truth-table sweep case).
+  std::vector<std::vector<sw::core::ChannelResult>> evaluate_uniform(
+      std::span<const sw::core::Bits> patterns) const;
+
+  /// Generic entry point: the bit of input slot `input` on channel
+  /// `channel` for word `word` is provided by `bit`. Lets callers (e.g.
+  /// ParallelLogicGate) evaluate large batches without materialising
+  /// per-word input vectors.
+  using BitAccessor = std::function<std::uint8_t(
+      std::size_t word, std::size_t channel, std::size_t input)>;
+  std::vector<std::vector<sw::core::ChannelResult>> evaluate_with(
+      std::size_t num_words, const BitAccessor& bit) const;
+
+  /// Input slots per word for the packed path: one per (channel, input).
+  std::size_t slot_count() const;
+
+  /// Fastest path, decoding only the logic bits. `bits` is a row-major
+  /// num_words x slot_count() matrix; the bit of input slot `input` on
+  /// channel `channel` lives at column channel * num_inputs + input.
+  /// Returns a row-major num_words x channel-count matrix of decoded
+  /// output bits. The decode is exactly decide_phase's threshold (phase
+  /// closer to pi than to 0, i.e. Re < 0) without the polar conversion, so
+  /// bits match the ChannelResult paths bit-for-bit.
+  std::vector<std::uint8_t> evaluate_bits(
+      std::size_t num_words, std::span<const std::uint8_t> bits) const;
+
+ private:
+  /// One source's two possible phasor contributions at one detector.
+  struct Contribution {
+    std::size_t channel = 0;  ///< input word indexing: which channel's bits
+    std::size_t input = 0;    ///< ... and which bit within the channel
+    std::size_t slot = 0;     ///< flat column channel * num_inputs + input
+    std::complex<double> zero;  ///< contribution when the bit is 0
+    std::complex<double> one;   ///< contribution when the bit is 1
+  };
+  struct DetectorPlan {
+    std::size_t channel = 0;
+    std::vector<Contribution> contributions;  ///< scalar source order
+  };
+
+  template <typename BitFn>
+  std::vector<std::vector<sw::core::ChannelResult>> run(std::size_t num_words,
+                                                        const BitFn& bit) const;
+
+  const sw::core::DataParallelGate* gate_;
+  std::vector<DetectorPlan> plans_;
+  mutable sw::util::ThreadPool pool_;
+};
+
+}  // namespace sw::wavesim

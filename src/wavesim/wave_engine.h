@@ -18,6 +18,11 @@
 
 namespace sw::wavesim {
 
+/// Default relative tolerance for deciding that a source and a detection
+/// frequency are the same species. Shared by the scalar steady_phasor path
+/// and BatchEvaluator so their source selection can never diverge.
+inline constexpr double kDefaultFreqTol = 1e-6;
+
 /// One wave source on the guide.
 struct WaveSource {
   double x = 0.0;          ///< position [m]
@@ -41,7 +46,7 @@ class WaveEngine {
   /// relative frequency contribute — different species do not interact).
   std::complex<double> steady_phasor(std::span<const WaveSource> sources,
                                      double x, double f,
-                                     double freq_tol = 1e-6) const;
+                                     double freq_tol = kDefaultFreqTol) const;
 
   /// Time-domain signal at (x, t): superposition of all sources, each gated
   /// by its group arrival time and smoothly ramped over one period.

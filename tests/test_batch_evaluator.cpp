@@ -1,0 +1,356 @@
+// Batch-vs-scalar equivalence: every word pushed through BatchEvaluator must
+// decode bit-for-bit like a per-word loop over the single-shot path, and the
+// full ChannelResult payload (phase, amplitude, margin) must be identical
+// because the batch plan reproduces the scalar arithmetic exactly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <vector>
+
+#include "core/encoding.h"
+#include "core/gate.h"
+#include "core/gate_design.h"
+#include "core/logic_ops.h"
+#include "dispersion/fvmsw.h"
+#include "mag/material.h"
+#include "util/error.h"
+#include "util/thread_pool.h"
+#include "wavesim/batch_evaluator.h"
+#include "wavesim/wave_engine.h"
+
+namespace {
+
+using namespace sw::core;
+using sw::disp::FvmswDispersion;
+using sw::disp::Waveguide;
+using sw::wavesim::BatchEvaluator;
+using sw::wavesim::BatchOptions;
+using sw::wavesim::WaveEngine;
+
+Waveguide paper_waveguide() {
+  Waveguide wg;
+  wg.material = sw::mag::make_fecob();
+  wg.width = 50e-9;
+  wg.thickness = 1e-9;
+  return wg;
+}
+
+std::vector<double> channel_frequencies(std::size_t n) {
+  std::vector<double> f;
+  for (std::size_t i = 1; i <= n; ++i) f.push_back(1e10 * static_cast<double>(i));
+  return f;
+}
+
+struct GateFixture {
+  Waveguide wg = paper_waveguide();
+  FvmswDispersion model{wg};
+  InlineGateDesigner designer{model};
+  WaveEngine engine{model, wg.material.alpha};
+
+  DataParallelGate majority_gate(std::size_t m, std::size_t n) const {
+    GateSpec spec;
+    spec.num_inputs = m;
+    spec.frequencies = channel_frequencies(n);
+    return DataParallelGate(designer.design(spec), engine);
+  }
+};
+
+std::vector<std::vector<Bits>> random_batch(std::size_t words, std::size_t n,
+                                            std::size_t m, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::bernoulli_distribution coin(0.5);
+  std::vector<std::vector<Bits>> batch(words);
+  for (auto& word : batch) {
+    word.resize(n);
+    for (auto& bits : word) {
+      bits.resize(m);
+      for (auto& b : bits) b = coin(rng) ? 1 : 0;
+    }
+  }
+  return batch;
+}
+
+void expect_identical(const std::vector<ChannelResult>& got,
+                      const std::vector<ChannelResult>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t ch = 0; ch < got.size(); ++ch) {
+    EXPECT_EQ(got[ch].channel, want[ch].channel);
+    EXPECT_EQ(got[ch].logic, want[ch].logic);
+    // Bit-for-bit: the batch plan performs the same floating-point
+    // operations in the same order as the scalar path.
+    EXPECT_EQ(got[ch].phase, want[ch].phase);
+    EXPECT_EQ(got[ch].amplitude, want[ch].amplitude);
+    EXPECT_EQ(got[ch].margin, want[ch].margin);
+  }
+}
+
+TEST(BatchEvaluator, RandomWordsMatchScalarBitForBit) {
+  const GateFixture fix;
+  const auto gate = fix.majority_gate(3, 8);
+  const auto batch = random_batch(256, 8, 3, /*seed=*/42);
+
+  const BatchEvaluator evaluator(gate);
+  const auto got = evaluator.evaluate(batch);
+  ASSERT_EQ(got.size(), batch.size());
+  for (std::size_t w = 0; w < batch.size(); ++w) {
+    expect_identical(got[w], gate.evaluate(batch[w]));
+  }
+}
+
+TEST(BatchEvaluator, UniformSweepMatchesScalar) {
+  const GateFixture fix;
+  const auto gate = fix.majority_gate(3, 4);
+  const auto patterns = all_patterns(3);
+
+  const BatchEvaluator evaluator(gate);
+  const auto got = evaluator.evaluate_uniform(patterns);
+  ASSERT_EQ(got.size(), patterns.size());
+  for (std::size_t w = 0; w < patterns.size(); ++w) {
+    expect_identical(got[w], gate.evaluate_uniform(patterns[w]));
+  }
+}
+
+TEST(BatchEvaluator, MajorityTruthTableDecodesCorrectly) {
+  const GateFixture fix;
+  const auto gate = fix.majority_gate(5, 2);
+  const auto patterns = all_patterns(5);
+  const BatchEvaluator evaluator(gate);
+  const auto results = evaluator.evaluate_uniform(patterns);
+  for (std::size_t w = 0; w < patterns.size(); ++w) {
+    for (const auto& r : results[w]) {
+      EXPECT_EQ(r.logic, gate.expected_majority(r.channel, patterns[w]));
+      EXPECT_GT(r.margin, 0.0);
+    }
+  }
+}
+
+TEST(BatchEvaluator, ThreadCountDoesNotChangeResults) {
+  const GateFixture fix;
+  const auto gate = fix.majority_gate(3, 4);
+  const auto batch = random_batch(64, 4, 3, /*seed=*/7);
+
+  const auto reference = BatchEvaluator(gate, {.num_threads = 1}).evaluate(batch);
+  for (const std::size_t threads : {2ul, 3ul, 8ul}) {
+    const auto got =
+        BatchEvaluator(gate, {.num_threads = threads}).evaluate(batch);
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t w = 0; w < got.size(); ++w) {
+      expect_identical(got[w], reference[w]);
+    }
+  }
+}
+
+TEST(BatchEvaluator, GateHookMatchesScalar) {
+  const GateFixture fix;
+  const auto gate = fix.majority_gate(3, 4);
+  const auto batch = random_batch(32, 4, 3, /*seed=*/11);
+  const auto got = gate.evaluate_batch(batch);
+  ASSERT_EQ(got.size(), batch.size());
+  for (std::size_t w = 0; w < batch.size(); ++w) {
+    expect_identical(got[w], gate.evaluate(batch[w]));
+  }
+}
+
+TEST(BatchEvaluator, UniformGateHookMatchesScalar) {
+  const GateFixture fix;
+  const auto gate = fix.majority_gate(3, 2);
+  const auto patterns = all_patterns(3);
+  const auto got = gate.evaluate_batch_uniform(patterns);
+  ASSERT_EQ(got.size(), patterns.size());
+  for (std::size_t w = 0; w < patterns.size(); ++w) {
+    expect_identical(got[w], gate.evaluate_uniform(patterns[w]));
+  }
+}
+
+TEST(BatchEvaluator, ParallelLogicGateBatchMatchesScalar) {
+  const GateFixture fix;
+  for (const auto op : {BooleanOp::kAnd, BooleanOp::kNor, BooleanOp::kNot}) {
+    const ParallelLogicGate gate(op, channel_frequencies(4), fix.designer,
+                                 fix.engine);
+    std::mt19937 rng(13);
+    std::bernoulli_distribution coin(0.5);
+    std::vector<Bits> a_words(40), b_words(40);
+    for (std::size_t w = 0; w < a_words.size(); ++w) {
+      a_words[w].resize(4);
+      b_words[w].resize(4);
+      for (std::size_t ch = 0; ch < 4; ++ch) {
+        a_words[w][ch] = coin(rng) ? 1 : 0;
+        b_words[w][ch] = coin(rng) ? 1 : 0;
+      }
+    }
+    const auto got = gate.evaluate_batch(a_words, b_words);
+    ASSERT_EQ(got.size(), a_words.size());
+    for (std::size_t w = 0; w < a_words.size(); ++w) {
+      EXPECT_EQ(got[w], gate.evaluate(a_words[w], b_words[w]))
+          << "op " << boolean_op_name(op) << " word " << w;
+    }
+  }
+}
+
+TEST(BatchEvaluator, GenericAccessorMatchesVectorPath) {
+  const GateFixture fix;
+  const auto gate = fix.majority_gate(3, 4);
+  const auto batch = random_batch(64, 4, 3, /*seed=*/17);
+  const BatchEvaluator evaluator(gate);
+  const auto got = evaluator.evaluate_with(
+      batch.size(), [&](std::size_t w, std::size_t ch, std::size_t in) {
+        return batch[w][ch][in];
+      });
+  const auto want = evaluator.evaluate(batch);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t w = 0; w < got.size(); ++w) {
+    expect_identical(got[w], want[w]);
+  }
+  EXPECT_THROW(evaluator.evaluate_with(1, BatchEvaluator::BitAccessor{}),
+               sw::util::Error);
+}
+
+TEST(BatchEvaluator, ReusedEvaluatorOverLogicGateFabric) {
+  // The plan-reuse route for derived gates: build one evaluator over the
+  // exposed inner majority fabric and feed packed operand words directly.
+  const GateFixture fix;
+  const ParallelLogicGate logic(BooleanOp::kOr, channel_frequencies(4),
+                                fix.designer, fix.engine);
+  const BatchEvaluator evaluator(logic.gate());
+  const std::size_t stride = evaluator.slot_count();
+  ASSERT_EQ(stride, 12u);  // 4 channels x (a, b, pin)
+
+  std::mt19937 rng(29);
+  std::bernoulli_distribution coin(0.5);
+  std::vector<Bits> a_words(20), b_words(20);
+  std::vector<std::uint8_t> packed(a_words.size() * stride);
+  for (std::size_t w = 0; w < a_words.size(); ++w) {
+    a_words[w].resize(4);
+    b_words[w].resize(4);
+    for (std::size_t ch = 0; ch < 4; ++ch) {
+      a_words[w][ch] = coin(rng) ? 1 : 0;
+      b_words[w][ch] = coin(rng) ? 1 : 0;
+      packed[w * stride + ch * 3] = a_words[w][ch];
+      packed[w * stride + ch * 3 + 1] = b_words[w][ch];
+      packed[w * stride + ch * 3 + 2] = 1;  // OR pins the third input to 1
+    }
+  }
+  const auto bits = evaluator.evaluate_bits(a_words.size(), packed);
+  for (std::size_t w = 0; w < a_words.size(); ++w) {
+    const auto want = logic.evaluate(a_words[w], b_words[w]);
+    for (std::size_t ch = 0; ch < 4; ++ch) {
+      EXPECT_EQ(bits[w * 4 + ch], want[ch]) << "word " << w;
+    }
+  }
+}
+
+TEST(BatchEvaluator, PackedBitsMatchChannelResults) {
+  const GateFixture fix;
+  const auto gate = fix.majority_gate(3, 4);
+  const auto batch = random_batch(128, 4, 3, /*seed=*/23);
+  const BatchEvaluator evaluator(gate);
+  ASSERT_EQ(evaluator.slot_count(), 12u);
+
+  std::vector<std::uint8_t> packed(batch.size() * evaluator.slot_count());
+  for (std::size_t w = 0; w < batch.size(); ++w) {
+    for (std::size_t ch = 0; ch < 4; ++ch) {
+      for (std::size_t in = 0; in < 3; ++in) {
+        packed[w * 12 + ch * 3 + in] = batch[w][ch][in];
+      }
+    }
+  }
+  const auto bits = evaluator.evaluate_bits(batch.size(), packed);
+  const auto full = evaluator.evaluate(batch);
+  ASSERT_EQ(bits.size(), batch.size() * 4);
+  for (std::size_t w = 0; w < batch.size(); ++w) {
+    for (const auto& r : full[w]) {
+      EXPECT_EQ(bits[w * 4 + r.channel], r.logic) << "word " << w;
+    }
+  }
+}
+
+TEST(BatchEvaluator, PackedBitsRejectsWrongShape) {
+  const GateFixture fix;
+  const auto gate = fix.majority_gate(3, 2);
+  const BatchEvaluator evaluator(gate);
+  const std::vector<std::uint8_t> packed(evaluator.slot_count() + 1);
+  EXPECT_THROW(evaluator.evaluate_bits(1, packed), sw::util::Error);
+}
+
+TEST(BatchEvaluator, EmptyBatchIsEmpty) {
+  const GateFixture fix;
+  const auto gate = fix.majority_gate(3, 2);
+  const BatchEvaluator evaluator(gate);
+  EXPECT_TRUE(evaluator.evaluate({}).empty());
+  EXPECT_TRUE(evaluator.evaluate_uniform({}).empty());
+}
+
+TEST(BatchEvaluator, RejectsMalformedWords) {
+  const GateFixture fix;
+  const auto gate = fix.majority_gate(3, 2);
+  const BatchEvaluator evaluator(gate);
+
+  // Wrong channel count.
+  std::vector<std::vector<Bits>> bad_channels{{Bits{1, 0, 1}}};
+  EXPECT_THROW(evaluator.evaluate(bad_channels), sw::util::Error);
+
+  // Wrong bit count on a channel.
+  std::vector<std::vector<Bits>> bad_bits{{Bits{1, 0, 1}, Bits{1, 0}}};
+  EXPECT_THROW(evaluator.evaluate(bad_bits), sw::util::Error);
+
+  const std::vector<Bits> bad_pattern{Bits{1, 0}};
+  EXPECT_THROW(evaluator.evaluate_uniform(bad_pattern), sw::util::Error);
+}
+
+// --------------------------------------------------------------------------
+// ThreadPool unit behaviour backing the evaluator's fan-out.
+
+TEST(ThreadPool, CoversFullRangeOnce) {
+  sw::util::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  sw::util::ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.parallel_for(5, [&](std::size_t, std::size_t) {
+    seen = std::this_thread::get_id();
+  });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPool, HandlesFewerItemsThanThreads) {
+  sw::util::ThreadPool pool(8);
+  std::atomic<int> total{0};
+  pool.parallel_for(3, [&](std::size_t begin, std::size_t end) {
+    total.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ThreadPool, ZeroItemsIsNoop) {
+  sw::util::ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, PropagatesWorkerException) {
+  sw::util::ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t begin, std::size_t) {
+                          if (begin == 0) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // Pool stays usable after an exception.
+  std::atomic<int> total{0};
+  pool.parallel_for(10, [&](std::size_t begin, std::size_t end) {
+    total.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(total.load(), 10);
+}
+
+}  // namespace

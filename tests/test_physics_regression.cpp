@@ -1,0 +1,125 @@
+// Physics regression pins: FVMSW / BVMSW / Damon-Eshbach dispersion and the
+// engine decay length, evaluated on the paper's device (Fe60Co20B20 PMA
+// waveguide, 50 nm x 1 nm, alpha = 0.004) and pinned to golden values
+// produced by the seed implementation. These guard future solver refactors:
+// a change that moves any of these numbers beyond the stated tolerance is a
+// physics change, not a refactor, and must update the goldens deliberately.
+//
+// Tolerances: direct closed-form evaluations are pinned at 1e-9 relative;
+// values that pass through Brent root finding or numeric differentiation
+// (k(f), lambda(f), v_g, decay length) at 1e-6 relative.
+#include <gtest/gtest.h>
+
+#include "dispersion/bvmsw_de.h"
+#include "dispersion/fvmsw.h"
+#include "mag/material.h"
+#include "wavesim/wave_engine.h"
+
+namespace {
+
+using sw::disp::BvmswDispersion;
+using sw::disp::DamonEshbachDispersion;
+using sw::disp::FvmswDispersion;
+using sw::disp::Waveguide;
+using sw::wavesim::WaveEngine;
+
+Waveguide paper_waveguide() {
+  Waveguide wg;
+  wg.material = sw::mag::make_fecob();
+  wg.width = 50e-9;
+  wg.thickness = 1e-9;
+  return wg;
+}
+
+constexpr double kFormulaTol = 1e-9;  ///< relative, closed-form values
+constexpr double kSolverTol = 1e-6;   ///< relative, root-find / numeric-diff
+
+void expect_rel(double got, double want, double rel_tol) {
+  EXPECT_NEAR(got, want, std::abs(want) * rel_tol);
+}
+
+TEST(PhysicsRegression, FvmswInternalFieldAndQuantisation) {
+  const FvmswDispersion model(paper_waveguide());
+  // Internal field Hk - Ms (self-biased PMA film, Hext = 0) and the
+  // first-width-mode transverse wavenumber pi / (0.92 * 50 nm).
+  expect_rel(model.internal_field(), 103457.33584982879, kFormulaTol);
+  expect_rel(model.k_transverse(), 68295492.46934332, kFormulaTol);
+}
+
+TEST(PhysicsRegression, FvmswDispersionCurve) {
+  const FvmswDispersion model(paper_waveguide());
+  expect_rel(model.fmr(), 8662810003.1731339, kFormulaTol);
+  expect_rel(model.frequency(1e7), 8763591799.3303375, kFormulaTol);
+  expect_rel(model.frequency(5e7), 11165606779.342091, kFormulaTol);
+  expect_rel(model.frequency(1e8), 18559530219.228283, kFormulaTol);
+  expect_rel(model.frequency(3e8), 95537707138.806503, kFormulaTol);
+}
+
+TEST(PhysicsRegression, FvmswInversionAtChannelFrequencies) {
+  const FvmswDispersion model(paper_waveguide());
+  // The paper's channel grid spans 10-80 GHz; pin the ends and two interior
+  // points of k(f) and lambda(f).
+  expect_rel(model.k_from_frequency(1e10), 36443837.96853558, kSolverTol);
+  expect_rel(model.k_from_frequency(2e10), 107083225.17843153, kSolverTol);
+  expect_rel(model.k_from_frequency(4e10), 179156940.23373842, kSolverTol);
+  expect_rel(model.k_from_frequency(8e10), 271502312.0623709, kSolverTol);
+
+  expect_rel(model.wavelength(1e10), 1.7240734394122493e-07, kSolverTol);
+  expect_rel(model.wavelength(2e10), 5.8675719719031514e-08, kSolverTol);
+  expect_rel(model.wavelength(4e10), 3.5070845142712204e-08, kSolverTol);
+  expect_rel(model.wavelength(8e10), 2.3142290242214146e-08, kSolverTol);
+}
+
+TEST(PhysicsRegression, FvmswGroupVelocity) {
+  const FvmswDispersion model(paper_waveguide());
+  expect_rel(model.group_velocity_at_frequency(1e10), 458.15247970817484,
+             kSolverTol);
+  expect_rel(model.group_velocity_at_frequency(2e10), 1315.15058191751,
+             kSolverTol);
+  expect_rel(model.group_velocity_at_frequency(4e10), 2172.2223170716061,
+             kSolverTol);
+  expect_rel(model.group_velocity_at_frequency(8e10), 3265.2755180467975,
+             kSolverTol);
+}
+
+TEST(PhysicsRegression, EngineDecayLengthAtPaperDamping) {
+  const auto wg = paper_waveguide();
+  const FvmswDispersion model(wg);
+  const WaveEngine engine(model, 0.004);
+  // Micron-scale decay, non-monotonic in f: v_g growth beats the 1/f factor
+  // up to ~20 GHz, then loses.
+  expect_rel(engine.decay_length(1e10), 1.8229307958841325e-06, kSolverTol);
+  expect_rel(engine.decay_length(2e10), 2.6164089502794291e-06, kSolverTol);
+  expect_rel(engine.decay_length(4e10), 2.1607494953529781e-06, kSolverTol);
+  expect_rel(engine.decay_length(8e10), 1.6240148101690536e-06, kSolverTol);
+}
+
+TEST(PhysicsRegression, BvmswDispersionCurve) {
+  // In-plane magnetised configuration at H_int = 1e5 A/m.
+  const BvmswDispersion model(paper_waveguide(), 1e5);
+  expect_rel(model.fmr(), 12199593384.862387, kFormulaTol);
+  expect_rel(model.frequency(1e7), 12347331873.547905, kFormulaTol);
+  expect_rel(model.frequency(1e8), 25396781332.080978, kFormulaTol);
+  expect_rel(model.frequency(5e8), 253971663282.17862, kFormulaTol);
+}
+
+TEST(PhysicsRegression, DamonEshbachDispersionCurve) {
+  const DamonEshbachDispersion model(paper_waveguide(), 1e5);
+  expect_rel(model.fmr(), 12199593384.862387, kFormulaTol);
+  expect_rel(model.frequency(1e7), 12672160480.25329, kFormulaTol);
+  expect_rel(model.frequency(1e8), 27152697214.276966, kFormulaTol);
+  expect_rel(model.frequency(5e8), 258288496666.59277, kFormulaTol);
+}
+
+TEST(PhysicsRegression, DamonEshbachSitsAboveBvmsw) {
+  // Standard magnetostatic ordering at equal internal field: surface mode
+  // above the backward-volume branch for every k > 0.
+  const auto wg = paper_waveguide();
+  const BvmswDispersion bv(wg, 1e5);
+  const DamonEshbachDispersion de(wg, 1e5);
+  for (const double k : {1e7, 5e7, 1e8, 5e8}) {
+    EXPECT_GT(de.frequency(k), bv.frequency(k)) << "k = " << k;
+  }
+}
+
+}  // namespace
