@@ -1,0 +1,195 @@
+// Experiment E7 — evaluator-service steady-state throughput.
+//
+// The serving question: a stream of packed word batches arrives for the
+// same gate layout — what does plan caching buy over PR 1's per-call
+// pattern of reconstructing a BatchEvaluator for every batch? The baseline
+// rebuilds the evaluator per call exactly as the one-shot evaluate_batch
+// hooks do (plan precompute + pool setup each time, engine memoisation
+// shared); the service path submits the same batches to a long-lived
+// EvaluatorService whose plan cache makes the steady-state cost just the
+// packed-bit evaluation. A ≥ 2x floor on the speedup gates CI (the
+// acceptance bar of the serving PR); both paths are cross-checked
+// bit-for-bit first.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/gate.h"
+#include "core/gate_design.h"
+#include "dispersion/fvmsw.h"
+#include "serve/service.h"
+#include "util/error.h"
+#include "wavesim/batch_evaluator.h"
+#include "wavesim/wave_engine.h"
+
+namespace {
+
+using namespace sw;
+
+// Serving shape: many modest batches, not one huge sweep. m = 7 inputs on
+// the 8 paper channels makes the per-layout plan (112 steady-phasor
+// solves) the dominant per-call cost the cache exists to amortise.
+constexpr std::size_t kNumInputs = 7;
+constexpr std::size_t kWordsPerBatch = 24;
+constexpr std::size_t kBatches = 400;
+
+struct BenchSetup {
+  disp::Waveguide wg = bench::paper_waveguide();
+  disp::FvmswDispersion model{wg};
+  core::InlineGateDesigner designer{model};
+  wavesim::WaveEngine engine{model, wg.material.alpha};
+  core::GateLayout layout;
+  core::DataParallelGate gate;
+  std::vector<std::uint8_t> batch;
+
+  BenchSetup()
+      : layout([this] {
+          core::GateSpec spec;
+          spec.num_inputs = kNumInputs;
+          spec.frequencies = bench::paper_frequencies();
+          return designer.design(spec);
+        }()),
+        gate(layout, engine) {
+    const std::size_t slots =
+        layout.spec.frequencies.size() * layout.spec.num_inputs;
+    batch.resize(kWordsPerBatch * slots);
+    std::mt19937 rng(12345);
+    std::bernoulli_distribution coin(0.5);
+    for (auto& b : batch) b = coin(rng) ? 1 : 0;
+  }
+};
+
+const BenchSetup& setup() {
+  static const BenchSetup s;
+  return s;
+}
+
+std::vector<std::uint8_t> run_rebuild_per_call(const BenchSetup& s) {
+  // PR 1's per-call shape: a fresh BatchEvaluator (plan + pool) per batch.
+  const wavesim::BatchEvaluator evaluator(s.gate);
+  return evaluator.evaluate_bits(kWordsPerBatch, s.batch);
+}
+
+std::vector<std::uint8_t> run_service_batches(serve::EvaluatorService& svc,
+                                              const BenchSetup& s,
+                                              std::size_t batches) {
+  // Pipelined client: submit the whole wave, then drain the futures. The
+  // admission queue is sized to hold the wave (a throughput client raises
+  // the knob; a latency client keeps it small and blocks).
+  std::deque<std::future<serve::ResultBatch>> inflight;
+  std::vector<std::uint8_t> last;
+  for (std::size_t i = 0; i < batches; ++i) {
+    inflight.push_back(svc.submit(s.layout, s.batch, kWordsPerBatch));
+  }
+  while (!inflight.empty()) {
+    last = inflight.front().get().bits;
+    inflight.pop_front();
+  }
+  return last;
+}
+
+void run_experiment() {
+  const auto& s = setup();
+  const double words = static_cast<double>(kBatches * kWordsPerBatch);
+  std::printf("%zu batches x %zu words, %zu-input %zu-channel majority "
+              "layout (plan: %zu phasor pairs)\n\n",
+              kBatches, kWordsPerBatch, kNumInputs,
+              s.layout.spec.frequencies.size(),
+              s.layout.sources.size());
+
+  using clock = std::chrono::steady_clock;
+
+  // Best of three either way: the floor check gates CI, so one scheduler
+  // stall must not read as a regression.
+  double rebuild_s = std::numeric_limits<double>::infinity();
+  std::vector<std::uint8_t> rebuilt;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = clock::now();
+    for (std::size_t i = 0; i < kBatches; ++i) rebuilt = run_rebuild_per_call(s);
+    const auto t1 = clock::now();
+    rebuild_s =
+        std::min(rebuild_s, std::chrono::duration<double>(t1 - t0).count());
+  }
+
+  serve::ServiceOptions options;
+  options.plan_cache_capacity = 8;
+  options.admission.max_queued_requests = kBatches + 8;
+  serve::EvaluatorService svc(s.model, s.wg.material.alpha, options);
+  // Warm the plan cache once; steady state is what serving measures.
+  (void)svc.submit(s.layout, s.batch, kWordsPerBatch).get();
+
+  double service_s = std::numeric_limits<double>::infinity();
+  std::vector<std::uint8_t> served;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = clock::now();
+    served = run_service_batches(svc, s, kBatches);
+    const auto t1 = clock::now();
+    service_s =
+        std::min(service_s, std::chrono::duration<double>(t1 - t0).count());
+  }
+
+  const auto stats = svc.stats();
+  std::printf("rebuild per call : %8.1f ms  (%10.0f words/s)\n",
+              rebuild_s * 1e3, words / rebuild_s);
+  std::printf("EvaluatorService : %8.1f ms  (%10.0f words/s)\n",
+              service_s * 1e3, words / service_s);
+  std::printf("speedup          : %8.1fx  (floor: 2x)\n\n",
+              rebuild_s / service_s);
+  std::printf("cache: %llu hits / %llu misses / %llu evictions; "
+              "%llu requests served\n\n",
+              static_cast<unsigned long long>(stats.cache.hits),
+              static_cast<unsigned long long>(stats.cache.misses),
+              static_cast<unsigned long long>(stats.cache.evictions),
+              static_cast<unsigned long long>(stats.completed));
+
+  std::fflush(stdout);
+  SW_REQUIRE(served == rebuilt,
+             "service results diverged from the rebuild-per-call sweep");
+  SW_REQUIRE(stats.cache.hits >= 3 * kBatches,
+             "steady-state submissions were expected to hit the plan cache");
+  // The acceptance bar: cached-plan steady state at >= 2x the
+  // rebuild-per-call baseline, as a hard floor so CI catches regressions.
+  SW_REQUIRE(rebuild_s / service_s >= 2.0,
+             "service steady state regressed below 2x rebuild-per-call");
+}
+
+void BM_RebuildPerCall(benchmark::State& state) {
+  const auto& s = setup();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_rebuild_per_call(s));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kWordsPerBatch));
+}
+BENCHMARK(BM_RebuildPerCall);
+
+void BM_ServiceCachedSubmit(benchmark::State& state) {
+  const auto& s = setup();
+  serve::EvaluatorService svc(s.model, s.wg.material.alpha);
+  (void)svc.submit(s.layout, s.batch, kWordsPerBatch).get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        svc.submit(s.layout, s.batch, kWordsPerBatch).get().bits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kWordsPerBatch));
+}
+BENCHMARK(BM_ServiceCachedSubmit);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "=== E7: serving throughput — plan cache vs rebuild per call ===\n\n");
+  run_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

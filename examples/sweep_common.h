@@ -1,0 +1,70 @@
+// Shared fixture for the sharded-sweep example pair (sweep_coordinator +
+// sweep_worker).
+//
+// Both processes construct the SAME dispersion model locally (the paper's
+// Fe60Co20B20 50 nm x 1 nm waveguide); only the GateSpec and the packed
+// input words travel on the wire. The canonical layout hash in each
+// request frame is the contract: the worker re-designs the layout from the
+// wire spec against its local model and refuses the shard unless its hash
+// matches the coordinator's — proving, across process boundaries, that
+// both binaries derived bit-identical geometry.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/encoding.h"
+#include "core/gate_design.h"
+#include "dispersion/waveguide.h"
+#include "mag/material.h"
+
+namespace sweep_example {
+
+/// The paper's device: Fe60Co20B20 PMA waveguide, 50 nm x 1 nm.
+inline sw::disp::Waveguide waveguide() {
+  sw::disp::Waveguide wg;
+  wg.material = sw::mag::make_fecob();
+  wg.width = 50e-9;
+  wg.thickness = 1e-9;
+  return wg;
+}
+
+inline constexpr std::size_t kChannels = 8;
+
+/// The majority fabric behind the 8-channel parallel AND gate: 3 inputs
+/// per channel (a, b, pinned 0) at 10..80 GHz.
+inline sw::core::GateSpec gate_spec() {
+  sw::core::GateSpec spec;
+  spec.num_inputs = 3;
+  for (std::size_t i = 1; i <= kChannels; ++i) {
+    spec.frequencies.push_back(1e10 * static_cast<double>(i));
+  }
+  return spec;
+}
+
+/// Packed slot count per word: channel * 3 + {0: a, 1: b, 2: pin}.
+inline constexpr std::size_t kSlotsPerWord = kChannels * 3;
+
+/// Total words of the exhaustive sweep: every (a, b) operand-byte pair.
+inline constexpr std::size_t kSweepWords = std::size_t{1} << (2 * kChannels);
+
+/// The full exhaustive input matrix (kSweepWords x kSlotsPerWord): word v
+/// applies operand byte a = low 8 bits of v and b = high 8 bits, with the
+/// third input of every channel pinned to 0 (MAJ(a, b, 0) = AND).
+inline std::vector<std::uint8_t> and_truth_table_matrix() {
+  std::vector<std::uint8_t> matrix(kSweepWords * kSlotsPerWord, 0);
+  for (std::size_t v = 0; v < kSweepWords; ++v) {
+    const std::size_t a = v & 0xFFu;
+    const std::size_t b = v >> kChannels;
+    for (std::size_t ch = 0; ch < kChannels; ++ch) {
+      matrix[v * kSlotsPerWord + ch * 3 + 0] =
+          static_cast<std::uint8_t>((a >> ch) & 1u);
+      matrix[v * kSlotsPerWord + ch * 3 + 1] =
+          static_cast<std::uint8_t>((b >> ch) & 1u);
+      // slot ch * 3 + 2 stays 0: the AND pin.
+    }
+  }
+  return matrix;
+}
+
+}  // namespace sweep_example

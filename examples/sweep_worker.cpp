@@ -1,0 +1,68 @@
+// Sharded-sweep worker process: evaluate one request frame, write one
+// response frame.
+//
+//   example_sweep_worker <request-file> <response-file>
+//
+// The worker reads the request, re-designs the gate layout from the wire
+// GateSpec against its locally constructed dispersion model, and verifies
+// the canonical layout hash against the coordinator's before evaluating a
+// single word — geometry drift between binaries is a hard error, not a
+// silent wrong answer. The packed input rows are then pushed through a
+// BatchEvaluator and the decoded bits answered via the wire format.
+#include <cstdio>
+#include <exception>
+
+#include "core/gate.h"
+#include "core/gate_design.h"
+#include "dispersion/fvmsw.h"
+#include "serve/layout_hash.h"
+#include "serve/wire.h"
+#include "sweep_common.h"
+#include "util/error.h"
+#include "wavesim/batch_evaluator.h"
+#include "wavesim/wave_engine.h"
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr,
+                 "usage: %s <request-file> <response-file>\n", argv[0]);
+    return 64;
+  }
+  try {
+    const auto request = sw::serve::read_frame_file(argv[1]);
+    SW_REQUIRE(request.kind == sw::serve::FrameKind::kRequest && request.spec,
+               "worker expects a request frame carrying a GateSpec");
+
+    const auto wg = sweep_example::waveguide();
+    const sw::disp::FvmswDispersion model(wg);
+    const sw::core::InlineGateDesigner designer(model);
+    const auto layout = designer.design(*request.spec);
+
+    const std::uint64_t local_hash = sw::serve::hash_layout(layout);
+    SW_REQUIRE(local_hash == request.layout_hash,
+               "layout hash mismatch: worker geometry differs from "
+               "coordinator geometry");
+
+    const sw::wavesim::WaveEngine engine(model, wg.material.alpha);
+    const sw::core::DataParallelGate gate(layout, engine);
+    const sw::wavesim::BatchEvaluator evaluator(gate);
+    SW_REQUIRE(request.num_cols == evaluator.slot_count(),
+               "request slot count does not match the designed layout");
+
+    auto bits = evaluator.evaluate_bits(
+        static_cast<std::size_t>(request.num_words), request.matrix);
+    const std::uint64_t channels = layout.spec.frequencies.size();
+    sw::serve::write_frame_file(
+        argv[2],
+        sw::serve::make_response_frame(request, channels, std::move(bits)));
+
+    std::printf("worker: %llu words @ offset %llu, layout %016llx — done\n",
+                static_cast<unsigned long long>(request.num_words),
+                static_cast<unsigned long long>(request.word_offset),
+                static_cast<unsigned long long>(local_hash));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "worker: %s\n", e.what());
+    return 1;
+  }
+}

@@ -44,9 +44,9 @@ class DataParallelGate {
   /// sw::wavesim::BatchEvaluator (shared dispersion/decay precompute +
   /// thread-pool fan-out). Results match a per-word `evaluate` loop
   /// bit-for-bit. Callers with a long-lived gate and repeated batches
-  /// should hold a BatchEvaluator instead to reuse the precompute — also
-  /// the route for calling from several threads, since building the
-  /// one-shot evaluator here touches the engine's unsynchronised cache.
+  /// should hold a BatchEvaluator (or use sw::serve::EvaluatorService,
+  /// which caches plans across layouts) instead of paying this call's
+  /// per-batch precompute.
   std::vector<std::vector<ChannelResult>> evaluate_batch(
       const std::vector<std::vector<Bits>>& batch,
       std::size_t num_threads = 0) const;

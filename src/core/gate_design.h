@@ -31,6 +31,9 @@ struct GateSpec {
 
   /// Centre-to-centre pitch implied by the transducer geometry.
   double pitch() const { return transducer_width + min_gap; }
+
+  /// Field-wise equality (wire-format round trips, cache-key checks).
+  bool operator==(const GateSpec&) const = default;
 };
 
 /// A placed input transducer.
@@ -39,6 +42,8 @@ struct PlacedSource {
   std::size_t input = 0;    ///< input index within the channel (0 = first)
   double x = 0.0;           ///< centre position [m]
   double amplitude = 1.0;   ///< relative drive level (damping compensation)
+
+  bool operator==(const PlacedSource&) const = default;
 };
 
 /// A placed output transducer.
@@ -46,6 +51,8 @@ struct PlacedDetector {
   std::size_t channel = 0;
   double x = 0.0;
   bool inverted = false;  ///< true: half-integer placement, reads NOT(f)
+
+  bool operator==(const PlacedDetector&) const = default;
 };
 
 /// Complete physical layout of one in-line gate.
@@ -77,6 +84,10 @@ struct GateLayout {
   /// Verify every layout invariant (spacings are exact wavelength multiples,
   /// pitch respected, detectors beyond all sources); throws on violation.
   void validate() const;
+
+  /// Field-wise equality over the full geometry — the collision-safe
+  /// comparison behind sw::serve plan-cache keys.
+  bool operator==(const GateLayout&) const = default;
 };
 
 /// Synthesises in-line layouts from a dispersion model.

@@ -1,0 +1,84 @@
+#include "serve/admission.h"
+
+namespace sw::serve {
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {}
+
+bool AdmissionController::fits_locked(std::size_t words) const {
+  if (options_.max_queued_requests > 0 &&
+      queued_ >= options_.max_queued_requests) {
+    return false;
+  }
+  if (options_.max_inflight_words > 0 && inflight_words_ > 0 &&
+      inflight_words_ + words > options_.max_inflight_words) {
+    return false;
+  }
+  return true;
+}
+
+void AdmissionController::admit(std::size_t words) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  SW_REQUIRE(!closed_, "admission controller closed");
+  if (!fits_locked(words)) {
+    if (options_.policy == OverloadPolicy::kShed) {
+      ++shed_;
+      throw OverloadError(
+          "request shed: admission budget exhausted (queued=" +
+          std::to_string(queued_) +
+          ", inflight_words=" + std::to_string(inflight_words_) + ")");
+    }
+    ++blocked_;
+    capacity_freed_.wait(lock,
+                         [&] { return closed_ || fits_locked(words); });
+    SW_REQUIRE(!closed_, "admission controller closed while waiting");
+  }
+  ++queued_;
+  inflight_words_ += words;
+}
+
+void AdmissionController::mark_dequeued() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queued_ > 0) --queued_;
+  }
+  capacity_freed_.notify_all();
+}
+
+void AdmissionController::release(std::size_t words) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inflight_words_ -= (words <= inflight_words_) ? words : inflight_words_;
+  }
+  capacity_freed_.notify_all();
+}
+
+void AdmissionController::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  capacity_freed_.notify_all();
+}
+
+std::size_t AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_;
+}
+
+std::size_t AdmissionController::inflight_words() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return inflight_words_;
+}
+
+std::uint64_t AdmissionController::shed_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shed_;
+}
+
+std::uint64_t AdmissionController::blocked_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return blocked_;
+}
+
+}  // namespace sw::serve

@@ -1,0 +1,82 @@
+// Admission control for the evaluator service: a bounded request queue and
+// a cap on in-flight words, with an explicit overload policy.
+//
+// The service must not buffer unbounded work when producers outrun the
+// workers — memory and tail latency both blow up. AdmissionController
+// gates every submission against two budgets (queued-but-not-started
+// requests, and admitted-but-not-completed words) and applies one of two
+// policies when a budget is exhausted: kBlock parks the submitter until
+// capacity frees (backpressure), kShed fails fast with OverloadError so
+// the caller can retry elsewhere. Both are surfaced directly to callers of
+// EvaluatorService::submit.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "util/error.h"
+
+namespace sw::serve {
+
+/// Thrown by admit() under the kShed policy when a budget is exhausted.
+class OverloadError : public sw::util::Error {
+ public:
+  explicit OverloadError(const std::string& what) : Error(what) {}
+};
+
+enum class OverloadPolicy : std::uint8_t {
+  kBlock,  ///< park the submitter until capacity frees (backpressure)
+  kShed,   ///< throw OverloadError immediately (fail fast)
+};
+
+struct AdmissionOptions {
+  /// Max requests admitted but not yet picked up by a worker; 0 = unbounded.
+  std::size_t max_queued_requests = 1024;
+  /// Max words admitted but not yet completed; 0 = unbounded. A request
+  /// larger than the whole budget is still admitted when the service is
+  /// idle (otherwise it could never run); it then occupies the budget
+  /// alone.
+  std::size_t max_inflight_words = 0;
+  OverloadPolicy policy = OverloadPolicy::kBlock;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options);
+
+  /// Account one request of `words` words. Under kShed throws
+  /// OverloadError when a budget is exhausted; under kBlock waits until it
+  /// fits. Throws sw::util::Error if the controller is closed while (or
+  /// before) waiting.
+  void admit(std::size_t words);
+
+  /// A worker picked the request up: it no longer counts against the
+  /// queued-requests budget (its words stay in flight until release()).
+  void mark_dequeued();
+
+  /// The request completed (successfully or not): return its words.
+  void release(std::size_t words);
+
+  /// Wake every blocked submitter with an error; subsequent admits throw.
+  void close();
+
+  std::size_t queued() const;
+  std::size_t inflight_words() const;
+  std::uint64_t shed_total() const;
+  std::uint64_t blocked_total() const;
+
+ private:
+  bool fits_locked(std::size_t words) const;
+
+  AdmissionOptions options_;
+  mutable std::mutex mutex_;
+  std::condition_variable capacity_freed_;
+  std::size_t queued_ = 0;
+  std::size_t inflight_words_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t blocked_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace sw::serve

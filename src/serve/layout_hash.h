@@ -1,0 +1,72 @@
+// Canonical layout hashing for the serving layer.
+//
+// A cached evaluation plan is only reusable for a request whose gate
+// geometry is *identical* — same frequencies, placements, amplitudes and
+// inversion flags — so the cache key must be a pure function of the layout
+// data: deterministic across process runs (no pointers, no iteration-order
+// dependence) so that a coordinator and a worker binary can agree on it
+// over the wire. hash_layout() is FNV-1a 64 over a canonical little-endian
+// byte serialisation of every evaluation-relevant GateLayout field;
+// LayoutKey keeps those bytes alongside the hash so cache lookups compare
+// the full key and a 64-bit collision can never alias two layouts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/gate_design.h"
+
+namespace sw::serve {
+
+/// FNV-1a 64-bit parameters (public so the wire format can reuse the same
+/// primitive for payload checksums).
+inline constexpr std::uint64_t kFnvOffsetBasis = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// Byte-wise FNV-1a 64 over `bytes`, starting from `seed` (chain calls to
+/// hash a logical concatenation without materialising it). Used for wire
+/// checksums, where IO dominates anyway.
+std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes,
+                      std::uint64_t seed = kFnvOffsetBasis);
+
+/// FNV-1a 64 folded over little-endian u64 chunks (zero-padded tail, total
+/// length mixed in last) — one multiply per 8 bytes instead of per byte,
+/// for the per-request layout-hash fast path. Deterministic across runs
+/// and processes like the byte-wise variant, but a distinct function: the
+/// two never produce comparable values.
+std::uint64_t chunked_fnv1a64(std::span<const std::uint8_t> bytes);
+
+/// Canonical byte serialisation of a layout: format tag, then every field
+/// of the spec and the placed geometry, little-endian, doubles as IEEE-754
+/// bit patterns, every vector length-prefixed. Identical layouts produce
+/// identical bytes in any process on any run; any change to the geometry,
+/// ops (inversion flags) or frequencies changes the bytes.
+std::vector<std::uint8_t> canonical_layout_bytes(
+    const sw::core::GateLayout& layout);
+
+/// 64-bit hash of canonical_layout_bytes(layout).
+std::uint64_t hash_layout(const sw::core::GateLayout& layout);
+
+/// Collision-safe plan-cache key: the hash indexes the cache, the canonical
+/// bytes back equality, so two distinct layouts that collide on the 64-bit
+/// hash still occupy distinct cache entries.
+class LayoutKey {
+ public:
+  LayoutKey() = default;
+
+  static LayoutKey from(const sw::core::GateLayout& layout);
+
+  std::uint64_t hash() const { return hash_; }
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+  friend bool operator==(const LayoutKey& a, const LayoutKey& b) {
+    return a.hash_ == b.hash_ && a.bytes_ == b.bytes_;
+  }
+
+ private:
+  std::uint64_t hash_ = 0;
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace sw::serve

@@ -1,0 +1,144 @@
+#include "serve/plan_cache.h"
+
+#include <chrono>
+#include <utility>
+
+namespace sw::serve {
+
+namespace {
+
+bool ready(const std::shared_future<PlanCache::PlanPtr>& fut) {
+  return fut.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+}
+
+}  // namespace
+
+PlanCache::PlanCache(const sw::wavesim::WaveEngine& engine,
+                     std::size_t capacity,
+                     sw::wavesim::BatchOptions evaluator_options)
+    : engine_(&engine),
+      capacity_(capacity),
+      evaluator_options_(evaluator_options) {}
+
+PlanCache::Slot* PlanCache::find_locked(const LayoutKey& key) {
+  const auto bucket = slots_.find(key.hash());
+  if (bucket == slots_.end()) return nullptr;
+  for (auto& slot : bucket->second) {
+    if (slot.key == key) return &slot;
+  }
+  return nullptr;
+}
+
+void PlanCache::evict_for_insert_locked() {
+  while (capacity_ > 0 && size_ >= capacity_) {
+    // Evict the least-recently-used *ready* slot; a slot still building is
+    // pinned (its builder and waiters are live). If every slot is
+    // building, temporarily exceed capacity rather than stall the insert.
+    std::unordered_map<std::uint64_t, std::vector<Slot>>::iterator
+        victim_bucket = slots_.end();
+    std::size_t victim_index = 0;
+    std::uint64_t oldest = 0;
+    bool found = false;
+    for (auto it = slots_.begin(); it != slots_.end(); ++it) {
+      for (std::size_t i = 0; i < it->second.size(); ++i) {
+        const Slot& slot = it->second[i];
+        if (!ready(slot.plan)) continue;
+        if (!found || slot.last_used < oldest) {
+          found = true;
+          oldest = slot.last_used;
+          victim_bucket = it;
+          victim_index = i;
+        }
+      }
+    }
+    if (!found) return;
+    auto& vec = victim_bucket->second;
+    vec.erase(vec.begin() + static_cast<std::ptrdiff_t>(victim_index));
+    if (vec.empty()) slots_.erase(victim_bucket);
+    --size_;
+    ++stats_.evictions;
+  }
+}
+
+void PlanCache::erase_locked(const LayoutKey& key) {
+  const auto bucket = slots_.find(key.hash());
+  if (bucket == slots_.end()) return;
+  auto& vec = bucket->second;
+  for (std::size_t i = 0; i < vec.size(); ++i) {
+    if (vec[i].key == key) {
+      vec.erase(vec.begin() + static_cast<std::ptrdiff_t>(i));
+      if (vec.empty()) slots_.erase(bucket);
+      --size_;
+      return;
+    }
+  }
+}
+
+PlanCache::PlanPtr PlanCache::try_get(const sw::core::GateLayout& layout) {
+  const LayoutKey key = LayoutKey::from(layout);
+  std::shared_future<PlanPtr> fut;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Slot* slot = find_locked(key);
+    if (slot == nullptr || !ready(slot->plan)) return nullptr;
+    ++stats_.hits;
+    slot->last_used = ++tick_;
+    fut = slot->plan;
+  }
+  // A ready slot always carries a value: failed builds erase their slot
+  // before publishing the exception, so they are never observable here.
+  return fut.get();
+}
+
+PlanCache::Lookup PlanCache::get_or_build(const sw::core::GateLayout& layout) {
+  const LayoutKey key = LayoutKey::from(layout);
+  std::promise<PlanPtr> builder;
+  std::shared_future<PlanPtr> fut;
+  bool build_here = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (Slot* slot = find_locked(key)) {
+      ++stats_.hits;
+      slot->last_used = ++tick_;
+      fut = slot->plan;
+    } else {
+      ++stats_.misses;
+      evict_for_insert_locked();
+      Slot fresh;
+      fresh.key = key;
+      fresh.plan = builder.get_future().share();
+      fresh.last_used = ++tick_;
+      fut = fresh.plan;
+      slots_[key.hash()].push_back(std::move(fresh));
+      ++size_;
+      build_here = true;
+    }
+  }
+  if (build_here) {
+    try {
+      builder.set_value(std::make_shared<const CachedPlan>(
+          layout, *engine_, evaluator_options_));
+    } catch (...) {
+      // Drop the poisoned entry first so no new lookup can ever observe a
+      // ready-with-exception slot, then wake the waiters with the error.
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        erase_locked(key);
+      }
+      builder.set_exception(std::current_exception());
+    }
+  }
+  return {fut.get(), !build_here};
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return size_;
+}
+
+}  // namespace sw::serve

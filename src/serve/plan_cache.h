@@ -1,0 +1,110 @@
+// LRU cache of ready-to-run evaluation plans, keyed by canonical layout
+// hash with collision-safe full-key comparison.
+//
+// A BatchEvaluator plan is the expensive per-layout artefact of the serving
+// path (dispersion lookups plus one steady-phasor solve per (detector,
+// source, launch-phase) triple); the cache makes its cost amortise across
+// every request that reuses the layout. Construction of the plan for one
+// key is serialised *behind the cache entry*: the first caller inserts a
+// pending entry and builds, concurrent callers for the same key wait on the
+// entry's shared future instead of racing a second build — which is also
+// what makes the cache safe by design against the historical hazard of two
+// threads memoising into one engine (the engine is additionally
+// mutex-guarded now). Distinct layouts build concurrently.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/gate.h"
+#include "serve/layout_hash.h"
+#include "wavesim/batch_evaluator.h"
+#include "wavesim/wave_engine.h"
+
+namespace sw::serve {
+
+/// One cached plan: the gate (owning its copy of the layout) plus the
+/// BatchEvaluator built over it. Immutable once constructed and handed out
+/// as shared_ptr<const>, so an entry evicted mid-request stays valid for
+/// every holder. The evaluator is built with the cache's BatchOptions
+/// (default: single inline thread, so evaluation runs on the calling
+/// service worker and cached plans do not each own idle worker threads).
+class CachedPlan {
+ public:
+  CachedPlan(sw::core::GateLayout layout,
+             const sw::wavesim::WaveEngine& engine,
+             sw::wavesim::BatchOptions options)
+      : gate_(std::move(layout), engine), evaluator_(gate_, options) {}
+
+  CachedPlan(const CachedPlan&) = delete;
+  CachedPlan& operator=(const CachedPlan&) = delete;
+
+  const sw::core::DataParallelGate& gate() const { return gate_; }
+  const sw::wavesim::BatchEvaluator& evaluator() const { return evaluator_; }
+
+ private:
+  sw::core::DataParallelGate gate_;
+  sw::wavesim::BatchEvaluator evaluator_;
+};
+
+struct PlanCacheStats {
+  std::uint64_t hits = 0;       ///< lookups served from a cached plan
+  std::uint64_t misses = 0;     ///< lookups that triggered a build
+  std::uint64_t evictions = 0;  ///< LRU entries dropped to respect capacity
+};
+
+class PlanCache {
+ public:
+  using PlanPtr = std::shared_ptr<const CachedPlan>;
+
+  /// `capacity == 0` means unbounded. The engine must outlive the cache.
+  PlanCache(const sw::wavesim::WaveEngine& engine, std::size_t capacity,
+            sw::wavesim::BatchOptions evaluator_options = {.num_threads = 1});
+
+  /// Fast-path lookup: returns the plan when it is cached *and ready*,
+  /// nullptr otherwise (counts a hit only when it returns a plan). Never
+  /// blocks and never copies the layout beyond its canonical bytes.
+  PlanPtr try_get(const sw::core::GateLayout& layout);
+
+  struct Lookup {
+    PlanPtr plan;
+    bool hit = false;  ///< false when this call performed the build
+  };
+
+  /// Returns the cached plan, building it on a miss. One builder per key:
+  /// concurrent callers for the same layout wait on the first builder's
+  /// future. A build failure propagates to every waiter and removes the
+  /// entry so a later call can retry.
+  Lookup get_or_build(const sw::core::GateLayout& layout);
+
+  PlanCacheStats stats() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Slot {
+    LayoutKey key;
+    std::shared_future<PlanPtr> plan;
+    std::uint64_t last_used = 0;
+  };
+
+  Slot* find_locked(const LayoutKey& key);
+  void evict_for_insert_locked();
+  void erase_locked(const LayoutKey& key);
+
+  const sw::wavesim::WaveEngine* engine_;
+  std::size_t capacity_;
+  sw::wavesim::BatchOptions evaluator_options_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::vector<Slot>> slots_;
+  std::size_t size_ = 0;
+  std::uint64_t tick_ = 0;
+  PlanCacheStats stats_;
+};
+
+}  // namespace sw::serve

@@ -1,0 +1,147 @@
+#include "serve/service.h"
+
+#include <utility>
+
+#include "util/error.h"
+
+namespace sw::serve {
+
+struct EvaluatorService::Request {
+  std::uint64_t id = 0;
+  std::size_t num_words = 0;
+  std::size_t num_channels = 0;
+  /// Resolved on the submit fast path; when null the worker consults the
+  /// cache with `layout` (and builds the plan on a cold miss).
+  PlanCache::PlanPtr plan;
+  sw::core::GateLayout layout;
+  std::vector<std::uint8_t> bits;
+  std::promise<ResultBatch> promise;
+};
+
+EvaluatorService::EvaluatorService(const sw::disp::DispersionModel& model,
+                                   double alpha, ServiceOptions options)
+    : options_(std::move(options)),
+      engine_(model, alpha),
+      cache_(engine_, options_.plan_cache_capacity,
+             options_.evaluator_options),
+      admission_(options_.admission),
+      pool_(options_.num_threads, /*always_spawn=*/true) {}
+
+EvaluatorService::~EvaluatorService() {
+  // Wake blocked submitters before the pool destructor drains the queue;
+  // requests already admitted still run to completion.
+  admission_.close();
+}
+
+std::future<ResultBatch> EvaluatorService::submit(
+    const sw::core::GateLayout& layout,
+    std::vector<std::uint8_t> packed_bits, std::size_t num_words) {
+  const std::size_t slots =
+      layout.spec.frequencies.size() * layout.spec.num_inputs;
+  SW_REQUIRE(slots > 0, "layout has no input slots");
+  SW_REQUIRE(packed_bits.size() == num_words * slots,
+             "packed bit matrix must be num_words x slot_count");
+
+  auto request = std::make_unique<Request>();
+  request->num_words = num_words;
+  request->num_channels = layout.spec.frequencies.size();
+  request->bits = std::move(packed_bits);
+
+  admission_.admit(num_words);  // may block or throw OverloadError
+  // Resolve the plan only once admitted: a shed request must not touch
+  // hit counters or LRU recency (and must not pay the hash).
+  request->plan = cache_.try_get(layout);
+  if (!request->plan) request->layout = layout;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    request->id = next_id_++;
+    ++submitted_;
+  }
+  auto future = request->promise.get_future();
+  // Hand the queue a raw pointer: the two-word closure stays within
+  // std::function's small-buffer optimisation (no allocation per post),
+  // and process() reclaims ownership immediately.
+  Request* raw = request.release();
+  try {
+    pool_.post([this, raw] { process(raw); });
+  } catch (...) {
+    admission_.mark_dequeued();
+    admission_.release(raw->num_words);
+    delete raw;
+    throw;
+  }
+  return future;
+}
+
+std::future<ResultBatch> EvaluatorService::submit(
+    const sw::core::GateLayout& layout,
+    const std::vector<std::vector<sw::core::Bits>>& batch) {
+  const std::size_t n = layout.spec.frequencies.size();
+  const std::size_t m = layout.spec.num_inputs;
+  std::vector<std::uint8_t> packed(batch.size() * n * m);
+  for (std::size_t w = 0; w < batch.size(); ++w) {
+    SW_REQUIRE(batch[w].size() == n,
+               "each word needs one bit vector per channel");
+    for (std::size_t ch = 0; ch < n; ++ch) {
+      SW_REQUIRE(batch[w][ch].size() == m, "each channel needs m bits");
+      for (std::size_t in = 0; in < m; ++in) {
+        packed[w * n * m + ch * m + in] = batch[w][ch][in];
+      }
+    }
+  }
+  return submit(layout, std::move(packed), batch.size());
+}
+
+void EvaluatorService::process(Request* raw) {
+  const std::unique_ptr<Request> request(raw);
+  admission_.mark_dequeued();
+  ResultBatch out;
+  std::exception_ptr error;
+  try {
+    if (options_.on_request_start) options_.on_request_start(request->id);
+    bool hit = true;
+    PlanCache::PlanPtr plan = request->plan;
+    if (!plan) {
+      PlanCache::Lookup lookup = cache_.get_or_build(request->layout);
+      plan = std::move(lookup.plan);
+      hit = lookup.hit;
+    }
+    out.request_id = request->id;
+    out.num_words = request->num_words;
+    out.num_channels = request->num_channels;
+    out.cache_hit = hit;
+    out.bits =
+        plan->evaluator().evaluate_bits(request->num_words, request->bits);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  // Settle the accounting before the promise: a caller returning from
+  // future.get() observes stats that already include this request.
+  admission_.release(request->num_words);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++completed_;
+  }
+  if (error) {
+    request->promise.set_exception(error);
+  } else {
+    request->promise.set_value(std::move(out));
+  }
+}
+
+ServiceStats EvaluatorService::stats() const {
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    s.submitted = submitted_;
+    s.completed = completed_;
+  }
+  s.shed = admission_.shed_total();
+  s.blocked = admission_.blocked_total();
+  s.queued_requests = admission_.queued();
+  s.inflight_words = admission_.inflight_words();
+  s.cache = cache_.stats();
+  return s;
+}
+
+}  // namespace sw::serve

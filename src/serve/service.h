@@ -1,0 +1,130 @@
+// Long-lived evaluator service: the traffic-serving front end over the
+// batch-evaluation subsystem.
+//
+// One EvaluatorService owns the WaveEngine, a plan cache and a worker pool,
+// and accepts interleaved packed-word batches against *arbitrary* gate
+// layouts: submit() is asynchronous (returns a std::future), admission
+// control bounds the request queue and the words in flight (shed or block,
+// caller-visible), and per-layout BatchEvaluator plans are cached in an LRU
+// keyed by the canonical layout hash — so the steady-state cost of a
+// repeated layout is just the packed-bit evaluation, not plan
+// reconstruction. The submit fast path resolves a cached plan without
+// copying the layout; a miss hands the layout to a worker, where plan
+// construction is serialised per key behind the cache entry.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/gate.h"
+#include "dispersion/model.h"
+#include "serve/admission.h"
+#include "serve/plan_cache.h"
+#include "util/thread_pool.h"
+#include "wavesim/wave_engine.h"
+
+namespace sw::serve {
+
+struct ServiceOptions {
+  /// Worker threads consuming the request queue; 0 selects
+  /// std::thread::hardware_concurrency(). At least one dedicated worker is
+  /// always spawned so submission stays asynchronous on one-core hosts.
+  std::size_t num_threads = 0;
+  /// Plan-cache capacity in distinct layouts; 0 = unbounded.
+  std::size_t plan_cache_capacity = 32;
+  /// Options for the cached BatchEvaluators. The default single inline
+  /// thread makes each evaluation run entirely on the service worker that
+  /// picked the request up (parallelism comes from concurrent requests);
+  /// raise it only for few-but-huge-batch workloads.
+  sw::wavesim::BatchOptions evaluator_options{.num_threads = 1};
+  AdmissionOptions admission;
+  /// Observability hook: called on the worker thread right after a request
+  /// leaves the queue, before its evaluation starts. Useful for metrics
+  /// and tracing; tests use it to hold workers in place deterministically.
+  std::function<void(std::uint64_t request_id)> on_request_start;
+};
+
+/// Decoded output of one request: row-major num_words x num_channels logic
+/// bits (the evaluate_bits matrix), plus serving metadata.
+struct ResultBatch {
+  std::uint64_t request_id = 0;
+  std::size_t num_words = 0;
+  std::size_t num_channels = 0;
+  bool cache_hit = false;  ///< plan came from the cache (no build this call)
+  std::vector<std::uint8_t> bits;
+
+  std::uint8_t bit(std::size_t word, std::size_t channel) const {
+    return bits[word * num_channels + channel];
+  }
+};
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;  ///< requests admitted and enqueued
+  std::uint64_t completed = 0;  ///< requests finished (including failures)
+  std::uint64_t shed = 0;       ///< submissions rejected with OverloadError
+  std::uint64_t blocked = 0;    ///< submissions that had to wait (kBlock)
+  std::size_t queued_requests = 0;  ///< admitted, not yet picked up
+  std::size_t inflight_words = 0;   ///< admitted, not yet completed
+  PlanCacheStats cache;
+};
+
+class EvaluatorService {
+ public:
+  /// The service designs nothing itself: callers bring layouts (e.g. from
+  /// InlineGateDesigner against the same model). `model` must outlive the
+  /// service; `alpha` is the Gilbert damping for the owned WaveEngine.
+  EvaluatorService(const sw::disp::DispersionModel& model, double alpha,
+                   ServiceOptions options = {});
+
+  /// Drains every pending request (their futures all complete), then joins
+  /// the workers. Blocked submitters on other threads are woken with an
+  /// error.
+  ~EvaluatorService();
+
+  EvaluatorService(const EvaluatorService&) = delete;
+  EvaluatorService& operator=(const EvaluatorService&) = delete;
+
+  /// Submit a packed word batch against `layout`. `packed_bits` is the
+  /// row-major num_words x slot_count matrix of BatchEvaluator::
+  /// evaluate_bits (slot = channel * num_inputs + input). Returns a future
+  /// carrying the decoded bits; evaluation errors surface through the
+  /// future. Throws OverloadError (kShed) or blocks (kBlock) per the
+  /// admission policy, and throws sw::util::Error on a shape mismatch.
+  std::future<ResultBatch> submit(const sw::core::GateLayout& layout,
+                                  std::vector<std::uint8_t> packed_bits,
+                                  std::size_t num_words);
+
+  /// Convenience: pack a nested per-channel bit batch (the shape of
+  /// DataParallelGate::evaluate) and submit it.
+  std::future<ResultBatch> submit(
+      const sw::core::GateLayout& layout,
+      const std::vector<std::vector<sw::core::Bits>>& batch);
+
+  ServiceStats stats() const;
+  const sw::wavesim::WaveEngine& engine() const { return engine_; }
+  std::size_t num_threads() const { return pool_.size(); }
+
+ private:
+  struct Request;
+  void process(Request* request);  // takes ownership
+
+  ServiceOptions options_;
+  sw::wavesim::WaveEngine engine_;
+  PlanCache cache_;
+  AdmissionController admission_;
+
+  mutable std::mutex stats_mutex_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+
+  // Declared last: its destructor runs first and drains the queued
+  // requests while every member they touch is still alive.
+  sw::util::ThreadPool pool_;
+};
+
+}  // namespace sw::serve

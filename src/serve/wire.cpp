@@ -1,0 +1,228 @@
+#include "serve/wire.h"
+
+#include <fstream>
+
+#include "serve/byteio.h"
+#include "serve/layout_hash.h"
+#include "util/error.h"
+
+namespace sw::serve {
+
+namespace {
+
+using detail::ByteReader;
+using detail::append_f64;
+using detail::append_u16;
+using detail::append_u32;
+using detail::append_u64;
+
+constexpr std::size_t kHeaderSize = 64;
+// Caps far beyond any realistic sweep shard, small enough that a corrupt
+// size field cannot drive a multi-gigabyte allocation before the checksum
+// is ever consulted.
+constexpr std::uint64_t kMaxWords = std::uint64_t{1} << 32;
+constexpr std::uint64_t kMaxCols = std::uint64_t{1} << 20;
+
+std::vector<std::uint8_t> encode_spec(const sw::core::GateSpec& spec) {
+  std::vector<std::uint8_t> out;
+  append_u64(out, spec.num_inputs);
+  append_u64(out, spec.frequencies.size());
+  for (const double f : spec.frequencies) append_f64(out, f);
+  append_f64(out, spec.transducer_width);
+  append_f64(out, spec.min_gap);
+  append_f64(out, spec.min_same_channel_spacing);
+  append_u64(out, static_cast<std::uint64_t>(
+                      static_cast<std::int64_t>(spec.multiple_search)));
+  append_u64(out, spec.invert_output.size());
+  for (const std::uint8_t b : spec.invert_output) out.push_back(b ? 1 : 0);
+  return out;
+}
+
+sw::core::GateSpec decode_spec(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  sw::core::GateSpec spec;
+  spec.num_inputs = static_cast<std::size_t>(r.u64());
+  SW_REQUIRE(spec.num_inputs <= kMaxCols,
+             "implausible input count in spec block");
+  const std::uint64_t nf = r.u64();
+  SW_REQUIRE(nf <= kMaxCols && spec.num_inputs * nf <= kMaxCols,
+             "implausible channel count in spec block");
+  spec.frequencies.resize(static_cast<std::size_t>(nf));
+  for (auto& f : spec.frequencies) f = r.f64();
+  spec.transducer_width = r.f64();
+  spec.min_gap = r.f64();
+  spec.min_same_channel_spacing = r.f64();
+  spec.multiple_search =
+      static_cast<int>(static_cast<std::int64_t>(r.u64()));
+  const std::uint64_t ninv = r.u64();
+  SW_REQUIRE(ninv <= kMaxCols, "implausible invert flag count in spec block");
+  spec.invert_output.resize(static_cast<std::size_t>(ninv));
+  for (auto& b : spec.invert_output) b = r.u8();
+  SW_REQUIRE(r.remaining() == 0, "trailing bytes after spec block");
+  return spec;
+}
+
+std::size_t row_bytes_for(std::uint64_t num_cols) {
+  return static_cast<std::size_t>((num_cols + 7) / 8);
+}
+
+}  // namespace
+
+SweepFrame make_request_frame(const sw::core::GateLayout& layout,
+                              std::uint64_t word_offset,
+                              std::uint64_t num_words,
+                              std::vector<std::uint8_t> matrix) {
+  SweepFrame frame;
+  frame.kind = FrameKind::kRequest;
+  frame.layout_hash = hash_layout(layout);
+  frame.word_offset = word_offset;
+  frame.num_words = num_words;
+  frame.num_cols = layout.spec.frequencies.size() * layout.spec.num_inputs;
+  frame.spec = layout.spec;
+  frame.matrix = std::move(matrix);
+  return frame;
+}
+
+SweepFrame make_response_frame(const SweepFrame& request,
+                               std::uint64_t num_channels,
+                               std::vector<std::uint8_t> matrix) {
+  SweepFrame frame;
+  frame.kind = FrameKind::kResponse;
+  frame.layout_hash = request.layout_hash;
+  frame.word_offset = request.word_offset;
+  frame.num_words = request.num_words;
+  frame.num_cols = num_channels;
+  frame.matrix = std::move(matrix);
+  return frame;
+}
+
+std::vector<std::uint8_t> encode_frame(const SweepFrame& frame) {
+  SW_REQUIRE(frame.kind == FrameKind::kRequest ||
+                 frame.kind == FrameKind::kResponse,
+             "unknown frame kind");
+  const bool is_request = frame.kind == FrameKind::kRequest;
+  SW_REQUIRE(is_request == frame.spec.has_value(),
+             "request frames carry a GateSpec, response frames must not");
+  SW_REQUIRE(frame.num_words <= kMaxWords && frame.num_cols <= kMaxCols,
+             "frame dimensions out of range");
+  SW_REQUIRE(frame.matrix.size() == frame.num_words * frame.num_cols,
+             "matrix must be num_words x num_cols");
+
+  std::vector<std::uint8_t> spec_bytes;
+  if (frame.spec) spec_bytes = encode_spec(*frame.spec);
+
+  const std::size_t row_bytes = row_bytes_for(frame.num_cols);
+  std::vector<std::uint8_t> payload(
+      static_cast<std::size_t>(frame.num_words) * row_bytes, 0);
+  for (std::uint64_t w = 0; w < frame.num_words; ++w) {
+    for (std::uint64_t c = 0; c < frame.num_cols; ++c) {
+      if (frame.matrix[w * frame.num_cols + c]) {
+        payload[static_cast<std::size_t>(w) * row_bytes + c / 8] |=
+            static_cast<std::uint8_t>(1u << (c % 8));
+      }
+    }
+  }
+
+  const std::uint64_t checksum = fnv1a64(payload, fnv1a64(spec_bytes));
+
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderSize + spec_bytes.size() + payload.size());
+  append_u32(out, kWireMagic);
+  append_u16(out, kWireVersion);
+  append_u16(out, static_cast<std::uint16_t>(frame.kind));
+  append_u64(out, frame.layout_hash);
+  append_u64(out, frame.word_offset);
+  append_u64(out, frame.num_words);
+  append_u64(out, frame.num_cols);
+  append_u64(out, spec_bytes.size());
+  append_u64(out, payload.size());
+  append_u64(out, checksum);
+  out.insert(out.end(), spec_bytes.begin(), spec_bytes.end());
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+SweepFrame decode_frame(std::span<const std::uint8_t> bytes) {
+  SW_REQUIRE(bytes.size() >= kHeaderSize, "frame shorter than header");
+  ByteReader r(bytes);
+  SW_REQUIRE(r.u32() == kWireMagic, "bad frame magic");
+  SW_REQUIRE(r.u16() == kWireVersion, "unsupported wire version");
+  const std::uint16_t kind = r.u16();
+  SW_REQUIRE(kind == static_cast<std::uint16_t>(FrameKind::kRequest) ||
+                 kind == static_cast<std::uint16_t>(FrameKind::kResponse),
+             "unknown frame kind");
+
+  SweepFrame frame;
+  frame.kind = static_cast<FrameKind>(kind);
+  frame.layout_hash = r.u64();
+  frame.word_offset = r.u64();
+  frame.num_words = r.u64();
+  frame.num_cols = r.u64();
+  const std::uint64_t spec_size = r.u64();
+  const std::uint64_t payload_size = r.u64();
+  const std::uint64_t checksum = r.u64();
+
+  SW_REQUIRE(frame.num_words <= kMaxWords && frame.num_cols <= kMaxCols,
+             "frame dimensions out of range");
+  SW_REQUIRE(spec_size <= (std::uint64_t{1} << 20),
+             "implausible spec block size");
+  const std::size_t row_bytes = row_bytes_for(frame.num_cols);
+  SW_REQUIRE(payload_size == frame.num_words * row_bytes,
+             "payload size inconsistent with frame dimensions");
+  SW_REQUIRE(r.remaining() == spec_size + payload_size,
+             "frame length mismatch (truncated or trailing bytes)");
+
+  const auto spec_bytes = r.take(static_cast<std::size_t>(spec_size));
+  const auto payload = r.take(static_cast<std::size_t>(payload_size));
+  SW_REQUIRE(fnv1a64(payload, fnv1a64(spec_bytes)) == checksum,
+             "frame checksum mismatch (corrupt body)");
+
+  if (frame.kind == FrameKind::kRequest) {
+    SW_REQUIRE(spec_size > 0, "request frame missing its GateSpec block");
+    frame.spec = decode_spec(spec_bytes);
+  } else {
+    SW_REQUIRE(spec_size == 0, "response frame must not carry a GateSpec");
+  }
+
+  frame.matrix.assign(
+      static_cast<std::size_t>(frame.num_words * frame.num_cols), 0);
+  for (std::uint64_t w = 0; w < frame.num_words; ++w) {
+    const std::uint8_t* row = payload.data() + w * row_bytes;
+    for (std::uint64_t c = 0; c < frame.num_cols; ++c) {
+      frame.matrix[w * frame.num_cols + c] = (row[c / 8] >> (c % 8)) & 1u;
+    }
+    // Canonical encoding keeps row padding zero; a set padding bit means
+    // the body was not produced by this encoder.
+    if (frame.num_cols % 8 != 0) {
+      const std::uint8_t last = row[row_bytes - 1];
+      const std::uint8_t mask = static_cast<std::uint8_t>(
+          0xFFu << (frame.num_cols % 8));
+      SW_REQUIRE((last & mask) == 0, "nonzero padding bits in payload row");
+    }
+  }
+  return frame;
+}
+
+void write_frame_file(const std::string& path, const SweepFrame& frame) {
+  const auto bytes = encode_frame(frame);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  SW_REQUIRE(out.good(), "cannot open frame file for writing: " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  SW_REQUIRE(out.good(), "short write to frame file: " + path);
+}
+
+SweepFrame read_frame_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  SW_REQUIRE(in.good(), "cannot open frame file for reading: " + path);
+  const std::streamsize size = in.tellg();
+  SW_REQUIRE(size >= 0, "cannot size frame file: " + path);
+  in.seekg(0, std::ios::beg);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  SW_REQUIRE(in.gcount() == size, "short read from frame file: " + path);
+  return decode_frame(bytes);
+}
+
+}  // namespace sw::serve

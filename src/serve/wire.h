@@ -1,0 +1,93 @@
+// Sharded-sweep wire format: a versioned binary encoding of packed
+// evaluate_bits request/response matrices.
+//
+// A coordinator splits an exhaustive sweep into word-range shards and ships
+// each shard to a worker process as one request frame; the worker replies
+// with one response frame. Frames are self-describing and defensive: magic
+// + version up front, explicit sizes, an FNV-1a checksum over the body, and
+// a decoder that rejects truncated, oversized or corrupted input with
+// sw::util::Error rather than reading garbage. Requests carry the GateSpec
+// so the worker can design the layout locally; the canonical layout hash
+// rides along so both processes can prove they derived the identical
+// geometry before any bit is evaluated.
+//
+// Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//        0     4  magic "SWW1"
+//        4     2  version (kWireVersion)
+//        6     2  kind (1 = request, 2 = response)
+//        8     8  layout_hash  (hash_layout of the gate geometry)
+//       16     8  word_offset  (first word's index in the full sweep)
+//       24     8  num_words
+//       32     8  num_cols     (slot_count for requests, channels for
+//                               responses)
+//       40     8  spec_size    (bytes; > 0 iff kind == request)
+//       48     8  payload_size (bytes)
+//       56     8  checksum     (FNV-1a 64 over spec block + payload)
+//       64     …  spec block, then payload
+//
+// The payload is the matrix bit-packed row-major: each row is
+// ceil(num_cols / 8) bytes, bit i of byte b is column b * 8 + i, and the
+// padding bits of the last byte of each row must be zero.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/gate_design.h"
+
+namespace sw::serve {
+
+inline constexpr std::uint32_t kWireMagic = 0x31575753u;  // "SWW1" on disk
+inline constexpr std::uint16_t kWireVersion = 1;
+
+enum class FrameKind : std::uint16_t {
+  kRequest = 1,
+  kResponse = 2,
+};
+
+/// One frame, held unpacked in memory: `matrix` is num_words * num_cols
+/// bytes of 0/1 values (the evaluate_bits shape), bit-packing happens only
+/// on the wire.
+struct SweepFrame {
+  FrameKind kind = FrameKind::kRequest;
+  std::uint64_t layout_hash = 0;
+  std::uint64_t word_offset = 0;
+  std::uint64_t num_words = 0;
+  std::uint64_t num_cols = 0;
+  std::optional<sw::core::GateSpec> spec;  ///< requests only
+  std::vector<std::uint8_t> matrix;
+};
+
+/// Build a request frame for `num_words` rows of `matrix` starting at
+/// `word_offset` of the full sweep; derives num_cols, the spec and the
+/// layout hash from `layout`.
+SweepFrame make_request_frame(const sw::core::GateLayout& layout,
+                              std::uint64_t word_offset,
+                              std::uint64_t num_words,
+                              std::vector<std::uint8_t> matrix);
+
+/// Build the response frame answering `request` with the decoded output
+/// matrix (num_words x num_channels).
+SweepFrame make_response_frame(const SweepFrame& request,
+                               std::uint64_t num_channels,
+                               std::vector<std::uint8_t> matrix);
+
+/// Serialise a frame. Throws sw::util::Error on inconsistent shapes (e.g.
+/// matrix size vs num_words * num_cols, response carrying a spec).
+std::vector<std::uint8_t> encode_frame(const SweepFrame& frame);
+
+/// Parse a frame, validating magic, version, kind, sizes, checksum and
+/// payload padding; throws sw::util::Error on any violation (truncated
+/// buffer, trailing bytes, corrupt body, nonzero padding bits …).
+SweepFrame decode_frame(std::span<const std::uint8_t> bytes);
+
+/// Whole-file helpers for the file/pipe transport of the examples.
+void write_frame_file(const std::string& path, const SweepFrame& frame);
+SweepFrame read_frame_file(const std::string& path);
+
+}  // namespace sw::serve

@@ -8,12 +8,12 @@
 
 namespace sw::util {
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+ThreadPool::ThreadPool(std::size_t num_threads, bool always_spawn) {
   if (num_threads == 0) {
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   size_ = num_threads;
-  if (size_ == 1) return;  // inline mode: no workers, no locking
+  if (size_ == 1 && !always_spawn) return;  // inline mode: no workers, no locking
   workers_.reserve(size_);
   try {
     for (std::size_t i = 0; i < size_; ++i) {
@@ -46,7 +46,9 @@ void ThreadPool::worker_loop() {
     std::function<void()> job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      ++idle_;
       wake_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      --idle_;
       if (jobs_.empty()) {
         if (stop_) return;
         continue;
@@ -58,10 +60,27 @@ void ThreadPool::worker_loop() {
   }
 }
 
+void ThreadPool::post(std::function<void()> job) {
+  if (workers_.empty()) {
+    job();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.push(std::move(job));
+    // Wake elision: a non-idle worker is either running a job or between
+    // its decrement and the pop, and in both cases re-checks the queue
+    // under the mutex before it can sleep — so when nobody is parked the
+    // (futex-priced) notify is provably unnecessary.
+    if (idle_ == 0) return;
+  }
+  wake_.notify_one();
+}
+
 void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
-  if (size_ == 1 || n == 1) {
+  if (workers_.empty() || n == 1) {
     fn(0, n);
     return;
   }

@@ -18,9 +18,12 @@ namespace sw::util {
 class ThreadPool {
  public:
   /// `num_threads == 0` selects std::thread::hardware_concurrency() (at
-  /// least 1). A single-thread pool runs jobs inline on the calling thread,
-  /// so small hosts pay no synchronisation overhead.
-  explicit ThreadPool(std::size_t num_threads = 0);
+  /// least 1). By default a single-thread pool runs jobs inline on the
+  /// calling thread, so small hosts pay no synchronisation overhead;
+  /// `always_spawn` forces a dedicated worker even then, which `post`-based
+  /// callers (the evaluator service's request queue) need so submission
+  /// stays asynchronous on one-core hosts.
+  explicit ThreadPool(std::size_t num_threads = 0, bool always_spawn = false);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -35,6 +38,14 @@ class ThreadPool {
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
+  /// Work-queue hook: enqueue one job for asynchronous execution and return
+  /// without waiting for it. Jobs run in FIFO order relative to other
+  /// posted jobs. On an inline pool (no spawned workers) the job runs on
+  /// the calling thread before post() returns. The job must not throw —
+  /// there is no caller left to receive the exception, so a throwing job
+  /// terminates the process; wrap fallible work in its own try/catch.
+  void post(std::function<void()> job);
+
  private:
   void worker_loop();
 
@@ -43,6 +54,7 @@ class ThreadPool {
   std::queue<std::function<void()>> jobs_;
   std::mutex mutex_;
   std::condition_variable wake_;
+  std::size_t idle_ = 0;  ///< workers parked in wake_.wait (under mutex_)
   bool stop_ = false;
 };
 

@@ -43,11 +43,10 @@ class BatchEvaluator {
   /// Precomputes the evaluation plan from the gate's layout. The gate (and
   /// its engine) must outlive the evaluator. The engine is only consulted
   /// here, never in the per-word hot loop, so the evaluate* methods of a
-  /// constructed evaluator are safe to call concurrently. Construction
-  /// itself is not: it drives the engine's unsynchronised memoisation
-  /// cache, so don't build evaluators (or call the gates' one-shot
-  /// evaluate_batch hooks, which build one per call) on several threads
-  /// sharing a WaveEngine.
+  /// constructed evaluator are safe to call concurrently. Construction is
+  /// thread-safe too: the engine's memoisation cache is mutex-guarded, so
+  /// several threads may build evaluators (or call the gates' one-shot
+  /// evaluate_batch hooks) against one shared WaveEngine.
   explicit BatchEvaluator(const sw::core::DataParallelGate& gate,
                           BatchOptions options = {});
 

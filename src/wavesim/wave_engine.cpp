@@ -15,7 +15,8 @@ WaveEngine::WaveEngine(const sw::disp::DispersionModel& model, double alpha)
   SW_REQUIRE(alpha >= 0.0, "alpha must be non-negative");
 }
 
-const WaveEngine::Cached& WaveEngine::lookup(double f) const {
+WaveEngine::Cached WaveEngine::lookup(double f) const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
   for (const auto& entry : cache_) {
     if (entry.first == f) return entry.second;
   }
@@ -26,7 +27,7 @@ const WaveEngine::Cached& WaveEngine::lookup(double f) const {
   c.decay = (alpha_ > 0.0) ? c.vg / (alpha_ * kTwoPi * f)
                            : std::numeric_limits<double>::infinity();
   cache_.emplace_back(f, c);
-  return cache_.back().second;
+  return c;
 }
 
 double WaveEngine::decay_length(double f) const { return lookup(f).decay; }

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <complex>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -72,11 +73,16 @@ class WaveEngine {
     double vg = 0.0;
     double decay = 0.0;
   };
-  const Cached& lookup(double f) const;
+  Cached lookup(double f) const;
 
   const sw::disp::DispersionModel* model_;
   double alpha_ = 0.0;
   // Tiny memoisation table: gates reuse a handful of frequencies heavily.
+  // Guarded by cache_mutex_ (and Cached is returned by value), so one
+  // engine can back concurrent evaluator-plan builds across threads; a
+  // first-touch dispersion solve runs under the lock, which only
+  // serialises cold misses on a handful of frequencies.
+  mutable std::mutex cache_mutex_;
   mutable std::vector<std::pair<double, Cached>> cache_;
 };
 

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <random>
+#include <thread>
 #include <vector>
 
 #include "core/encoding.h"
@@ -299,6 +301,38 @@ TEST(BatchEvaluator, RejectsMalformedWords) {
 }
 
 // --------------------------------------------------------------------------
+// clamp_batch_threads edge cases: the one-shot hooks rely on it never
+// requesting more workers than words (or zero workers).
+
+TEST(ClampBatchThreads, ZeroWordsStillYieldsOneWorker) {
+  EXPECT_EQ(sw::wavesim::clamp_batch_threads(4, 0), 1u);
+  EXPECT_EQ(sw::wavesim::clamp_batch_threads(0, 0), 1u);
+}
+
+TEST(ClampBatchThreads, SingleWordRunsSingleThreaded) {
+  EXPECT_EQ(sw::wavesim::clamp_batch_threads(8, 1), 1u);
+  EXPECT_EQ(sw::wavesim::clamp_batch_threads(0, 1), 1u);
+}
+
+TEST(ClampBatchThreads, FewerWordsThanThreadsClampsToWords) {
+  EXPECT_EQ(sw::wavesim::clamp_batch_threads(8, 3), 3u);
+  EXPECT_EQ(sw::wavesim::clamp_batch_threads(8, 7), 7u);
+  EXPECT_EQ(sw::wavesim::clamp_batch_threads(8, 8), 8u);
+}
+
+TEST(ClampBatchThreads, ManyWordsKeepRequestedThreads) {
+  EXPECT_EQ(sw::wavesim::clamp_batch_threads(1, 1000), 1u);
+  EXPECT_EQ(sw::wavesim::clamp_batch_threads(6, 1000), 6u);
+}
+
+TEST(ClampBatchThreads, ZeroThreadsResolvesToHardwareConcurrency) {
+  const auto hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  EXPECT_EQ(sw::wavesim::clamp_batch_threads(0, 1000000), hw);
+  EXPECT_GE(sw::wavesim::clamp_batch_threads(0, 2), 1u);
+}
+
+// --------------------------------------------------------------------------
 // ThreadPool unit behaviour backing the evaluator's fan-out.
 
 TEST(ThreadPool, CoversFullRangeOnce) {
@@ -335,6 +369,53 @@ TEST(ThreadPool, ZeroItemsIsNoop) {
   bool called = false;
   pool.parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
   EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, PostRunsAsynchronouslyOnAWorker) {
+  sw::util::ThreadPool pool(2);
+  std::promise<std::thread::id> ran;
+  pool.post([&] { ran.set_value(std::this_thread::get_id()); });
+  EXPECT_NE(ran.get_future().get(), std::this_thread::get_id());
+}
+
+TEST(ThreadPool, PostOnInlinePoolRunsOnCaller) {
+  sw::util::ThreadPool pool(1);
+  std::thread::id seen;
+  pool.post([&] { seen = std::this_thread::get_id(); });
+  EXPECT_EQ(seen, std::this_thread::get_id());
+}
+
+TEST(ThreadPool, AlwaysSpawnMakesSingleThreadPostAsynchronous) {
+  sw::util::ThreadPool pool(1, /*always_spawn=*/true);
+  EXPECT_EQ(pool.size(), 1u);
+  std::promise<std::thread::id> ran;
+  pool.post([&] { ran.set_value(std::this_thread::get_id()); });
+  EXPECT_NE(ran.get_future().get(), std::this_thread::get_id());
+}
+
+TEST(ThreadPool, DestructorDrainsPostedJobs) {
+  std::atomic<int> done{0};
+  {
+    sw::util::ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.post([&] { done.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(done.load(), 200);
+}
+
+TEST(ThreadPool, PostAndParallelForInterleave) {
+  sw::util::ThreadPool pool(3);
+  std::atomic<int> posted{0};
+  std::atomic<int> swept{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.post([&] { posted.fetch_add(1); });
+  }
+  pool.parallel_for(1000, [&](std::size_t begin, std::size_t end) {
+    swept.fetch_add(static_cast<int>(end - begin));
+  });
+  while (posted.load() != 50) std::this_thread::yield();
+  EXPECT_EQ(swept.load(), 1000);
 }
 
 TEST(ThreadPool, PropagatesWorkerException) {
