@@ -12,11 +12,8 @@
 // bit-for-bit first.
 #include <benchmark/benchmark.h>
 
-#include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <deque>
-#include <limits>
 #include <random>
 #include <vector>
 
@@ -27,6 +24,7 @@
 #include "serve/service.h"
 #include "util/error.h"
 #include "wavesim/batch_evaluator.h"
+#include "wavesim/kernels/kernel.h"
 #include "wavesim/wave_engine.h"
 
 namespace {
@@ -104,19 +102,12 @@ void run_experiment() {
               s.layout.spec.frequencies.size(),
               s.layout.sources.size());
 
-  using clock = std::chrono::steady_clock;
-
-  // Best of three either way: the floor check gates CI, so one scheduler
-  // stall must not read as a regression.
-  double rebuild_s = std::numeric_limits<double>::infinity();
+  // Best of three either way (bench::best_of_three_seconds): the floor
+  // check gates CI, so one scheduler stall must not read as a regression.
   std::vector<std::uint8_t> rebuilt;
-  for (int rep = 0; rep < 3; ++rep) {
-    const auto t0 = clock::now();
+  const double rebuild_s = bench::best_of_three_seconds([&] {
     for (std::size_t i = 0; i < kBatches; ++i) rebuilt = run_rebuild_per_call(s);
-    const auto t1 = clock::now();
-    rebuild_s =
-        std::min(rebuild_s, std::chrono::duration<double>(t1 - t0).count());
-  }
+  });
 
   serve::ServiceOptions options;
   options.plan_cache_capacity = 8;
@@ -125,23 +116,42 @@ void run_experiment() {
   // Warm the plan cache once; steady state is what serving measures.
   (void)svc.submit(s.layout, s.batch, kWordsPerBatch).get();
 
-  double service_s = std::numeric_limits<double>::infinity();
   std::vector<std::uint8_t> served;
-  for (int rep = 0; rep < 3; ++rep) {
-    const auto t0 = clock::now();
-    served = run_service_batches(svc, s, kBatches);
-    const auto t1 = clock::now();
-    service_s =
-        std::min(service_s, std::chrono::duration<double>(t1 - t0).count());
-  }
+  const double service_s = bench::best_of_three_seconds(
+      [&] { served = run_service_batches(svc, s, kBatches); });
 
   const auto stats = svc.stats();
   std::printf("rebuild per call : %8.1f ms  (%10.0f words/s)\n",
               rebuild_s * 1e3, words / rebuild_s);
-  std::printf("EvaluatorService : %8.1f ms  (%10.0f words/s)\n",
-              service_s * 1e3, words / service_s);
+  std::printf("EvaluatorService : %8.1f ms  (%10.0f words/s, kernel: %s)\n",
+              service_s * 1e3, words / service_s, stats.kernel.c_str());
   std::printf("speedup          : %8.1fx  (floor: 2x)\n\n",
               rebuild_s / service_s);
+
+  // Kernel side-by-side on the serving batch shape: the cached-plan steady
+  // state runs exactly this evaluate_bits call per request.
+  {
+    const wavesim::BatchEvaluator evaluator(s.gate, {.num_threads = 1});
+    const auto time_kernel = [&](const wavesim::kernels::Kernel& kernel) {
+      return bench::best_of_three_seconds([&] {
+        for (std::size_t i = 0; i < kBatches; ++i) {
+          benchmark::DoNotOptimize(
+              evaluator.evaluate_bits(kWordsPerBatch, s.batch, kernel));
+        }
+      });
+    };
+    const double scalar_s = time_kernel(wavesim::kernels::scalar_kernel());
+    std::printf("cached-plan evaluate_bits, per kernel (single thread):\n");
+    std::printf("scalar kernel    : %8.2f ms  (%10.0f words/s)\n",
+                scalar_s * 1e3, words / scalar_s);
+    if (const auto* avx2 = wavesim::kernels::avx2_kernel()) {
+      const double simd_s = time_kernel(*avx2);
+      std::printf("AVX2 kernel      : %8.2f ms  (%10.0f words/s, %.2fx)\n\n",
+                  simd_s * 1e3, words / simd_s, scalar_s / simd_s);
+    } else {
+      std::printf("AVX2 kernel      : unavailable on this build/host\n\n");
+    }
+  }
   std::printf("cache: %llu hits / %llu misses / %llu evictions; "
               "%llu requests served\n\n",
               static_cast<unsigned long long>(stats.cache.hits),

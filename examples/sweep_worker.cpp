@@ -11,6 +11,7 @@
 // BatchEvaluator and the decoded bits answered via the wire format.
 #include <cstdio>
 #include <exception>
+#include <string>
 
 #include "core/gate.h"
 #include "core/gate_design.h"
@@ -20,6 +21,7 @@
 #include "sweep_common.h"
 #include "util/error.h"
 #include "wavesim/batch_evaluator.h"
+#include "wavesim/kernels/kernel.h"
 #include "wavesim/wave_engine.h"
 
 int main(int argc, char** argv) {
@@ -56,10 +58,13 @@ int main(int argc, char** argv) {
         argv[2],
         sw::serve::make_response_frame(request, channels, std::move(bits)));
 
-    std::printf("worker: %llu words @ offset %llu, layout %016llx — done\n",
-                static_cast<unsigned long long>(request.num_words),
-                static_cast<unsigned long long>(request.word_offset),
-                static_cast<unsigned long long>(local_hash));
+    std::printf(
+        "worker: %llu words @ offset %llu, layout %016llx, kernel %s — "
+        "done\n",
+        static_cast<unsigned long long>(request.num_words),
+        static_cast<unsigned long long>(request.word_offset),
+        static_cast<unsigned long long>(local_hash),
+        std::string(sw::wavesim::active_kernel_name()).c_str());
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "worker: %s\n", e.what());

@@ -41,12 +41,12 @@ class DataParallelGate {
   std::vector<ChannelResult> evaluate_uniform(const Bits& pattern) const;
 
   /// Batched evaluation of many input assignments via a one-shot
-  /// sw::wavesim::BatchEvaluator (shared dispersion/decay precompute +
-  /// thread-pool fan-out). Results match a per-word `evaluate` loop
-  /// bit-for-bit. Callers with a long-lived gate and repeated batches
-  /// should hold a BatchEvaluator (or use sw::serve::EvaluatorService,
-  /// which caches plans across layouts) instead of paying this call's
-  /// per-batch precompute.
+  /// sw::wavesim::BatchEvaluator (a SoA EvalPlan built from this layout,
+  /// evaluated by the runtime-dispatched kernels + thread-pool fan-out).
+  /// Results match a per-word `evaluate` loop bit-for-bit. Callers with a
+  /// long-lived gate and repeated batches should hold a BatchEvaluator (or
+  /// use sw::serve::EvaluatorService, which caches the SoA plans across
+  /// layouts) instead of paying this call's per-batch plan construction.
   std::vector<std::vector<ChannelResult>> evaluate_batch(
       const std::vector<std::vector<Bits>>& batch,
       std::size_t num_threads = 0) const;

@@ -1,10 +1,13 @@
 // LRU cache of ready-to-run evaluation plans, keyed by canonical layout
 // hash with collision-safe full-key comparison.
 //
-// A BatchEvaluator plan is the expensive per-layout artefact of the serving
-// path (dispersion lookups plus one steady-phasor solve per (detector,
-// source, launch-phase) triple); the cache makes its cost amortise across
-// every request that reuses the layout. Construction of the plan for one
+// The SoA EvalPlan is the expensive per-layout artefact of the serving path
+// (dispersion lookups plus one steady-phasor solve per (detector, source,
+// launch-phase) triple); the cache owns it directly — each entry builds the
+// plan once and shares it into its BatchEvaluator — so every cached-plan
+// submit runs the runtime-dispatched SIMD kernels with zero per-request
+// conversion, and the cache makes the build cost amortise across every
+// request that reuses the layout. Construction of the plan for one
 // key is serialised *behind the cache entry*: the first caller inserts a
 // pending entry and builds, concurrent callers for the same key wait on the
 // entry's shared future instead of racing a second build — which is also
@@ -23,31 +26,40 @@
 #include "core/gate.h"
 #include "serve/layout_hash.h"
 #include "wavesim/batch_evaluator.h"
+#include "wavesim/eval_plan.h"
 #include "wavesim/wave_engine.h"
 
 namespace sw::serve {
 
-/// One cached plan: the gate (owning its copy of the layout) plus the
-/// BatchEvaluator built over it. Immutable once constructed and handed out
-/// as shared_ptr<const>, so an entry evicted mid-request stays valid for
-/// every holder. The evaluator is built with the cache's BatchOptions
-/// (default: single inline thread, so evaluation runs on the calling
-/// service worker and cached plans do not each own idle worker threads).
+/// One cached plan: the gate (owning its copy of the layout), the SoA
+/// EvalPlan built from it once, and the BatchEvaluator sharing that plan.
+/// Immutable once constructed and handed out as shared_ptr<const>, so an
+/// entry evicted mid-request stays valid for every holder. The evaluator is
+/// built with the cache's BatchOptions (default: single inline thread, so
+/// evaluation runs on the calling service worker and cached plans do not
+/// each own idle worker threads).
 class CachedPlan {
  public:
   CachedPlan(sw::core::GateLayout layout,
              const sw::wavesim::WaveEngine& engine,
              sw::wavesim::BatchOptions options)
-      : gate_(std::move(layout), engine), evaluator_(gate_, options) {}
+      : gate_(std::move(layout), engine),
+        plan_(std::make_shared<const sw::wavesim::EvalPlan>(gate_,
+                                                            options.freq_tol)),
+        evaluator_(gate_, plan_, options) {}
 
   CachedPlan(const CachedPlan&) = delete;
   CachedPlan& operator=(const CachedPlan&) = delete;
 
   const sw::core::DataParallelGate& gate() const { return gate_; }
+  /// The frozen SoA plan the kernels evaluate against; shared with (not
+  /// copied into) the evaluator.
+  const sw::wavesim::EvalPlan& plan() const { return *plan_; }
   const sw::wavesim::BatchEvaluator& evaluator() const { return evaluator_; }
 
  private:
   sw::core::DataParallelGate gate_;
+  std::shared_ptr<const sw::wavesim::EvalPlan> plan_;
   sw::wavesim::BatchEvaluator evaluator_;
 };
 

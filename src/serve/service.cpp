@@ -1,10 +1,29 @@
 #include "serve/service.h"
 
+#include <cstdio>
+#include <limits>
+#include <mutex>
 #include <utility>
 
 #include "util/error.h"
+#include "wavesim/kernels/kernel.h"
 
 namespace sw::serve {
+
+namespace {
+
+/// One line per process, not per service: operators need to know which
+/// kernel their traffic runs on, not one line per constructed service.
+void log_kernel_once() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const std::string_view name = sw::wavesim::active_kernel_name();
+    std::fprintf(stderr, "[sw::serve] evaluation kernel: %.*s\n",
+                 static_cast<int>(name.size()), name.data());
+  });
+}
+
+}  // namespace
 
 struct EvaluatorService::Request {
   std::uint64_t id = 0;
@@ -25,7 +44,9 @@ EvaluatorService::EvaluatorService(const sw::disp::DispersionModel& model,
       cache_(engine_, options_.plan_cache_capacity,
              options_.evaluator_options),
       admission_(options_.admission),
-      pool_(options_.num_threads, /*always_spawn=*/true) {}
+      pool_(options_.num_threads, /*always_spawn=*/true) {
+  log_kernel_once();
+}
 
 EvaluatorService::~EvaluatorService() {
   // Wake blocked submitters before the pool destructor drains the queue;
@@ -39,6 +60,12 @@ std::future<ResultBatch> EvaluatorService::submit(
   const std::size_t slots =
       layout.spec.frequencies.size() * layout.spec.num_inputs;
   SW_REQUIRE(slots > 0, "layout has no input slots");
+  // Mirror evaluate_bits' overflow guard up front: a wrapping product must
+  // fail synchronously here, before admission charges a near-SIZE_MAX word
+  // count that would shed or block every other submitter until a worker
+  // rejects the request.
+  SW_REQUIRE(num_words <= std::numeric_limits<std::size_t>::max() / slots,
+             "num_words x slot_count overflows size_t");
   SW_REQUIRE(packed_bits.size() == num_words * slots,
              "packed bit matrix must be num_words x slot_count");
 
@@ -140,6 +167,7 @@ ServiceStats EvaluatorService::stats() const {
   s.blocked = admission_.blocked_total();
   s.queued_requests = admission_.queued();
   s.inflight_words = admission_.inflight_words();
+  s.kernel = std::string(sw::wavesim::active_kernel_name());
   s.cache = cache_.stats();
   return s;
 }

@@ -18,6 +18,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "core/gate.h"
@@ -69,6 +70,9 @@ struct ServiceStats {
   std::uint64_t blocked = 0;    ///< submissions that had to wait (kBlock)
   std::size_t queued_requests = 0;  ///< admitted, not yet picked up
   std::size_t inflight_words = 0;   ///< admitted, not yet completed
+  /// Evaluation kernel every evaluate_bits dispatches to ("scalar" |
+  /// "avx2"; see sw::wavesim::active_kernel_name()).
+  std::string kernel;
   PlanCacheStats cache;
 };
 
@@ -77,6 +81,9 @@ class EvaluatorService {
   /// The service designs nothing itself: callers bring layouts (e.g. from
   /// InlineGateDesigner against the same model). `model` must outlive the
   /// service; `alpha` is the Gilbert damping for the owned WaveEngine.
+  /// Resolves (and logs to stderr, once per process) the evaluation kernel
+  /// requests will run on, so an invalid SW_EVAL_KERNEL override fails here
+  /// rather than inside the first request.
   EvaluatorService(const sw::disp::DispersionModel& model, double alpha,
                    ServiceOptions options = {});
 

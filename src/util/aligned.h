@@ -1,0 +1,59 @@
+// Over-aligned heap allocation for SIMD-friendly containers.
+//
+// The SoA evaluation plans keep their contribution arrays on cache-line
+// boundaries so vector kernels can assume aligned rows and an array never
+// straddles a line it does not own. std::allocator already honours
+// alignof(T) for over-aligned element types (C++17 aligned new), but the
+// plan arrays are plain double/uint32 — their *element* type carries no
+// alignment demand, so the container must ask for it explicitly.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace sw::util {
+
+/// Minimal allocator that rounds every allocation up to `Alignment` bytes.
+/// Stateless: all instances compare equal, so containers can swap/move
+/// storage freely.
+template <typename T, std::size_t Alignment = 64>
+struct AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "Alignment must not weaken the element type's requirement");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    if (n > static_cast<std::size_t>(-1) / sizeof(T)) throw std::bad_alloc();
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// std::vector whose data() is aligned to `Alignment` bytes (default: one
+/// cache line, which also satisfies AVX2/AVX-512 load alignment).
+template <typename T, std::size_t Alignment = 64>
+using AlignedVector = std::vector<T, AlignedAllocator<T, Alignment>>;
+
+}  // namespace sw::util

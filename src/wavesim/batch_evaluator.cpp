@@ -1,8 +1,10 @@
 #include "wavesim/batch_evaluator.h"
 
 #include <algorithm>
-#include <cmath>
+#include <complex>
+#include <limits>
 #include <thread>
+#include <utility>
 
 #include "core/detector.h"
 #include "core/encoding.h"
@@ -20,59 +22,53 @@ std::size_t clamp_batch_threads(std::size_t num_threads,
 
 BatchEvaluator::BatchEvaluator(const sw::core::DataParallelGate& gate,
                                BatchOptions options)
-    : gate_(&gate), pool_(options.num_threads) {
-  const auto& layout = gate.layout();
-  const auto& engine = gate.engine();
-  const auto& freqs = layout.spec.frequencies;
+    : BatchEvaluator(gate,
+                     std::make_shared<const EvalPlan>(gate, options.freq_tol),
+                     options) {}
 
-  plans_.reserve(layout.detectors.size());
-  for (const auto& det : layout.detectors) {
-    DetectorPlan plan;
-    plan.channel = det.channel;
-    const double f = freqs[det.channel];
-    // Each contribution is the engine's own steady phasor of that single
-    // source driven at phase 0 / pi, in scalar source order, so the
-    // per-word sum is bitwise identical to the scalar evaluation by
-    // construction (x + 0 == x keeps skipped sources invisible, but the
-    // match check below also keeps the plan compact).
-    for (const auto& s : layout.sources) {
-      const double sf = freqs[s.channel];
-      if (std::abs(sf - f) > options.freq_tol * f) continue;
-      WaveSource src;
-      src.x = s.x;
-      src.frequency = sf;
-      src.amplitude = s.amplitude;
-      Contribution c;
-      c.channel = s.channel;
-      c.input = s.input;
-      c.slot = s.channel * layout.spec.num_inputs + s.input;
-      src.phase = sw::core::kPhaseZero;
-      c.zero = engine.steady_phasor({&src, 1}, det.x, f, options.freq_tol);
-      src.phase = sw::core::kPhaseOne;
-      c.one = engine.steady_phasor({&src, 1}, det.x, f, options.freq_tol);
-      plan.contributions.push_back(c);
-    }
-    plans_.push_back(std::move(plan));
-  }
+BatchEvaluator::BatchEvaluator(const sw::core::DataParallelGate& gate,
+                               std::shared_ptr<const EvalPlan> plan,
+                               BatchOptions options)
+    : gate_(&gate), plan_(std::move(plan)), pool_(options.num_threads) {
+  SW_REQUIRE(plan_ != nullptr, "shared evaluation plan must not be null");
+  SW_REQUIRE(plan_->freq_tol() == options.freq_tol,
+             "shared plan was built with a different freq_tol");
+  const auto& spec = gate.layout().spec;
+  SW_REQUIRE(plan_->num_channels() == spec.frequencies.size() &&
+                 plan_->num_inputs() == spec.num_inputs,
+             "shared plan does not match the gate's layout shape");
 }
 
 template <typename BitFn>
 std::vector<std::vector<sw::core::ChannelResult>> BatchEvaluator::run(
     std::size_t num_words, const BitFn& bit) const {
+  const EvalPlan& plan = *plan_;
+  const auto offsets = plan.detector_offsets();
+  const auto det_channel = plan.detector_channels();
+  const auto re0 = plan.re0();
+  const auto im0 = plan.im0();
+  const auto re1 = plan.re1();
+  const auto im1 = plan.im1();
+  const auto channels = plan.channels();
+  const auto inputs = plan.inputs();
+  const std::size_t detectors = plan.num_detectors();
+
   std::vector<std::vector<sw::core::ChannelResult>> out(num_words);
   pool_.parallel_for(num_words, [&](std::size_t begin, std::size_t end) {
     for (std::size_t w = begin; w < end; ++w) {
       std::vector<sw::core::ChannelResult> results;
-      results.reserve(plans_.size());
-      for (const auto& plan : plans_) {
+      results.reserve(detectors);
+      for (std::size_t d = 0; d < detectors; ++d) {
         std::complex<double> acc{0.0, 0.0};
-        for (const auto& c : plan.contributions) {
-          acc += bit(w, c.channel, c.input) ? c.one : c.zero;
+        for (std::size_t i = offsets[d]; i < offsets[d + 1]; ++i) {
+          acc += bit(w, channels[i], inputs[i])
+                     ? std::complex<double>(re1[i], im1[i])
+                     : std::complex<double>(re0[i], im0[i]);
         }
         const auto decision =
             sw::core::decide_phase(acc, sw::core::kPhaseZero);
         sw::core::ChannelResult r;
-        r.channel = plan.channel;
+        r.channel = det_channel[d];
         r.logic = decision.logic;
         r.phase = decision.phase;
         r.amplitude = decision.amplitude;
@@ -87,8 +83,8 @@ std::vector<std::vector<sw::core::ChannelResult>> BatchEvaluator::run(
 
 std::vector<std::vector<sw::core::ChannelResult>> BatchEvaluator::evaluate(
     std::span<const std::vector<sw::core::Bits>> batch) const {
-  const std::size_t n = gate_->layout().spec.frequencies.size();
-  const std::size_t m = gate_->layout().spec.num_inputs;
+  const std::size_t n = plan_->num_channels();
+  const std::size_t m = plan_->num_inputs();
   for (const auto& word : batch) {
     SW_REQUIRE(word.size() == n, "each word needs one bit vector per channel");
     for (const auto& bits : word) {
@@ -103,7 +99,7 @@ std::vector<std::vector<sw::core::ChannelResult>> BatchEvaluator::evaluate(
 
 std::vector<std::vector<sw::core::ChannelResult>>
 BatchEvaluator::evaluate_uniform(std::span<const sw::core::Bits> patterns) const {
-  const std::size_t m = gate_->layout().spec.num_inputs;
+  const std::size_t m = plan_->num_inputs();
   for (const auto& p : patterns) {
     SW_REQUIRE(p.size() == m, "each pattern needs m bits");
   }
@@ -119,33 +115,30 @@ std::vector<std::vector<sw::core::ChannelResult>> BatchEvaluator::evaluate_with(
   return run(num_words, bit);
 }
 
-std::size_t BatchEvaluator::slot_count() const {
-  const auto& spec = gate_->layout().spec;
-  return spec.frequencies.size() * spec.num_inputs;
+std::vector<std::uint8_t> BatchEvaluator::evaluate_bits(
+    std::size_t num_words, std::span<const std::uint8_t> bits) const {
+  return evaluate_bits(num_words, bits, kernels::active_kernel());
 }
 
 std::vector<std::uint8_t> BatchEvaluator::evaluate_bits(
-    std::size_t num_words, std::span<const std::uint8_t> bits) const {
-  const std::size_t stride = slot_count();
-  const std::size_t channels = gate_->layout().spec.frequencies.size();
+    std::size_t num_words, std::span<const std::uint8_t> bits,
+    const kernels::Kernel& kernel) const {
+  const std::size_t stride = plan_->slot_count();
+  const std::size_t channels = plan_->num_channels();
+  // Guard both products before forming them: a num_words large enough to
+  // wrap num_words * stride could otherwise pass the shape check against a
+  // tiny span and index far out of bounds.
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  SW_REQUIRE(stride == 0 || num_words <= kMax / stride,
+             "num_words x slot_count() overflows size_t");
+  SW_REQUIRE(channels == 0 || num_words <= kMax / channels,
+             "num_words x channel count overflows size_t");
   SW_REQUIRE(bits.size() == num_words * stride,
              "packed bit matrix must be num_words x slot_count");
 
   std::vector<std::uint8_t> out(num_words * channels);
   pool_.parallel_for(num_words, [&](std::size_t begin, std::size_t end) {
-    for (std::size_t w = begin; w < end; ++w) {
-      const std::uint8_t* word = bits.data() + w * stride;
-      std::uint8_t* row = out.data() + w * channels;
-      for (const auto& plan : plans_) {
-        std::complex<double> acc{0.0, 0.0};
-        for (const auto& c : plan.contributions) {
-          acc += word[c.slot] ? c.one : c.zero;
-        }
-        // decide_phase with reference 0: logic 1 iff the phase is closer
-        // to pi than to 0, which is exactly Re(acc) < 0.
-        row[plan.channel] = acc.real() < 0.0 ? 1 : 0;
-      }
-    }
+    kernel.eval_bits(*plan_, bits.data(), begin, end, out.data());
   });
   return out;
 }

@@ -4,23 +4,26 @@
 // the per-source dispersion lookups and the exp/cos/sin of each source's
 // propagated phasor — yet none of that depends on the input bits. For a
 // fixed layout the contribution of source j to detector d is one of exactly
-// two complex constants (launch phase 0 or pi). BatchEvaluator precomputes
-// both constants for every (detector, source) pair once, so evaluating a
-// word collapses to a handful of complex additions, and fans the word batch
-// across a ThreadPool. Decoded results are bit-for-bit identical to the
-// scalar path: the precomputed constants are produced by the same
-// arithmetic, and per-detector accumulation preserves the scalar source
-// order.
+// two complex constants (launch phase 0 or pi). BatchEvaluator is the thin
+// orchestrator over that observation: the frozen constants live in a SoA
+// EvalPlan (eval_plan.h), the per-word accumulation runs in a
+// runtime-dispatched kernel (kernels/kernel.h — scalar reference or AVX2,
+// SW_EVAL_KERNEL overrides), and the word batch fans across a ThreadPool.
+// Decoded results are bit-for-bit identical to the scalar path: the plan's
+// constants are produced by the same arithmetic, and every kernel preserves
+// the scalar per-detector accumulation order word by word.
 #pragma once
 
-#include <complex>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/gate.h"
 #include "util/thread_pool.h"
+#include "wavesim/eval_plan.h"
+#include "wavesim/kernels/kernel.h"
 
 namespace sw::wavesim {
 
@@ -40,17 +43,27 @@ struct BatchOptions {
 
 class BatchEvaluator {
  public:
-  /// Precomputes the evaluation plan from the gate's layout. The gate (and
-  /// its engine) must outlive the evaluator. The engine is only consulted
-  /// here, never in the per-word hot loop, so the evaluate* methods of a
-  /// constructed evaluator are safe to call concurrently. Construction is
-  /// thread-safe too: the engine's memoisation cache is mutex-guarded, so
-  /// several threads may build evaluators (or call the gates' one-shot
+  /// Builds the EvalPlan from the gate's layout. The gate (and its engine)
+  /// must outlive the evaluator. The engine is only consulted during plan
+  /// construction, never in the per-word hot loop, so the evaluate* methods
+  /// of a constructed evaluator are safe to call concurrently. Construction
+  /// is thread-safe too: the engine's memoisation cache is mutex-guarded,
+  /// so several threads may build evaluators (or call the gates' one-shot
   /// evaluate_batch hooks) against one shared WaveEngine.
   explicit BatchEvaluator(const sw::core::DataParallelGate& gate,
                           BatchOptions options = {});
 
+  /// Adopts an already-built plan instead of rebuilding it — the serve
+  /// layer's route: PlanCache constructs the plan once per layout and every
+  /// evaluator (and request) for that layout shares it. The plan must have
+  /// been built from this gate's layout with options.freq_tol.
+  BatchEvaluator(const sw::core::DataParallelGate& gate,
+                 std::shared_ptr<const EvalPlan> plan,
+                 BatchOptions options = {});
+
   const sw::core::DataParallelGate& gate() const { return *gate_; }
+  /// The frozen SoA plan the kernels evaluate against.
+  const EvalPlan& plan() const { return *plan_; }
   std::size_t num_threads() const { return pool_.size(); }
 
   /// Evaluate a batch of input assignments; element w has the same shape as
@@ -74,38 +87,33 @@ class BatchEvaluator {
       std::size_t num_words, const BitAccessor& bit) const;
 
   /// Input slots per word for the packed path: one per (channel, input).
-  std::size_t slot_count() const;
+  std::size_t slot_count() const { return plan_->slot_count(); }
 
-  /// Fastest path, decoding only the logic bits. `bits` is a row-major
-  /// num_words x slot_count() matrix; the bit of input slot `input` on
-  /// channel `channel` lives at column channel * num_inputs + input.
-  /// Returns a row-major num_words x channel-count matrix of decoded
-  /// output bits. The decode is exactly decide_phase's threshold (phase
-  /// closer to pi than to 0, i.e. Re < 0) without the polar conversion, so
-  /// bits match the ChannelResult paths bit-for-bit.
+  /// Fastest path, decoding only the logic bits via the active kernel.
+  /// `bits` is a row-major num_words x slot_count() matrix; the bit of
+  /// input slot `input` on channel `channel` lives at column
+  /// channel * num_inputs + input. Returns a row-major num_words x
+  /// channel-count matrix of decoded output bits. The decode is exactly
+  /// decide_phase's threshold (phase closer to pi than to 0, i.e. Re < 0)
+  /// without the polar conversion, so bits match the ChannelResult paths
+  /// bit-for-bit. Rejects a `bits` span whose size is not num_words *
+  /// slot_count(), including when that product would overflow size_t.
   std::vector<std::uint8_t> evaluate_bits(
       std::size_t num_words, std::span<const std::uint8_t> bits) const;
 
- private:
-  /// One source's two possible phasor contributions at one detector.
-  struct Contribution {
-    std::size_t channel = 0;  ///< input word indexing: which channel's bits
-    std::size_t input = 0;    ///< ... and which bit within the channel
-    std::size_t slot = 0;     ///< flat column channel * num_inputs + input
-    std::complex<double> zero;  ///< contribution when the bit is 0
-    std::complex<double> one;   ///< contribution when the bit is 1
-  };
-  struct DetectorPlan {
-    std::size_t channel = 0;
-    std::vector<Contribution> contributions;  ///< scalar source order
-  };
+  /// Same, through an explicit kernel (tests and benches compare kernels
+  /// side by side; production callers use the active-kernel overload).
+  std::vector<std::uint8_t> evaluate_bits(
+      std::size_t num_words, std::span<const std::uint8_t> bits,
+      const kernels::Kernel& kernel) const;
 
+ private:
   template <typename BitFn>
   std::vector<std::vector<sw::core::ChannelResult>> run(std::size_t num_words,
                                                         const BitFn& bit) const;
 
   const sw::core::DataParallelGate* gate_;
-  std::vector<DetectorPlan> plans_;
+  std::shared_ptr<const EvalPlan> plan_;
   mutable sw::util::ThreadPool pool_;
 };
 

@@ -1,0 +1,60 @@
+#include "wavesim/eval_plan.h"
+
+#include <cmath>
+#include <complex>
+#include <limits>
+
+#include "core/encoding.h"
+#include "util/error.h"
+#include "wavesim/wave_engine.h"
+
+namespace sw::wavesim {
+
+EvalPlan::EvalPlan(const sw::core::DataParallelGate& gate, double freq_tol)
+    : freq_tol_(freq_tol) {
+  const auto& layout = gate.layout();
+  const auto& engine = gate.engine();
+  const auto& freqs = layout.spec.frequencies;
+  num_channels_ = freqs.size();
+  num_inputs_ = layout.spec.num_inputs;
+  SW_REQUIRE(slot_count() <= std::numeric_limits<std::uint32_t>::max(),
+             "slot count exceeds the plan's 32-bit slot index range");
+
+  det_offsets_.reserve(layout.detectors.size() + 1);
+  det_offsets_.push_back(0);
+  det_channels_.reserve(layout.detectors.size());
+  for (const auto& det : layout.detectors) {
+    const double f = freqs[det.channel];
+    // Each contribution is the engine's own steady phasor of that single
+    // source driven at phase 0 / pi, appended in scalar source order, so a
+    // kernel summing the detector's range in index order reproduces the
+    // scalar evaluation bitwise (x + 0 == x keeps skipped sources
+    // invisible, but the match check below also keeps the plan compact).
+    for (const auto& s : layout.sources) {
+      const double sf = freqs[s.channel];
+      if (std::abs(sf - f) > freq_tol * f) continue;
+      WaveSource src;
+      src.x = s.x;
+      src.frequency = sf;
+      src.amplitude = s.amplitude;
+      src.phase = sw::core::kPhaseZero;
+      const std::complex<double> zero =
+          engine.steady_phasor({&src, 1}, det.x, f, freq_tol);
+      src.phase = sw::core::kPhaseOne;
+      const std::complex<double> one =
+          engine.steady_phasor({&src, 1}, det.x, f, freq_tol);
+      re0_.push_back(zero.real());
+      im0_.push_back(zero.imag());
+      re1_.push_back(one.real());
+      im1_.push_back(one.imag());
+      slots_.push_back(
+          static_cast<std::uint32_t>(s.channel * num_inputs_ + s.input));
+      channels_.push_back(static_cast<std::uint32_t>(s.channel));
+      inputs_.push_back(static_cast<std::uint32_t>(s.input));
+    }
+    det_channels_.push_back(det.channel);
+    det_offsets_.push_back(re0_.size());
+  }
+}
+
+}  // namespace sw::wavesim

@@ -1,0 +1,98 @@
+// Frozen, layout-derived evaluation plan in structure-of-arrays form.
+//
+// For a fixed gate layout the contribution of source j to detector d is one
+// of exactly two complex constants (launch phase 0 or pi). PR 1 stored the
+// pair as an array of structs inside BatchEvaluator, which interleaved the
+// phasor constants with indexing metadata and blocked vectorisation of the
+// per-word accumulation. EvalPlan is the extracted, immutable artefact: the
+// constants live in separate contiguous cache-line-aligned arrays
+// (re0/im0/re1/im1), the per-contribution flat input-slot index in its own
+// array, and detectors are described by [offset, offset+count) ranges over
+// those arrays — exactly the shape the kernels in wavesim/kernels consume.
+//
+// The arrays preserve scalar source order per detector, and every constant
+// is produced by the same engine arithmetic as the scalar path, so any
+// kernel that accumulates a detector's range in index order is bit-for-bit
+// identical to DataParallelGate::evaluate by construction.
+//
+// An EvalPlan is immutable after construction and holds no reference to the
+// gate or engine, so it is safe to share across threads and to cache (see
+// sw::serve::PlanCache, which stores one per layout and hands it to every
+// request for that layout).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/gate.h"
+#include "util/aligned.h"
+
+namespace sw::wavesim {
+
+class EvalPlan {
+ public:
+  /// Builds the plan from the gate's layout via its engine (one
+  /// steady-phasor solve per (detector, source, launch-phase) triple — the
+  /// expensive per-layout cost the serve-layer cache amortises). Neither
+  /// the gate nor the engine needs to outlive the plan. `freq_tol` is the
+  /// relative source/detector frequency matching tolerance and must equal
+  /// the scalar path's for bit-exact equivalence.
+  explicit EvalPlan(const sw::core::DataParallelGate& gate,
+                    double freq_tol = kDefaultFreqTol);
+
+  double freq_tol() const { return freq_tol_; }
+  std::size_t num_channels() const { return num_channels_; }
+  std::size_t num_inputs() const { return num_inputs_; }
+  /// Input slots per word: num_channels() * num_inputs(); the bit of input
+  /// `in` on channel `ch` lives at flat column ch * num_inputs() + in.
+  std::size_t slot_count() const { return num_channels_ * num_inputs_; }
+  std::size_t num_detectors() const { return det_channels_.size(); }
+  std::size_t num_contributions() const { return re0_.size(); }
+
+  /// Detector d's contributions occupy indices [detector_offsets()[d],
+  /// detector_offsets()[d + 1]) of the per-contribution arrays, in scalar
+  /// source order. Size num_detectors() + 1.
+  std::span<const std::size_t> detector_offsets() const {
+    return det_offsets_;
+  }
+  /// Output channel written by detector d (row index of the decoded bit).
+  std::span<const std::size_t> detector_channels() const {
+    return det_channels_;
+  }
+
+  /// Per-contribution SoA arrays (all of size num_contributions(), 64-byte
+  /// aligned): real/imaginary parts of the phasor contributed when the
+  /// governing bit is 0 resp. 1.
+  std::span<const double> re0() const { return re0_; }
+  std::span<const double> im0() const { return im0_; }
+  std::span<const double> re1() const { return re1_; }
+  std::span<const double> im1() const { return im1_; }
+
+  /// Flat input-slot index of each contribution's governing bit (column
+  /// into a packed word row; always < slot_count()).
+  std::span<const std::uint32_t> slots() const { return slots_; }
+  /// The same governing bit as (channel, input) coordinates, for callers
+  /// that index nested per-channel words instead of packed rows.
+  std::span<const std::uint32_t> channels() const { return channels_; }
+  std::span<const std::uint32_t> inputs() const { return inputs_; }
+
+ private:
+  double freq_tol_ = kDefaultFreqTol;
+  std::size_t num_channels_ = 0;
+  std::size_t num_inputs_ = 0;
+
+  std::vector<std::size_t> det_offsets_;
+  std::vector<std::size_t> det_channels_;
+
+  sw::util::AlignedVector<double> re0_;
+  sw::util::AlignedVector<double> im0_;
+  sw::util::AlignedVector<double> re1_;
+  sw::util::AlignedVector<double> im1_;
+  sw::util::AlignedVector<std::uint32_t> slots_;
+  sw::util::AlignedVector<std::uint32_t> channels_;
+  sw::util::AlignedVector<std::uint32_t> inputs_;
+};
+
+}  // namespace sw::wavesim

@@ -1,0 +1,60 @@
+// Kernel selection: explicit by name, or once per process via
+// SW_EVAL_KERNEL / CPUID.
+#include <cstdlib>
+#include <string>
+
+#include "util/error.h"
+#include "wavesim/kernels/kernel.h"
+
+namespace sw::wavesim {
+
+namespace kernels {
+
+const Kernel* avx2_kernel() {
+  // The CPUID check runs here, in a portable TU: the -mavx2 TU is entered
+  // only once the host is known to execute AVX2 (see
+  // detail::avx2_kernel_candidate), so a pre-AVX2 x86 host can never fault
+  // inside the dispatch path itself.
+#if defined(__x86_64__) || defined(__i386__)
+  static const Kernel* kernel =
+      __builtin_cpu_supports("avx2") ? detail::avx2_kernel_candidate()
+                                     : nullptr;
+  return kernel;
+#else
+  return nullptr;
+#endif
+}
+
+const Kernel& select_kernel(std::string_view name) {
+  if (name == "scalar") return scalar_kernel();
+  if (name == "avx2") {
+    const Kernel* kernel = avx2_kernel();
+    if (kernel == nullptr) {
+      throw sw::util::Error(
+          "evaluation kernel 'avx2' is unavailable: the build lacks AVX2 "
+          "codegen or this CPU lacks the instructions");
+    }
+    return *kernel;
+  }
+  throw sw::util::Error("unknown evaluation kernel '" + std::string(name) +
+                        "' (expected 'scalar' or 'avx2')");
+}
+
+const Kernel& active_kernel() {
+  // Magic-static initialisation: the lambda runs once; if the override
+  // names an unknown/unavailable kernel the exception propagates to the
+  // caller and initialisation retries on the next call.
+  static const Kernel& chosen = []() -> const Kernel& {
+    const char* env = std::getenv("SW_EVAL_KERNEL");
+    if (env != nullptr && *env != '\0') return select_kernel(env);
+    if (const Kernel* kernel = avx2_kernel()) return *kernel;
+    return scalar_kernel();
+  }();
+  return chosen;
+}
+
+}  // namespace kernels
+
+std::string_view active_kernel_name() { return kernels::active_kernel().name; }
+
+}  // namespace sw::wavesim

@@ -1,0 +1,73 @@
+// Runtime-dispatched evaluation kernels over SoA EvalPlans.
+//
+// A kernel decodes a contiguous range of packed input words against a
+// frozen EvalPlan: for each word and detector it accumulates the
+// bit-selected phasor contributions and thresholds the real part (the
+// decide_phase decision with reference 0 is exactly Re < 0). Two
+// implementations exist: a portable scalar reference and an AVX2 kernel
+// that evaluates four words per vector lane-for-lane in the same
+// accumulation order, so both decode bit-for-bit identically to the scalar
+// gate path.
+//
+// Selection happens once per process on first use: the SW_EVAL_KERNEL
+// environment variable ("scalar" or "avx2") overrides, otherwise the best
+// kernel the build and the CPU support wins (CPUID-checked at runtime — an
+// AVX2-compiled binary still runs, on the scalar kernel, on a pre-AVX2
+// host). Tests and benches bypass the cached choice via select_kernel().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sw::wavesim {
+
+class EvalPlan;
+
+namespace kernels {
+
+struct Kernel {
+  const char* name;
+  /// Decode words [begin, end): reads rows [begin, end) of the row-major
+  /// num_words x plan.slot_count() packed bit matrix `bits` and writes rows
+  /// [begin, end) of the num_words x plan.num_channels() decoded-bit matrix
+  /// `out`. Both pointers address the full matrices (row 0), not the range.
+  void (*eval_bits)(const EvalPlan& plan, const std::uint8_t* bits,
+                    std::size_t begin, std::size_t end, std::uint8_t* out);
+};
+
+/// Portable reference kernel; always available.
+const Kernel& scalar_kernel();
+
+/// AVX2 kernel, or nullptr when the build lacks AVX2 codegen or the CPU
+/// lacks the instructions.
+const Kernel* avx2_kernel();
+
+namespace detail {
+/// The AVX2 kernel as compiled (nullptr when the build has no AVX2
+/// codegen), with NO runtime CPU check: defined in the -mavx2 TU as a bare
+/// constant return so the only AVX2-encoded code in the binary is the
+/// kernel body itself. Only avx2_kernel() — which performs the CPUID check
+/// from a portable TU first — may call this; dereferencing the result's
+/// eval_bits on a pre-AVX2 host is SIGILL.
+const Kernel* avx2_kernel_candidate();
+}  // namespace detail
+
+/// Kernel by name ("scalar" | "avx2"); throws sw::util::Error on an unknown
+/// name or an unavailable kernel. Does not consult or mutate the process's
+/// cached active choice.
+const Kernel& select_kernel(std::string_view name);
+
+/// The process-wide kernel: SW_EVAL_KERNEL when set (unknown/unavailable
+/// values throw on first use), else the best supported kernel. Cached after
+/// the first successful call.
+const Kernel& active_kernel();
+
+}  // namespace kernels
+
+/// Name of the kernel evaluate_bits dispatches to ("scalar" | "avx2");
+/// surfaced through sw::serve::ServiceStats and logged by EvaluatorService
+/// so operators and benches can tell which path ran.
+std::string_view active_kernel_name();
+
+}  // namespace sw::wavesim

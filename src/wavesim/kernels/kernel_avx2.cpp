@@ -1,0 +1,128 @@
+// AVX2 kernel: four words per __m256d, one word per 64-bit lane.
+//
+// Bit-exactness argument: vectorising *across words* (not across a
+// detector's contributions) keeps each lane's accumulation in exactly the
+// scalar order — lane l performs the same additions on the same constants
+// in the same sequence as the scalar kernel would for word l — so every
+// lane's sum is bitwise identical to the scalar sum and no word can decode
+// differently, not even one sitting within an ulp of the threshold. The
+// per-group cost beyond the adds is one mask transpose of the four words'
+// input slots and a blend per contribution.
+//
+// This translation unit is compiled with -mavx2 (CMake adds the flag only
+// for this file when the compiler supports it and the target is x86); every
+// other TU stays portable, and nothing in this TU executes — not even the
+// candidate getter's would-be static init — unless the CPUID check in
+// dispatch.cpp (a portable TU) confirmed the host runs AVX2 first, or the
+// getter itself, which is a bare constant return, is called.
+#include "wavesim/kernels/kernel.h"
+
+#if defined(SWLOGIC_EVAL_AVX2) && (defined(__x86_64__) || defined(__i386__))
+
+#include <immintrin.h>
+
+#include "util/aligned.h"
+#include "wavesim/eval_plan.h"
+
+namespace sw::wavesim::kernels {
+
+namespace {
+
+void eval_bits_avx2(const EvalPlan& plan, const std::uint8_t* bits,
+                    std::size_t begin, std::size_t end, std::uint8_t* out) {
+  const auto offsets = plan.detector_offsets();
+  const auto det_channel = plan.detector_channels();
+  const auto re0 = plan.re0();
+  const auto re1 = plan.re1();
+  const auto slots = plan.slots();
+  const std::size_t stride = plan.slot_count();
+  const std::size_t channels = plan.num_channels();
+  const std::size_t detectors = plan.num_detectors();
+
+  // Lane masks for the current word group, one __m256d (stored as four
+  // doubles — vector<__m256d> trips -Wignored-attributes) per input slot:
+  // lane l of mask s has its sign bit set iff word l's bit at slot s is 1
+  // (vblendvpd selects on the sign bit alone). Transposed once per group,
+  // reused by every detector range. Small strides (every gate in the
+  // paper: 8 channels x 3 inputs = 24) use the stack so the serving hot
+  // path does not pay an aligned heap round-trip per evaluate_bits call.
+  constexpr std::size_t kStackSlots = 64;
+  alignas(32) double stack_masks[kStackSlots * 4];
+  sw::util::AlignedVector<double, 32> heap_masks;
+  double* masks_data = stack_masks;
+  if (stride > kStackSlots) {
+    heap_masks.resize(stride * 4);
+    masks_data = heap_masks.data();
+  }
+
+  std::size_t w = begin;
+  for (; w + 4 <= end; w += 4) {
+    const std::uint8_t* w0 = bits + (w + 0) * stride;
+    const std::uint8_t* w1 = bits + (w + 1) * stride;
+    const std::uint8_t* w2 = bits + (w + 2) * stride;
+    const std::uint8_t* w3 = bits + (w + 3) * stride;
+    const auto sign_bit = [](std::uint8_t b) {
+      // b != 0, not bit 0: the scalar kernel treats any nonzero byte as a
+      // set bit, and the kernels must agree on every input. Unsigned
+      // shift, then modular conversion (C++20), for the 0x8000.. pattern.
+      return static_cast<long long>(static_cast<std::uint64_t>(b != 0) << 63);
+    };
+    for (std::size_t s = 0; s < stride; ++s) {
+      _mm256_store_pd(
+          masks_data + 4 * s,
+          _mm256_castsi256_pd(_mm256_setr_epi64x(sign_bit(w0[s]),
+                                                 sign_bit(w1[s]),
+                                                 sign_bit(w2[s]),
+                                                 sign_bit(w3[s]))));
+    }
+
+    std::uint8_t* r0 = out + (w + 0) * channels;
+    std::uint8_t* r1 = out + (w + 1) * channels;
+    std::uint8_t* r2 = out + (w + 2) * channels;
+    std::uint8_t* r3 = out + (w + 3) * channels;
+    for (std::size_t d = 0; d < detectors; ++d) {
+      __m256d acc = _mm256_setzero_pd();
+      for (std::size_t i = offsets[d]; i < offsets[d + 1]; ++i) {
+        const __m256d zero = _mm256_broadcast_sd(&re0[i]);
+        const __m256d one = _mm256_broadcast_sd(&re1[i]);
+        const __m256d mask = _mm256_load_pd(masks_data + 4 * slots[i]);
+        acc = _mm256_add_pd(acc, _mm256_blendv_pd(zero, one, mask));
+      }
+      // An ordered < 0.0 compare, not the raw sign bit: a -0.0 sum must
+      // decode as 0 exactly like the scalar kernel's `acc < 0.0`.
+      const int neg = _mm256_movemask_pd(
+          _mm256_cmp_pd(acc, _mm256_setzero_pd(), _CMP_LT_OQ));
+      const std::size_t c = det_channel[d];
+      r0[c] = static_cast<std::uint8_t>(neg & 1);
+      r1[c] = static_cast<std::uint8_t>((neg >> 1) & 1);
+      r2[c] = static_cast<std::uint8_t>((neg >> 2) & 1);
+      r3[c] = static_cast<std::uint8_t>((neg >> 3) & 1);
+    }
+  }
+  // Remainder tail (< 4 words): the scalar reference, which is what the
+  // vector lanes reproduce anyway.
+  if (w < end) scalar_kernel().eval_bits(plan, bits, w, end, out);
+}
+
+}  // namespace
+
+const Kernel* detail::avx2_kernel_candidate() {
+  // Deliberately no CPUID check and no static-init machinery here: this TU
+  // is compiled with -mavx2, so any non-trivial code in it could be
+  // VEX-encoded and fault on a pre-AVX2 host. The runtime support check
+  // lives in dispatch.cpp (a portable TU); this is a bare constant return.
+  static constexpr Kernel kernel{"avx2", &eval_bits_avx2};
+  return &kernel;
+}
+
+}  // namespace sw::wavesim::kernels
+
+#else  // no AVX2 codegen in this build or non-x86 target
+
+namespace sw::wavesim::kernels {
+
+const Kernel* detail::avx2_kernel_candidate() { return nullptr; }
+
+}  // namespace sw::wavesim::kernels
+
+#endif

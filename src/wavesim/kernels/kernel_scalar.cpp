@@ -1,0 +1,51 @@
+// Portable reference kernel: one word at a time, one detector at a time,
+// contributions accumulated in plan (= scalar source) order.
+//
+// Only the real parts are accumulated: complex addition is componentwise,
+// so dropping the imaginary lane leaves the real sum bitwise unchanged, and
+// the packed-bit decode consumes nothing but sign(Re). This alone roughly
+// halves the arithmetic of the PR 1/2 AoS loop, which dragged the full
+// complex pair (and the indexing metadata interleaved with it) through the
+// accumulator.
+#include "wavesim/kernels/kernel.h"
+
+#include "wavesim/eval_plan.h"
+
+namespace sw::wavesim::kernels {
+
+namespace {
+
+void eval_bits_scalar(const EvalPlan& plan, const std::uint8_t* bits,
+                      std::size_t begin, std::size_t end, std::uint8_t* out) {
+  const auto offsets = plan.detector_offsets();
+  const auto det_channel = plan.detector_channels();
+  const auto re0 = plan.re0();
+  const auto re1 = plan.re1();
+  const auto slots = plan.slots();
+  const std::size_t stride = plan.slot_count();
+  const std::size_t channels = plan.num_channels();
+  const std::size_t detectors = plan.num_detectors();
+
+  for (std::size_t w = begin; w < end; ++w) {
+    const std::uint8_t* word = bits + w * stride;
+    std::uint8_t* row = out + w * channels;
+    for (std::size_t d = 0; d < detectors; ++d) {
+      double acc = 0.0;
+      for (std::size_t i = offsets[d]; i < offsets[d + 1]; ++i) {
+        acc += word[slots[i]] ? re1[i] : re0[i];
+      }
+      // decide_phase with reference 0: logic 1 iff the phase is closer to
+      // pi than to 0, which is exactly Re(acc) < 0.
+      row[det_channel[d]] = acc < 0.0 ? 1 : 0;
+    }
+  }
+}
+
+}  // namespace
+
+const Kernel& scalar_kernel() {
+  static constexpr Kernel kernel{"scalar", &eval_bits_scalar};
+  return kernel;
+}
+
+}  // namespace sw::wavesim::kernels

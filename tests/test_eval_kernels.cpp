@@ -1,0 +1,388 @@
+// Kernel-layer coverage: the SoA EvalPlan, the scalar and AVX2 evaluation
+// kernels, and the runtime dispatch. The load-bearing property is bit-exact
+// equivalence — every kernel must decode exactly like the scalar gate path
+// (DataParallelGate::evaluate) on every BooleanOp, including the full 2^16
+// operand sweep at n = 8 and word counts that exercise the AVX2 kernel's
+// 4-word grouping and scalar remainder tail.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/encoding.h"
+#include "core/gate.h"
+#include "core/gate_design.h"
+#include "core/logic_ops.h"
+#include "dispersion/fvmsw.h"
+#include "mag/material.h"
+#include "serve/plan_cache.h"
+#include "util/error.h"
+#include "wavesim/batch_evaluator.h"
+#include "wavesim/eval_plan.h"
+#include "wavesim/kernels/kernel.h"
+#include "wavesim/wave_engine.h"
+
+namespace {
+
+using namespace sw::core;
+using sw::disp::FvmswDispersion;
+using sw::disp::Waveguide;
+using sw::wavesim::BatchEvaluator;
+using sw::wavesim::EvalPlan;
+using sw::wavesim::kernels::avx2_kernel;
+using sw::wavesim::kernels::Kernel;
+using sw::wavesim::kernels::scalar_kernel;
+using sw::wavesim::kernels::select_kernel;
+
+Waveguide paper_waveguide() {
+  Waveguide wg;
+  wg.material = sw::mag::make_fecob();
+  wg.width = 50e-9;
+  wg.thickness = 1e-9;
+  return wg;
+}
+
+std::vector<double> channel_frequencies(std::size_t n) {
+  std::vector<double> f;
+  for (std::size_t i = 1; i <= n; ++i) {
+    f.push_back(1e10 * static_cast<double>(i));
+  }
+  return f;
+}
+
+struct KernelFixture {
+  Waveguide wg = paper_waveguide();
+  FvmswDispersion model{wg};
+  InlineGateDesigner designer{model};
+  sw::wavesim::WaveEngine engine{model, wg.material.alpha};
+
+  DataParallelGate majority_gate(std::size_t m, std::size_t n) const {
+    GateSpec spec;
+    spec.num_inputs = m;
+    spec.frequencies = channel_frequencies(n);
+    return DataParallelGate(designer.design(spec), engine);
+  }
+};
+
+/// Packs the exhaustive operand sweep of a ParallelLogicGate into the
+/// evaluate_bits matrix: binary ops sweep all 2^n x 2^n (a, b) word pairs
+/// with the constant input pinned per op; unary ops sweep the 2^n a-words.
+struct PackedSweep {
+  std::size_t num_words = 0;
+  std::vector<std::uint8_t> bits;           ///< num_words x slot_count
+  std::vector<Bits> a_words, b_words;       ///< operands, per word
+};
+
+PackedSweep exhaustive_sweep(const ParallelLogicGate& logic, std::size_t n) {
+  const std::size_t m = logic.layout().spec.num_inputs;
+  const std::size_t stride = n * m;
+  const bool binary = logic.data_inputs() == 2;
+  // AND/NAND pin the third input to 0, OR/NOR to 1 (MAJ synthesis).
+  const std::uint8_t pin =
+      (logic.op() == BooleanOp::kOr || logic.op() == BooleanOp::kNor) ? 1 : 0;
+
+  const std::size_t a_values = std::size_t{1} << n;
+  const std::size_t b_values = binary ? a_values : 1;
+  PackedSweep sweep;
+  sweep.num_words = a_values * b_values;
+  sweep.bits.resize(sweep.num_words * stride);
+  sweep.a_words.reserve(sweep.num_words);
+  sweep.b_words.reserve(sweep.num_words);
+  std::size_t w = 0;
+  for (std::size_t av = 0; av < a_values; ++av) {
+    for (std::size_t bv = 0; bv < b_values; ++bv, ++w) {
+      Bits a(n), b(n);
+      for (std::size_t ch = 0; ch < n; ++ch) {
+        a[ch] = static_cast<std::uint8_t>((av >> ch) & 1u);
+        b[ch] = static_cast<std::uint8_t>((bv >> ch) & 1u);
+        std::uint8_t* slot = sweep.bits.data() + w * stride + ch * m;
+        slot[0] = a[ch];
+        if (binary) {
+          slot[1] = b[ch];
+          slot[2] = pin;
+        }
+      }
+      sweep.a_words.push_back(std::move(a));
+      sweep.b_words.push_back(std::move(b));
+    }
+  }
+  return sweep;
+}
+
+constexpr BooleanOp kAllOps[] = {BooleanOp::kAnd,    BooleanOp::kOr,
+                                 BooleanOp::kNand,   BooleanOp::kNor,
+                                 BooleanOp::kBuffer, BooleanOp::kNot};
+
+// --------------------------------------------------------------- dispatch --
+
+TEST(KernelDispatch, ScalarKernelIsAlwaysAvailable) {
+  EXPECT_STREQ(scalar_kernel().name, "scalar");
+  EXPECT_EQ(&select_kernel("scalar"), &scalar_kernel());
+}
+
+TEST(KernelDispatch, Avx2SelectionMatchesAvailability) {
+  if (const Kernel* k = avx2_kernel()) {
+    EXPECT_STREQ(k->name, "avx2");
+    EXPECT_EQ(&select_kernel("avx2"), k);
+  } else {
+    EXPECT_THROW(select_kernel("avx2"), sw::util::Error);
+  }
+}
+
+TEST(KernelDispatch, UnknownNamesAreRejected) {
+  EXPECT_THROW(select_kernel(""), sw::util::Error);
+  EXPECT_THROW(select_kernel("sse2"), sw::util::Error);
+  EXPECT_THROW(select_kernel("AVX2"), sw::util::Error);  // names are exact
+}
+
+TEST(KernelDispatch, ActiveKernelHonoursOverrideOrPicksBest) {
+  const std::string active(sw::wavesim::active_kernel_name());
+  // The forced-scalar CI job runs the whole suite under
+  // SW_EVAL_KERNEL=scalar; with no override the best supported kernel wins.
+  if (const char* env = std::getenv("SW_EVAL_KERNEL"); env && *env) {
+    EXPECT_EQ(active, std::string(env));
+  } else {
+    EXPECT_EQ(active, avx2_kernel() != nullptr ? "avx2" : "scalar");
+  }
+  // The cached choice is stable.
+  EXPECT_EQ(std::string(sw::wavesim::active_kernel_name()), active);
+}
+
+// -------------------------------------------------------------- plan shape --
+
+TEST(EvalPlan, MirrorsLayoutStructure) {
+  const KernelFixture fix;
+  const auto gate = fix.majority_gate(3, 4);
+  const EvalPlan plan(gate);
+
+  EXPECT_EQ(plan.num_channels(), 4u);
+  EXPECT_EQ(plan.num_inputs(), 3u);
+  EXPECT_EQ(plan.slot_count(), 12u);
+  EXPECT_EQ(plan.num_detectors(), gate.layout().detectors.size());
+
+  const auto offsets = plan.detector_offsets();
+  ASSERT_EQ(offsets.size(), plan.num_detectors() + 1);
+  EXPECT_EQ(offsets.front(), 0u);
+  EXPECT_EQ(offsets.back(), plan.num_contributions());
+  for (std::size_t d = 0; d + 1 < offsets.size(); ++d) {
+    EXPECT_LE(offsets[d], offsets[d + 1]);
+  }
+  ASSERT_EQ(plan.re0().size(), plan.num_contributions());
+  ASSERT_EQ(plan.im0().size(), plan.num_contributions());
+  ASSERT_EQ(plan.re1().size(), plan.num_contributions());
+  ASSERT_EQ(plan.im1().size(), plan.num_contributions());
+  ASSERT_EQ(plan.slots().size(), plan.num_contributions());
+  for (std::size_t i = 0; i < plan.num_contributions(); ++i) {
+    EXPECT_LT(plan.slots()[i], plan.slot_count());
+    EXPECT_EQ(plan.slots()[i],
+              plan.channels()[i] * plan.num_inputs() + plan.inputs()[i]);
+  }
+  for (const std::size_t ch : plan.detector_channels()) {
+    EXPECT_LT(ch, plan.num_channels());
+  }
+}
+
+TEST(EvalPlan, ArraysAreCacheLineAligned) {
+  const KernelFixture fix;
+  const auto gate = fix.majority_gate(3, 8);
+  const EvalPlan plan(gate);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(plan.re0().data()) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(plan.im0().data()) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(plan.re1().data()) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(plan.im1().data()) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(plan.slots().data()) % 64, 0u);
+}
+
+TEST(EvalPlan, SharedPlanMustMatchTheGate) {
+  const KernelFixture fix;
+  const auto gate3 = fix.majority_gate(3, 4);
+  const auto gate5 = fix.majority_gate(5, 4);
+  auto plan3 = std::make_shared<const EvalPlan>(gate3);
+  EXPECT_THROW(BatchEvaluator(gate5, plan3, {}), sw::util::Error);
+  EXPECT_THROW(BatchEvaluator(gate3, nullptr, {}), sw::util::Error);
+  EXPECT_THROW(BatchEvaluator(gate3, plan3, {.freq_tol = 1e-3}),
+               sw::util::Error);
+  // A matching share works and evaluates identically to a rebuilt plan.
+  const BatchEvaluator shared(gate3, plan3, {});
+  EXPECT_EQ(&shared.plan(), plan3.get());
+  const BatchEvaluator rebuilt(gate3);
+  const auto patterns = all_patterns(3);
+  const auto a = shared.evaluate_uniform(patterns);
+  const auto b = rebuilt.evaluate_uniform(patterns);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t w = 0; w < a.size(); ++w) {
+    for (std::size_t ch = 0; ch < a[w].size(); ++ch) {
+      EXPECT_EQ(a[w][ch].logic, b[w][ch].logic);
+      EXPECT_EQ(a[w][ch].phase, b[w][ch].phase);
+    }
+  }
+}
+
+TEST(EvalPlan, PlanCacheServesTheSoAPlanItBuilt) {
+  const KernelFixture fix;
+  sw::serve::PlanCache cache(fix.engine, 4);
+  GateSpec spec;
+  spec.num_inputs = 3;
+  spec.frequencies = channel_frequencies(4);
+  const auto layout = fix.designer.design(spec);
+  const auto lookup = cache.get_or_build(layout);
+  ASSERT_NE(lookup.plan, nullptr);
+  // The evaluator shares the cached SoA plan — same object, no conversion.
+  EXPECT_EQ(&lookup.plan->evaluator().plan(), &lookup.plan->plan());
+}
+
+// ------------------------------------------------------------ equivalence --
+
+/// Decodes `sweep` through `kernel` and checks every word against the
+/// scalar gate path (ParallelLogicGate::evaluate) and the Boolean
+/// reference.
+void expect_kernel_matches_scalar_gate(const ParallelLogicGate& logic,
+                                       const BatchEvaluator& evaluator,
+                                       const PackedSweep& sweep,
+                                       const Kernel& kernel, std::size_t n) {
+  const auto bits =
+      evaluator.evaluate_bits(sweep.num_words, sweep.bits, kernel);
+  ASSERT_EQ(bits.size(), sweep.num_words * n);
+  for (std::size_t w = 0; w < sweep.num_words; ++w) {
+    const auto want = logic.evaluate(sweep.a_words[w], sweep.b_words[w]);
+    for (std::size_t ch = 0; ch < n; ++ch) {
+      ASSERT_EQ(bits[w * n + ch], want[ch])
+          << boolean_op_name(logic.op()) << " kernel " << kernel.name
+          << " word " << w << " channel " << ch;
+      ASSERT_EQ(want[ch] != 0,
+                boolean_op_eval(logic.op(), sweep.a_words[w][ch] != 0,
+                                sweep.b_words[w][ch] != 0))
+          << "scalar gate path diverged from the Boolean reference";
+    }
+  }
+}
+
+TEST(KernelEquivalence, EveryOpExhaustiveAtEveryWidth) {
+  const KernelFixture fix;
+  // n = 8 on binary ops is the full 2^16-word sweep of the acceptance
+  // criteria; n = 1 exercises single-detector plans, n = 4 the mid size.
+  for (const std::size_t n : {1ul, 4ul, 8ul}) {
+    for (const BooleanOp op : kAllOps) {
+      const ParallelLogicGate logic(op, channel_frequencies(n), fix.designer,
+                                    fix.engine);
+      const BatchEvaluator evaluator(logic.gate());
+      const PackedSweep sweep = exhaustive_sweep(logic, n);
+      expect_kernel_matches_scalar_gate(logic, evaluator, sweep,
+                                        scalar_kernel(), n);
+      if (const Kernel* avx2 = avx2_kernel()) {
+        expect_kernel_matches_scalar_gate(logic, evaluator, sweep, *avx2, n);
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, ActiveKernelMatchesScalarKernel) {
+  const KernelFixture fix;
+  const ParallelLogicGate logic(BooleanOp::kAnd, channel_frequencies(8),
+                                fix.designer, fix.engine);
+  const BatchEvaluator evaluator(logic.gate());
+  const PackedSweep sweep = exhaustive_sweep(logic, 8);
+  EXPECT_EQ(evaluator.evaluate_bits(sweep.num_words, sweep.bits),
+            evaluator.evaluate_bits(sweep.num_words, sweep.bits,
+                                    scalar_kernel()));
+}
+
+TEST(KernelEquivalence, OddWordCountsExerciseTheVectorTail) {
+  const Kernel* avx2 = avx2_kernel();
+  if (avx2 == nullptr) {
+    GTEST_SKIP() << "AVX2 kernel unavailable on this build/host";
+  }
+  const KernelFixture fix;
+  const auto gate = fix.majority_gate(3, 4);
+  const BatchEvaluator evaluator(gate, {.num_threads = 1});
+  const std::size_t stride = evaluator.slot_count();
+
+  std::mt19937 rng(31);
+  std::bernoulli_distribution coin(0.5);
+  // 1..3 words never enter the 4-word loop; 5/7/9 leave 1/3/1-word tails;
+  // 33 leaves a tail after several full groups.
+  for (const std::size_t words : {1ul, 2ul, 3ul, 4ul, 5ul, 6ul, 7ul, 9ul,
+                                  31ul, 32ul, 33ul}) {
+    std::vector<std::uint8_t> packed(words * stride);
+    for (auto& b : packed) b = coin(rng) ? 1 : 0;
+    EXPECT_EQ(evaluator.evaluate_bits(words, packed, *avx2),
+              evaluator.evaluate_bits(words, packed, scalar_kernel()))
+        << words << " words";
+  }
+}
+
+TEST(KernelEquivalence, NonCanonicalBytesDecodeIdentically) {
+  // evaluate_bits documents a bit per byte but never validates the values;
+  // the scalar kernel treats any nonzero byte as a set bit, and the AVX2
+  // mask transpose must agree (a lane mask keyed on bit 0 alone would
+  // silently decode 2, 4, 0x80... as zeros).
+  const Kernel* avx2 = avx2_kernel();
+  if (avx2 == nullptr) {
+    GTEST_SKIP() << "AVX2 kernel unavailable on this build/host";
+  }
+  const KernelFixture fix;
+  const auto gate = fix.majority_gate(3, 4);
+  const BatchEvaluator evaluator(gate, {.num_threads = 1});
+  const std::size_t words = 64;
+  std::mt19937 rng(41);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::vector<std::uint8_t> packed(words * evaluator.slot_count());
+  for (auto& b : packed) b = static_cast<std::uint8_t>(byte(rng));
+  EXPECT_EQ(evaluator.evaluate_bits(words, packed, *avx2),
+            evaluator.evaluate_bits(words, packed, scalar_kernel()));
+}
+
+TEST(KernelEquivalence, ThreadedChunkingDoesNotChangeDecodes) {
+  // Thread-pool chunk boundaries shift where the AVX2 4-word groups fall;
+  // decodes are per-word and must not move.
+  const KernelFixture fix;
+  const auto gate = fix.majority_gate(3, 4);
+  const std::size_t words = 203;  // prime-ish: uneven chunks + vector tails
+  std::mt19937 rng(37);
+  std::bernoulli_distribution coin(0.5);
+  const BatchEvaluator single(gate, {.num_threads = 1});
+  std::vector<std::uint8_t> packed(words * single.slot_count());
+  for (auto& b : packed) b = coin(rng) ? 1 : 0;
+  const auto want = single.evaluate_bits(words, packed);
+  for (const std::size_t threads : {2ul, 3ul, 5ul}) {
+    const BatchEvaluator pooled(gate, {.num_threads = threads});
+    EXPECT_EQ(pooled.evaluate_bits(words, packed), want)
+        << threads << " threads";
+  }
+}
+
+// -------------------------------------------------------------- validation --
+
+TEST(EvaluateBitsValidation, RejectsShapeMismatch) {
+  const KernelFixture fix;
+  const auto gate = fix.majority_gate(3, 2);
+  const BatchEvaluator evaluator(gate);
+  const std::vector<std::uint8_t> packed(evaluator.slot_count() * 2);
+  EXPECT_THROW(evaluator.evaluate_bits(1, packed), sw::util::Error);
+  EXPECT_THROW(evaluator.evaluate_bits(3, packed), sw::util::Error);
+  EXPECT_NO_THROW(evaluator.evaluate_bits(2, packed));
+}
+
+TEST(EvaluateBitsValidation, GuardsWordCountOverflow) {
+  const KernelFixture fix;
+  const auto gate = fix.majority_gate(3, 2);
+  const BatchEvaluator evaluator(gate);
+  ASSERT_EQ(evaluator.slot_count(), 6u);
+  // num_words * slot_count wraps around size_t; without the guard the
+  // wrapped product could even equal bits.size() and drive the kernel far
+  // out of bounds. Must throw a clear error, not allocate or crash.
+  const std::vector<std::uint8_t> tiny(4);
+  const std::size_t huge = std::numeric_limits<std::size_t>::max() / 2;
+  EXPECT_THROW(evaluator.evaluate_bits(huge, tiny), sw::util::Error);
+  // A wrapping product that lands exactly on bits.size(): (2^64 / 8) * 8
+  // + 4 distinct words would wrap; pick num_words so num_words * 6 wraps
+  // to tiny.size() modulo 2^64.
+  const std::size_t wrap =
+      (std::numeric_limits<std::size_t>::max() / 6) + 1;  // 6 * wrap wraps
+  EXPECT_THROW(evaluator.evaluate_bits(wrap, tiny), sw::util::Error);
+}
+
+}  // namespace

@@ -9,6 +9,7 @@
 #include <condition_variable>
 #include <cstdio>
 #include <future>
+#include <limits>
 #include <mutex>
 #include <random>
 #include <thread>
@@ -25,6 +26,7 @@
 #include "serve/service.h"
 #include "serve/wire.h"
 #include "util/error.h"
+#include "wavesim/kernels/kernel.h"
 #include "wavesim/batch_evaluator.h"
 #include "wavesim/wave_engine.h"
 
@@ -500,6 +502,9 @@ TEST(EvaluatorService, MatchesScalarGateAndCachesPlans) {
   EXPECT_EQ(stats.cache.misses, 1u);
   EXPECT_GE(stats.cache.hits, 1u);
   EXPECT_EQ(stats.shed, 0u);
+  // The stats surface which evaluation kernel requests dispatch to, so
+  // operators can tell the scalar fallback from the SIMD path.
+  EXPECT_EQ(stats.kernel, std::string(sw::wavesim::active_kernel_name()));
 }
 
 TEST(EvaluatorService, NestedBitsConvenienceMatchesScalarLoop) {
@@ -559,6 +564,14 @@ TEST(EvaluatorService, SubmitValidatesShapeUpFront) {
   EvaluatorService svc(fix.model, fix.wg.material.alpha);
   EXPECT_THROW((void)svc.submit(layout, std::vector<std::uint8_t>(5), 1),
                sw::util::Error);
+  // A word count whose product with slot_count wraps size_t must fail
+  // synchronously here — before admission charges a near-SIZE_MAX inflight
+  // word budget that would starve every other submitter.
+  const std::size_t wrap =
+      (std::numeric_limits<std::size_t>::max() / 6) + 1;  // 6 slots
+  EXPECT_THROW((void)svc.submit(layout, std::vector<std::uint8_t>(6), wrap),
+               sw::util::Error);
+  EXPECT_EQ(svc.stats().inflight_words, 0u);
 }
 
 TEST(EvaluatorService, BrokenLayoutFailsThroughTheFuture) {
