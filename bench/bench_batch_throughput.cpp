@@ -91,7 +91,7 @@ std::vector<std::vector<std::uint8_t>> run_batched(const BenchSetup& s) {
   return s.gate.evaluate_batch(s.table.a_words, s.table.b_words);
 }
 
-void run_experiment() {
+void run_experiment(bench::BenchJson& json) {
   const auto& s = setup();
   const double words = static_cast<double>(s.table.a_words.size());
   std::printf("8-channel parallel AND, exhaustive truth table: %zu words "
@@ -124,6 +124,12 @@ void run_experiment() {
               scalar_s / batch_s);
   std::printf("Outputs cross-checked identical on all %zu words.\n\n",
               scalar.size());
+  // evaluate_batch routes through evaluate_bits with default options, so
+  // the batch row runs at the process-wide precision (f32 on that CI leg).
+  json.add("scalar_per_word_loop", "none", "f64", words / scalar_s);
+  json.add("batch_evaluator", std::string(wavesim::active_kernel_name()),
+           std::string(wavesim::precision_name(wavesim::active_precision())),
+           words / batch_s);
 }
 
 // ------------------------------------------------------------------------
@@ -161,10 +167,15 @@ std::vector<std::uint8_t> run_aos_reference(
   return out;
 }
 
-void run_kernel_experiment() {
+void run_kernel_experiment(bench::BenchJson& json) {
   const auto& s = setup();
   // Single inline thread: kernel-vs-kernel, no pool fan-out in the ratio.
-  const wavesim::BatchEvaluator evaluator(s.gate.gate(), {.num_threads = 1});
+  // Precision pinned to f64 here so the f64 rows of the comparison stay
+  // f64 even under an SW_EVAL_PRECISION=f32 CI leg; the f32 section below
+  // pins its own.
+  const wavesim::BatchEvaluator evaluator(
+      s.gate.gate(),
+      {.num_threads = 1, .precision = wavesim::Precision::kFloat64});
   const wavesim::EvalPlan& plan = evaluator.plan();
   const std::size_t stride = evaluator.slot_count();
   const std::size_t num_words = s.table.a_words.size();
@@ -217,11 +228,36 @@ void run_kernel_experiment() {
               aos_s * 1e3, words / aos_s);
   std::printf("scalar SoA kernel    : %8.1f ms  (%10.0f words/s, %.2fx)\n",
               scalar_s * 1e3, words / scalar_s, aos_s / scalar_s);
+  json.add("exhaustive_2^16_sweep", "aos_reference", "f64", words / aos_s);
+  json.add("exhaustive_2^16_sweep", "scalar", "f64", words / scalar_s);
   // The portable acceptance bar: the scalar-kernel fallback must not be
   // slower than the PR 2 AoS shape it replaced (parity; the hard floor
   // leaves 10% for machine-load noise since both sides are timed here).
   SW_REQUIRE(aos_s / scalar_s >= 0.9,
              "scalar SoA kernel regressed below the AoS baseline");
+
+  // f32 plan over the same gate: the margin analysis must accept the paper
+  // layout (decode margins are orders of magnitude above the f32 error
+  // bound), and every decode must stay bit-identical to f64 — that is the
+  // fallback's contract, checked here on the full 2^16 sweep.
+  const wavesim::BatchEvaluator evaluator_f32(
+      s.gate.gate(),
+      {.num_threads = 1, .precision = wavesim::Precision::kFloat32});
+  SW_REQUIRE(evaluator_f32.effective_precision() ==
+                 wavesim::Precision::kFloat32,
+             "paper layout unexpectedly rejected the f32 plan");
+  std::vector<std::uint8_t> f32_scalar_bits, f32_simd_bits;
+  const double f32_scalar_s = bench::best_of_three_seconds([&] {
+    f32_scalar_bits =
+        evaluator_f32.evaluate_bits(num_words, packed,
+                                    wavesim::kernels::scalar_kernel());
+  });
+  SW_REQUIRE(f32_scalar_bits == scalar_bits,
+             "f32 scalar decode diverged from the f64 decode");
+  std::printf("scalar SoA f32       : %8.1f ms  (%10.0f words/s, %.2fx)\n",
+              f32_scalar_s * 1e3, words / f32_scalar_s,
+              aos_s / f32_scalar_s);
+  json.add("exhaustive_2^16_sweep", "scalar", "f32", words / f32_scalar_s);
 
   if (const auto* avx2 = wavesim::kernels::avx2_kernel()) {
     const double simd_s = bench::best_of_three_seconds([&] {
@@ -231,10 +267,27 @@ void run_kernel_experiment() {
                "AVX2 kernel diverged from the scalar kernel decode");
     std::printf("AVX2 SoA kernel      : %8.1f ms  (%10.0f words/s, %.2fx)\n",
                 simd_s * 1e3, words / simd_s, aos_s / simd_s);
+    json.add("exhaustive_2^16_sweep", "avx2", "f64", words / simd_s);
     // Raised floor, applied only where the host verifiably runs AVX2: the
     // SIMD kernel at >= 2x the PR 2 AoS words/s (the acceptance bar).
     SW_REQUIRE(aos_s / simd_s >= 2.0,
                "AVX2 kernel below 2x the AoS baseline on an AVX2 host");
+
+    // f32 AVX2: eight words per register instead of four, half the
+    // constant traffic. The acceptance bar of the f32 PR: >= 1.5x the f64
+    // AVX2 words/s on the same sweep, with bit-identical decodes.
+    const double f32_simd_s = bench::best_of_three_seconds([&] {
+      f32_simd_bits = evaluator_f32.evaluate_bits(num_words, packed, *avx2);
+    });
+    SW_REQUIRE(f32_simd_bits == scalar_bits,
+               "f32 AVX2 decode diverged from the f64 decode");
+    std::printf("AVX2 SoA f32         : %8.1f ms  (%10.0f words/s, %.2fx, "
+                "%.2fx over f64 AVX2)\n",
+                f32_simd_s * 1e3, words / f32_simd_s, aos_s / f32_simd_s,
+                simd_s / f32_simd_s);
+    json.add("exhaustive_2^16_sweep", "avx2", "f32", words / f32_simd_s);
+    SW_REQUIRE(simd_s / f32_simd_s >= 1.5,
+               "f32 AVX2 kernel below 1.5x the f64 AVX2 kernel");
   } else {
     std::printf("AVX2 SoA kernel      : unavailable on this build/host\n");
   }
@@ -284,8 +337,10 @@ BENCHMARK(BM_BatchedSweepReusedPlan);
 
 int main(int argc, char** argv) {
   std::printf("=== E6: batch evaluation throughput — scalar vs batched ===\n\n");
-  run_experiment();
-  run_kernel_experiment();
+  sw::bench::BenchJson json("BENCH_batch.json");
+  run_experiment(json);
+  run_kernel_experiment(json);
+  json.write("bench_batch_throughput");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

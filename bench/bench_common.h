@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <string>
 #include <thread>
@@ -15,6 +16,8 @@
 #include "dispersion/local_1d.h"
 #include "dispersion/waveguide.h"
 #include "mag/material.h"
+#include "wavesim/kernels/kernel.h"
+#include "wavesim/precision.h"
 
 namespace sw::bench {
 
@@ -108,5 +111,93 @@ inline std::string pattern_label(const sw::core::Bits& bits) {
   }
   return s;
 }
+
+/// Machine-readable bench results: a flat list of {name, kernel,
+/// precision, words/s} rows plus host capability flags, written as one
+/// JSON object so CI can upload the file as a workflow artifact and the
+/// perf trajectory is tracked instead of discarded with the job log. The
+/// writer is deliberately tiny (no JSON library in the image): every
+/// string it emits comes from this codebase's fixed identifiers, so
+/// escaping reduces to forbidding the characters that never occur.
+class BenchJson {
+ public:
+  /// `default_path` is used unless SW_BENCH_JSON overrides it (the CI
+  /// workflow leaves the default so artifacts land in the working dir).
+  explicit BenchJson(std::string default_path)
+      : path_(default_path) {
+    if (const char* env = std::getenv("SW_BENCH_JSON");
+        env != nullptr && *env != '\0') {
+      path_ = env;
+    }
+  }
+
+  void add(const std::string& name, const std::string& kernel,
+           const std::string& precision, double words_per_s) {
+    rows_.push_back({name, kernel, precision, words_per_s});
+  }
+
+  /// Writes the file; returns false (and says so on stderr) when the path
+  /// is unwritable. Benches call this after their floor checks so a gating
+  /// failure still aborts before a half-written artifact uploads.
+  bool write(const std::string& bench_binary) const {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchJson: cannot open %s for writing\n",
+                   path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench_binary.c_str());
+    std::fprintf(f, "  \"host\": {\n");
+    std::fprintf(f, "    \"hardware_concurrency\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "    \"avx2\": %s,\n",
+                 sw::wavesim::kernels::avx2_kernel() != nullptr ? "true"
+                                                                : "false");
+    std::fprintf(f, "    \"active_kernel\": \"%s\",\n",
+                 std::string(sw::wavesim::active_kernel_name()).c_str());
+    std::fprintf(f, "    \"active_precision\": \"%s\",\n",
+                 std::string(sw::wavesim::precision_name(
+                                 sw::wavesim::active_precision()))
+                     .c_str());
+    std::fprintf(f, "    \"compiler\": \"%s\"\n  },\n",
+                 json_escape(__VERSION__).c_str());
+    std::fprintf(f, "  \"results\": [\n");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"kernel\": \"%s\", "
+                   "\"precision\": \"%s\", \"words_per_s\": %.1f}%s\n",
+                   r.name.c_str(), r.kernel.c_str(), r.precision.c_str(),
+                   r.words_per_s, i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("bench results written to %s\n", path_.c_str());
+    return true;
+  }
+
+ private:
+  /// Minimal escape for the one free-form string (the compiler banner):
+  /// every other emitted string is a codebase-controlled identifier.
+  static std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (static_cast<unsigned char>(c) < 0x20) continue;  // control chars
+      out += c;
+    }
+    return out;
+  }
+
+  struct Row {
+    std::string name;
+    std::string kernel;
+    std::string precision;
+    double words_per_s = 0.0;
+  };
+  std::string path_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace sw::bench

@@ -93,7 +93,7 @@ std::vector<std::uint8_t> run_service_batches(serve::EvaluatorService& svc,
   return last;
 }
 
-void run_experiment() {
+void run_experiment(bench::BenchJson& json) {
   const auto& s = setup();
   const double words = static_cast<double>(kBatches * kWordsPerBatch);
   std::printf("%zu batches x %zu words, %zu-input %zu-channel majority "
@@ -123,16 +123,32 @@ void run_experiment() {
   const auto stats = svc.stats();
   std::printf("rebuild per call : %8.1f ms  (%10.0f words/s)\n",
               rebuild_s * 1e3, words / rebuild_s);
-  std::printf("EvaluatorService : %8.1f ms  (%10.0f words/s, kernel: %s)\n",
-              service_s * 1e3, words / service_s, stats.kernel.c_str());
+  std::printf("EvaluatorService : %8.1f ms  (%10.0f words/s, kernel: %s, "
+              "precision: %s)\n",
+              service_s * 1e3, words / service_s, stats.kernel.c_str(),
+              stats.precision.c_str());
   std::printf("speedup          : %8.1fx  (floor: 2x)\n\n",
               rebuild_s / service_s);
+  json.add("rebuild_per_call", stats.kernel, stats.precision,
+           words / rebuild_s);
+  json.add("service_steady_state", stats.kernel, stats.precision,
+           words / service_s);
 
-  // Kernel side-by-side on the serving batch shape: the cached-plan steady
-  // state runs exactly this evaluate_bits call per request.
+  // Kernel x precision side-by-side on the serving batch shape: the
+  // cached-plan steady state runs exactly this evaluate_bits call per
+  // request. Both precisions pinned explicitly so the rows mean the same
+  // thing on every CI leg.
   {
-    const wavesim::BatchEvaluator evaluator(s.gate, {.num_threads = 1});
-    const auto time_kernel = [&](const wavesim::kernels::Kernel& kernel) {
+    const wavesim::BatchEvaluator f64(
+        s.gate,
+        {.num_threads = 1, .precision = wavesim::Precision::kFloat64});
+    const wavesim::BatchEvaluator f32(
+        s.gate,
+        {.num_threads = 1, .precision = wavesim::Precision::kFloat32});
+    SW_REQUIRE(f32.effective_precision() == wavesim::Precision::kFloat32,
+               "serving layout unexpectedly rejected the f32 plan");
+    const auto time_kernel = [&](const wavesim::BatchEvaluator& evaluator,
+                                 const wavesim::kernels::Kernel& kernel) {
       return bench::best_of_three_seconds([&] {
         for (std::size_t i = 0; i < kBatches; ++i) {
           benchmark::DoNotOptimize(
@@ -140,14 +156,27 @@ void run_experiment() {
         }
       });
     };
-    const double scalar_s = time_kernel(wavesim::kernels::scalar_kernel());
+    const double scalar_s = time_kernel(f64, wavesim::kernels::scalar_kernel());
+    const double scalar_f32_s =
+        time_kernel(f32, wavesim::kernels::scalar_kernel());
     std::printf("cached-plan evaluate_bits, per kernel (single thread):\n");
-    std::printf("scalar kernel    : %8.2f ms  (%10.0f words/s)\n",
+    std::printf("scalar f64       : %8.2f ms  (%10.0f words/s)\n",
                 scalar_s * 1e3, words / scalar_s);
+    std::printf("scalar f32       : %8.2f ms  (%10.0f words/s)\n",
+                scalar_f32_s * 1e3, words / scalar_f32_s);
+    json.add("serving_batch_shape", "scalar", "f64", words / scalar_s);
+    json.add("serving_batch_shape", "scalar", "f32", words / scalar_f32_s);
     if (const auto* avx2 = wavesim::kernels::avx2_kernel()) {
-      const double simd_s = time_kernel(*avx2);
-      std::printf("AVX2 kernel      : %8.2f ms  (%10.0f words/s, %.2fx)\n\n",
+      const double simd_s = time_kernel(f64, *avx2);
+      const double simd_f32_s = time_kernel(f32, *avx2);
+      std::printf("AVX2 f64         : %8.2f ms  (%10.0f words/s, %.2fx)\n",
                   simd_s * 1e3, words / simd_s, scalar_s / simd_s);
+      std::printf("AVX2 f32         : %8.2f ms  (%10.0f words/s, %.2fx over "
+                  "f64 AVX2)\n\n",
+                  simd_f32_s * 1e3, words / simd_f32_s,
+                  simd_s / simd_f32_s);
+      json.add("serving_batch_shape", "avx2", "f64", words / simd_s);
+      json.add("serving_batch_shape", "avx2", "f32", words / simd_f32_s);
     } else {
       std::printf("AVX2 kernel      : unavailable on this build/host\n\n");
     }
@@ -198,7 +227,9 @@ BENCHMARK(BM_ServiceCachedSubmit);
 int main(int argc, char** argv) {
   std::printf(
       "=== E7: serving throughput — plan cache vs rebuild per call ===\n\n");
-  run_experiment();
+  sw::bench::BenchJson json("BENCH_service.json");
+  run_experiment(json);
+  json.write("bench_service_throughput");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -18,13 +18,30 @@ PlanCache::PlanCache(const sw::wavesim::WaveEngine& engine,
                      sw::wavesim::BatchOptions evaluator_options)
     : engine_(&engine),
       capacity_(capacity),
-      evaluator_options_(evaluator_options) {}
+      evaluator_options_(evaluator_options) {
+  // Resolve kAuto once so every entry, key and stat of this cache agrees
+  // on the precision even if the environment changes mid-run.
+  evaluator_options_.precision =
+      sw::wavesim::resolve_precision(evaluator_options_.precision);
+}
 
-PlanCache::Slot* PlanCache::find_locked(const LayoutKey& key) {
-  const auto bucket = slots_.find(key.hash());
+std::uint64_t PlanCache::bucket_hash(const LayoutKey& key,
+                                     sw::wavesim::Precision precision) {
+  // The precision bit is part of the cache key: an f32 and an f64 plan for
+  // one layout are distinct artefacts (different arrays, different margin
+  // verdicts) and must never alias. Golden-ratio mixing keeps the two
+  // variants in unrelated buckets instead of chaining in one.
+  return precision == sw::wavesim::Precision::kFloat32
+             ? key.hash() ^ 0x9e3779b97f4a7c15ull
+             : key.hash();
+}
+
+PlanCache::Slot* PlanCache::find_locked(const LayoutKey& key,
+                                        sw::wavesim::Precision precision) {
+  const auto bucket = slots_.find(bucket_hash(key, precision));
   if (bucket == slots_.end()) return nullptr;
   for (auto& slot : bucket->second) {
-    if (slot.key == key) return &slot;
+    if (slot.precision == precision && slot.key == key) return &slot;
   }
   return nullptr;
 }
@@ -60,12 +77,13 @@ void PlanCache::evict_for_insert_locked() {
   }
 }
 
-void PlanCache::erase_locked(const LayoutKey& key) {
-  const auto bucket = slots_.find(key.hash());
+void PlanCache::erase_locked(const LayoutKey& key,
+                             sw::wavesim::Precision precision) {
+  const auto bucket = slots_.find(bucket_hash(key, precision));
   if (bucket == slots_.end()) return;
   auto& vec = bucket->second;
   for (std::size_t i = 0; i < vec.size(); ++i) {
-    if (vec[i].key == key) {
+    if (vec[i].precision == precision && vec[i].key == key) {
       vec.erase(vec.begin() + static_cast<std::ptrdiff_t>(i));
       if (vec.empty()) slots_.erase(bucket);
       --size_;
@@ -75,11 +93,17 @@ void PlanCache::erase_locked(const LayoutKey& key) {
 }
 
 PlanCache::PlanPtr PlanCache::try_get(const sw::core::GateLayout& layout) {
+  return try_get(layout, evaluator_options_.precision);
+}
+
+PlanCache::PlanPtr PlanCache::try_get(const sw::core::GateLayout& layout,
+                                      sw::wavesim::Precision precision) {
+  precision = sw::wavesim::resolve_precision(precision);
   const LayoutKey key = LayoutKey::from(layout);
   std::shared_future<PlanPtr> fut;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    Slot* slot = find_locked(key);
+    Slot* slot = find_locked(key, precision);
     if (slot == nullptr || !ready(slot->plan)) return nullptr;
     ++stats_.hits;
     slot->last_used = ++tick_;
@@ -91,13 +115,19 @@ PlanCache::PlanPtr PlanCache::try_get(const sw::core::GateLayout& layout) {
 }
 
 PlanCache::Lookup PlanCache::get_or_build(const sw::core::GateLayout& layout) {
+  return get_or_build(layout, evaluator_options_.precision);
+}
+
+PlanCache::Lookup PlanCache::get_or_build(const sw::core::GateLayout& layout,
+                                          sw::wavesim::Precision precision) {
+  precision = sw::wavesim::resolve_precision(precision);
   const LayoutKey key = LayoutKey::from(layout);
   std::promise<PlanPtr> builder;
   std::shared_future<PlanPtr> fut;
   bool build_here = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (Slot* slot = find_locked(key)) {
+    if (Slot* slot = find_locked(key, precision)) {
       ++stats_.hits;
       slot->last_used = ++tick_;
       fut = slot->plan;
@@ -106,24 +136,37 @@ PlanCache::Lookup PlanCache::get_or_build(const sw::core::GateLayout& layout) {
       evict_for_insert_locked();
       Slot fresh;
       fresh.key = key;
+      fresh.precision = precision;
       fresh.plan = builder.get_future().share();
       fresh.last_used = ++tick_;
       fut = fresh.plan;
-      slots_[key.hash()].push_back(std::move(fresh));
+      slots_[bucket_hash(key, precision)].push_back(std::move(fresh));
       ++size_;
       build_here = true;
     }
   }
   if (build_here) {
     try {
-      builder.set_value(std::make_shared<const CachedPlan>(
-          layout, *engine_, evaluator_options_));
+      sw::wavesim::BatchOptions options = evaluator_options_;
+      options.precision = precision;
+      auto plan =
+          std::make_shared<const CachedPlan>(layout, *engine_, options);
+      if (precision == sw::wavesim::Precision::kFloat32) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (plan->effective_precision() ==
+            sw::wavesim::Precision::kFloat32) {
+          ++stats_.f32_plans;
+        } else {
+          ++stats_.f32_fallbacks;
+        }
+      }
+      builder.set_value(std::move(plan));
     } catch (...) {
       // Drop the poisoned entry first so no new lookup can ever observe a
       // ready-with-exception slot, then wake the waiters with the error.
       {
         std::lock_guard<std::mutex> lock(mutex_);
-        erase_locked(key);
+        erase_locked(key, precision);
       }
       builder.set_exception(std::current_exception());
     }

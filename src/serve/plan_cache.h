@@ -1,5 +1,6 @@
 // LRU cache of ready-to-run evaluation plans, keyed by canonical layout
-// hash with collision-safe full-key comparison.
+// hash *plus the evaluation precision*, with collision-safe full-key
+// comparison.
 //
 // The SoA EvalPlan is the expensive per-layout artefact of the serving path
 // (dispersion lookups plus one steady-phasor solve per (detector, source,
@@ -7,13 +8,18 @@
 // plan once and shares it into its BatchEvaluator — so every cached-plan
 // submit runs the runtime-dispatched SIMD kernels with zero per-request
 // conversion, and the cache makes the build cost amortise across every
-// request that reuses the layout. Construction of the plan for one
-// key is serialised *behind the cache entry*: the first caller inserts a
-// pending entry and builds, concurrent callers for the same key wait on the
-// entry's shared future instead of racing a second build — which is also
-// what makes the cache safe by design against the historical hazard of two
-// threads memoising into one engine (the engine is additionally
-// mutex-guarded now). Distinct layouts build concurrently.
+// request that reuses the layout. A plan requested at kFloat32 may come out
+// effectively double (the margin-aware fallback, see EvalPlan); the cache
+// records that in its stats but still files the entry under the f32 key —
+// the fallback is a property of that (layout, precision) pair, decided
+// once, and re-deciding it per request would redo the margin sweep.
+// Construction of the plan for one key is serialised *behind the cache
+// entry*: the first caller inserts a pending entry and builds, concurrent
+// callers for the same key wait on the entry's shared future instead of
+// racing a second build — which is also what makes the cache safe by design
+// against the historical hazard of two threads memoising into one engine
+// (the engine is additionally mutex-guarded now). Distinct layouts build
+// concurrently.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +33,7 @@
 #include "serve/layout_hash.h"
 #include "wavesim/batch_evaluator.h"
 #include "wavesim/eval_plan.h"
+#include "wavesim/precision.h"
 #include "wavesim/wave_engine.h"
 
 namespace sw::serve {
@@ -44,8 +51,8 @@ class CachedPlan {
              const sw::wavesim::WaveEngine& engine,
              sw::wavesim::BatchOptions options)
       : gate_(std::move(layout), engine),
-        plan_(std::make_shared<const sw::wavesim::EvalPlan>(gate_,
-                                                            options.freq_tol)),
+        plan_(std::make_shared<const sw::wavesim::EvalPlan>(
+            gate_, options.freq_tol, options.precision)),
         evaluator_(gate_, plan_, options) {}
 
   CachedPlan(const CachedPlan&) = delete;
@@ -56,6 +63,11 @@ class CachedPlan {
   /// copied into) the evaluator.
   const sw::wavesim::EvalPlan& plan() const { return *plan_; }
   const sw::wavesim::BatchEvaluator& evaluator() const { return evaluator_; }
+  /// What this entry actually serves (kFloat64 when an f32 request fell
+  /// back; plan().f32_rejection() says why).
+  sw::wavesim::Precision effective_precision() const {
+    return plan_->effective_precision();
+  }
 
  private:
   sw::core::DataParallelGate gate_;
@@ -67,6 +79,10 @@ struct PlanCacheStats {
   std::uint64_t hits = 0;       ///< lookups served from a cached plan
   std::uint64_t misses = 0;     ///< lookups that triggered a build
   std::uint64_t evictions = 0;  ///< LRU entries dropped to respect capacity
+  /// Builds that requested kFloat32 and got it (margin analysis passed).
+  std::uint64_t f32_plans = 0;
+  /// Builds that requested kFloat32 but fell back to the double plan.
+  std::uint64_t f32_fallbacks = 0;
 };
 
 class PlanCache {
@@ -74,6 +90,8 @@ class PlanCache {
   using PlanPtr = std::shared_ptr<const CachedPlan>;
 
   /// `capacity == 0` means unbounded. The engine must outlive the cache.
+  /// evaluator_options.precision (kAuto resolved at construction) is the
+  /// default precision for lookups that do not pass one explicitly.
   PlanCache(const sw::wavesim::WaveEngine& engine, std::size_t capacity,
             sw::wavesim::BatchOptions evaluator_options = {.num_threads = 1});
 
@@ -81,6 +99,8 @@ class PlanCache {
   /// nullptr otherwise (counts a hit only when it returns a plan). Never
   /// blocks and never copies the layout beyond its canonical bytes.
   PlanPtr try_get(const sw::core::GateLayout& layout);
+  PlanPtr try_get(const sw::core::GateLayout& layout,
+                  sw::wavesim::Precision precision);
 
   struct Lookup {
     PlanPtr plan;
@@ -88,25 +108,34 @@ class PlanCache {
   };
 
   /// Returns the cached plan, building it on a miss. One builder per key:
-  /// concurrent callers for the same layout wait on the first builder's
-  /// future. A build failure propagates to every waiter and removes the
-  /// entry so a later call can retry.
+  /// concurrent callers for the same (layout, precision) wait on the first
+  /// builder's future. A build failure propagates to every waiter and
+  /// removes the entry so a later call can retry.
   Lookup get_or_build(const sw::core::GateLayout& layout);
+  Lookup get_or_build(const sw::core::GateLayout& layout,
+                      sw::wavesim::Precision precision);
 
   PlanCacheStats stats() const;
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
+  /// The resolved default precision of this cache's entries.
+  sw::wavesim::Precision default_precision() const {
+    return evaluator_options_.precision;
+  }
 
  private:
   struct Slot {
     LayoutKey key;
+    sw::wavesim::Precision precision = sw::wavesim::Precision::kFloat64;
     std::shared_future<PlanPtr> plan;
     std::uint64_t last_used = 0;
   };
 
-  Slot* find_locked(const LayoutKey& key);
+  static std::uint64_t bucket_hash(const LayoutKey& key,
+                                   sw::wavesim::Precision precision);
+  Slot* find_locked(const LayoutKey& key, sw::wavesim::Precision precision);
   void evict_for_insert_locked();
-  void erase_locked(const LayoutKey& key);
+  void erase_locked(const LayoutKey& key, sw::wavesim::Precision precision);
 
   const sw::wavesim::WaveEngine* engine_;
   std::size_t capacity_;

@@ -12,15 +12,23 @@ namespace sw::serve {
 
 namespace {
 
-/// One line per process, not per service: operators need to know which
-/// kernel their traffic runs on, not one line per constructed service.
-void log_kernel_once() {
-  static std::once_flag once;
-  std::call_once(once, [] {
-    const std::string_view name = sw::wavesim::active_kernel_name();
-    std::fprintf(stderr, "[sw::serve] evaluation kernel: %.*s\n",
-                 static_cast<int>(name.size()), name.data());
-  });
+/// One line per process *per precision*, not per service: the kernel is
+/// process-wide, but precision is per-service configuration — a later
+/// service running a different precision still gets its line (else an
+/// operator would read the first service's choice as the process's), while
+/// repeated construction at one precision stays quiet.
+void log_kernel_once(sw::wavesim::Precision precision) {
+  static std::mutex mutex;
+  static bool logged[3] = {};
+  const auto idx = static_cast<std::size_t>(precision);
+  std::lock_guard<std::mutex> lock(mutex);
+  if (idx >= 3 || logged[idx]) return;
+  logged[idx] = true;
+  const std::string_view name = sw::wavesim::active_kernel_name();
+  const std::string_view prec = sw::wavesim::precision_name(precision);
+  std::fprintf(stderr, "[sw::serve] evaluation kernel: %.*s, precision: %.*s\n",
+               static_cast<int>(name.size()), name.data(),
+               static_cast<int>(prec.size()), prec.data());
 }
 
 }  // namespace
@@ -39,13 +47,20 @@ struct EvaluatorService::Request {
 
 EvaluatorService::EvaluatorService(const sw::disp::DispersionModel& model,
                                    double alpha, ServiceOptions options)
-    : options_(std::move(options)),
+    : options_([&options] {
+        // Resolve kAuto up front (throwing on a bad SW_EVAL_PRECISION
+        // here, not inside the first request) so the cache, the stats and
+        // the log line all report the same resolved choice.
+        options.evaluator_options.precision = sw::wavesim::resolve_precision(
+            options.evaluator_options.precision);
+        return std::move(options);
+      }()),
       engine_(model, alpha),
       cache_(engine_, options_.plan_cache_capacity,
              options_.evaluator_options),
       admission_(options_.admission),
       pool_(options_.num_threads, /*always_spawn=*/true) {
-  log_kernel_once();
+  log_kernel_once(options_.evaluator_options.precision);
 }
 
 EvaluatorService::~EvaluatorService() {
@@ -168,6 +183,8 @@ ServiceStats EvaluatorService::stats() const {
   s.queued_requests = admission_.queued();
   s.inflight_words = admission_.inflight_words();
   s.kernel = std::string(sw::wavesim::active_kernel_name());
+  s.precision = std::string(
+      sw::wavesim::precision_name(options_.evaluator_options.precision));
   s.cache = cache_.stats();
   return s;
 }

@@ -73,6 +73,13 @@ struct ServiceStats {
   /// Evaluation kernel every evaluate_bits dispatches to ("scalar" |
   /// "avx2"; see sw::wavesim::active_kernel_name()).
   std::string kernel;
+  /// Requested evaluation precision of this service's plans ("f64" |
+  /// "f32"; ServiceOptions::evaluator_options.precision with kAuto
+  /// resolved). An f32 service can still serve double plans per layout —
+  /// cache.f32_fallbacks counts those margin-aware fallbacks, so
+  /// precision == "f32" with f32_fallbacks > 0 reads "asked for f32, some
+  /// layouts refused".
+  std::string precision;
   PlanCacheStats cache;
 };
 
@@ -82,8 +89,9 @@ class EvaluatorService {
   /// InlineGateDesigner against the same model). `model` must outlive the
   /// service; `alpha` is the Gilbert damping for the owned WaveEngine.
   /// Resolves (and logs to stderr, once per process) the evaluation kernel
-  /// requests will run on, so an invalid SW_EVAL_KERNEL override fails here
-  /// rather than inside the first request.
+  /// and precision requests will run on, so an invalid SW_EVAL_KERNEL or
+  /// SW_EVAL_PRECISION override fails here rather than inside the first
+  /// request.
   EvaluatorService(const sw::disp::DispersionModel& model, double alpha,
                    ServiceOptions options = {});
 

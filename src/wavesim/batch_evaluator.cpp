@@ -1,7 +1,6 @@
 #include "wavesim/batch_evaluator.h"
 
 #include <algorithm>
-#include <complex>
 #include <limits>
 #include <thread>
 #include <utility>
@@ -23,7 +22,8 @@ std::size_t clamp_batch_threads(std::size_t num_threads,
 BatchEvaluator::BatchEvaluator(const sw::core::DataParallelGate& gate,
                                BatchOptions options)
     : BatchEvaluator(gate,
-                     std::make_shared<const EvalPlan>(gate, options.freq_tol),
+                     std::make_shared<const EvalPlan>(gate, options.freq_tol,
+                                                      options.precision),
                      options) {}
 
 BatchEvaluator::BatchEvaluator(const sw::core::DataParallelGate& gate,
@@ -33,6 +33,9 @@ BatchEvaluator::BatchEvaluator(const sw::core::DataParallelGate& gate,
   SW_REQUIRE(plan_ != nullptr, "shared evaluation plan must not be null");
   SW_REQUIRE(plan_->freq_tol() == options.freq_tol,
              "shared plan was built with a different freq_tol");
+  SW_REQUIRE(plan_->requested_precision() ==
+                 resolve_precision(options.precision),
+             "shared plan was built with a different precision");
   const auto& spec = gate.layout().spec;
   SW_REQUIRE(plan_->num_channels() == spec.frequencies.size() &&
                  plan_->num_inputs() == spec.num_inputs,
@@ -43,39 +46,43 @@ template <typename BitFn>
 std::vector<std::vector<sw::core::ChannelResult>> BatchEvaluator::run(
     std::size_t num_words, const BitFn& bit) const {
   const EvalPlan& plan = *plan_;
-  const auto offsets = plan.detector_offsets();
-  const auto det_channel = plan.detector_channels();
-  const auto re0 = plan.re0();
-  const auto im0 = plan.im0();
-  const auto re1 = plan.re1();
-  const auto im1 = plan.im1();
   const auto channels = plan.channels();
   const auto inputs = plan.inputs();
+  const auto slots = plan.slots();
+  const std::size_t stride = plan.slot_count();
   const std::size_t detectors = plan.num_detectors();
+  const kernels::Kernel& kernel = kernels::active_kernel();
+  // Same overflow guards as evaluate_bits: the packed matrix and the flat
+  // result buffer sizes are both num_words products and must not wrap.
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  SW_REQUIRE(stride == 0 || num_words <= kMax / stride,
+             "num_words x slot_count() overflows size_t");
+  SW_REQUIRE(detectors == 0 || num_words <= kMax / detectors,
+             "num_words x detector count overflows size_t");
 
+  // Kernelised ChannelResult path: pack the accessor's bits into the
+  // row-major kernel matrix (only the slots some contribution actually
+  // reads — untouched slots stay 0 and are invisible to the kernels), then
+  // run the same SoA accumulation as evaluate_bits, with the full complex
+  // pair and decide_phase. Workers pack and evaluate disjoint row ranges,
+  // so one pass over the pool covers both stages.
+  std::vector<std::uint8_t> packed(num_words * stride, 0);
+  std::vector<sw::core::ChannelResult> flat(num_words * detectors);
   std::vector<std::vector<sw::core::ChannelResult>> out(num_words);
   pool_.parallel_for(num_words, [&](std::size_t begin, std::size_t end) {
     for (std::size_t w = begin; w < end; ++w) {
-      std::vector<sw::core::ChannelResult> results;
-      results.reserve(detectors);
-      for (std::size_t d = 0; d < detectors; ++d) {
-        std::complex<double> acc{0.0, 0.0};
-        for (std::size_t i = offsets[d]; i < offsets[d + 1]; ++i) {
-          acc += bit(w, channels[i], inputs[i])
-                     ? std::complex<double>(re1[i], im1[i])
-                     : std::complex<double>(re0[i], im0[i]);
-        }
-        const auto decision =
-            sw::core::decide_phase(acc, sw::core::kPhaseZero);
-        sw::core::ChannelResult r;
-        r.channel = det_channel[d];
-        r.logic = decision.logic;
-        r.phase = decision.phase;
-        r.amplitude = decision.amplitude;
-        r.margin = decision.margin;
-        results.push_back(r);
+      std::uint8_t* row = packed.data() + w * stride;
+      for (std::size_t i = 0; i < slots.size(); ++i) {
+        row[slots[i]] = bit(w, channels[i], inputs[i]);
       }
-      out[w] = std::move(results);
+    }
+    kernel.eval_channels(plan, packed.data(), begin, end, flat.data());
+    // Each worker owns rows [begin, end): wrap them into the nested result
+    // here instead of a second sequential pass over the whole batch.
+    for (std::size_t w = begin; w < end; ++w) {
+      out[w].assign(
+          flat.begin() + static_cast<std::ptrdiff_t>(w * detectors),
+          flat.begin() + static_cast<std::ptrdiff_t>((w + 1) * detectors));
     }
   });
   return out;
@@ -136,9 +143,16 @@ std::vector<std::uint8_t> BatchEvaluator::evaluate_bits(
   SW_REQUIRE(bits.size() == num_words * stride,
              "packed bit matrix must be num_words x slot_count");
 
+  // The f32 entry runs only on plans whose margin analysis proved the
+  // float decode identical — a rejected or f64 plan takes the double path.
+  const bool f32 = plan_->has_f32();
   std::vector<std::uint8_t> out(num_words * channels);
   pool_.parallel_for(num_words, [&](std::size_t begin, std::size_t end) {
-    kernel.eval_bits(*plan_, bits.data(), begin, end, out.data());
+    if (f32) {
+      kernel.eval_bits_f32(*plan_, bits.data(), begin, end, out.data());
+    } else {
+      kernel.eval_bits(*plan_, bits.data(), begin, end, out.data());
+    }
   });
   return out;
 }

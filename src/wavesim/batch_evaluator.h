@@ -6,12 +6,22 @@
 // fixed layout the contribution of source j to detector d is one of exactly
 // two complex constants (launch phase 0 or pi). BatchEvaluator is the thin
 // orchestrator over that observation: the frozen constants live in a SoA
-// EvalPlan (eval_plan.h), the per-word accumulation runs in a
-// runtime-dispatched kernel (kernels/kernel.h — scalar reference or AVX2,
-// SW_EVAL_KERNEL overrides), and the word batch fans across a ThreadPool.
-// Decoded results are bit-for-bit identical to the scalar path: the plan's
-// constants are produced by the same arithmetic, and every kernel preserves
-// the scalar per-detector accumulation order word by word.
+// EvalPlan (eval_plan.h), every per-word path — the packed evaluate_bits
+// decode *and* the full ChannelResult evaluate/evaluate_with paths — runs
+// in a runtime-dispatched kernel (kernels/kernel.h — scalar reference or
+// AVX2, SW_EVAL_KERNEL overrides), and the word batch fans across a
+// ThreadPool. Decoded results are bit-for-bit identical to the scalar
+// path: the plan's constants are produced by the same arithmetic, and
+// every kernel preserves the scalar per-detector accumulation order word
+// by word.
+//
+// Precision: BatchOptions::precision (default kAuto -> SW_EVAL_PRECISION /
+// f64) asks for the single-precision plan variant on the packed
+// evaluate_bits path — 8 words per AVX2 register instead of 4 — which the
+// plan grants only after its build-time margin analysis proves no decode
+// can flip (see EvalPlan); otherwise evaluation transparently runs the
+// double arrays and effective_precision() says so. The ChannelResult paths
+// always accumulate in double: phase/amplitude/margin are analog readouts.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +34,7 @@
 #include "util/thread_pool.h"
 #include "wavesim/eval_plan.h"
 #include "wavesim/kernels/kernel.h"
+#include "wavesim/precision.h"
 
 namespace sw::wavesim {
 
@@ -39,6 +50,10 @@ struct BatchOptions {
   /// Relative frequency tolerance for source/detector matching; defaults
   /// to the scalar path's tolerance, which bit-exact equivalence requires.
   double freq_tol = kDefaultFreqTol;
+  /// Requested evaluation precision for the packed evaluate_bits path.
+  /// kAuto defers to SW_EVAL_PRECISION (default f64); kFloat32 is granted
+  /// per layout by the plan's margin analysis, else falls back to f64.
+  Precision precision = Precision::kAuto;
 };
 
 class BatchEvaluator {
@@ -54,9 +69,10 @@ class BatchEvaluator {
                           BatchOptions options = {});
 
   /// Adopts an already-built plan instead of rebuilding it — the serve
-  /// layer's route: PlanCache constructs the plan once per layout and every
-  /// evaluator (and request) for that layout shares it. The plan must have
-  /// been built from this gate's layout with options.freq_tol.
+  /// layer's route: PlanCache constructs the plan once per (layout,
+  /// precision) and every evaluator (and request) for that layout shares
+  /// it. The plan must have been built from this gate's layout with
+  /// options.freq_tol and options.precision.
   BatchEvaluator(const sw::core::DataParallelGate& gate,
                  std::shared_ptr<const EvalPlan> plan,
                  BatchOptions options = {});
@@ -65,6 +81,11 @@ class BatchEvaluator {
   /// The frozen SoA plan the kernels evaluate against.
   const EvalPlan& plan() const { return *plan_; }
   std::size_t num_threads() const { return pool_.size(); }
+  /// Precision the packed path actually runs (kFloat64 when a kFloat32
+  /// request fell back; see EvalPlan::f32_rejection() for why).
+  Precision effective_precision() const {
+    return plan_->effective_precision();
+  }
 
   /// Evaluate a batch of input assignments; element w has the same shape as
   /// the argument of DataParallelGate::evaluate (one m-bit vector per
@@ -80,7 +101,10 @@ class BatchEvaluator {
   /// Generic entry point: the bit of input slot `input` on channel
   /// `channel` for word `word` is provided by `bit`. Lets callers (e.g.
   /// ParallelLogicGate) evaluate large batches without materialising
-  /// per-word input vectors.
+  /// per-word input vectors. The accessor is consulted once per (word,
+  /// plan contribution) to pack the kernel's bit matrix — a (channel,
+  /// input) pair feeding several detectors is read once per contribution,
+  /// with identical values — and never in the inner accumulation loop.
   using BitAccessor = std::function<std::uint8_t(
       std::size_t word, std::size_t channel, std::size_t input)>;
   std::vector<std::vector<sw::core::ChannelResult>> evaluate_with(
@@ -96,8 +120,10 @@ class BatchEvaluator {
   /// channel-count matrix of decoded output bits. The decode is exactly
   /// decide_phase's threshold (phase closer to pi than to 0, i.e. Re < 0)
   /// without the polar conversion, so bits match the ChannelResult paths
-  /// bit-for-bit. Rejects a `bits` span whose size is not num_words *
-  /// slot_count(), including when that product would overflow size_t.
+  /// bit-for-bit — including on an f32 plan, whose build-time validation
+  /// guarantees the float decode never disagrees. Rejects a `bits` span
+  /// whose size is not num_words * slot_count(), including when that
+  /// product would overflow size_t.
   std::vector<std::uint8_t> evaluate_bits(
       std::size_t num_words, std::span<const std::uint8_t> bits) const;
 

@@ -10,8 +10,26 @@
 
 namespace sw::wavesim {
 
-EvalPlan::EvalPlan(const sw::core::DataParallelGate& gate, double freq_tol)
-    : freq_tol_(freq_tol) {
+namespace {
+
+/// Per-detector contribution count above which the exhaustive 2^k
+/// validation sweep is refused (2^24 float adds per detector is already
+/// ~0.1 s; real layouts sit at k = m, a handful). A detector too wide to
+/// validate falls back to f64 rather than trusting the error bound alone.
+constexpr std::size_t kMaxValidatedContributions = 24;
+
+/// How much head-room the double-precision decode margin must have over
+/// the worst-case f32 accumulation error before f32 is accepted. The
+/// paper's layouts clear this by many orders of magnitude; a layout within
+/// one order of magnitude of flipping a bit has no business running in
+/// single precision even if today's enumeration happens to pass.
+constexpr double kMarginSafetyFactor = 8.0;
+
+}  // namespace
+
+EvalPlan::EvalPlan(const sw::core::DataParallelGate& gate, double freq_tol,
+                   Precision precision)
+    : freq_tol_(freq_tol), requested_(resolve_precision(precision)) {
   const auto& layout = gate.layout();
   const auto& engine = gate.engine();
   const auto& freqs = layout.spec.frequencies;
@@ -55,6 +73,86 @@ EvalPlan::EvalPlan(const sw::core::DataParallelGate& gate, double freq_tol)
     det_channels_.push_back(det.channel);
     det_offsets_.push_back(re0_.size());
   }
+
+  if (requested_ == Precision::kFloat32) build_f32();
+}
+
+void EvalPlan::build_f32() {
+  // A detector's decode depends only on the bits governing its own
+  // contributions, so enumerating all 2^k bit assignments per detector
+  // covers every input word the plan can ever see. (If two contributions
+  // shared a slot the enumeration would visit a superset of the reachable
+  // sign patterns — still conservative.) For each assignment the f64 sum
+  // gives the true decode margin and a replay of the exact f32 kernel
+  // accumulation (constants rounded to float, summed in index order in
+  // float) gives the decode f32 would serve. f32 is accepted only if every
+  // reachable decode matches AND the smallest margin clears the analytic
+  // worst-case error bound with kMarginSafetyFactor of head-room; either
+  // test alone would do, together they guard both the enumerated reality
+  // and the non-enumerable neighbourhood (e.g. non-canonical bit bytes
+  // route through the same sign selection, so no new sums arise).
+  constexpr double kEps32 = 1.1920928955078125e-7;  // 2^-23
+
+  double min_margin = std::numeric_limits<double>::infinity();
+  double max_bound = 0.0;
+  for (std::size_t d = 0; d + 1 < det_offsets_.size(); ++d) {
+    const std::size_t begin = det_offsets_[d];
+    const std::size_t k = det_offsets_[d + 1] - begin;
+    if (k > kMaxValidatedContributions) {
+      f32_rejection_ = "detector has too many contributions to validate "
+                       "exhaustively; serving the double plan";
+      return;
+    }
+    // Worst-case |float sum - double sum|: each constant rounds once on
+    // conversion (<= eps/2 relative) and each of the k-1 adds rounds once
+    // (<= eps/2 of a partial sum bounded by the absolute-value sum), so
+    // (k + 1) * eps/2 * sum|c| over-covers both with first-order slack
+    // absorbed by the safety factor.
+    double abs_sum = 0.0;
+    for (std::size_t i = begin; i < begin + k; ++i) {
+      abs_sum += std::max(std::abs(re0_[i]), std::abs(re1_[i]));
+    }
+    const double bound =
+        0.5 * static_cast<double>(k + 1) * kEps32 * abs_sum;
+    max_bound = std::max(max_bound, bound);
+
+    const std::size_t combos = std::size_t{1} << k;
+    for (std::size_t bits = 0; bits < combos; ++bits) {
+      double sum64 = 0.0;
+      float sum32 = 0.0f;
+      for (std::size_t i = 0; i < k; ++i) {
+        const bool set = (bits >> i) & 1u;
+        const double c = set ? re1_[begin + i] : re0_[begin + i];
+        sum64 += c;
+        sum32 += static_cast<float>(c);
+      }
+      if ((sum64 < 0.0) != (static_cast<double>(sum32) < 0.0)) {
+        f32_rejection_ = "validation sweep found a bit assignment whose f32 "
+                         "decode disagrees with the double plan";
+        min_decode_margin_ = std::min(min_margin, std::abs(sum64));
+        f32_error_bound_ = max_bound;
+        return;
+      }
+      min_margin = std::min(min_margin, std::abs(sum64));
+    }
+  }
+
+  min_decode_margin_ =
+      std::isinf(min_margin) ? 0.0 : min_margin;  // no detectors -> 0
+  f32_error_bound_ = max_bound;
+  if (min_decode_margin_ < kMarginSafetyFactor * max_bound) {
+    f32_rejection_ = "decode margin too thin for f32 accumulation error; "
+                     "serving the double plan";
+    return;
+  }
+
+  re0_f32_.reserve(re0_.size());
+  re1_f32_.reserve(re1_.size());
+  for (std::size_t i = 0; i < re0_.size(); ++i) {
+    re0_f32_.push_back(static_cast<float>(re0_[i]));
+    re1_f32_.push_back(static_cast<float>(re1_[i]));
+  }
+  f32_ok_ = true;
 }
 
 }  // namespace sw::wavesim

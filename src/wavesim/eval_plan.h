@@ -15,19 +15,33 @@
 // kernel that accumulates a detector's range in index order is bit-for-bit
 // identical to DataParallelGate::evaluate by construction.
 //
+// A plan built with Precision::kFloat32 additionally carries float mirrors
+// of the real-part arrays for the 8-wide f32 kernels — but only when the
+// layout has been *proved* safe at build time: the minimum decode margin
+// (the smallest |Re| any bit assignment can produce at any detector) is
+// computed in double, checked against a worst-case f32 accumulation error
+// bound, and an exhaustive per-detector validation sweep replays the exact
+// f32 accumulation to confirm every reachable decode matches the double
+// plan. If any check fails the plan transparently falls back to double
+// arrays only (effective_precision() == kFloat64) and records why; decoded
+// bits are therefore identical across precisions on every plan this class
+// will ever serve.
+//
 // An EvalPlan is immutable after construction and holds no reference to the
 // gate or engine, so it is safe to share across threads and to cache (see
-// sw::serve::PlanCache, which stores one per layout and hands it to every
-// request for that layout).
+// sw::serve::PlanCache, which stores one per (layout, precision) and hands
+// it to every request for that layout).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/gate.h"
 #include "util/aligned.h"
+#include "wavesim/precision.h"
 
 namespace sw::wavesim {
 
@@ -38,9 +52,13 @@ class EvalPlan {
   /// expensive per-layout cost the serve-layer cache amortises). Neither
   /// the gate nor the engine needs to outlive the plan. `freq_tol` is the
   /// relative source/detector frequency matching tolerance and must equal
-  /// the scalar path's for bit-exact equivalence.
+  /// the scalar path's for bit-exact equivalence. `precision` is the
+  /// *requested* precision (kAuto defers to SW_EVAL_PRECISION / f64); the
+  /// margin analysis decides what is actually served — see
+  /// effective_precision().
   explicit EvalPlan(const sw::core::DataParallelGate& gate,
-                    double freq_tol = kDefaultFreqTol);
+                    double freq_tol = kDefaultFreqTol,
+                    Precision precision = Precision::kAuto);
 
   double freq_tol() const { return freq_tol_; }
   std::size_t num_channels() const { return num_channels_; }
@@ -78,8 +96,44 @@ class EvalPlan {
   std::span<const std::uint32_t> channels() const { return channels_; }
   std::span<const std::uint32_t> inputs() const { return inputs_; }
 
+  // ------------------------------------------------------- f32 variant --
+
+  /// What the caller asked for, kAuto already resolved (kFloat64/kFloat32).
+  Precision requested_precision() const { return requested_; }
+  /// What the plan actually serves: kFloat32 iff the f32 arrays exist,
+  /// kFloat64 when f64 was requested *or* the margin analysis rejected f32.
+  Precision effective_precision() const {
+    return has_f32() ? Precision::kFloat32 : Precision::kFloat64;
+  }
+  bool has_f32() const { return f32_ok_; }
+
+  /// Float mirrors of the real-part arrays (empty unless has_f32()). Only
+  /// the real parts exist in f32: the packed decode consumes nothing but
+  /// sign(Re), and the ChannelResult paths (which need im for phase and
+  /// amplitude) always run in double — those are analog readouts, not
+  /// thresholded bits, so single precision buys nothing worth the loss.
+  std::span<const float> re0_f32() const { return re0_f32_; }
+  std::span<const float> re1_f32() const { return re1_f32_; }
+
+  /// Smallest |Re| any bit assignment can produce at any detector, in
+  /// double (the decode threshold is Re < 0, so this is the worst-case
+  /// distance to a bit flip). 0 when the margin analysis was skipped
+  /// (kFloat64 requested) or could not enumerate (see f32_rejection()).
+  double min_decode_margin() const { return min_decode_margin_; }
+  /// Worst-case |f32 accumulation - f64 accumulation| bound over all
+  /// detectors and bit assignments (conversion + summation rounding).
+  double f32_error_bound() const { return f32_error_bound_; }
+
+  /// Why a kFloat32 request fell back to the double plan; empty when f32
+  /// is active or was never requested. Surfaced through PlanCacheStats /
+  /// ServiceStats so operators can see which layouts refuse f32.
+  const std::string& f32_rejection() const { return f32_rejection_; }
+
  private:
+  void build_f32();
+
   double freq_tol_ = kDefaultFreqTol;
+  Precision requested_ = Precision::kFloat64;
   std::size_t num_channels_ = 0;
   std::size_t num_inputs_ = 0;
 
@@ -93,6 +147,13 @@ class EvalPlan {
   sw::util::AlignedVector<std::uint32_t> slots_;
   sw::util::AlignedVector<std::uint32_t> channels_;
   sw::util::AlignedVector<std::uint32_t> inputs_;
+
+  sw::util::AlignedVector<float> re0_f32_;
+  sw::util::AlignedVector<float> re1_f32_;
+  bool f32_ok_ = false;
+  double min_decode_margin_ = 0.0;
+  double f32_error_bound_ = 0.0;
+  std::string f32_rejection_;
 };
 
 }  // namespace sw::wavesim

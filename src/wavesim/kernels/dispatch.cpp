@@ -40,13 +40,24 @@ const Kernel& select_kernel(std::string_view name) {
                         "' (expected 'scalar' or 'avx2')");
 }
 
+const Kernel& kernel_from_env(std::string_view value) {
+  // Wrap, don't fall back: an operator who typo'd SW_EVAL_KERNEL=sclar
+  // must get a hard error naming the variable, never a silent scalar run
+  // that reads as a perf regression three dashboards later.
+  try {
+    return select_kernel(value);
+  } catch (const sw::util::Error& e) {
+    throw sw::util::Error(std::string("SW_EVAL_KERNEL: ") + e.what());
+  }
+}
+
 const Kernel& active_kernel() {
   // Magic-static initialisation: the lambda runs once; if the override
   // names an unknown/unavailable kernel the exception propagates to the
   // caller and initialisation retries on the next call.
   static const Kernel& chosen = []() -> const Kernel& {
     const char* env = std::getenv("SW_EVAL_KERNEL");
-    if (env != nullptr && *env != '\0') return select_kernel(env);
+    if (env != nullptr && *env != '\0') return kernel_from_env(env);
     if (const Kernel* kernel = avx2_kernel()) return *kernel;
     return scalar_kernel();
   }();

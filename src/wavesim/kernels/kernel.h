@@ -1,24 +1,43 @@
 // Runtime-dispatched evaluation kernels over SoA EvalPlans.
 //
 // A kernel decodes a contiguous range of packed input words against a
-// frozen EvalPlan: for each word and detector it accumulates the
-// bit-selected phasor contributions and thresholds the real part (the
-// decide_phase decision with reference 0 is exactly Re < 0). Two
-// implementations exist: a portable scalar reference and an AVX2 kernel
-// that evaluates four words per vector lane-for-lane in the same
-// accumulation order, so both decode bit-for-bit identically to the scalar
-// gate path.
+// frozen EvalPlan. Three entry points per kernel:
+//
+//   * eval_bits — the packed fast path: for each word and detector it
+//     accumulates the bit-selected phasor real parts in double and
+//     thresholds (the decide_phase decision with reference 0 is exactly
+//     Re < 0).
+//   * eval_bits_f32 — the same decode over the plan's float arrays, legal
+//     only on a plan whose build-time margin analysis accepted f32
+//     (plan.has_f32()); decodes are bit-identical to eval_bits on every
+//     such plan by construction of the fallback.
+//   * eval_channels — the full ChannelResult path (evaluate /
+//     evaluate_with): accumulates the complex phasor in double and decodes
+//     phase/amplitude/margin via decide_phase, writing rows of
+//     num_words x plan.num_detectors() ChannelResults. Always double:
+//     phase and amplitude are analog readouts, not thresholded bits.
+//
+// Two implementations exist: a portable scalar reference and an AVX2
+// kernel that evaluates four words per 256-bit register in double (eight in
+// f32) lane-for-lane in the same accumulation order, so every entry point
+// decodes bit-for-bit identically to its scalar counterpart.
 //
 // Selection happens once per process on first use: the SW_EVAL_KERNEL
 // environment variable ("scalar" or "avx2") overrides, otherwise the best
 // kernel the build and the CPU support wins (CPUID-checked at runtime — an
 // AVX2-compiled binary still runs, on the scalar kernel, on a pre-AVX2
-// host). Tests and benches bypass the cached choice via select_kernel().
+// host). An unknown or unsupported SW_EVAL_KERNEL value fails loudly (the
+// error names the variable) instead of silently serving the scalar
+// fallback. Tests and benches bypass the cached choice via select_kernel().
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <string_view>
+
+namespace sw::core {
+struct ChannelResult;
+}  // namespace sw::core
 
 namespace sw::wavesim {
 
@@ -34,6 +53,19 @@ struct Kernel {
   /// `out`. Both pointers address the full matrices (row 0), not the range.
   void (*eval_bits)(const EvalPlan& plan, const std::uint8_t* bits,
                     std::size_t begin, std::size_t end, std::uint8_t* out);
+  /// Same contract over the plan's f32 arrays. Callers must check
+  /// plan.has_f32() first; the kernels assume the arrays exist.
+  void (*eval_bits_f32)(const EvalPlan& plan, const std::uint8_t* bits,
+                        std::size_t begin, std::size_t end, std::uint8_t* out);
+  /// Full ChannelResult decode of words [begin, end): writes rows
+  /// [begin, end) of the row-major num_words x plan.num_detectors() result
+  /// matrix `out`, element d of a row carrying detector d's decision
+  /// (channel field = plan.detector_channels()[d]). Accumulation is
+  /// complex double in plan order and the decision is core::decide_phase,
+  /// so results are bit-for-bit the scalar gate path's.
+  void (*eval_channels)(const EvalPlan& plan, const std::uint8_t* bits,
+                        std::size_t begin, std::size_t end,
+                        sw::core::ChannelResult* out);
 };
 
 /// Portable reference kernel; always available.
@@ -49,7 +81,7 @@ namespace detail {
 /// constant return so the only AVX2-encoded code in the binary is the
 /// kernel body itself. Only avx2_kernel() — which performs the CPUID check
 /// from a portable TU first — may call this; dereferencing the result's
-/// eval_bits on a pre-AVX2 host is SIGILL.
+/// entry points on a pre-AVX2 host is SIGILL.
 const Kernel* avx2_kernel_candidate();
 }  // namespace detail
 
@@ -57,6 +89,12 @@ const Kernel* avx2_kernel_candidate();
 /// name or an unavailable kernel. Does not consult or mutate the process's
 /// cached active choice.
 const Kernel& select_kernel(std::string_view name);
+
+/// Resolves a forced SW_EVAL_KERNEL value, wrapping select_kernel errors
+/// with the variable name so a typo'd override fails with an actionable
+/// message ("SW_EVAL_KERNEL: unknown evaluation kernel ...") instead of a
+/// bare unknown-name error — and never falls back to scalar silently.
+const Kernel& kernel_from_env(std::string_view value);
 
 /// The process-wide kernel: SW_EVAL_KERNEL when set (unknown/unavailable
 /// values throw on first use), else the best supported kernel. Cached after

@@ -1,4 +1,5 @@
-// AVX2 kernel: four words per __m256d, one word per 64-bit lane.
+// AVX2 kernel: four words per __m256d (eight per __m256 in f32), one word
+// per lane.
 //
 // Bit-exactness argument: vectorising *across words* (not across a
 // detector's contributions) keeps each lane's accumulation in exactly the
@@ -6,8 +7,13 @@
 // in the same sequence as the scalar kernel would for word l — so every
 // lane's sum is bitwise identical to the scalar sum and no word can decode
 // differently, not even one sitting within an ulp of the threshold. The
-// per-group cost beyond the adds is one mask transpose of the four words'
-// input slots and a blend per contribution.
+// per-group cost beyond the adds is one mask transpose of the group's
+// input slots and a blend per contribution. The same argument covers all
+// three entry points: eval_bits (4 x f64), eval_bits_f32 (8 x f32 — twice
+// the words per register and half the constant traffic, which is the whole
+// point of the f32 plan), and eval_channels (4 x f64 complex accumulation,
+// then the scalar decide_phase per lane so phase/amplitude/margin match
+// the gate path bitwise).
 //
 // This translation unit is compiled with -mavx2 (CMake adds the flag only
 // for this file when the compiler supports it and the target is x86); every
@@ -21,12 +27,24 @@
 
 #include <immintrin.h>
 
+#include <complex>
+
+#include "core/detector.h"
+#include "core/encoding.h"
+#include "core/gate.h"
 #include "util/aligned.h"
 #include "wavesim/eval_plan.h"
 
 namespace sw::wavesim::kernels {
 
 namespace {
+
+/// Lane-mask scratch for the current word group: one vector register's
+/// worth of per-slot select masks, stored as raw bytes (vector<__m256d>
+/// trips -Wignored-attributes). Small strides (every gate in the paper:
+/// 8 channels x 3 inputs = 24) use the stack so the serving hot path does
+/// not pay an aligned heap round-trip per call.
+constexpr std::size_t kStackSlots = 64;
 
 void eval_bits_avx2(const EvalPlan& plan, const std::uint8_t* bits,
                     std::size_t begin, std::size_t end, std::uint8_t* out) {
@@ -39,14 +57,10 @@ void eval_bits_avx2(const EvalPlan& plan, const std::uint8_t* bits,
   const std::size_t channels = plan.num_channels();
   const std::size_t detectors = plan.num_detectors();
 
-  // Lane masks for the current word group, one __m256d (stored as four
-  // doubles — vector<__m256d> trips -Wignored-attributes) per input slot:
-  // lane l of mask s has its sign bit set iff word l's bit at slot s is 1
-  // (vblendvpd selects on the sign bit alone). Transposed once per group,
-  // reused by every detector range. Small strides (every gate in the
-  // paper: 8 channels x 3 inputs = 24) use the stack so the serving hot
-  // path does not pay an aligned heap round-trip per evaluate_bits call.
-  constexpr std::size_t kStackSlots = 64;
+  // Lane masks, one __m256d (four doubles) per input slot: lane l of mask
+  // s has its sign bit set iff word l's bit at slot s is 1 (vblendvpd
+  // selects on the sign bit alone). Transposed once per group, reused by
+  // every detector range.
   alignas(32) double stack_masks[kStackSlots * 4];
   sw::util::AlignedVector<double, 32> heap_masks;
   double* masks_data = stack_masks;
@@ -104,6 +118,145 @@ void eval_bits_avx2(const EvalPlan& plan, const std::uint8_t* bits,
   if (w < end) scalar_kernel().eval_bits(plan, bits, w, end, out);
 }
 
+void eval_bits_f32_avx2(const EvalPlan& plan, const std::uint8_t* bits,
+                        std::size_t begin, std::size_t end,
+                        std::uint8_t* out) {
+  const auto offsets = plan.detector_offsets();
+  const auto det_channel = plan.detector_channels();
+  const auto re0 = plan.re0_f32();
+  const auto re1 = plan.re1_f32();
+  const auto slots = plan.slots();
+  const std::size_t stride = plan.slot_count();
+  const std::size_t channels = plan.num_channels();
+  const std::size_t detectors = plan.num_detectors();
+
+  // Eight 32-bit lanes per mask: lane l's sign bit set iff word l's bit at
+  // that slot is 1 (vblendvps, like vblendvpd, keys on the sign bit).
+  alignas(32) float stack_masks[kStackSlots * 8];
+  sw::util::AlignedVector<float, 32> heap_masks;
+  float* masks_data = stack_masks;
+  if (stride > kStackSlots) {
+    heap_masks.resize(stride * 8);
+    masks_data = heap_masks.data();
+  }
+
+  const std::uint8_t* words[8];
+  std::uint8_t* rows[8];
+  std::size_t w = begin;
+  for (; w + 8 <= end; w += 8) {
+    for (std::size_t l = 0; l < 8; ++l) {
+      words[l] = bits + (w + l) * stride;
+      rows[l] = out + (w + l) * channels;
+    }
+    const auto sign_bit = [](std::uint8_t b) {
+      return static_cast<int>(static_cast<std::uint32_t>(b != 0) << 31);
+    };
+    for (std::size_t s = 0; s < stride; ++s) {
+      _mm256_store_ps(
+          masks_data + 8 * s,
+          _mm256_castsi256_ps(_mm256_setr_epi32(
+              sign_bit(words[0][s]), sign_bit(words[1][s]),
+              sign_bit(words[2][s]), sign_bit(words[3][s]),
+              sign_bit(words[4][s]), sign_bit(words[5][s]),
+              sign_bit(words[6][s]), sign_bit(words[7][s]))));
+    }
+
+    for (std::size_t d = 0; d < detectors; ++d) {
+      __m256 acc = _mm256_setzero_ps();
+      for (std::size_t i = offsets[d]; i < offsets[d + 1]; ++i) {
+        const __m256 zero = _mm256_broadcast_ss(&re0[i]);
+        const __m256 one = _mm256_broadcast_ss(&re1[i]);
+        const __m256 mask = _mm256_load_ps(masks_data + 8 * slots[i]);
+        acc = _mm256_add_ps(acc, _mm256_blendv_ps(zero, one, mask));
+      }
+      const int neg = _mm256_movemask_ps(
+          _mm256_cmp_ps(acc, _mm256_setzero_ps(), _CMP_LT_OQ));
+      const std::size_t c = det_channel[d];
+      for (std::size_t l = 0; l < 8; ++l) {
+        rows[l][c] = static_cast<std::uint8_t>((neg >> l) & 1);
+      }
+    }
+  }
+  // Remainder tail (< 8 words): the f32 scalar reference — identical float
+  // accumulation order, so the tail cannot decode differently.
+  if (w < end) scalar_kernel().eval_bits_f32(plan, bits, w, end, out);
+}
+
+void eval_channels_avx2(const EvalPlan& plan, const std::uint8_t* bits,
+                        std::size_t begin, std::size_t end,
+                        sw::core::ChannelResult* out) {
+  const auto offsets = plan.detector_offsets();
+  const auto det_channel = plan.detector_channels();
+  const auto re0 = plan.re0();
+  const auto im0 = plan.im0();
+  const auto re1 = plan.re1();
+  const auto im1 = plan.im1();
+  const auto slots = plan.slots();
+  const std::size_t stride = plan.slot_count();
+  const std::size_t detectors = plan.num_detectors();
+
+  alignas(32) double stack_masks[kStackSlots * 4];
+  sw::util::AlignedVector<double, 32> heap_masks;
+  double* masks_data = stack_masks;
+  if (stride > kStackSlots) {
+    heap_masks.resize(stride * 4);
+    masks_data = heap_masks.data();
+  }
+
+  std::size_t w = begin;
+  for (; w + 4 <= end; w += 4) {
+    const std::uint8_t* w0 = bits + (w + 0) * stride;
+    const std::uint8_t* w1 = bits + (w + 1) * stride;
+    const std::uint8_t* w2 = bits + (w + 2) * stride;
+    const std::uint8_t* w3 = bits + (w + 3) * stride;
+    const auto sign_bit = [](std::uint8_t b) {
+      return static_cast<long long>(static_cast<std::uint64_t>(b != 0) << 63);
+    };
+    for (std::size_t s = 0; s < stride; ++s) {
+      _mm256_store_pd(
+          masks_data + 4 * s,
+          _mm256_castsi256_pd(_mm256_setr_epi64x(sign_bit(w0[s]),
+                                                 sign_bit(w1[s]),
+                                                 sign_bit(w2[s]),
+                                                 sign_bit(w3[s]))));
+    }
+
+    for (std::size_t d = 0; d < detectors; ++d) {
+      // Both complex components ride the same blend mask: the vector adds
+      // are per-lane in plan order, so each lane's (re, im) pair is the
+      // scalar kernel's sum bitwise, and decide_phase below sees exactly
+      // the phasor the scalar gate path would.
+      __m256d acc_re = _mm256_setzero_pd();
+      __m256d acc_im = _mm256_setzero_pd();
+      for (std::size_t i = offsets[d]; i < offsets[d + 1]; ++i) {
+        const __m256d mask = _mm256_load_pd(masks_data + 4 * slots[i]);
+        acc_re = _mm256_add_pd(
+            acc_re, _mm256_blendv_pd(_mm256_broadcast_sd(&re0[i]),
+                                     _mm256_broadcast_sd(&re1[i]), mask));
+        acc_im = _mm256_add_pd(
+            acc_im, _mm256_blendv_pd(_mm256_broadcast_sd(&im0[i]),
+                                     _mm256_broadcast_sd(&im1[i]), mask));
+      }
+      alignas(32) double lane_re[4];
+      alignas(32) double lane_im[4];
+      _mm256_store_pd(lane_re, acc_re);
+      _mm256_store_pd(lane_im, acc_im);
+      for (std::size_t l = 0; l < 4; ++l) {
+        const auto decision = sw::core::decide_phase(
+            std::complex<double>(lane_re[l], lane_im[l]),
+            sw::core::kPhaseZero);
+        sw::core::ChannelResult& r = out[(w + l) * detectors + d];
+        r.channel = det_channel[d];
+        r.logic = decision.logic;
+        r.phase = decision.phase;
+        r.amplitude = decision.amplitude;
+        r.margin = decision.margin;
+      }
+    }
+  }
+  if (w < end) scalar_kernel().eval_channels(plan, bits, w, end, out);
+}
+
 }  // namespace
 
 const Kernel* detail::avx2_kernel_candidate() {
@@ -111,7 +264,8 @@ const Kernel* detail::avx2_kernel_candidate() {
   // is compiled with -mavx2, so any non-trivial code in it could be
   // VEX-encoded and fault on a pre-AVX2 host. The runtime support check
   // lives in dispatch.cpp (a portable TU); this is a bare constant return.
-  static constexpr Kernel kernel{"avx2", &eval_bits_avx2};
+  static constexpr Kernel kernel{"avx2", &eval_bits_avx2, &eval_bits_f32_avx2,
+                                 &eval_channels_avx2};
   return &kernel;
 }
 

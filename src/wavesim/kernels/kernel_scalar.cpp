@@ -1,14 +1,22 @@
 // Portable reference kernel: one word at a time, one detector at a time,
 // contributions accumulated in plan (= scalar source) order.
 //
-// Only the real parts are accumulated: complex addition is componentwise,
-// so dropping the imaginary lane leaves the real sum bitwise unchanged, and
-// the packed-bit decode consumes nothing but sign(Re). This alone roughly
-// halves the arithmetic of the PR 1/2 AoS loop, which dragged the full
-// complex pair (and the indexing metadata interleaved with it) through the
-// accumulator.
+// eval_bits accumulates only the real parts: complex addition is
+// componentwise, so dropping the imaginary lane leaves the real sum bitwise
+// unchanged, and the packed-bit decode consumes nothing but sign(Re). This
+// alone roughly halves the arithmetic of the PR 1/2 AoS loop, which dragged
+// the full complex pair (and the indexing metadata interleaved with it)
+// through the accumulator. eval_bits_f32 is the same loop over the plan's
+// float arrays; eval_channels keeps the full complex pair because phase and
+// amplitude need it, then decodes via decide_phase exactly like the scalar
+// gate path.
 #include "wavesim/kernels/kernel.h"
 
+#include <complex>
+
+#include "core/detector.h"
+#include "core/encoding.h"
+#include "core/gate.h"
 #include "wavesim/eval_plan.h"
 
 namespace sw::wavesim::kernels {
@@ -41,10 +49,71 @@ void eval_bits_scalar(const EvalPlan& plan, const std::uint8_t* bits,
   }
 }
 
+void eval_bits_f32_scalar(const EvalPlan& plan, const std::uint8_t* bits,
+                          std::size_t begin, std::size_t end,
+                          std::uint8_t* out) {
+  const auto offsets = plan.detector_offsets();
+  const auto det_channel = plan.detector_channels();
+  const auto re0 = plan.re0_f32();
+  const auto re1 = plan.re1_f32();
+  const auto slots = plan.slots();
+  const std::size_t stride = plan.slot_count();
+  const std::size_t channels = plan.num_channels();
+  const std::size_t detectors = plan.num_detectors();
+
+  for (std::size_t w = begin; w < end; ++w) {
+    const std::uint8_t* word = bits + w * stride;
+    std::uint8_t* row = out + w * channels;
+    for (std::size_t d = 0; d < detectors; ++d) {
+      // Float accumulation in index order — exactly the sum the plan's
+      // build-time validation sweep replayed, so the decode below can
+      // never disagree with the double plan on a plan that has_f32().
+      float acc = 0.0f;
+      for (std::size_t i = offsets[d]; i < offsets[d + 1]; ++i) {
+        acc += word[slots[i]] ? re1[i] : re0[i];
+      }
+      row[det_channel[d]] = acc < 0.0f ? 1 : 0;
+    }
+  }
+}
+
+void eval_channels_scalar(const EvalPlan& plan, const std::uint8_t* bits,
+                          std::size_t begin, std::size_t end,
+                          sw::core::ChannelResult* out) {
+  const auto offsets = plan.detector_offsets();
+  const auto det_channel = plan.detector_channels();
+  const auto re0 = plan.re0();
+  const auto im0 = plan.im0();
+  const auto re1 = plan.re1();
+  const auto im1 = plan.im1();
+  const auto slots = plan.slots();
+  const std::size_t stride = plan.slot_count();
+  const std::size_t detectors = plan.num_detectors();
+
+  for (std::size_t w = begin; w < end; ++w) {
+    const std::uint8_t* word = bits + w * stride;
+    sw::core::ChannelResult* row = out + w * detectors;
+    for (std::size_t d = 0; d < detectors; ++d) {
+      std::complex<double> acc{0.0, 0.0};
+      for (std::size_t i = offsets[d]; i < offsets[d + 1]; ++i) {
+        acc += word[slots[i]] ? std::complex<double>(re1[i], im1[i])
+                              : std::complex<double>(re0[i], im0[i]);
+      }
+      const auto decision = sw::core::decide_phase(acc, sw::core::kPhaseZero);
+      row[d].channel = det_channel[d];
+      row[d].logic = decision.logic;
+      row[d].phase = decision.phase;
+      row[d].amplitude = decision.amplitude;
+      row[d].margin = decision.margin;
+    }
+  }
+}
+
 }  // namespace
 
 const Kernel& scalar_kernel() {
-  static constexpr Kernel kernel{"scalar", &eval_bits_scalar};
+  static constexpr Kernel kernel{"scalar", &eval_bits_scalar,
+                                 &eval_bits_f32_scalar, &eval_channels_scalar};
   return kernel;
 }
 

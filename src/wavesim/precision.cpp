@@ -1,0 +1,53 @@
+#include "wavesim/precision.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/error.h"
+
+namespace sw::wavesim {
+
+std::string_view precision_name(Precision precision) {
+  switch (precision) {
+    case Precision::kAuto:
+      return "auto";
+    case Precision::kFloat64:
+      return "f64";
+    case Precision::kFloat32:
+      return "f32";
+  }
+  return "?";
+}
+
+Precision parse_precision(std::string_view name) {
+  if (name == "f64") return Precision::kFloat64;
+  if (name == "f32") return Precision::kFloat32;
+  throw sw::util::Error("unknown evaluation precision '" + std::string(name) +
+                        "' (expected 'f64' or 'f32')");
+}
+
+Precision precision_from_env(std::string_view value) {
+  try {
+    return parse_precision(value);
+  } catch (const sw::util::Error& e) {
+    throw sw::util::Error(std::string("SW_EVAL_PRECISION: ") + e.what());
+  }
+}
+
+Precision active_precision() {
+  // Magic-static initialisation mirrors kernels::active_kernel(): the
+  // lambda runs once; a bad override propagates its exception and the
+  // initialisation retries on the next call.
+  static const Precision chosen = []() -> Precision {
+    const char* env = std::getenv("SW_EVAL_PRECISION");
+    if (env != nullptr && *env != '\0') return precision_from_env(env);
+    return Precision::kFloat64;
+  }();
+  return chosen;
+}
+
+Precision resolve_precision(Precision requested) {
+  return requested == Precision::kAuto ? active_precision() : requested;
+}
+
+}  // namespace sw::wavesim

@@ -138,6 +138,62 @@ TEST(KernelDispatch, UnknownNamesAreRejected) {
   EXPECT_THROW(select_kernel("AVX2"), sw::util::Error);  // names are exact
 }
 
+TEST(KernelDispatch, BadEnvOverrideFailsLoudlyAndNamesTheVariable) {
+  // The bad-SW_EVAL_KERNEL path must be a hard error that names the
+  // variable — never a silent scalar fallback that reads as a perf
+  // regression later. kernel_from_env is exactly the function
+  // active_kernel() feeds the environment value through, so exercising it
+  // directly covers the env path without fighting the process-wide cache.
+  try {
+    sw::wavesim::kernels::kernel_from_env("sclar");  // the classic typo
+    FAIL() << "expected sw::util::Error";
+  } catch (const sw::util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("SW_EVAL_KERNEL"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("sclar"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(sw::wavesim::kernels::kernel_from_env(""), sw::util::Error);
+  // Valid names pass through to the same kernels select_kernel returns.
+  EXPECT_EQ(&sw::wavesim::kernels::kernel_from_env("scalar"),
+            &scalar_kernel());
+}
+
+TEST(PrecisionDispatch, ParseAndEnvOverride) {
+  using sw::wavesim::parse_precision;
+  using sw::wavesim::Precision;
+  EXPECT_EQ(parse_precision("f64"), Precision::kFloat64);
+  EXPECT_EQ(parse_precision("f32"), Precision::kFloat32);
+  EXPECT_THROW(parse_precision(""), sw::util::Error);
+  EXPECT_THROW(parse_precision("auto"), sw::util::Error);  // not forceable
+  EXPECT_THROW(parse_precision("F32"), sw::util::Error);   // names are exact
+  EXPECT_THROW(parse_precision("double"), sw::util::Error);
+
+  // The env wrapper names the variable, like the kernel one.
+  try {
+    sw::wavesim::precision_from_env("f16");
+    FAIL() << "expected sw::util::Error";
+  } catch (const sw::util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("SW_EVAL_PRECISION"),
+              std::string::npos)
+        << e.what();
+  }
+
+  // Resolution honours the process-wide choice and passes explicit
+  // requests through untouched.
+  const Precision active = sw::wavesim::active_precision();
+  if (const char* env = std::getenv("SW_EVAL_PRECISION"); env && *env) {
+    EXPECT_EQ(active, parse_precision(env));
+  } else {
+    EXPECT_EQ(active, Precision::kFloat64);
+  }
+  EXPECT_EQ(sw::wavesim::resolve_precision(Precision::kAuto), active);
+  EXPECT_EQ(sw::wavesim::resolve_precision(Precision::kFloat32),
+            Precision::kFloat32);
+  EXPECT_EQ(sw::wavesim::resolve_precision(Precision::kFloat64),
+            Precision::kFloat64);
+}
+
 TEST(KernelDispatch, ActiveKernelHonoursOverrideOrPicksBest) {
   const std::string active(sw::wavesim::active_kernel_name());
   // The forced-scalar CI job runs the whole suite under
@@ -221,6 +277,52 @@ TEST(EvalPlan, SharedPlanMustMatchTheGate) {
   }
 }
 
+TEST(EvalPlan, Float32ArraysAndMarginMetadata) {
+  const KernelFixture fix;
+  const auto gate = fix.majority_gate(3, 8);
+
+  const EvalPlan f64(gate, sw::wavesim::kDefaultFreqTol,
+                     sw::wavesim::Precision::kFloat64);
+  EXPECT_EQ(f64.requested_precision(), sw::wavesim::Precision::kFloat64);
+  EXPECT_EQ(f64.effective_precision(), sw::wavesim::Precision::kFloat64);
+  EXPECT_FALSE(f64.has_f32());
+  EXPECT_TRUE(f64.re0_f32().empty());
+  EXPECT_TRUE(f64.f32_rejection().empty());  // nothing was rejected
+
+  const EvalPlan f32(gate, sw::wavesim::kDefaultFreqTol,
+                     sw::wavesim::Precision::kFloat32);
+  ASSERT_TRUE(f32.has_f32()) << f32.f32_rejection();
+  EXPECT_EQ(f32.effective_precision(), sw::wavesim::Precision::kFloat32);
+  ASSERT_EQ(f32.re0_f32().size(), f32.num_contributions());
+  ASSERT_EQ(f32.re1_f32().size(), f32.num_contributions());
+  for (std::size_t i = 0; i < f32.num_contributions(); ++i) {
+    EXPECT_EQ(f32.re0_f32()[i], static_cast<float>(f32.re0()[i]));
+    EXPECT_EQ(f32.re1_f32()[i], static_cast<float>(f32.re1()[i]));
+  }
+  // The margin analysis publishes its numbers: a real margin, a nonzero
+  // error bound and plenty of head-room between them on a paper layout.
+  EXPECT_GT(f32.min_decode_margin(), 0.0);
+  EXPECT_GT(f32.f32_error_bound(), 0.0);
+  EXPECT_GT(f32.min_decode_margin(), 8.0 * f32.f32_error_bound());
+  EXPECT_TRUE(f32.f32_rejection().empty());
+}
+
+TEST(EvalPlan, SharedPlanPrecisionMustMatchTheOptions) {
+  const KernelFixture fix;
+  const auto gate = fix.majority_gate(3, 4);
+  auto f32 = std::make_shared<const EvalPlan>(
+      gate, sw::wavesim::kDefaultFreqTol, sw::wavesim::Precision::kFloat32);
+  // A plan built at one precision cannot back an evaluator asked for the
+  // other: silently serving it would misreport effective_precision().
+  EXPECT_THROW(
+      BatchEvaluator(gate, f32,
+                     {.precision = sw::wavesim::Precision::kFloat64}),
+      sw::util::Error);
+  const BatchEvaluator ok(gate, f32,
+                          {.precision = sw::wavesim::Precision::kFloat32});
+  EXPECT_EQ(&ok.plan(), f32.get());
+}
+
 TEST(EvalPlan, PlanCacheServesTheSoAPlanItBuilt) {
   const KernelFixture fix;
   sw::serve::PlanCache cache(fix.engine, 4);
@@ -276,6 +378,65 @@ TEST(KernelEquivalence, EveryOpExhaustiveAtEveryWidth) {
         expect_kernel_matches_scalar_gate(logic, evaluator, sweep, *avx2, n);
       }
     }
+  }
+}
+
+TEST(KernelEquivalence, Float32DecodesBitIdenticalOnEveryOp) {
+  // The acceptance bar of the f32 plan: decodes bit-identical to f64 on
+  // every BooleanOp at n = 1/4/8, including the full 2^16 operand sweep —
+  // guaranteed per layout by the plan's build-time margin analysis, which
+  // must accept f32 for every designed (paper-margin) layout here.
+  const KernelFixture fix;
+  for (const std::size_t n : {1ul, 4ul, 8ul}) {
+    for (const BooleanOp op : kAllOps) {
+      const ParallelLogicGate logic(op, channel_frequencies(n), fix.designer,
+                                    fix.engine);
+      const BatchEvaluator f64(logic.gate(),
+                               {.precision = sw::wavesim::Precision::kFloat64});
+      const BatchEvaluator f32(logic.gate(),
+                               {.precision = sw::wavesim::Precision::kFloat32});
+      ASSERT_EQ(f32.effective_precision(), sw::wavesim::Precision::kFloat32)
+          << boolean_op_name(op) << " n=" << n << ": margin analysis "
+          << "unexpectedly rejected f32: " << f32.plan().f32_rejection();
+      const PackedSweep sweep = exhaustive_sweep(logic, n);
+      const auto want =
+          f64.evaluate_bits(sweep.num_words, sweep.bits, scalar_kernel());
+      EXPECT_EQ(f32.evaluate_bits(sweep.num_words, sweep.bits,
+                                  scalar_kernel()),
+                want)
+          << boolean_op_name(op) << " n=" << n << " (f32 scalar)";
+      if (const Kernel* avx2 = avx2_kernel()) {
+        EXPECT_EQ(f32.evaluate_bits(sweep.num_words, sweep.bits, *avx2), want)
+            << boolean_op_name(op) << " n=" << n << " (f32 avx2)";
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, Float32OddWordCountsExerciseTheEightWideTail) {
+  // The f32 AVX2 kernel groups EIGHT words per register; word counts below,
+  // at and just past the group size exercise the f32 scalar tail.
+  const Kernel* avx2 = avx2_kernel();
+  if (avx2 == nullptr) {
+    GTEST_SKIP() << "AVX2 kernel unavailable on this build/host";
+  }
+  const KernelFixture fix;
+  const auto gate = fix.majority_gate(3, 4);
+  const BatchEvaluator evaluator(
+      gate, {.num_threads = 1, .precision = sw::wavesim::Precision::kFloat32});
+  ASSERT_EQ(evaluator.effective_precision(),
+            sw::wavesim::Precision::kFloat32);
+  const std::size_t stride = evaluator.slot_count();
+
+  std::mt19937 rng(53);
+  std::uniform_int_distribution<int> byte(0, 255);  // non-canonical too
+  for (const std::size_t words : {1ul, 3ul, 7ul, 8ul, 9ul, 15ul, 16ul, 17ul,
+                                  31ul, 33ul, 65ul}) {
+    std::vector<std::uint8_t> packed(words * stride);
+    for (auto& b : packed) b = static_cast<std::uint8_t>(byte(rng));
+    EXPECT_EQ(evaluator.evaluate_bits(words, packed, *avx2),
+              evaluator.evaluate_bits(words, packed, scalar_kernel()))
+        << words << " words";
   }
 }
 
@@ -383,6 +544,23 @@ TEST(EvaluateBitsValidation, GuardsWordCountOverflow) {
   const std::size_t wrap =
       (std::numeric_limits<std::size_t>::max() / 6) + 1;  // 6 * wrap wraps
   EXPECT_THROW(evaluator.evaluate_bits(wrap, tiny), sw::util::Error);
+}
+
+TEST(EvaluateBitsValidation, ChannelResultPathGuardsWordCountOverflow) {
+  // The kernelised evaluate_with packs num_words x slot_count bytes; a
+  // wrapping product must throw before it can size a tiny buffer and
+  // drive the packing loop far out of bounds.
+  const KernelFixture fix;
+  const auto gate = fix.majority_gate(3, 2);
+  const BatchEvaluator evaluator(gate);
+  const auto accessor = [](std::size_t, std::size_t, std::size_t) {
+    return std::uint8_t{0};
+  };
+  const std::size_t huge = std::numeric_limits<std::size_t>::max() / 2;
+  EXPECT_THROW(evaluator.evaluate_with(huge, accessor), sw::util::Error);
+  const std::size_t wrap =
+      (std::numeric_limits<std::size_t>::max() / 6) + 1;  // 6 * wrap wraps
+  EXPECT_THROW(evaluator.evaluate_with(wrap, accessor), sw::util::Error);
 }
 
 }  // namespace

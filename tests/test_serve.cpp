@@ -502,9 +502,13 @@ TEST(EvaluatorService, MatchesScalarGateAndCachesPlans) {
   EXPECT_EQ(stats.cache.misses, 1u);
   EXPECT_GE(stats.cache.hits, 1u);
   EXPECT_EQ(stats.shed, 0u);
-  // The stats surface which evaluation kernel requests dispatch to, so
-  // operators can tell the scalar fallback from the SIMD path.
+  // The stats surface which evaluation kernel and precision requests
+  // dispatch to, so operators can tell the scalar fallback from the SIMD
+  // path and a forced-f32 process from the default double one.
   EXPECT_EQ(stats.kernel, std::string(sw::wavesim::active_kernel_name()));
+  EXPECT_EQ(stats.precision,
+            std::string(sw::wavesim::precision_name(
+                sw::wavesim::active_precision())));
 }
 
 TEST(EvaluatorService, NestedBitsConvenienceMatchesScalarLoop) {
