@@ -1,0 +1,243 @@
+// Experiment E8 — networked serving throughput.
+//
+// The serving question behind the net subsystem: what does the socket
+// transport cost relative to handing the same batches to the in-process
+// EvaluatorService? A client pushes the same stream of 4096-word packed
+// batches (the sweep-shard shape) three ways — pipelined in-process
+// submits, localhost TCP through net::EvalServer, and a unix-domain
+// socket — all against one shared service so every path runs the same
+// cached SIMD plan. Results are cross-checked bit-for-bit first, then a
+// hard floor gates CI: localhost TCP must sustain >= 0.5x the in-process
+// cached-plan words/s (the wire codec and syscalls may cost at most as
+// much as the evaluation they feed). Emits BENCH_net.json for the CI
+// artifact trail.
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <deque>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/gate.h"
+#include "core/gate_design.h"
+#include "dispersion/fvmsw.h"
+#include "net/eval_server.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "serve/service.h"
+#include "serve/wire.h"
+#include "util/error.h"
+#include "wavesim/wave_engine.h"
+
+namespace {
+
+using namespace sw;
+using namespace std::chrono_literals;
+
+// The sweep-shard serving shape: big packed batches against the paper's
+// 8-channel, 3-input majority fabric.
+constexpr std::size_t kNumInputs = 3;
+constexpr std::size_t kChannels = 8;
+constexpr std::size_t kWordsPerBatch = 4096;
+constexpr std::size_t kBatches = 24;
+
+struct NetBenchSetup {
+  disp::Waveguide wg = bench::paper_waveguide();
+  disp::FvmswDispersion model{wg};
+  core::InlineGateDesigner designer{model};
+  core::GateLayout layout;
+  std::vector<std::uint8_t> batch;
+  serve::EvaluatorService service;
+  net::EvalServer tcp_server;
+  net::EvalServer unix_server;
+
+  static serve::ServiceOptions service_options() {
+    serve::ServiceOptions options;
+    options.admission.max_queued_requests = kBatches * 2 + 8;
+    return options;
+  }
+
+  NetBenchSetup()
+      : layout([this] {
+          core::GateSpec spec;
+          spec.num_inputs = kNumInputs;
+          spec.frequencies = bench::paper_frequencies();
+          return designer.design(spec);
+        }()),
+        service(model, wg.material.alpha, service_options()),
+        tcp_server(
+            service,
+            [this](const core::GateSpec& spec) {
+              return designer.design(spec);
+            },
+            net::Endpoint::parse("tcp:127.0.0.1:0")),
+        unix_server(
+            service,
+            [this](const core::GateSpec& spec) {
+              return designer.design(spec);
+            },
+            // PID-unique path: a second concurrent run must not unlink
+            // and bind over this one's live socket.
+            net::Endpoint::parse("unix:/tmp/swlogic_bench_net." +
+                                 std::to_string(::getpid()) + ".sock")) {
+    const std::size_t slots = kChannels * kNumInputs;
+    batch.resize(kWordsPerBatch * slots);
+    std::mt19937 rng(20260727);
+    std::bernoulli_distribution coin(0.5);
+    for (auto& b : batch) b = coin(rng) ? 1 : 0;
+  }
+};
+
+NetBenchSetup& setup() {
+  static NetBenchSetup s;
+  return s;
+}
+
+/// Pipelined in-process client: the cached-plan baseline the socket paths
+/// are measured against.
+std::vector<std::uint8_t> run_inprocess(NetBenchSetup& s) {
+  std::deque<std::future<serve::ResultBatch>> inflight;
+  for (std::size_t i = 0; i < kBatches; ++i) {
+    inflight.push_back(s.service.submit(s.layout, s.batch, kWordsPerBatch));
+  }
+  std::vector<std::uint8_t> last;
+  while (!inflight.empty()) {
+    last = inflight.front().get().bits;
+    inflight.pop_front();
+  }
+  return last;
+}
+
+/// Socket client: split the batch stream over a few connections (the
+/// server is synchronous per connection; concurrency comes from
+/// connections, exactly how a sweep coordinator drives its workers).
+std::vector<std::uint8_t> run_socket(NetBenchSetup& s,
+                                     const net::Endpoint& endpoint,
+                                     std::size_t connections) {
+  std::vector<std::thread> clients;
+  std::vector<std::uint8_t> last;
+  std::vector<std::exception_ptr> errors(connections);
+  std::mutex last_mutex;
+  for (std::size_t c = 0; c < connections; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        auto conn = net::Connection::connect(endpoint, 5000ms);
+        std::vector<std::uint8_t> mine;
+        for (std::size_t i = c; i < kBatches; i += connections) {
+          net::send_message(
+              conn,
+              net::make_frame_message(serve::make_request_frame(
+                  s.layout, i * kWordsPerBatch, kWordsPerBatch, s.batch)),
+              10000ms);
+          auto response = net::recv_frame(conn, 30000ms);
+          SW_REQUIRE(response.has_value(),
+                     "server closed mid-benchmark");
+          mine = std::move(response->matrix);
+        }
+        std::lock_guard<std::mutex> lock(last_mutex);
+        last = std::move(mine);
+      } catch (...) {
+        errors[c] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return last;
+}
+
+void run_experiment(bench::BenchJson& json) {
+  auto& s = setup();
+  const double words = static_cast<double>(kBatches * kWordsPerBatch);
+  const std::size_t connections =
+      std::max<std::size_t>(1, std::min<std::size_t>(
+                                   4, std::thread::hardware_concurrency()));
+  std::printf("%zu batches x %zu words, %zu-input %zu-channel layout, "
+              "%zu socket connection(s)\n\n",
+              kBatches, kWordsPerBatch, kNumInputs, kChannels, connections);
+
+  // Warm the plan cache; steady state is what serving measures.
+  (void)s.service.submit(s.layout, s.batch, kWordsPerBatch).get();
+
+  std::vector<std::uint8_t> expected;
+  const double inprocess_s =
+      bench::best_of_three_seconds([&] { expected = run_inprocess(s); });
+
+  std::vector<std::uint8_t> via_tcp;
+  const double tcp_s = bench::best_of_three_seconds([&] {
+    via_tcp = run_socket(s, s.tcp_server.local_endpoint(), connections);
+  });
+
+  std::vector<std::uint8_t> via_unix;
+  const double unix_s = bench::best_of_three_seconds([&] {
+    via_unix = run_socket(s, s.unix_server.local_endpoint(), connections);
+  });
+
+  SW_REQUIRE(via_tcp == expected && via_unix == expected,
+             "socket results diverged from the in-process sweep");
+
+  const auto stats = s.service.stats();
+  std::printf("in-process pipelined : %8.1f ms  (%10.0f words/s, kernel: "
+              "%s, precision: %s)\n",
+              inprocess_s * 1e3, words / inprocess_s, stats.kernel.c_str(),
+              stats.precision.c_str());
+  std::printf("TCP localhost        : %8.1f ms  (%10.0f words/s, %.2fx "
+              "in-process)\n",
+              tcp_s * 1e3, words / tcp_s, inprocess_s / tcp_s);
+  std::printf("unix-domain socket   : %8.1f ms  (%10.0f words/s, %.2fx "
+              "in-process)\n\n",
+              unix_s * 1e3, words / unix_s, inprocess_s / unix_s);
+  std::printf("service latency (recent window): p50 %.0f us, p95 %.0f us, "
+              "p99 %.0f us over %llu request(s)\n\n",
+              stats.latency.p50_s * 1e6, stats.latency.p95_s * 1e6,
+              stats.latency.p99_s * 1e6,
+              static_cast<unsigned long long>(stats.latency.count));
+
+  json.add("inprocess_pipelined", stats.kernel, stats.precision,
+           words / inprocess_s);
+  json.add("tcp_localhost", stats.kernel, stats.precision, words / tcp_s);
+  json.add("unix_localhost", stats.kernel, stats.precision, words / unix_s);
+
+  std::fflush(stdout);
+  // The acceptance bar: the transport may cost at most as much as the
+  // evaluation it feeds, i.e. localhost TCP sustains >= 0.5x the
+  // in-process cached-plan words/s.
+  SW_REQUIRE(inprocess_s / tcp_s >= 0.5,
+             "localhost TCP serving fell below 0.5x in-process throughput");
+}
+
+void BM_TcpBatchRoundTrip(benchmark::State& state) {
+  auto& s = setup();
+  auto conn =
+      net::Connection::connect(s.tcp_server.local_endpoint(), 5000ms);
+  for (auto _ : state) {
+    net::send_message(conn,
+                      net::make_frame_message(serve::make_request_frame(
+                          s.layout, 0, kWordsPerBatch, s.batch)),
+                      10000ms);
+    auto response = net::recv_frame(conn, 30000ms);
+    benchmark::DoNotOptimize(response);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kWordsPerBatch));
+}
+BENCHMARK(BM_TcpBatchRoundTrip);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "=== E8: networked serving — localhost sockets vs in-process ===\n\n");
+  sw::bench::BenchJson json("BENCH_net.json");
+  run_experiment(json);
+  json.write("bench_net_throughput");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -182,11 +182,18 @@ void run_experiment(bench::BenchJson& json) {
     }
   }
   std::printf("cache: %llu hits / %llu misses / %llu evictions; "
-              "%llu requests served\n\n",
+              "%llu requests served\n",
               static_cast<unsigned long long>(stats.cache.hits),
               static_cast<unsigned long long>(stats.cache.misses),
               static_cast<unsigned long long>(stats.cache.evictions),
               static_cast<unsigned long long>(stats.completed));
+  // Tail latency over the recent-request window (the metrics endpoint
+  // serves the same numbers as sw_serve_latency_p*_seconds).
+  const auto latest = svc.stats().latency;
+  std::printf("latency: p50 %.0f us / p95 %.0f us / p99 %.0f us over the "
+              "last <=1024 of %llu request(s)\n\n",
+              latest.p50_s * 1e6, latest.p95_s * 1e6, latest.p99_s * 1e6,
+              static_cast<unsigned long long>(latest.count));
 
   std::fflush(stdout);
   SW_REQUIRE(served == rebuilt,

@@ -11,14 +11,29 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/encoding.h"
 #include "core/gate_design.h"
 #include "dispersion/waveguide.h"
 #include "mag/material.h"
+#include "util/error.h"
 
 namespace sweep_example {
+
+/// How the frame pair travels between coordinator and worker. File is the
+/// PR 2 flow (request/response files, worker spawned per shard) and stays
+/// the default so existing invocations keep working; tcp/unix use the
+/// socket transport (persistent workers, straggler re-sharding).
+enum class Transport { kFile, kTcp, kUnix };
+
+inline Transport parse_transport(const std::string& name) {
+  if (name == "file") return Transport::kFile;
+  if (name == "tcp") return Transport::kTcp;
+  if (name == "unix") return Transport::kUnix;
+  throw sw::util::Error("unknown --transport (want file|tcp|unix): " + name);
+}
 
 /// The paper's device: Fe60Co20B20 PMA waveguide, 50 nm x 1 nm.
 inline sw::disp::Waveguide waveguide() {

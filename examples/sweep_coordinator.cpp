@@ -1,16 +1,27 @@
 // Sharded-sweep coordinator: split the exhaustive 2^16-word truth table of
-// the 8-channel parallel AND gate across worker processes via the wire
-// format, then verify the reassembled result bit-for-bit.
+// the 8-channel parallel AND gate across workers, then verify the
+// reassembled result bit-for-bit against both the in-process sweep and the
+// Boolean AND reference.
+//
+// File transport (the PR 2 flow, still the default):
 //
 //   example_sweep_coordinator [--shards N] [--dir PATH] [--worker PATH]
 //
-// For each shard the coordinator writes a request frame (GateSpec + layout
-// hash + bit-packed input rows) to <dir>/shard_<k>.req, launches the worker
-// binary on it as a separate process, and reads back <dir>/shard_<k>.resp.
-// The merged 65536 x 8 output matrix must match the coordinator's own
-// in-process BatchEvaluator sweep exactly, and every decoded bit is also
-// checked against the Boolean AND reference — a full cross-process
-// reproduction of the paper's exhaustive truth table.
+// writes request frames to <dir>/shard_<k>.req, spawns the worker binary
+// per shard, reads back <dir>/shard_<k>.resp.
+//
+// Socket transport (persistent workers, straggler re-sharding):
+//
+//   example_sweep_coordinator --transport=tcp|unix
+//       --workers EP1,EP2,…  [--shard-words N] [--deadline-ms D]
+//       [--grace-ms G] [--shutdown-workers]
+//
+// connects to already-running example_sweep_worker processes (one
+// endpoint each), streams word-range shards through net::SweepCoordinator
+// — shards in flight past --deadline-ms are duplicated to the fastest
+// idle worker, and redundant results are dedup-verified bit-for-bit — and
+// optionally shuts the workers down afterwards.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -21,10 +32,13 @@
 #include "core/gate.h"
 #include "core/gate_design.h"
 #include "dispersion/fvmsw.h"
+#include "net/socket.h"
+#include "net/sweep_coordinator.h"
 #include "serve/layout_hash.h"
 #include "serve/wire.h"
 #include "sweep_common.h"
 #include "util/error.h"
+#include "util/strings.h"
 #include "wavesim/batch_evaluator.h"
 #include "wavesim/wave_engine.h"
 
@@ -37,33 +51,160 @@ std::string default_worker_path(const char* argv0) {
   return path.replace(pos, std::string("coordinator").size(), "worker");
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+struct Args {
+  sweep_example::Transport transport = sweep_example::Transport::kFile;
+  // file mode
   std::size_t shards = 4;
   std::string dir = "sweep_shards";
   std::string worker;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--shards" && i + 1 < argc) {
-      shards = static_cast<std::size_t>(std::atol(argv[++i]));
-    } else if (arg == "--dir" && i + 1 < argc) {
-      dir = argv[++i];
-    } else if (arg == "--worker" && i + 1 < argc) {
-      worker = argv[++i];
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--shards N] [--dir PATH] [--worker PATH]\n",
-                   argv[0]);
-      return 64;
-    }
+  // socket mode
+  std::vector<std::string> worker_endpoints;
+  std::size_t shard_words = 4096;
+  long deadline_ms = 2000;
+  long grace_ms = 0;
+  bool shutdown_workers = false;
+};
+
+/// Run the sweep over the file transport: one worker process per shard,
+/// frames on disk — exactly the PR 2 smoke.
+std::vector<std::uint8_t> run_file_sweep(const Args& args,
+                                         const sw::core::GateLayout& layout,
+                                         const std::vector<std::uint8_t>& matrix) {
+  using namespace sweep_example;
+  const std::uint64_t hash = sw::serve::hash_layout(layout);
+
+  std::filesystem::create_directories(args.dir);
+  const std::size_t shards = args.shards == 0 ? 1 : args.shards;
+  const std::size_t per_shard = (kSweepWords + shards - 1) / shards;
+
+  struct Shard {
+    std::size_t offset = 0;
+    std::size_t words = 0;
+    std::string req, resp;
+  };
+  std::vector<Shard> plan;
+  for (std::size_t k = 0, offset = 0; k < shards && offset < kSweepWords;
+       ++k, offset += per_shard) {
+    Shard s;
+    s.offset = offset;
+    s.words = std::min(per_shard, kSweepWords - offset);
+    s.req = args.dir + "/shard_" + std::to_string(k) + ".req";
+    s.resp = args.dir + "/shard_" + std::to_string(k) + ".resp";
+    std::vector<std::uint8_t> rows(
+        matrix.begin() + static_cast<std::ptrdiff_t>(s.offset * kSlotsPerWord),
+        matrix.begin() + static_cast<std::ptrdiff_t>(
+                             (s.offset + s.words) * kSlotsPerWord));
+    sw::serve::write_frame_file(
+        s.req, sw::serve::make_request_frame(layout, s.offset, s.words,
+                                             std::move(rows)));
+    plan.push_back(std::move(s));
   }
-  if (worker.empty()) worker = default_worker_path(argv[0]);
-  if (shards == 0) shards = 1;
 
+  for (const auto& s : plan) {
+    const std::string cmd =
+        "\"" + args.worker + "\" \"" + s.req + "\" \"" + s.resp + "\"";
+    std::printf("spawning: %s\n", cmd.c_str());
+    const int rc = std::system(cmd.c_str());
+    SW_REQUIRE(rc == 0, "worker process failed on shard " + s.req);
+  }
+
+  std::vector<std::uint8_t> merged(kSweepWords * kChannels, 0);
+  for (const auto& s : plan) {
+    const auto resp = sw::serve::read_frame_file(s.resp);
+    SW_REQUIRE(resp.kind == sw::serve::FrameKind::kResponse,
+               "expected a response frame");
+    SW_REQUIRE(resp.layout_hash == hash,
+               "response layout hash does not match the request");
+    SW_REQUIRE(resp.word_offset == s.offset && resp.num_words == s.words &&
+                   resp.num_cols == kChannels,
+               "response shard shape mismatch");
+    std::copy(resp.matrix.begin(), resp.matrix.end(),
+              merged.begin() +
+                  static_cast<std::ptrdiff_t>(s.offset * kChannels));
+  }
+  std::printf("file transport: %zu shard(s) done\n", plan.size());
+  return merged;
+}
+
+/// Run the sweep over the socket transport via net::SweepCoordinator.
+std::vector<std::uint8_t> run_socket_sweep(
+    const Args& args, const sw::core::GateLayout& layout,
+    const std::vector<std::uint8_t>& matrix) {
+  using namespace sweep_example;
+  std::vector<sw::net::Endpoint> endpoints;
+  for (const auto& text : args.worker_endpoints) {
+    endpoints.push_back(sw::net::Endpoint::parse(text));
+  }
+  sw::net::SweepOptions options;
+  options.shard_words = args.shard_words;
+  options.straggler_deadline = std::chrono::milliseconds(args.deadline_ms);
+  options.duplicate_grace = std::chrono::milliseconds(args.grace_ms);
+  options.shutdown_workers = args.shutdown_workers;
+  sw::net::SweepCoordinator coordinator(std::move(endpoints), options);
+
+  sw::net::SweepReport report;
+  auto merged = coordinator.run(layout, matrix, kSweepWords, &report);
+  std::printf("socket transport: %zu shard(s), %zu re-shard(s), "
+              "%zu duplicate result(s), %zu overload retr%s, "
+              "%zu dead worker(s)\n",
+              report.shards, report.resharded, report.duplicate_results,
+              report.overload_retries,
+              report.overload_retries == 1 ? "y" : "ies",
+              report.dead_workers);
+  for (std::size_t w = 0; w < report.shards_per_worker.size(); ++w) {
+    std::printf("  worker %zu (%s): %zu shard(s)\n", w,
+                coordinator.workers()[w].to_string().c_str(),
+                report.shards_per_worker[w]);
+  }
+  return merged;
+}
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--shards N] [--dir PATH] [--worker PATH]\n"
+      "       %s --transport=tcp|unix --workers EP1,EP2,… "
+      "[--shard-words N] [--deadline-ms D] [--grace-ms G] "
+      "[--shutdown-workers]\n",
+      argv0, argv0);
+  std::exit(64);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
   try {
-    using namespace sweep_example;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--transport=", 0) == 0) {
+        args.transport = sweep_example::parse_transport(arg.substr(12));
+      } else if (arg == "--shards" && i + 1 < argc) {
+        args.shards = static_cast<std::size_t>(std::atol(argv[++i]));
+      } else if (arg == "--dir" && i + 1 < argc) {
+        args.dir = argv[++i];
+      } else if (arg == "--worker" && i + 1 < argc) {
+        args.worker = argv[++i];
+      } else if (arg == "--workers" && i + 1 < argc) {
+        args.worker_endpoints = sw::util::split(argv[++i], ',');
+      } else if (arg == "--shard-words" && i + 1 < argc) {
+        args.shard_words = static_cast<std::size_t>(std::atol(argv[++i]));
+      } else if (arg == "--deadline-ms" && i + 1 < argc) {
+        args.deadline_ms = std::atol(argv[++i]);
+      } else if (arg == "--grace-ms" && i + 1 < argc) {
+        args.grace_ms = std::atol(argv[++i]);
+      } else if (arg == "--shutdown-workers") {
+        args.shutdown_workers = true;
+      } else {
+        usage(argv[0]);
+      }
+    }
+    if (args.worker.empty()) args.worker = default_worker_path(argv[0]);
+    const bool socket_mode =
+        args.transport != sweep_example::Transport::kFile;
+    if (socket_mode && args.worker_endpoints.empty()) usage(argv[0]);
 
+    using namespace sweep_example;
     const auto wg = waveguide();
     const sw::disp::FvmswDispersion model(wg);
     const sw::core::InlineGateDesigner designer(model);
@@ -71,9 +212,9 @@ int main(int argc, char** argv) {
     const std::uint64_t hash = sw::serve::hash_layout(layout);
 
     std::printf("=== sharded exhaustive sweep: 8-channel parallel AND ===\n");
-    std::printf("layout hash %016llx, %zu words x %zu slots, %zu shard(s)\n",
+    std::printf("layout hash %016llx, %zu words x %zu slots\n",
                 static_cast<unsigned long long>(hash), kSweepWords,
-                kSlotsPerWord, shards);
+                kSlotsPerWord);
 
     const auto matrix = and_truth_table_matrix();
 
@@ -83,55 +224,8 @@ int main(int argc, char** argv) {
     const sw::wavesim::BatchEvaluator evaluator(gate);
     const auto expected = evaluator.evaluate_bits(kSweepWords, matrix);
 
-    std::filesystem::create_directories(dir);
-    const std::size_t per_shard = (kSweepWords + shards - 1) / shards;
-
-    struct Shard {
-      std::size_t offset = 0;
-      std::size_t words = 0;
-      std::string req, resp;
-    };
-    std::vector<Shard> plan;
-    for (std::size_t k = 0, offset = 0; k < shards && offset < kSweepWords;
-         ++k, offset += per_shard) {
-      Shard s;
-      s.offset = offset;
-      s.words = std::min(per_shard, kSweepWords - offset);
-      s.req = dir + "/shard_" + std::to_string(k) + ".req";
-      s.resp = dir + "/shard_" + std::to_string(k) + ".resp";
-      std::vector<std::uint8_t> rows(
-          matrix.begin() +
-              static_cast<std::ptrdiff_t>(s.offset * kSlotsPerWord),
-          matrix.begin() + static_cast<std::ptrdiff_t>(
-                               (s.offset + s.words) * kSlotsPerWord));
-      sw::serve::write_frame_file(
-          s.req, sw::serve::make_request_frame(layout, s.offset, s.words,
-                                               std::move(rows)));
-      plan.push_back(std::move(s));
-    }
-
-    for (const auto& s : plan) {
-      const std::string cmd =
-          "\"" + worker + "\" \"" + s.req + "\" \"" + s.resp + "\"";
-      std::printf("spawning: %s\n", cmd.c_str());
-      const int rc = std::system(cmd.c_str());
-      SW_REQUIRE(rc == 0, "worker process failed on shard " + s.req);
-    }
-
-    std::vector<std::uint8_t> merged(kSweepWords * kChannels, 0);
-    for (const auto& s : plan) {
-      const auto resp = sw::serve::read_frame_file(s.resp);
-      SW_REQUIRE(resp.kind == sw::serve::FrameKind::kResponse,
-                 "expected a response frame");
-      SW_REQUIRE(resp.layout_hash == hash,
-                 "response layout hash does not match the request");
-      SW_REQUIRE(resp.word_offset == s.offset && resp.num_words == s.words &&
-                     resp.num_cols == kChannels,
-                 "response shard shape mismatch");
-      std::copy(resp.matrix.begin(), resp.matrix.end(),
-                merged.begin() +
-                    static_cast<std::ptrdiff_t>(s.offset * kChannels));
-    }
+    const auto merged = socket_mode ? run_socket_sweep(args, layout, matrix)
+                                    : run_file_sweep(args, layout, matrix);
 
     SW_REQUIRE(merged == expected,
                "cross-process sweep diverged from the in-process sweep");
@@ -148,9 +242,9 @@ int main(int argc, char** argv) {
       }
     }
 
-    std::printf("PASS: %zu shard(s) reproduced the exhaustive %zu-word "
-                "truth table bit-for-bit (%zu output bits verified)\n",
-                plan.size(), kSweepWords, merged.size());
+    std::printf("PASS: reproduced the exhaustive %zu-word truth table "
+                "bit-for-bit (%zu output bits verified)\n",
+                kSweepWords, merged.size());
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "coordinator: %s\n", e.what());

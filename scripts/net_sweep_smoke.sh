@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Networked sweep smoke: the distributed exhaustive 2^16-word sweep over
+# localhost TCP, twice.
+#
+#   scripts/net_sweep_smoke.sh [BUILD_DIR]
+#
+# Leg 1 — healthy: 1 coordinator + 2 workers split the sweep; the
+# coordinator binary itself asserts bit-for-bit equality against its
+# in-process sweep and the Boolean AND reference, then shuts the workers
+# down (both must exit 0).
+#
+# Leg 2 — straggler: 2 fresh workers, one SIGSTOPped before the sweep
+# starts. Its shards sit in flight until the straggler deadline, get
+# re-sharded to the live worker, and the sweep must still complete
+# bit-for-bit. The stopped worker is then resumed and killed.
+set -euo pipefail
+
+BUILD=${1:-build}
+WORKER="$BUILD/example_sweep_worker"
+COORD="$BUILD/example_sweep_coordinator"
+[[ -x $WORKER && -x $COORD ]] || {
+  echo "missing $WORKER or $COORD (build first)" >&2
+  exit 1
+}
+
+# Ports in the dynamic range, offset by PID so parallel CI jobs on one
+# host do not collide.
+P1=$((20000 + ($$ % 20000)))
+P2=$((P1 + 1))
+P3=$((P1 + 2))
+P4=$((P1 + 3))
+
+cleanup() {
+  # Resume anything stopped so kill can reap it; ignore the already-gone.
+  kill -CONT "${PIDS[@]}" 2>/dev/null || true
+  kill "${PIDS[@]}" 2>/dev/null || true
+}
+PIDS=()
+trap cleanup EXIT
+
+echo "=== leg 1: healthy 2-worker TCP sweep ==="
+"$WORKER" --transport=tcp --listen "tcp:127.0.0.1:$P1" --max-seconds 300 &
+W1=$!
+"$WORKER" --transport=tcp --listen "tcp:127.0.0.1:$P2" --max-seconds 300 &
+W2=$!
+PIDS+=("$W1" "$W2")
+"$COORD" --transport=tcp \
+  --workers "tcp:127.0.0.1:$P1,tcp:127.0.0.1:$P2" --shutdown-workers
+wait "$W1"
+wait "$W2"
+echo "leg 1 OK: both workers exited cleanly after shutdown"
+
+echo "=== leg 2: straggler (one worker SIGSTOPped) ==="
+"$WORKER" --transport=tcp --listen "tcp:127.0.0.1:$P3" --max-seconds 300 &
+W3=$!
+"$WORKER" --transport=tcp --listen "tcp:127.0.0.1:$P4" --max-seconds 300 &
+W4=$!
+PIDS+=("$W3" "$W4")
+# Let the victim reach its listen loop, then freeze it. Its accept backlog
+# still completes TCP handshakes, so the coordinator connects and sends —
+# and never hears back: exactly the straggler shape.
+sleep 1
+kill -STOP "$W4"
+OUT=$("$COORD" --transport=tcp \
+  --workers "tcp:127.0.0.1:$P3,tcp:127.0.0.1:$P4" \
+  --deadline-ms 1000 --shutdown-workers)
+echo "$OUT"
+grep -q "PASS" <<<"$OUT"
+# The straggler's shard(s) must actually have been re-sharded, not just
+# happen to finish: a zero re-shard count means the leg tested nothing.
+grep -qE "[1-9][0-9]* re-shard" <<<"$OUT" || {
+  echo "straggler leg completed without re-sharding" >&2
+  exit 1
+}
+wait "$W3"
+kill -CONT "$W4" 2>/dev/null || true
+kill "$W4" 2>/dev/null || true
+echo "leg 2 OK: sweep completed bit-for-bit around the stopped worker"

@@ -1,0 +1,253 @@
+#include "net/eval_server.h"
+
+#include <optional>
+#include <utility>
+
+#include "serve/admission.h"
+#include "serve/layout_hash.h"
+#include "serve/wire.h"
+
+namespace sw::net {
+
+EvalServer::EvalServer(sw::serve::EvaluatorService& service,
+                       Designer designer, const Endpoint& endpoint,
+                       EvalServerOptions options)
+    : service_(&service),
+      designer_(std::move(designer)),
+      options_(options),
+      listener_(endpoint) {
+  SW_REQUIRE(designer_ != nullptr, "EvalServer needs a designer callback");
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+EvalServer::~EvalServer() { stop(); }
+
+void EvalServer::accept_loop() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_) return;
+      reap_finished_locked();
+    }
+    std::optional<Connection> conn;
+    try {
+      conn = listener_.accept(options_.poll_tick);
+    } catch (const sw::util::Error&) {
+      // A transient accept-level failure (fd pressure, netns teardown)
+      // must not kill the accept thread; back off one tick and retry.
+      std::this_thread::sleep_for(options_.poll_tick);
+      continue;
+    }
+    if (!conn) continue;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) return;  // stop() joins us, then closes the new connection
+    ++counters_.connections_accepted;
+    if (connections_.size() >= options_.max_connections) {
+      // Over the connection cap: a typed, retryable refusal beats a
+      // silent RST. Short timeout — an unreadable peer is not worth
+      // stalling the accept loop for.
+      try {
+        send_message(*conn,
+                     make_error_message(ErrorCode::kOverload,
+                                        "connection limit reached"),
+                     options_.poll_tick);
+      } catch (const sw::util::Error&) {
+      }
+      ++counters_.errors_sent;
+      continue;
+    }
+    connections_.emplace_back();
+    ConnSlot* slot = &connections_.back();
+    slot->conn = std::move(*conn);
+    slot->thread = std::thread([this, slot] { serve_connection(slot); });
+  }
+}
+
+void EvalServer::reap_finished_locked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->done) {
+      it->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+sw::core::GateLayout EvalServer::layout_for(
+    const sw::serve::SweepFrame& request) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = layouts_.find(request.layout_hash);
+    if (it != layouts_.end() && it->second.spec == *request.spec) {
+      return it->second;
+    }
+  }
+  sw::core::GateLayout layout = designer_(*request.spec);
+  const std::uint64_t local_hash = sw::serve::hash_layout(layout);
+  SW_REQUIRE(local_hash == request.layout_hash,
+             "layout hash mismatch: server geometry differs from the "
+             "client's");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (layouts_.size() >= options_.layout_cache_capacity &&
+      layouts_.count(request.layout_hash) == 0) {
+    // The layout cache is a small redesign-avoidance map, not an LRU:
+    // dropping an arbitrary entry under pressure is fine because misses
+    // only cost a redesign, never a wrong answer.
+    layouts_.erase(layouts_.begin());
+  }
+  layouts_.emplace(request.layout_hash, layout);
+  return layout;
+}
+
+Message EvalServer::handle_frame(const Message& message) {
+  bool submitted = false;
+  try {
+    sw::serve::SweepFrame request = sw::serve::decode_frame(message.payload);
+    SW_REQUIRE(request.kind == sw::serve::FrameKind::kRequest &&
+                   request.spec.has_value(),
+               "server expects request frames carrying a GateSpec");
+    const sw::core::GateLayout layout = layout_for(request);
+    const std::size_t num_words =
+        static_cast<std::size_t>(request.num_words);
+    auto future =
+        service_->submit(layout, std::move(request.matrix), num_words);
+    submitted = true;
+    sw::serve::ResultBatch result = future.get();
+    request.matrix.clear();  // moved-from; make_response_frame reads meta
+    return make_frame_message(sw::serve::make_response_frame(
+        request, result.num_channels, std::move(result.bits)));
+  } catch (const sw::serve::OverloadError& e) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.overloads;
+    return make_error_message(ErrorCode::kOverload, e.what());
+  } catch (const sw::util::Error& e) {
+    // Before submit: the client sent something malformed (bad frame,
+    // wrong shape, alien geometry). After: the evaluation itself failed.
+    return make_error_message(
+        submitted ? ErrorCode::kInternal : ErrorCode::kBadRequest, e.what());
+  } catch (const std::exception& e) {
+    return make_error_message(ErrorCode::kInternal, e.what());
+  }
+}
+
+void EvalServer::serve_connection(ConnSlot* slot) {
+  Connection& conn = slot->conn;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_) break;
+    }
+    try {
+      if (!conn.wait_readable(options_.poll_tick)) continue;
+      auto message = recv_message(conn, options_.frame_timeout);
+      if (!message) break;  // orderly close
+      if (message->kind == MessageKind::kShutdown) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_requested_ = true;
+        shutdown_cv_.notify_all();
+        continue;
+      }
+      Message reply;
+      if (message->kind == MessageKind::kMetricsRequest) {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++counters_.metrics_requests;
+        }
+        reply = make_text_message(MessageKind::kMetricsResponse,
+                                  metrics_text());
+      } else if (message->kind == MessageKind::kFrame) {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++counters_.frames_received;
+        }
+        reply = handle_frame(*message);
+      } else {
+        // A client has no business sending error/metrics-response kinds;
+        // answer once, then drop the connection.
+        send_message(conn,
+                     make_error_message(ErrorCode::kBadRequest,
+                                        "unexpected message kind"),
+                     options_.frame_timeout);
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.errors_sent;
+        break;
+      }
+      send_message(conn, reply, options_.frame_timeout);
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (reply.kind == MessageKind::kError) {
+        ++counters_.errors_sent;
+      } else if (reply.kind == MessageKind::kFrame) {
+        ++counters_.responses_sent;  // metrics replies count separately
+      }
+    } catch (const sw::util::Error&) {
+      // Envelope-level corruption, a mid-frame stall or a vanished peer:
+      // the stream is unsynchronised, so the only safe move is to drop
+      // the connection. (TimeoutError is a util::Error: a silent peer
+      // lands here too, keeping handler threads bounded.)
+      break;
+    }
+  }
+  // Close under the lock: stop() walks the slot list calling shutdown()
+  // on live connections, and must never race the fd teardown.
+  std::lock_guard<std::mutex> lock(mutex_);
+  conn.close();
+  slot->done = true;
+}
+
+ServerCounters EvalServer::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServerCounters out = counters_;
+  std::size_t active = 0;
+  for (const auto& slot : connections_) {
+    if (!slot.done) ++active;
+  }
+  out.active_connections = active;
+  return out;
+}
+
+std::string EvalServer::metrics_text() const {
+  return render_service_metrics(service_->stats()) +
+         render_server_metrics(counters());
+}
+
+bool EvalServer::shutdown_requested() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shutdown_requested_;
+}
+
+bool EvalServer::wait_shutdown(std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto ready = [this] { return shutdown_requested_ || stop_; };
+  if (timeout.count() <= 0) {
+    shutdown_cv_.wait(lock, ready);
+  } else {
+    shutdown_cv_.wait_for(lock, timeout, ready);
+  }
+  return shutdown_requested_;
+}
+
+void EvalServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Single-owner protocol: repeated stop() calls (explicit stop then
+    // destructor) are no-ops; only the first performs the joins.
+    if (stop_) return;
+    stop_ = true;
+    shutdown_cv_.notify_all();
+    // Unblock handlers that are mid-recv/send; fds stay valid until each
+    // handler closes its own connection on the way out.
+    for (auto& slot : connections_) {
+      if (!slot.done) slot.conn.shutdown();
+    }
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
+  // After the accept loop is gone the connection list is stable.
+  for (auto& slot : connections_) {
+    if (slot.thread.joinable()) slot.thread.join();
+  }
+  connections_.clear();
+}
+
+}  // namespace sw::net

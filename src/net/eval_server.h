@@ -1,0 +1,133 @@
+// Networked front end over serve::EvaluatorService.
+//
+// One EvalServer owns a listening socket (TCP or unix-domain) and serves
+// the sharded-sweep wire format to remote clients: each connection is a
+// sequence of request frames answered in order with response frames, so a
+// coordinator talks to a worker exactly as it would write/read frame
+// files, just over a stream. Service-level overload keeps its admission
+// semantics across the network boundary — a kShed rejection is answered
+// with a typed kOverload error message on the same connection (the client
+// can back off and retry), never by dropping the connection — and
+// kMetricsRequest messages are answered with the plain-text metrics
+// document (service stats, latency percentiles, transport counters), so
+// an operator can scrape a live worker with a three-line client.
+//
+// Threading: one accept thread plus one handler thread per connection,
+// each request handled synchronously (decode, submit, wait, respond).
+// Concurrency across connections comes from the service's worker pool;
+// clients that want pipelined throughput open several connections. Every
+// blocking wait is tick-bounded so stop() completes within one frame
+// timeout even with live, silent or half-dead peers.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "core/gate_design.h"
+#include "net/metrics.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "serve/service.h"
+
+namespace sw::net {
+
+struct EvalServerOptions {
+  /// Per-frame read/write budget once a transfer has started; a peer that
+  /// stalls a frame past this is dropped.
+  std::chrono::milliseconds frame_timeout{10000};
+  /// Idle tick between frames/accepts: the cadence at which serving loops
+  /// notice stop() and shutdown requests.
+  std::chrono::milliseconds poll_tick{100};
+  /// Connections beyond this are answered with a kOverload error and
+  /// closed instead of admitted.
+  std::size_t max_connections = 64;
+  /// Designed layouts cached by wire hash (each verified against its
+  /// request's spec); sized like the service plan cache it feeds.
+  std::size_t layout_cache_capacity = 32;
+};
+
+class EvalServer {
+ public:
+  /// Maps a wire GateSpec to the layout the service evaluates; usually
+  /// InlineGateDesigner::design against the same dispersion model the
+  /// service was built on. Must be callable from handler threads.
+  using Designer =
+      std::function<sw::core::GateLayout(const sw::core::GateSpec&)>;
+
+  /// Binds and starts serving immediately. `service` must outlive the
+  /// server. Throws on bind/listen failure (port taken, bad path).
+  EvalServer(sw::serve::EvaluatorService& service, Designer designer,
+             const Endpoint& endpoint, EvalServerOptions options = {});
+
+  /// stop()s, so destruction joins every thread and closes every socket.
+  ~EvalServer();
+
+  EvalServer(const EvalServer&) = delete;
+  EvalServer& operator=(const EvalServer&) = delete;
+
+  /// Bound address with any ephemeral TCP port resolved — advertise this.
+  const Endpoint& local_endpoint() const {
+    return listener_.local_endpoint();
+  }
+
+  ServerCounters counters() const;
+
+  /// The metrics document a kMetricsRequest receives (service section +
+  /// transport section).
+  std::string metrics_text() const;
+
+  /// True once any client sent kShutdown (sticky). The server keeps
+  /// serving — the owner decides when to stop(); the sweep worker example
+  /// waits on this to exit cleanly.
+  bool shutdown_requested() const;
+
+  /// Block until shutdown_requested() or stop(); returns
+  /// shutdown_requested(). `timeout` <= 0 waits indefinitely.
+  bool wait_shutdown(std::chrono::milliseconds timeout =
+                         std::chrono::milliseconds(0)) const;
+
+  /// Stop accepting, unblock and join every connection handler, close all
+  /// sockets. Idempotent; bounded by one frame_timeout.
+  void stop();
+
+ private:
+  struct ConnSlot {
+    Connection conn;
+    std::thread thread;
+    bool done = false;  ///< handler exited; accept loop may reap (mutex_)
+  };
+
+  void accept_loop();
+  void serve_connection(ConnSlot* slot);
+  /// Handle one admitted request frame; returns the reply message.
+  Message handle_frame(const Message& message);
+  sw::core::GateLayout layout_for(const sw::serve::SweepFrame& request);
+  void reap_finished_locked();
+
+  sw::serve::EvaluatorService* service_;
+  Designer designer_;
+  EvalServerOptions options_;
+  Listener listener_;
+
+  mutable std::mutex mutex_;
+  mutable std::condition_variable shutdown_cv_;
+  bool stop_ = false;
+  bool shutdown_requested_ = false;
+  std::list<ConnSlot> connections_;
+  ServerCounters counters_;
+  /// Wire hash -> designed layout, each entry verified against the spec
+  /// that produced it (a 64-bit collision therefore cannot alias two
+  /// specs: hits re-compare the full GateSpec).
+  std::unordered_map<std::uint64_t, sw::core::GateLayout> layouts_;
+
+  std::thread accept_thread_;
+};
+
+}  // namespace sw::net

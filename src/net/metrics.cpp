@@ -1,0 +1,64 @@
+#include "net/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace sw::net {
+
+namespace {
+
+void line_u64(std::string& out, const char* name, std::uint64_t value) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s %" PRIu64 "\n", name, value);
+  out += buf;
+}
+
+void line_f64(std::string& out, const char* name, double value) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s %.9g\n", name, value);
+  out += buf;
+}
+
+}  // namespace
+
+std::string render_service_metrics(const sw::serve::ServiceStats& stats) {
+  std::string out;
+  out.reserve(1024);
+  line_u64(out, "sw_serve_requests_submitted", stats.submitted);
+  line_u64(out, "sw_serve_requests_completed", stats.completed);
+  line_u64(out, "sw_serve_requests_shed", stats.shed);
+  line_u64(out, "sw_serve_requests_blocked", stats.blocked);
+  line_u64(out, "sw_serve_queued_requests", stats.queued_requests);
+  line_u64(out, "sw_serve_inflight_words", stats.inflight_words);
+  line_u64(out, "sw_serve_latency_count", stats.latency.count);
+  line_f64(out, "sw_serve_latency_p50_seconds", stats.latency.p50_s);
+  line_f64(out, "sw_serve_latency_p95_seconds", stats.latency.p95_s);
+  line_f64(out, "sw_serve_latency_p99_seconds", stats.latency.p99_s);
+  line_u64(out, "sw_serve_plan_cache_hits", stats.cache.hits);
+  line_u64(out, "sw_serve_plan_cache_misses", stats.cache.misses);
+  line_u64(out, "sw_serve_plan_cache_evictions", stats.cache.evictions);
+  line_u64(out, "sw_serve_plan_cache_f32_plans", stats.cache.f32_plans);
+  line_u64(out, "sw_serve_plan_cache_f32_fallbacks",
+           stats.cache.f32_fallbacks);
+  // Identity flags carry their value in a label, Prometheus-style, so the
+  // set of metric names stays fixed across hosts and configurations.
+  out += "sw_serve_kernel{name=\"" + stats.kernel + "\"} 1\n";
+  out += "sw_serve_precision{name=\"" + stats.precision + "\"} 1\n";
+  return out;
+}
+
+std::string render_server_metrics(const ServerCounters& counters) {
+  std::string out;
+  out.reserve(256);
+  line_u64(out, "sw_net_connections_accepted",
+           counters.connections_accepted);
+  line_u64(out, "sw_net_connections_active", counters.active_connections);
+  line_u64(out, "sw_net_frames_received", counters.frames_received);
+  line_u64(out, "sw_net_responses_sent", counters.responses_sent);
+  line_u64(out, "sw_net_errors_sent", counters.errors_sent);
+  line_u64(out, "sw_net_overloads", counters.overloads);
+  line_u64(out, "sw_net_metrics_requests", counters.metrics_requests);
+  return out;
+}
+
+}  // namespace sw::net

@@ -1,0 +1,35 @@
+// Plain-text metrics rendering for the networked serving subsystem.
+//
+// The metrics endpoint answers a kMetricsRequest message with one text
+// document in the Prometheus exposition style — `name value` lines, flags
+// as `name{name="…"} 1` — because that is what every scraper and human
+// `nc`-debugging a stalled worker already reads. Rendering is split from
+// the server so the serving benches and tests can format a ServiceStats
+// snapshot without standing up a socket.
+#pragma once
+
+#include <string>
+
+#include "serve/service.h"
+
+namespace sw::net {
+
+/// Per-server transport counters, appended below the service section.
+struct ServerCounters {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t responses_sent = 0;
+  std::uint64_t errors_sent = 0;
+  std::uint64_t overloads = 0;
+  std::uint64_t metrics_requests = 0;
+  std::size_t active_connections = 0;
+};
+
+/// Render the service section: request/latency/plan-cache gauges plus the
+/// kernel and precision flags.
+std::string render_service_metrics(const sw::serve::ServiceStats& stats);
+
+/// Render the transport section (sw_net_* lines).
+std::string render_server_metrics(const ServerCounters& counters);
+
+}  // namespace sw::net

@@ -1,0 +1,134 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+#include "serve/byteio.h"
+#include "serve/layout_hash.h"
+
+namespace sw::net {
+
+namespace {
+
+using sw::serve::detail::ByteReader;
+using sw::serve::detail::append_u16;
+using sw::serve::detail::append_u32;
+using sw::serve::detail::append_u64;
+
+bool known_kind(std::uint16_t kind) {
+  return kind >= static_cast<std::uint16_t>(MessageKind::kFrame) &&
+         kind <= static_cast<std::uint16_t>(MessageKind::kShutdown);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_message(const Message& message) {
+  SW_REQUIRE(known_kind(static_cast<std::uint16_t>(message.kind)),
+             "unknown message kind");
+  SW_REQUIRE(message.payload.size() <= kMaxMessagePayload,
+             "message payload exceeds the protocol cap");
+  std::vector<std::uint8_t> out;
+  out.reserve(kMessageHeaderSize + message.payload.size());
+  append_u32(out, kNetMagic);
+  append_u16(out, kNetVersion);
+  append_u16(out, static_cast<std::uint16_t>(message.kind));
+  append_u64(out, message.payload.size());
+  append_u64(out, sw::serve::chunked_fnv1a64(message.payload));
+  out.insert(out.end(), message.payload.begin(), message.payload.end());
+  return out;
+}
+
+Message make_frame_message(const sw::serve::SweepFrame& frame) {
+  Message m;
+  m.kind = MessageKind::kFrame;
+  m.payload = sw::serve::encode_frame(frame);
+  return m;
+}
+
+Message make_error_message(ErrorCode code, std::string_view text) {
+  Message m;
+  m.kind = MessageKind::kError;
+  m.payload.resize(2 + text.size());
+  m.payload[0] = static_cast<std::uint8_t>(static_cast<std::uint16_t>(code));
+  m.payload[1] =
+      static_cast<std::uint8_t>(static_cast<std::uint16_t>(code) >> 8);
+  if (!text.empty()) {
+    std::memcpy(m.payload.data() + 2, text.data(), text.size());
+  }
+  return m;
+}
+
+Message make_text_message(MessageKind kind, std::string_view text) {
+  SW_REQUIRE(kind == MessageKind::kMetricsResponse,
+             "only metrics responses carry free text");
+  Message m;
+  m.kind = kind;
+  m.payload.assign(text.begin(), text.end());
+  return m;
+}
+
+ErrorInfo decode_error_message(const Message& message) {
+  SW_REQUIRE(message.kind == MessageKind::kError,
+             "expected an error message");
+  ByteReader r(message.payload);
+  ErrorInfo info;
+  const std::uint16_t code = r.u16();
+  SW_REQUIRE(code >= static_cast<std::uint16_t>(ErrorCode::kOverload) &&
+                 code <= static_cast<std::uint16_t>(ErrorCode::kInternal),
+             "unknown error code in error message");
+  info.code = static_cast<ErrorCode>(code);
+  const auto text = r.take(r.remaining());
+  info.text.assign(text.begin(), text.end());
+  return info;
+}
+
+std::string decode_text_message(const Message& message) {
+  SW_REQUIRE(message.kind == MessageKind::kMetricsResponse,
+             "expected a metrics response message");
+  return std::string(message.payload.begin(), message.payload.end());
+}
+
+void send_message(Connection& connection, const Message& message,
+                  std::chrono::milliseconds timeout) {
+  connection.send_all(encode_message(message), timeout);
+}
+
+std::optional<Message> recv_message(Connection& connection,
+                                    std::chrono::milliseconds timeout) {
+  std::uint8_t header[kMessageHeaderSize];
+  if (!connection.recv_all(header, timeout)) return std::nullopt;
+  ByteReader r(header);
+  SW_REQUIRE(r.u32() == kNetMagic, "bad message magic");
+  SW_REQUIRE(r.u16() == kNetVersion, "unsupported protocol version");
+  const std::uint16_t kind = r.u16();
+  SW_REQUIRE(known_kind(kind), "unknown message kind");
+  const std::uint64_t payload_size = r.u64();
+  const std::uint64_t checksum = r.u64();
+  SW_REQUIRE(payload_size <= kMaxMessagePayload,
+             "message payload size exceeds the protocol cap");
+
+  Message message;
+  message.kind = static_cast<MessageKind>(kind);
+  message.payload.resize(static_cast<std::size_t>(payload_size));
+  if (payload_size > 0) {
+    SW_REQUIRE(connection.recv_all(message.payload, timeout),
+               "connection closed between message header and payload");
+  }
+  SW_REQUIRE(sw::serve::chunked_fnv1a64(message.payload) == checksum,
+             "message checksum mismatch (corrupt payload)");
+  return message;
+}
+
+std::optional<sw::serve::SweepFrame> recv_frame(
+    Connection& connection, std::chrono::milliseconds timeout) {
+  auto message = recv_message(connection, timeout);
+  if (!message) return std::nullopt;
+  if (message->kind == MessageKind::kError) {
+    const ErrorInfo info = decode_error_message(*message);
+    throw RemoteError(info.code, "remote error: " + info.text);
+  }
+  SW_REQUIRE(message->kind == MessageKind::kFrame,
+             "expected a frame message");
+  return sw::serve::decode_frame(message->payload);
+}
+
+}  // namespace sw::net

@@ -1,0 +1,112 @@
+// Message envelope for the networked serving protocol.
+//
+// The socket transport moves serve::wire sweep frames *unchanged*; what a
+// raw stream needs on top is a way to know how many bytes the next unit
+// occupies and a way to carry the non-frame traffic a server produces —
+// typed error replies (admission shed maps to an error message, not a
+// dropped connection), metrics requests/responses and a remote-shutdown
+// signal. One fixed 24-byte header does all of that:
+//
+//   offset  size  field
+//        0     4  magic "SWN1"
+//        4     2  version (kNetVersion)
+//        6     2  kind (MessageKind)
+//        8     8  payload_size (bytes)
+//       16     8  checksum (chunked FNV-1a 64 over the payload)
+//       24     …  payload
+//
+// Payloads by kind: kFrame carries one encoded serve::wire frame (which
+// keeps its own end-to-end checksum); kError carries a u16 ErrorCode plus
+// UTF-8 text; kMetricsResponse carries plain text; kMetricsRequest and
+// kShutdown are empty. The envelope checksum uses the chunked FNV variant
+// (one multiply per 8 bytes) so the per-word envelope cost stays far below
+// the evaluation kernels it feeds.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/socket.h"
+#include "serve/wire.h"
+
+namespace sw::net {
+
+inline constexpr std::uint32_t kNetMagic = 0x314E5753u;  // "SWN1" on the wire
+inline constexpr std::uint16_t kNetVersion = 1;
+inline constexpr std::size_t kMessageHeaderSize = 24;
+/// Caps a corrupt length prefix before it can drive a huge allocation.
+inline constexpr std::uint64_t kMaxMessagePayload = std::uint64_t{1} << 30;
+
+enum class MessageKind : std::uint16_t {
+  kFrame = 1,           ///< one encoded serve::wire sweep frame
+  kError = 2,           ///< ErrorCode + text, answering a failed request
+  kMetricsRequest = 3,  ///< empty; asks for a metrics snapshot
+  kMetricsResponse = 4, ///< plain-text metrics
+  kShutdown = 5,        ///< empty; asks the server to stop serving
+};
+
+enum class ErrorCode : std::uint16_t {
+  kOverload = 1,    ///< admission control shed the request (retryable)
+  kBadRequest = 2,  ///< malformed frame, hash mismatch, bad shape
+  kInternal = 3,    ///< evaluation failed server-side
+};
+
+struct Message {
+  MessageKind kind = MessageKind::kFrame;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Error payload, decoded: the typed code plus human-readable context.
+struct ErrorInfo {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string text;
+};
+
+/// Thrown by callers that receive a kError message where they expected a
+/// frame; carries the typed code so overloads are distinguishable from
+/// hard failures.
+class RemoteError : public sw::util::Error {
+ public:
+  RemoteError(ErrorCode code, const std::string& what)
+      : Error(what), code_(code) {}
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+std::vector<std::uint8_t> encode_message(const Message& message);
+
+Message make_frame_message(const sw::serve::SweepFrame& frame);
+Message make_error_message(ErrorCode code, std::string_view text);
+Message make_text_message(MessageKind kind, std::string_view text);
+
+/// Decode the payload of a kError / kMetricsResponse message; throws
+/// sw::util::Error on a malformed payload or wrong kind.
+ErrorInfo decode_error_message(const Message& message);
+std::string decode_text_message(const Message& message);
+
+/// Send one message within `timeout`.
+void send_message(Connection& connection, const Message& message,
+                  std::chrono::milliseconds timeout);
+
+/// Receive one message within `timeout`: reads the fixed header, validates
+/// magic/version/kind/size, then reads and checksums the payload. Returns
+/// nullopt when the peer closed cleanly before the first header byte.
+/// Throws TimeoutError on deadline and sw::util::Error on a malformed or
+/// corrupt envelope (after which the stream is unsynchronised and the
+/// connection should be dropped).
+std::optional<Message> recv_message(Connection& connection,
+                                    std::chrono::milliseconds timeout);
+
+/// recv_message + the frame path in one step: expects kFrame and decodes
+/// the wire frame; a kError message is rethrown as RemoteError.
+std::optional<sw::serve::SweepFrame> recv_frame(
+    Connection& connection, std::chrono::milliseconds timeout);
+
+}  // namespace sw::net

@@ -1,0 +1,385 @@
+#include "net/sweep_coordinator.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "net/protocol.h"
+#include "serve/layout_hash.h"
+#include "serve/wire.h"
+
+namespace sw::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+enum class ShardState : std::uint8_t { kPending, kInflight, kDone };
+
+struct Shard {
+  std::size_t offset = 0;
+  std::size_t words = 0;
+  ShardState state = ShardState::kPending;
+  Clock::time_point assigned_at{};
+  std::size_t assignments = 0;  ///< > 1 once re-sharded
+};
+
+struct SweepState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<Shard> shards;
+  std::size_t done_count = 0;
+  std::vector<bool> idle;    ///< worker waiting for a shard
+  std::vector<bool> alive;   ///< worker still participating
+  std::size_t live_workers = 0;
+  std::vector<std::size_t> completed;  ///< shards retired per worker
+  std::size_t resharded = 0;
+  std::size_t duplicate_results = 0;
+  std::size_t overload_retries = 0;
+  bool aborted = false;
+  std::string error;
+  Clock::time_point wall_deadline{};
+  std::size_t num_channels = 0;
+  std::vector<std::uint8_t> merged;
+
+  void abort_locked(const std::string& why) {
+    if (!aborted) {
+      aborted = true;
+      error = why;
+    }
+    cv.notify_all();
+  }
+};
+
+/// True when worker `w` is the fastest currently-idle worker: most shards
+/// completed, ties to the lowest index — so exactly one idle worker wins
+/// each duplication decision.
+bool fastest_idle_locked(const SweepState& state, std::size_t w) {
+  for (std::size_t x = 0; x < state.idle.size(); ++x) {
+    if (x == w || !state.idle[x] || !state.alive[x]) continue;
+    if (state.completed[x] > state.completed[w]) return false;
+    if (state.completed[x] == state.completed[w] && x < w) return false;
+  }
+  return true;
+}
+
+/// Block until a shard is available for worker `w` (pending, or an
+/// overdue in-flight shard this worker may duplicate); nullopt once the
+/// sweep is complete or aborted.
+std::optional<std::size_t> acquire_shard(SweepState& state, std::size_t w,
+                                         const SweepOptions& options) {
+  std::unique_lock<std::mutex> lock(state.mutex);
+  state.idle[w] = true;
+  for (;;) {
+    if (state.aborted || state.done_count == state.shards.size()) {
+      state.idle[w] = false;
+      return std::nullopt;
+    }
+    const auto now = Clock::now();
+    if (now > state.wall_deadline) {
+      state.abort_locked("sweep wall deadline exceeded");
+      continue;
+    }
+    for (std::size_t i = 0; i < state.shards.size(); ++i) {
+      Shard& shard = state.shards[i];
+      if (shard.state == ShardState::kPending) {
+        shard.state = ShardState::kInflight;
+        shard.assigned_at = now;
+        ++shard.assignments;
+        state.idle[w] = false;
+        return i;
+      }
+    }
+    // No pending work: the fastest idle worker may duplicate the most
+    // overdue straggler.
+    if (fastest_idle_locked(state, w)) {
+      std::size_t best = state.shards.size();
+      for (std::size_t i = 0; i < state.shards.size(); ++i) {
+        const Shard& shard = state.shards[i];
+        if (shard.state != ShardState::kInflight) continue;
+        if (now - shard.assigned_at < options.straggler_deadline) continue;
+        if (best == state.shards.size() ||
+            shard.assigned_at < state.shards[best].assigned_at) {
+          best = i;
+        }
+      }
+      if (best != state.shards.size()) {
+        Shard& shard = state.shards[best];
+        shard.assigned_at = now;
+        ++shard.assignments;
+        ++state.resharded;
+        state.idle[w] = false;
+        return best;
+      }
+    }
+    state.cv.wait_for(lock, options.poll_tick);
+  }
+}
+
+/// Return a not-yet-done shard to the pending pool (its worker failed or
+/// was shed).
+void requeue_shard(SweepState& state, std::size_t index) {
+  std::lock_guard<std::mutex> lock(state.mutex);
+  Shard& shard = state.shards[index];
+  if (shard.state == ShardState::kInflight) {
+    shard.state = ShardState::kPending;
+  }
+  state.cv.notify_all();
+}
+
+void mark_dead(SweepState& state, std::size_t w, const std::string& why) {
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (!state.alive[w]) return;
+  state.alive[w] = false;
+  state.idle[w] = false;
+  --state.live_workers;
+  if (state.live_workers == 0 &&
+      state.done_count < state.shards.size()) {
+    state.abort_locked("all sweep workers failed; last failure: " + why);
+  }
+  state.cv.notify_all();
+}
+
+/// Validate and retire one response. Returns false (with abort set) on a
+/// divergent duplicate or malformed response.
+void complete_shard(SweepState& state, std::size_t w, std::size_t index,
+                    const sw::serve::SweepFrame& response,
+                    std::uint64_t expected_hash) {
+  std::lock_guard<std::mutex> lock(state.mutex);
+  Shard& shard = state.shards[index];
+  if (response.kind != sw::serve::FrameKind::kResponse ||
+      response.layout_hash != expected_hash ||
+      response.word_offset != shard.offset ||
+      response.num_words != shard.words ||
+      response.num_cols != state.num_channels) {
+    state.abort_locked("worker returned a response frame that does not "
+                       "match its shard");
+    return;
+  }
+  std::uint8_t* dst =
+      state.merged.data() + shard.offset * state.num_channels;
+  const std::size_t bytes = shard.words * state.num_channels;
+  if (shard.state == ShardState::kDone) {
+    // A re-sharded shard answered twice; both workers must agree on every
+    // bit or the sweep result would depend on message timing.
+    if (std::memcmp(dst, response.matrix.data(), bytes) != 0) {
+      state.abort_locked(
+          "duplicate shard results diverge bit-for-bit (offset " +
+          std::to_string(shard.offset) + ")");
+      return;
+    }
+    ++state.duplicate_results;
+    return;
+  }
+  std::memcpy(dst, response.matrix.data(), bytes);
+  shard.state = ShardState::kDone;
+  ++state.done_count;
+  ++state.completed[w];
+  state.cv.notify_all();
+}
+
+struct WorkerContext {
+  const sw::core::GateLayout* layout = nullptr;
+  const std::vector<std::uint8_t>* matrix = nullptr;
+  std::uint64_t expected_hash = 0;
+  std::size_t slots = 0;
+};
+
+void worker_loop(SweepState& state, std::size_t w, const Endpoint& endpoint,
+                 const SweepOptions& options, const WorkerContext& ctx) {
+  Connection conn;
+  try {
+    conn = Connection::connect(endpoint, options.connect_timeout);
+  } catch (const sw::util::Error& e) {
+    mark_dead(state, w, "connect to " + endpoint.to_string() +
+                            " failed: " + e.what());
+    return;
+  }
+  bool dead = false;
+  bool finished = false;  ///< left the loop with the connection healthy
+  while (!dead && !finished) {
+    const auto assigned = acquire_shard(state, w, options);
+    if (!assigned) break;
+    const std::size_t index = *assigned;
+    std::size_t offset, words;
+    {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      offset = state.shards[index].offset;
+      words = state.shards[index].words;
+    }
+    std::vector<std::uint8_t> rows(
+        ctx.matrix->begin() +
+            static_cast<std::ptrdiff_t>(offset * ctx.slots),
+        ctx.matrix->begin() +
+            static_cast<std::ptrdiff_t>((offset + words) * ctx.slots));
+    try {
+      send_message(conn,
+                   make_frame_message(sw::serve::make_request_frame(
+                       *ctx.layout, offset, words, std::move(rows))),
+                   options.io_timeout);
+    } catch (const sw::util::Error& e) {
+      requeue_shard(state, index);
+      mark_dead(state, w, e.what());
+      return;
+    }
+    // Wait for this shard's response, tick by tick, so sweep completion,
+    // aborts and the wall deadline all preempt a silent peer.
+    std::optional<Clock::time_point> grace_deadline;
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        if (state.aborted) {
+          finished = true;
+          break;
+        }
+        if (Clock::now() > state.wall_deadline) {
+          state.abort_locked("sweep wall deadline exceeded");
+          finished = true;
+          break;
+        }
+        if (state.done_count == state.shards.size() && !grace_deadline) {
+          // Sweep is complete without us: linger only for the dedup
+          // grace window, then abandon the redundant response.
+          grace_deadline = Clock::now() + options.duplicate_grace;
+        }
+        if (grace_deadline && Clock::now() >= *grace_deadline &&
+            state.shards[index].state == ShardState::kDone) {
+          // Shard retired elsewhere; nothing left to verify. Fall out to
+          // the shutdown path — this worker still deserves its
+          // kShutdown even though its last answer went unused.
+          finished = true;
+          break;
+        }
+      }
+      try {
+        if (!conn.wait_readable(options.poll_tick)) continue;
+        const auto frame = recv_frame(conn, options.io_timeout);
+        if (!frame) {
+          throw sw::util::Error("worker closed the connection mid-sweep");
+        }
+        complete_shard(state, w, index, *frame, ctx.expected_hash);
+        break;
+      } catch (const RemoteError& e) {
+        if (e.code() == ErrorCode::kOverload) {
+          // The worker shed the shard under admission control: re-queue
+          // it and ask again — the connection itself is still healthy.
+          {
+            std::lock_guard<std::mutex> lock(state.mutex);
+            ++state.overload_retries;
+          }
+          requeue_shard(state, index);
+          std::this_thread::sleep_for(options.poll_tick);
+          break;
+        }
+        requeue_shard(state, index);
+        mark_dead(state, w, e.what());
+        dead = true;
+        break;
+      } catch (const sw::util::Error& e) {
+        // Stream corruption or a mid-frame stall: the connection is
+        // unusable. (A *silent* peer does not land here — wait_readable
+        // just ticks — so a SIGSTOPped worker keeps its shard in flight
+        // until the straggler deadline hands it to someone else.)
+        requeue_shard(state, index);
+        mark_dead(state, w, e.what());
+        dead = true;
+        break;
+      }
+    }
+  }
+  if (options.shutdown_workers && !dead) {
+    bool completed;
+    {
+      // Check under the lock, send outside it: a peer with a full send
+      // buffer may block this thread for io_timeout, and that must not
+      // serialise the other workers' exits.
+      std::lock_guard<std::mutex> lock(state.mutex);
+      completed =
+          !state.aborted && state.done_count == state.shards.size();
+    }
+    if (completed) {
+      try {
+        Message m;
+        m.kind = MessageKind::kShutdown;
+        send_message(conn, m, options.io_timeout);
+      } catch (const sw::util::Error&) {
+        // Best-effort: a worker that died after its last shard still
+        // leaves the sweep result intact.
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SweepCoordinator::SweepCoordinator(std::vector<Endpoint> workers,
+                                   SweepOptions options)
+    : workers_(std::move(workers)), options_(options) {
+  SW_REQUIRE(!workers_.empty(), "sweep coordinator needs >= 1 worker");
+  SW_REQUIRE(options_.shard_words > 0, "shard_words must be positive");
+}
+
+std::vector<std::uint8_t> SweepCoordinator::run(
+    const sw::core::GateLayout& layout,
+    const std::vector<std::uint8_t>& matrix, std::size_t num_words,
+    SweepReport* report) {
+  const std::size_t slots =
+      layout.spec.frequencies.size() * layout.spec.num_inputs;
+  SW_REQUIRE(slots > 0, "layout has no input slots");
+  SW_REQUIRE(matrix.size() == num_words * slots,
+             "input matrix must be num_words x slot_count");
+
+  SweepState state;
+  state.num_channels = layout.spec.frequencies.size();
+  state.merged.assign(num_words * state.num_channels, 0);
+  for (std::size_t offset = 0; offset < num_words;
+       offset += options_.shard_words) {
+    Shard shard;
+    shard.offset = offset;
+    shard.words = std::min(options_.shard_words, num_words - offset);
+    state.shards.push_back(shard);
+  }
+  state.idle.assign(workers_.size(), false);
+  state.alive.assign(workers_.size(), true);
+  state.completed.assign(workers_.size(), 0);
+  state.live_workers = workers_.size();
+  state.wall_deadline = Clock::now() + options_.max_wall;
+
+  WorkerContext ctx;
+  ctx.layout = &layout;
+  ctx.matrix = &matrix;
+  ctx.expected_hash = sw::serve::hash_layout(layout);
+  ctx.slots = slots;
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers_.size());
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    threads.emplace_back([this, &state, &ctx, w] {
+      worker_loop(state, w, workers_[w], options_, ctx);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (report) {
+    report->shards = state.shards.size();
+    report->resharded = state.resharded;
+    report->duplicate_results = state.duplicate_results;
+    report->overload_retries = state.overload_retries;
+    report->dead_workers = 0;
+    for (const bool alive : state.alive) {
+      if (!alive) ++report->dead_workers;
+    }
+    report->shards_per_worker = state.completed;
+  }
+  SW_REQUIRE(!state.aborted, "sweep aborted: " + state.error);
+  SW_ASSERT(state.done_count == state.shards.size(),
+            "sweep ended with unfinished shards");
+  return std::move(state.merged);
+}
+
+}  // namespace sw::net

@@ -1,0 +1,98 @@
+// Multi-host sweep coordinator: shard an exhaustive evaluate_bits sweep
+// across remote workers, retire shards on result receipt, and re-shard
+// stragglers.
+//
+// The paper's headline workload — all 2^n operand words through an n-bit
+// data-parallel gate — is embarrassingly parallel by word offset, so the
+// coordinator splits the input matrix into contiguous word-range shards
+// and streams them to N workers over the socket transport (one blocking
+// request/response per shard per connection, exactly the frame pair the
+// file-based PR 2 flow used). Completion is tracked per shard, not per
+// worker:
+//
+//   * a shard is only retired when its response frame arrives and
+//     validates (kind, layout hash, word range, channel count);
+//   * a shard still in flight past `straggler_deadline` becomes eligible
+//     for duplication, and the *fastest currently-idle* worker (most
+//     shards completed, ties to the lowest index) claims it — a stalled
+//     or SIGSTOPped worker therefore delays the sweep by at most one
+//     deadline, and a dead one by nothing at all once its connection
+//     errors out;
+//   * when both the original and the duplicate eventually answer, the
+//     second result is checked bit-for-bit against the first — a
+//     divergent duplicate means non-deterministic workers, which for this
+//     workload is data corruption, and aborts the sweep rather than
+//     letting a coin flip decide the truth table.
+//
+// Workers that fail (connect failure, stream error, mid-frame stall)
+// return their in-flight shard to the pending pool and drop out; the
+// sweep aborts only when every worker is gone or the wall deadline
+// passes, so CI legs can never hang.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/gate_design.h"
+#include "net/socket.h"
+
+namespace sw::net {
+
+struct SweepOptions {
+  /// Words per shard; the last shard takes the remainder.
+  std::size_t shard_words = 4096;
+  /// Budget for each worker connection attempt (retries inside).
+  std::chrono::milliseconds connect_timeout{10000};
+  /// Per-frame send/receive budget once a transfer has started.
+  std::chrono::milliseconds io_timeout{10000};
+  /// Cadence at which waiting workers re-check shard state.
+  std::chrono::milliseconds poll_tick{50};
+  /// Age past which an in-flight shard may be duplicated to an idle
+  /// worker.
+  std::chrono::milliseconds straggler_deadline{2000};
+  /// After the sweep completes, how long a worker still owed a (by then
+  /// redundant) response keeps listening so the duplicate can be
+  /// dedup-verified instead of abandoned. 0 = abandon immediately.
+  std::chrono::milliseconds duplicate_grace{0};
+  /// Hard abort on the whole run — bounds every CI invocation.
+  std::chrono::milliseconds max_wall{600000};
+  /// Send a kShutdown message to each live worker after a successful
+  /// sweep (the example workers exit on it).
+  bool shutdown_workers = false;
+};
+
+struct SweepReport {
+  std::size_t shards = 0;            ///< shards the sweep was split into
+  std::size_t resharded = 0;         ///< duplicate assignments issued
+  std::size_t duplicate_results = 0; ///< redundant responses, dedup-verified
+  std::size_t overload_retries = 0;  ///< shards shed by a worker and re-queued
+  std::size_t dead_workers = 0;      ///< workers lost before completion
+  std::vector<std::size_t> shards_per_worker;  ///< completed, by worker index
+};
+
+class SweepCoordinator {
+ public:
+  explicit SweepCoordinator(std::vector<Endpoint> workers,
+                            SweepOptions options = {});
+
+  /// Run the sweep: `matrix` is the row-major num_words x slot_count input
+  /// (the evaluate_bits shape for `layout`); returns the merged row-major
+  /// num_words x num_channels output, bit-for-bit what a single in-process
+  /// evaluator would produce. Throws sw::util::Error when the sweep cannot
+  /// complete (all workers lost, wall deadline, divergent duplicate,
+  /// geometry mismatch).
+  std::vector<std::uint8_t> run(const sw::core::GateLayout& layout,
+                                const std::vector<std::uint8_t>& matrix,
+                                std::size_t num_words,
+                                SweepReport* report = nullptr);
+
+  const std::vector<Endpoint>& workers() const { return workers_; }
+
+ private:
+  std::vector<Endpoint> workers_;
+  SweepOptions options_;
+};
+
+}  // namespace sw::net

@@ -1,0 +1,51 @@
+#include "serve/latency.h"
+
+#include <algorithm>
+
+namespace sw::serve {
+
+namespace {
+
+/// Nearest-rank percentile of an unsorted sample (mutated in place):
+/// element ceil(q * n) in the sorted order, 1-indexed.
+double percentile(std::vector<double>& sample, double q) {
+  if (sample.empty()) return 0.0;
+  const std::size_t n = sample.size();
+  std::size_t rank = static_cast<std::size_t>(
+      q * static_cast<double>(n) + 0.999999);
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  auto nth = sample.begin() + static_cast<std::ptrdiff_t>(rank - 1);
+  std::nth_element(sample.begin(), nth, sample.end());
+  return *nth;
+}
+
+}  // namespace
+
+LatencyReservoir::LatencyReservoir(std::size_t window)
+    : ring_(window == 0 ? 1 : window, 0.0) {}
+
+void LatencyReservoir::record(double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_[next_] = seconds;
+  next_ = (next_ + 1) % ring_.size();
+  if (filled_ < ring_.size()) ++filled_;
+  ++count_;
+}
+
+LatencySummary LatencyReservoir::summary() const {
+  std::vector<double> sample;
+  LatencySummary out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sample.assign(ring_.begin(),
+                  ring_.begin() + static_cast<std::ptrdiff_t>(filled_));
+    out.count = count_;
+  }
+  out.p50_s = percentile(sample, 0.50);
+  out.p95_s = percentile(sample, 0.95);
+  out.p99_s = percentile(sample, 0.99);
+  return out;
+}
+
+}  // namespace sw::serve

@@ -1,0 +1,45 @@
+// Request-latency percentiles for the serving layer.
+//
+// Serving dashboards need tail latency, not averages, and they need it
+// cheaply enough to sit on every request's completion path. LatencyReservoir
+// keeps a fixed-size ring of the most recent request latencies (overwriting
+// the oldest once full, so the window tracks *current* behaviour rather
+// than the process's lifetime) and computes nearest-rank percentiles on
+// demand by copying the ring and partial-sorting the copy — snapshot cost
+// is paid by the metrics reader, record cost is one store under a mutex.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace sw::serve {
+
+/// Nearest-rank percentiles over the reservoir window, in seconds. `count`
+/// is the total recorded (not the window size); percentiles are 0 until
+/// the first record.
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double p99_s = 0.0;
+};
+
+class LatencyReservoir {
+ public:
+  /// `window` is the ring capacity; at least 1.
+  explicit LatencyReservoir(std::size_t window = 1024);
+
+  void record(double seconds);
+
+  LatencySummary summary() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> ring_;
+  std::size_t filled_ = 0;  ///< valid entries in ring_ (<= ring_.size())
+  std::size_t next_ = 0;    ///< overwrite cursor
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace sw::serve

@@ -1,5 +1,6 @@
 #include "serve/service.h"
 
+#include <chrono>
 #include <cstdio>
 #include <limits>
 #include <mutex>
@@ -37,6 +38,7 @@ struct EvaluatorService::Request {
   std::uint64_t id = 0;
   std::size_t num_words = 0;
   std::size_t num_channels = 0;
+  std::chrono::steady_clock::time_point submitted_at;
   /// Resolved on the submit fast path; when null the worker consults the
   /// cache with `layout` (and builds the plan on a cold miss).
   PlanCache::PlanPtr plan;
@@ -59,6 +61,7 @@ EvaluatorService::EvaluatorService(const sw::disp::DispersionModel& model,
       cache_(engine_, options_.plan_cache_capacity,
              options_.evaluator_options),
       admission_(options_.admission),
+      latency_(options_.latency_window),
       pool_(options_.num_threads, /*always_spawn=*/true) {
   log_kernel_once(options_.evaluator_options.precision);
 }
@@ -87,6 +90,7 @@ std::future<ResultBatch> EvaluatorService::submit(
   auto request = std::make_unique<Request>();
   request->num_words = num_words;
   request->num_channels = layout.spec.frequencies.size();
+  request->submitted_at = std::chrono::steady_clock::now();
   request->bits = std::move(packed_bits);
 
   admission_.admit(num_words);  // may block or throw OverloadError
@@ -164,6 +168,17 @@ void EvaluatorService::process(Request* raw) {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++completed_;
   }
+  // Latency covers submit to settle — queue wait included, because that is
+  // what a caller waiting on the future experiences — and is recorded for
+  // failures too (an erroring request still occupied the service).
+  const double latency_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    request->submitted_at)
+          .count();
+  latency_.record(latency_s);
+  if (options_.on_request_finish) {
+    options_.on_request_finish(request->id, latency_s);
+  }
   if (error) {
     request->promise.set_exception(error);
   } else {
@@ -185,6 +200,7 @@ ServiceStats EvaluatorService::stats() const {
   s.kernel = std::string(sw::wavesim::active_kernel_name());
   s.precision = std::string(
       sw::wavesim::precision_name(options_.evaluator_options.precision));
+  s.latency = latency_.summary();
   s.cache = cache_.stats();
   return s;
 }

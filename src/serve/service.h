@@ -24,6 +24,7 @@
 #include "core/gate.h"
 #include "dispersion/model.h"
 #include "serve/admission.h"
+#include "serve/latency.h"
 #include "serve/plan_cache.h"
 #include "util/thread_pool.h"
 #include "wavesim/wave_engine.h"
@@ -47,6 +48,15 @@ struct ServiceOptions {
   /// leaves the queue, before its evaluation starts. Useful for metrics
   /// and tracing; tests use it to hold workers in place deterministically.
   std::function<void(std::uint64_t request_id)> on_request_start;
+  /// Completion hook: called on the worker thread once a request has fully
+  /// settled (accounting released, success or failure alike), with its
+  /// submit-to-completion latency. The same latency feeds the built-in
+  /// percentile reservoir whether or not a hook is installed.
+  std::function<void(std::uint64_t request_id, double latency_seconds)>
+      on_request_finish;
+  /// Window of recent request latencies backing ServiceStats::latency
+  /// (p50/p95/p99 over the most recent `latency_window` requests).
+  std::size_t latency_window = 1024;
 };
 
 /// Decoded output of one request: row-major num_words x num_channels logic
@@ -80,6 +90,10 @@ struct ServiceStats {
   /// precision == "f32" with f32_fallbacks > 0 reads "asked for f32, some
   /// layouts refused".
   std::string precision;
+  /// Submit-to-completion latency percentiles over the recent-request
+  /// window (ServiceOptions::latency_window); the metrics endpoint and the
+  /// serving benches read these.
+  LatencySummary latency;
   PlanCacheStats cache;
 };
 
@@ -131,6 +145,7 @@ class EvaluatorService {
   sw::wavesim::WaveEngine engine_;
   PlanCache cache_;
   AdmissionController admission_;
+  LatencyReservoir latency_;
 
   mutable std::mutex stats_mutex_;
   std::uint64_t next_id_ = 1;

@@ -1,5 +1,7 @@
 #include "serve/wire.h"
 
+#include <bit>
+#include <cstring>
 #include <fstream>
 
 #include "serve/byteio.h"
@@ -66,6 +68,54 @@ std::size_t row_bytes_for(std::uint64_t num_cols) {
   return static_cast<std::size_t>((num_cols + 7) / 8);
 }
 
+// Branch-free 8-cell bit pack/unpack. The socket transport runs these per
+// word on the serving path, where the original cell-at-a-time loops cost
+// as much as the SIMD evaluation they fed; one u64 multiply moves a whole
+// byte group instead. Bit order is unchanged from v1: bit i of payload
+// byte b is column b * 8 + i.
+
+constexpr std::uint64_t kLowBits = 0x0101010101010101ull;
+constexpr std::uint64_t kLow7 = 0x7f7f7f7f7f7f7f7full;
+
+std::uint64_t load_cells8(const std::uint8_t* cells) {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::uint64_t x;
+    std::memcpy(&x, cells, 8);
+    return x;
+  } else {
+    std::uint64_t x = 0;
+    for (int b = 0; b < 8; ++b) {
+      x |= static_cast<std::uint64_t>(cells[b]) << (8 * b);
+    }
+    return x;
+  }
+}
+
+/// Pack 8 cells (one byte each, nonzero = 1, matching the v1 semantics)
+/// into one payload byte: normalise each byte to 0/1 with a carry-free
+/// "byte != 0" test, then gather the low bits with a multiply whose
+/// partial products all land on distinct bits.
+std::uint8_t pack_cells8(const std::uint8_t* cells) {
+  const std::uint64_t x = load_cells8(cells);
+  const std::uint64_t nonzero = (((x & kLow7) + kLow7) | x) >> 7 & kLowBits;
+  return static_cast<std::uint8_t>((nonzero * 0x0102040810204080ull) >> 56);
+}
+
+/// Unpack one payload byte into 8 cells of 0/1: replicate the byte to
+/// every lane, mask each lane to its own bit, normalise to 0/1.
+void unpack_cells8(std::uint8_t packed, std::uint8_t* cells) {
+  const std::uint64_t spread =
+      (packed * kLowBits) & 0x8040201008040201ull;
+  const std::uint64_t ones = ((spread + kLow7) >> 7) & kLowBits;
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(cells, &ones, 8);
+  } else {
+    for (int b = 0; b < 8; ++b) {
+      cells[b] = static_cast<std::uint8_t>(ones >> (8 * b));
+    }
+  }
+}
+
 }  // namespace
 
 SweepFrame make_request_frame(const sw::core::GateLayout& layout,
@@ -112,18 +162,23 @@ std::vector<std::uint8_t> encode_frame(const SweepFrame& frame) {
   if (frame.spec) spec_bytes = encode_spec(*frame.spec);
 
   const std::size_t row_bytes = row_bytes_for(frame.num_cols);
+  const std::size_t full_bytes = static_cast<std::size_t>(frame.num_cols / 8);
   std::vector<std::uint8_t> payload(
       static_cast<std::size_t>(frame.num_words) * row_bytes, 0);
   for (std::uint64_t w = 0; w < frame.num_words; ++w) {
-    for (std::uint64_t c = 0; c < frame.num_cols; ++c) {
-      if (frame.matrix[w * frame.num_cols + c]) {
-        payload[static_cast<std::size_t>(w) * row_bytes + c / 8] |=
-            static_cast<std::uint8_t>(1u << (c % 8));
+    const std::uint8_t* cells =
+        frame.matrix.data() + static_cast<std::size_t>(w * frame.num_cols);
+    std::uint8_t* row =
+        payload.data() + static_cast<std::size_t>(w) * row_bytes;
+    for (std::size_t b = 0; b < full_bytes; ++b) {
+      row[b] = pack_cells8(cells + b * 8);
+    }
+    for (std::uint64_t c = full_bytes * 8; c < frame.num_cols; ++c) {
+      if (cells[c]) {
+        row[full_bytes] |= static_cast<std::uint8_t>(1u << (c % 8));
       }
     }
   }
-
-  const std::uint64_t checksum = fnv1a64(payload, fnv1a64(spec_bytes));
 
   std::vector<std::uint8_t> out;
   out.reserve(kHeaderSize + spec_bytes.size() + payload.size());
@@ -136,9 +191,17 @@ std::vector<std::uint8_t> encode_frame(const SweepFrame& frame) {
   append_u64(out, frame.num_cols);
   append_u64(out, spec_bytes.size());
   append_u64(out, payload.size());
-  append_u64(out, checksum);
+  append_u64(out, 0);  // checksum, patched below over the assembled body
   out.insert(out.end(), spec_bytes.begin(), spec_bytes.end());
   out.insert(out.end(), payload.begin(), payload.end());
+  // Checksum the spec block and payload as the one contiguous region they
+  // occupy in the buffer: a single chunked pass, no concatenation copy.
+  const std::uint64_t checksum = chunked_fnv1a64(
+      {out.data() + kHeaderSize, out.size() - kHeaderSize});
+  for (int i = 0; i < 8; ++i) {
+    out[56 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(checksum >> (8 * i));
+  }
   return out;
 }
 
@@ -172,10 +235,14 @@ SweepFrame decode_frame(std::span<const std::uint8_t> bytes) {
   SW_REQUIRE(r.remaining() == spec_size + payload_size,
              "frame length mismatch (truncated or trailing bytes)");
 
-  const auto spec_bytes = r.take(static_cast<std::size_t>(spec_size));
-  const auto payload = r.take(static_cast<std::size_t>(payload_size));
-  SW_REQUIRE(fnv1a64(payload, fnv1a64(spec_bytes)) == checksum,
+  // Spec block and payload are contiguous in the buffer; checksum them in
+  // one chunked pass exactly as the encoder did.
+  const auto body =
+      r.take(static_cast<std::size_t>(spec_size + payload_size));
+  SW_REQUIRE(chunked_fnv1a64(body) == checksum,
              "frame checksum mismatch (corrupt body)");
+  const auto spec_bytes = body.first(static_cast<std::size_t>(spec_size));
+  const auto payload = body.subspan(static_cast<std::size_t>(spec_size));
 
   if (frame.kind == FrameKind::kRequest) {
     SW_REQUIRE(spec_size > 0, "request frame missing its GateSpec block");
@@ -186,10 +253,16 @@ SweepFrame decode_frame(std::span<const std::uint8_t> bytes) {
 
   frame.matrix.assign(
       static_cast<std::size_t>(frame.num_words * frame.num_cols), 0);
+  const std::size_t full_bytes = static_cast<std::size_t>(frame.num_cols / 8);
   for (std::uint64_t w = 0; w < frame.num_words; ++w) {
     const std::uint8_t* row = payload.data() + w * row_bytes;
-    for (std::uint64_t c = 0; c < frame.num_cols; ++c) {
-      frame.matrix[w * frame.num_cols + c] = (row[c / 8] >> (c % 8)) & 1u;
+    std::uint8_t* cells =
+        frame.matrix.data() + static_cast<std::size_t>(w * frame.num_cols);
+    for (std::size_t b = 0; b < full_bytes; ++b) {
+      unpack_cells8(row[b], cells + b * 8);
+    }
+    for (std::uint64_t c = full_bytes * 8; c < frame.num_cols; ++c) {
+      cells[c] = (row[c / 8] >> (c % 8)) & 1u;
     }
     // Canonical encoding keeps row padding zero; a set padding bit means
     // the body was not produced by this encoder.

@@ -24,8 +24,16 @@
 //                               responses)
 //       40     8  spec_size    (bytes; > 0 iff kind == request)
 //       48     8  payload_size (bytes)
-//       56     8  checksum     (FNV-1a 64 over spec block + payload)
+//       56     8  checksum     (chunked FNV-1a 64 over spec block + payload)
 //       64     …  spec block, then payload
+//
+// Version history: v1 checksummed with byte-wise FNV-1a; v2 (current)
+// switched to the chunked variant (one multiply per 8 bytes) because on
+// the socket transport the checksum sits on the per-word serving path and
+// the byte-wise chain cost rivalled the SIMD evaluation itself. Frames are
+// ephemeral request/response units — both ends of every transport in this
+// repo are built from the same tree — so decoders only accept the current
+// version.
 //
 // The payload is the matrix bit-packed row-major: each row is
 // ceil(num_cols / 8) bytes, bit i of byte b is column b * 8 + i, and the
@@ -43,7 +51,7 @@
 namespace sw::serve {
 
 inline constexpr std::uint32_t kWireMagic = 0x31575753u;  // "SWW1" on disk
-inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::uint16_t kWireVersion = 2;
 
 enum class FrameKind : std::uint16_t {
   kRequest = 1,

@@ -650,6 +650,65 @@ TEST(EvaluatorService, BlocksWhenSaturatedAndResumes) {
   EXPECT_EQ(svc.stats().shed, 0u);
 }
 
+TEST(LatencyReservoir, NearestRankPercentiles) {
+  sw::serve::LatencyReservoir reservoir(256);
+  for (int i = 1; i <= 100; ++i) {
+    reservoir.record(static_cast<double>(i));
+  }
+  const auto summary = reservoir.summary();
+  EXPECT_EQ(summary.count, 100u);
+  EXPECT_DOUBLE_EQ(summary.p50_s, 50.0);
+  EXPECT_DOUBLE_EQ(summary.p95_s, 95.0);
+  EXPECT_DOUBLE_EQ(summary.p99_s, 99.0);
+}
+
+TEST(LatencyReservoir, WindowTracksRecentRequestsOnly) {
+  sw::serve::LatencyReservoir reservoir(10);
+  for (int i = 1; i <= 1000; ++i) {
+    reservoir.record(static_cast<double>(i));
+  }
+  const auto summary = reservoir.summary();
+  EXPECT_EQ(summary.count, 1000u);
+  // Only 991..1000 remain in the window.
+  EXPECT_DOUBLE_EQ(summary.p50_s, 995.0);
+  EXPECT_DOUBLE_EQ(summary.p99_s, 1000.0);
+}
+
+TEST(LatencyReservoir, EmptySummaryIsZero) {
+  const auto summary = sw::serve::LatencyReservoir(8).summary();
+  EXPECT_EQ(summary.count, 0u);
+  EXPECT_DOUBLE_EQ(summary.p50_s, 0.0);
+  EXPECT_DOUBLE_EQ(summary.p99_s, 0.0);
+}
+
+TEST(EvaluatorService, TracksLatencyPercentilesAndCompletionHook) {
+  const ServeFixture fix;
+  const auto layout = fix.majority_layout(3, 2);
+  const auto matrix = random_matrix(4, 6, /*seed=*/31);
+
+  std::mutex seen_mutex;
+  std::vector<std::uint64_t> finished_ids;
+  double last_latency = -1.0;
+  ServiceOptions options;
+  options.on_request_finish = [&](std::uint64_t id, double latency_s) {
+    std::lock_guard<std::mutex> lock(seen_mutex);
+    finished_ids.push_back(id);
+    last_latency = latency_s;
+  };
+  EvaluatorService svc(fix.model, fix.wg.material.alpha, options);
+  for (int i = 0; i < 5; ++i) {
+    (void)svc.submit(layout, matrix, 4).get();
+  }
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.latency.count, 5u);
+  EXPECT_GT(stats.latency.p50_s, 0.0);
+  EXPECT_LE(stats.latency.p50_s, stats.latency.p95_s);
+  EXPECT_LE(stats.latency.p95_s, stats.latency.p99_s);
+  std::lock_guard<std::mutex> lock(seen_mutex);
+  EXPECT_EQ(finished_ids.size(), 5u);
+  EXPECT_GE(last_latency, 0.0);
+}
+
 TEST(EvaluatorService, DestructorDrainsPendingRequests) {
   const ServeFixture fix;
   const auto layout = fix.majority_layout(3, 2);
