@@ -7,10 +7,11 @@
 // submits, localhost TCP through net::EvalServer, and a unix-domain
 // socket — all against one shared service so every path runs the same
 // cached SIMD plan. Results are cross-checked bit-for-bit first, then a
-// hard floor gates CI: localhost TCP must sustain >= 0.5x the in-process
-// cached-plan words/s (the wire codec and syscalls may cost at most as
-// much as the evaluation they feed). Emits BENCH_net.json for the CI
-// artifact trail.
+// hard floor gates CI: localhost TCP must sustain >= 0.75x the in-process
+// cached-plan words/s (since the PR 6 pipelined event core, the transport
+// overlaps the wire codec with evaluation, so it may cost at most a third
+// of the evaluation it feeds). Emits BENCH_net.json for the CI artifact
+// trail.
 #include <benchmark/benchmark.h>
 
 #include <unistd.h>
@@ -28,6 +29,7 @@
 #include "net/eval_server.h"
 #include "net/protocol.h"
 #include "net/socket.h"
+#include "serve/layout_hash.h"
 #include "serve/service.h"
 #include "serve/wire.h"
 #include "util/error.h"
@@ -112,12 +114,18 @@ std::vector<std::uint8_t> run_inprocess(NetBenchSetup& s) {
   return last;
 }
 
-/// Socket client: split the batch stream over a few connections (the
-/// server is synchronous per connection; concurrency comes from
-/// connections, exactly how a sweep coordinator drives its workers).
+/// Pipelined requests in flight per connection. Kept under the server's
+/// max_inflight_per_connection so back-pressure never pauses the read side
+/// mid-benchmark.
+constexpr std::size_t kPipelineDepth = 8;
+
+/// Socket client: split the batch stream over a few connections, each
+/// keeping kPipelineDepth tagged frames in flight (the PR 6 event server
+/// completes them out of order; replies are matched back by tag).
 std::vector<std::uint8_t> run_socket(NetBenchSetup& s,
                                      const net::Endpoint& endpoint,
                                      std::size_t connections) {
+  const std::uint64_t hash = serve::hash_layout(s.layout);
   std::vector<std::thread> clients;
   std::vector<std::uint8_t> last;
   std::vector<std::exception_ptr> errors(connections);
@@ -126,17 +134,79 @@ std::vector<std::uint8_t> run_socket(NetBenchSetup& s,
     clients.emplace_back([&, c] {
       try {
         auto conn = net::Connection::connect(endpoint, 5000ms);
+        std::vector<std::uint8_t> request;
+        std::vector<std::uint8_t> rbuf;
+        std::size_t rpos = 0;
         std::vector<std::uint8_t> mine;
-        for (std::size_t i = c; i < kBatches; i += connections) {
-          net::send_message(
-              conn,
-              net::make_frame_message(serve::make_request_frame(
-                  s.layout, i * kWordsPerBatch, kWordsPerBatch, s.batch)),
-              10000ms);
-          auto response = net::recv_frame(conn, 30000ms);
-          SW_REQUIRE(response.has_value(),
-                     "server closed mid-benchmark");
-          mine = std::move(response->matrix);
+        std::size_t next = c;      // next batch index to send
+        std::size_t inflight = 0;
+        std::size_t received = 0;
+        std::size_t total = 0;
+        for (std::size_t i = c; i < kBatches; i += connections) ++total;
+        // Buffered reads: one recv may carry several pipelined replies, so
+        // parse from a rolling buffer instead of two syscalls per message.
+        constexpr std::size_t kRecvChunk = 64u << 10;
+        const auto ensure_buffered = [&](std::size_t need) {
+          while (rbuf.size() - rpos < need) {
+            const std::size_t old = rbuf.size();
+            rbuf.resize(old + kRecvChunk);
+            const auto got = conn.recv_some({rbuf.data() + old, kRecvChunk});
+            if (got < 0) {
+              rbuf.resize(old);
+              SW_REQUIRE(conn.wait_readable(30000ms),
+                         "timed out awaiting a reply mid-benchmark");
+              continue;
+            }
+            SW_REQUIRE(got > 0, "server closed mid-benchmark");
+            rbuf.resize(old + static_cast<std::size_t>(got));
+          }
+        };
+        while (received < total) {
+          // Refill the pipeline window in bursts (hysteresis keeps the
+          // depth >= half the cap with a few frames per send syscall).
+          if (next < kBatches && inflight <= kPipelineDepth / 2) {
+            request.clear();
+            while (inflight < kPipelineDepth && next < kBatches) {
+              net::append_frame_message(
+                  request,
+                  serve::make_request_view(s.layout.spec, hash,
+                                           next * kWordsPerBatch,
+                                           kWordsPerBatch, s.batch),
+                  /*tag=*/next);
+              next += connections;
+              ++inflight;
+            }
+            conn.send_all(request, 10000ms);
+          }
+          ensure_buffered(net::kMessageHeaderSize);
+          const auto header = net::parse_message_header(
+              {rbuf.data() + rpos, net::kMessageHeaderSize});
+          ensure_buffered(net::kMessageHeaderSize + header.payload_size);
+          const std::span<const std::uint8_t> payload{
+              rbuf.data() + rpos + net::kMessageHeaderSize,
+              static_cast<std::size_t>(header.payload_size)};
+          net::verify_message_payload(header, payload);
+          if (header.kind == net::MessageKind::kError) {
+            net::Message err;
+            err.kind = header.kind;
+            err.payload.assign(payload.begin(), payload.end());
+            const auto info = net::decode_error_message(err);
+            throw net::RemoteError(info.code, info.text);
+          }
+          SW_REQUIRE(header.kind == net::MessageKind::kFrame,
+                     "unexpected reply kind mid-benchmark");
+          auto frame = serve::decode_frame(payload);
+          // The tag must identify the request this completion answers.
+          SW_REQUIRE(frame.word_offset == header.tag * kWordsPerBatch,
+                     "reply tag does not match its frame's word range");
+          mine = std::move(frame.matrix);
+          rpos += net::kMessageHeaderSize + header.payload_size;
+          if (rpos == rbuf.size()) {
+            rbuf.clear();
+            rpos = 0;
+          }
+          --inflight;
+          ++received;
         }
         std::lock_guard<std::mutex> lock(last_mutex);
         last = std::move(mine);
@@ -165,19 +235,33 @@ void run_experiment(bench::BenchJson& json) {
   // Warm the plan cache; steady state is what serving measures.
   (void)s.service.submit(s.layout, s.batch, kWordsPerBatch).get();
 
-  std::vector<std::uint8_t> expected;
-  const double inprocess_s =
-      bench::best_of_three_seconds([&] { expected = run_inprocess(s); });
-
-  std::vector<std::uint8_t> via_tcp;
-  const double tcp_s = bench::best_of_three_seconds([&] {
-    via_tcp = run_socket(s, s.tcp_server.local_endpoint(), connections);
-  });
-
-  std::vector<std::uint8_t> via_unix;
-  const double unix_s = bench::best_of_three_seconds([&] {
-    via_unix = run_socket(s, s.unix_server.local_endpoint(), connections);
-  });
+  // Interleaved best-of-N: one round times all three paths back to back,
+  // so a noisy-neighbour window on a shared core hits them alike instead
+  // of deflating whichever path it happened to land on. The per-path best
+  // then compares clean windows against clean windows.
+  constexpr int kRounds = 5;
+  const auto timed = [](const auto& fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+  };
+  std::vector<std::uint8_t> expected, via_tcp, via_unix;
+  double inprocess_s = std::numeric_limits<double>::infinity();
+  double tcp_s = inprocess_s;
+  double unix_s = inprocess_s;
+  for (int round = 0; round < kRounds; ++round) {
+    inprocess_s =
+        std::min(inprocess_s, timed([&] { expected = run_inprocess(s); }));
+    tcp_s = std::min(tcp_s, timed([&] {
+              via_tcp =
+                  run_socket(s, s.tcp_server.local_endpoint(), connections);
+            }));
+    unix_s = std::min(unix_s, timed([&] {
+               via_unix = run_socket(s, s.unix_server.local_endpoint(),
+                                     connections);
+             }));
+  }
 
   SW_REQUIRE(via_tcp == expected && via_unix == expected,
              "socket results diverged from the in-process sweep");
@@ -205,11 +289,11 @@ void run_experiment(bench::BenchJson& json) {
   json.add("unix_localhost", stats.kernel, stats.precision, words / unix_s);
 
   std::fflush(stdout);
-  // The acceptance bar: the transport may cost at most as much as the
-  // evaluation it feeds, i.e. localhost TCP sustains >= 0.5x the
-  // in-process cached-plan words/s.
-  SW_REQUIRE(inprocess_s / tcp_s >= 0.5,
-             "localhost TCP serving fell below 0.5x in-process throughput");
+  // The acceptance bar: with pipelining overlapping the wire codec and
+  // evaluation, localhost TCP must sustain >= 0.75x the in-process
+  // cached-plan words/s.
+  SW_REQUIRE(inprocess_s / tcp_s >= 0.75,
+             "localhost TCP serving fell below 0.75x in-process throughput");
 }
 
 void BM_TcpBatchRoundTrip(benchmark::State& state) {

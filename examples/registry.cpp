@@ -1,0 +1,69 @@
+// Standalone worker registry for the sharded-sweep serving fleet.
+//
+//   example_registry --listen tcp:127.0.0.1:7800
+//       [--ttl-ms T] [--max-seconds N]
+//
+// binds a net::RegistryServer and serves register/snapshot traffic until a
+// kShutdown message arrives (exit 0) or the optional --max-seconds safety
+// net expires (exit 2). Workers started with --registry heartbeat their
+// WorkerAdvert here; a coordinator started with --registry discovers them
+// through SweepCoordinator::discover instead of a --workers list.
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "net/registry.h"
+#include "net/socket.h"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --listen ENDPOINT [--ttl-ms T] [--max-seconds N]\n",
+               argv0);
+  std::exit(64);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string listen;
+  long ttl_ms = 10000;
+  long max_seconds = 0;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--listen" && i + 1 < argc) {
+        listen = argv[++i];
+      } else if (arg == "--ttl-ms" && i + 1 < argc) {
+        ttl_ms = std::atol(argv[++i]);
+      } else if (arg == "--max-seconds" && i + 1 < argc) {
+        max_seconds = std::atol(argv[++i]);
+      } else {
+        usage(argv[0]);
+      }
+    }
+    if (listen.empty()) usage(argv[0]);
+
+    sw::net::RegistryOptions options;
+    options.ttl = std::chrono::milliseconds(ttl_ms);
+    sw::net::RegistryServer registry(sw::net::Endpoint::parse(listen),
+                                     options);
+    std::printf("registry: listening on %s (ttl %ld ms)\n",
+                registry.local_endpoint().to_string().c_str(), ttl_ms);
+    std::fflush(stdout);
+
+    const bool shut = registry.wait_shutdown(
+        std::chrono::milliseconds(max_seconds > 0 ? max_seconds * 1000 : 0));
+    const auto adverts = registry.snapshot();
+    registry.stop();
+    std::printf("registry: %s with %zu live advert(s)\n",
+                shut ? "shutdown requested" : "max-seconds safety net hit",
+                adverts.size());
+    return shut ? 0 : 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "registry: %s\n", e.what());
+    return 1;
+  }
+}

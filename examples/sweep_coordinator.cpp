@@ -15,12 +15,16 @@
 //   example_sweep_coordinator --transport=tcp|unix
 //       --workers EP1,EP2,…  [--shard-words N] [--deadline-ms D]
 //       [--grace-ms G] [--shutdown-workers]
+//   example_sweep_coordinator --transport=tcp|unix
+//       --registry ENDPOINT --min-workers N [--discover-ms T] [...]
 //
 // connects to already-running example_sweep_worker processes (one
 // endpoint each), streams word-range shards through net::SweepCoordinator
 // — shards in flight past --deadline-ms are duplicated to the fastest
 // idle worker, and redundant results are dedup-verified bit-for-bit — and
-// optionally shuts the workers down afterwards.
+// optionally shuts the workers down afterwards. With --registry the
+// worker list is discovered from an example_registry process instead:
+// the coordinator polls until at least --min-workers adverts are live.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -59,6 +63,9 @@ struct Args {
   std::string worker;
   // socket mode
   std::vector<std::string> worker_endpoints;
+  std::string registry;
+  std::size_t min_workers = 1;
+  long discover_ms = 10000;
   std::size_t shard_words = 4096;
   long deadline_ms = 2000;
   long grace_ms = 0;
@@ -132,8 +139,19 @@ std::vector<std::uint8_t> run_socket_sweep(
     const std::vector<std::uint8_t>& matrix) {
   using namespace sweep_example;
   std::vector<sw::net::Endpoint> endpoints;
-  for (const auto& text : args.worker_endpoints) {
-    endpoints.push_back(sw::net::Endpoint::parse(text));
+  if (!args.registry.empty()) {
+    endpoints = sw::net::SweepCoordinator::discover(
+        sw::net::Endpoint::parse(args.registry), args.min_workers,
+        std::chrono::milliseconds(args.discover_ms));
+    std::printf("discovered %zu worker(s) from registry %s\n",
+                endpoints.size(), args.registry.c_str());
+    for (const auto& ep : endpoints) {
+      std::printf("  %s\n", ep.to_string().c_str());
+    }
+  } else {
+    for (const auto& text : args.worker_endpoints) {
+      endpoints.push_back(sw::net::Endpoint::parse(text));
+    }
   }
   sw::net::SweepOptions options;
   options.shard_words = args.shard_words;
@@ -165,7 +183,9 @@ std::vector<std::uint8_t> run_socket_sweep(
       "usage: %s [--shards N] [--dir PATH] [--worker PATH]\n"
       "       %s --transport=tcp|unix --workers EP1,EP2,… "
       "[--shard-words N] [--deadline-ms D] [--grace-ms G] "
-      "[--shutdown-workers]\n",
+      "[--shutdown-workers]\n"
+      "       … --registry ENDPOINT [--min-workers N] [--discover-ms T] "
+      "instead of --workers\n",
       argv0, argv0);
   std::exit(64);
 }
@@ -187,6 +207,12 @@ int main(int argc, char** argv) {
         args.worker = argv[++i];
       } else if (arg == "--workers" && i + 1 < argc) {
         args.worker_endpoints = sw::util::split(argv[++i], ',');
+      } else if (arg == "--registry" && i + 1 < argc) {
+        args.registry = argv[++i];
+      } else if (arg == "--min-workers" && i + 1 < argc) {
+        args.min_workers = static_cast<std::size_t>(std::atol(argv[++i]));
+      } else if (arg == "--discover-ms" && i + 1 < argc) {
+        args.discover_ms = std::atol(argv[++i]);
       } else if (arg == "--shard-words" && i + 1 < argc) {
         args.shard_words = static_cast<std::size_t>(std::atol(argv[++i]));
       } else if (arg == "--deadline-ms" && i + 1 < argc) {
@@ -202,7 +228,10 @@ int main(int argc, char** argv) {
     if (args.worker.empty()) args.worker = default_worker_path(argv[0]);
     const bool socket_mode =
         args.transport != sweep_example::Transport::kFile;
-    if (socket_mode && args.worker_endpoints.empty()) usage(argv[0]);
+    if (socket_mode && args.worker_endpoints.empty() &&
+        args.registry.empty()) {
+      usage(argv[0]);
+    }
 
     using namespace sweep_example;
     const auto wg = waveguide();

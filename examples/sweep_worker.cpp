@@ -11,12 +11,16 @@
 //
 //   example_sweep_worker --transport=tcp  --listen tcp:127.0.0.1:7801
 //   example_sweep_worker --transport=unix --listen unix:/tmp/sweep_w1.sock
-//   [--max-seconds N]
+//   [--max-seconds N] [--registry ENDPOINT] [--words-per-second W]
 //
 // binds a net::EvalServer over a local EvaluatorService and serves shard
 // requests until a coordinator sends the shutdown message (exit 0) or the
 // optional --max-seconds safety net expires (exit 2, so a harness can tell
-// an orphaned worker from a clean shutdown).
+// an orphaned worker from a clean shutdown). With --registry the server
+// heartbeats a WorkerAdvert (endpoint, kernel, precision, the optional
+// --words-per-second throughput hint) to an example_registry process so a
+// coordinator can *discover* this worker instead of being handed its
+// endpoint on the command line.
 //
 // Either way the worker re-designs the gate layout from the wire GateSpec
 // against its locally constructed dispersion model and verifies the
@@ -83,22 +87,30 @@ int run_file_mode(const std::string& request_path,
   return 0;
 }
 
-int run_socket_mode(const sw::net::Endpoint& listen, long max_seconds) {
+int run_socket_mode(const sw::net::Endpoint& listen, long max_seconds,
+                    const std::string& registry, double words_per_second) {
   const auto wg = sweep_example::waveguide();
   const sw::disp::FvmswDispersion model(wg);
   const sw::core::InlineGateDesigner designer(model);
 
   sw::serve::EvaluatorService service(model, wg.material.alpha);
+  sw::net::EvalServerOptions options;
+  if (!registry.empty()) {
+    options.registry = sw::net::Endpoint::parse(registry);
+    options.advertised_words_per_second = words_per_second;
+  }
   sw::net::EvalServer server(
       service,
       [&designer](const sw::core::GateSpec& spec) {
         return designer.design(spec);
       },
-      listen);
+      listen, options);
 
-  std::printf("worker: listening on %s (kernel %s)\n",
+  std::printf("worker: listening on %s (kernel %s%s%s)\n",
               server.local_endpoint().to_string().c_str(),
-              std::string(sw::wavesim::active_kernel_name()).c_str());
+              std::string(sw::wavesim::active_kernel_name()).c_str(),
+              registry.empty() ? "" : ", registry ",
+              registry.empty() ? "" : registry.c_str());
   std::fflush(stdout);
 
   const bool shut = server.wait_shutdown(
@@ -117,7 +129,8 @@ int run_socket_mode(const sw::net::Endpoint& listen, long max_seconds) {
                "usage: %s <request-file> <response-file>\n"
                "       %s --transport=file <request-file> <response-file>\n"
                "       %s --transport=tcp|unix --listen ENDPOINT "
-               "[--max-seconds N]\n",
+               "[--max-seconds N] [--registry ENDPOINT] "
+               "[--words-per-second W]\n",
                argv0, argv0, argv0);
   std::exit(64);
 }
@@ -128,6 +141,8 @@ int main(int argc, char** argv) {
   using sweep_example::Transport;
   Transport transport = Transport::kFile;
   std::string listen;
+  std::string registry;
+  double words_per_second = 0.0;
   long max_seconds = 0;
   std::vector<std::string> positional;
   try {
@@ -137,6 +152,10 @@ int main(int argc, char** argv) {
         transport = sweep_example::parse_transport(arg.substr(12));
       } else if (arg == "--listen" && i + 1 < argc) {
         listen = argv[++i];
+      } else if (arg == "--registry" && i + 1 < argc) {
+        registry = argv[++i];
+      } else if (arg == "--words-per-second" && i + 1 < argc) {
+        words_per_second = std::atof(argv[++i]);
       } else if (arg == "--max-seconds" && i + 1 < argc) {
         max_seconds = std::atol(argv[++i]);
       } else if (!arg.empty() && arg[0] == '-') {
@@ -150,7 +169,8 @@ int main(int argc, char** argv) {
       return run_file_mode(positional[0], positional[1]);
     }
     if (!positional.empty() || listen.empty()) usage(argv[0]);
-    return run_socket_mode(sw::net::Endpoint::parse(listen), max_seconds);
+    return run_socket_mode(sw::net::Endpoint::parse(listen), max_seconds,
+                           registry, words_per_second);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "worker: %s\n", e.what());
     return 1;

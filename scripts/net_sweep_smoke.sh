@@ -13,13 +13,20 @@
 # starts. Its shards sit in flight until the straggler deadline, get
 # re-sharded to the live worker, and the sweep must still complete
 # bit-for-bit. The stopped worker is then resumed and killed.
+#
+# Leg 3 — registry discovery + straggler: an example_registry process with
+# a long TTL, 2 fresh workers that register themselves (no --workers list
+# anywhere), one SIGSTOPped *after* registering. The coordinator discovers
+# both endpoints from the registry, the frozen worker's shards get
+# re-sharded, and the sweep still completes bit-for-bit.
 set -euo pipefail
 
 BUILD=${1:-build}
 WORKER="$BUILD/example_sweep_worker"
 COORD="$BUILD/example_sweep_coordinator"
-[[ -x $WORKER && -x $COORD ]] || {
-  echo "missing $WORKER or $COORD (build first)" >&2
+REGISTRY="$BUILD/example_registry"
+[[ -x $WORKER && -x $COORD && -x $REGISTRY ]] || {
+  echo "missing $WORKER, $COORD or $REGISTRY (build first)" >&2
   exit 1
 }
 
@@ -29,6 +36,9 @@ P1=$((20000 + ($$ % 20000)))
 P2=$((P1 + 1))
 P3=$((P1 + 2))
 P4=$((P1 + 3))
+P5=$((P1 + 4))  # registry
+P6=$((P1 + 5))
+P7=$((P1 + 6))
 
 cleanup() {
   # Resume anything stopped so kill can reap it; ignore the already-gone.
@@ -76,3 +86,45 @@ wait "$W3"
 kill -CONT "$W4" 2>/dev/null || true
 kill "$W4" 2>/dev/null || true
 echo "leg 2 OK: sweep completed bit-for-bit around the stopped worker"
+
+echo "=== leg 3: registry discovery + straggler ==="
+# Long TTL: the frozen worker's advert must stay listed so the coordinator
+# discovers 2 workers (a straggler is a scheduling fact, not a
+# deregistration).
+"$REGISTRY" --listen "tcp:127.0.0.1:$P5" --ttl-ms 60000 --max-seconds 300 &
+R1=$!
+PIDS+=("$R1")
+# Registry first, workers second: a worker's first register fires at
+# start-up, and its retry cadence is the 2 s heartbeat — give the registry
+# a beat to bind so the first attempt is the one that lands.
+sleep 1
+"$WORKER" --transport=tcp --listen "tcp:127.0.0.1:$P6" \
+  --registry "tcp:127.0.0.1:$P5" --max-seconds 300 &
+W5=$!
+"$WORKER" --transport=tcp --listen "tcp:127.0.0.1:$P7" \
+  --registry "tcp:127.0.0.1:$P5" --max-seconds 300 &
+W6=$!
+PIDS+=("$W5" "$W6")
+# Let both workers heartbeat their adverts in, then freeze one — after
+# registration, so the registry still lists it and the coordinator must
+# work around it the straggler way.
+sleep 1
+kill -STOP "$W6"
+OUT=$("$COORD" --transport=tcp \
+  --registry "tcp:127.0.0.1:$P5" --min-workers 2 --discover-ms 20000 \
+  --deadline-ms 1000 --shutdown-workers)
+echo "$OUT"
+grep -q "PASS" <<<"$OUT"
+grep -q "discovered 2 worker(s)" <<<"$OUT" || {
+  echo "coordinator did not discover both workers from the registry" >&2
+  exit 1
+}
+grep -qE "[1-9][0-9]* re-shard" <<<"$OUT" || {
+  echo "registry leg completed without re-sharding" >&2
+  exit 1
+}
+wait "$W5"
+kill -CONT "$W6" 2>/dev/null || true
+kill "$W6" 2>/dev/null || true
+kill "$R1" 2>/dev/null || true
+echo "leg 3 OK: registry-discovered sweep completed around the stopped worker"

@@ -1,13 +1,144 @@
 #include "net/eval_server.h"
 
-#include <optional>
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <utility>
+#include <vector>
 
 #include "serve/admission.h"
 #include "serve/layout_hash.h"
 #include "serve/wire.h"
+#include "wavesim/kernels/kernel.h"
 
 namespace sw::net {
+
+namespace {
+
+// epoll user-data slots below the first connection id.
+constexpr std::uint64_t kListenerSlot = 0;
+constexpr std::uint64_t kWakeupSlot = 1;
+constexpr std::uint64_t kFirstConnId = 2;
+
+// Read granularity: the full 4096-word request of the throughput bench
+// fits in one chunk, so the steady-state read path is one recv per frame.
+constexpr std::size_t kReadChunk = 256u << 10;
+// Stop reading a connection once this much unparsed input is buffered
+// (back-pressure also comes from the in-flight cap; this bounds memory
+// against a client that blasts frames faster than they are admitted).
+constexpr std::size_t kMaxBufferedRead = 4u << 20;
+
+void set_fd_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  SW_REQUIRE(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+             std::string("fcntl(O_NONBLOCK) failed: ") + std::strerror(errno));
+}
+
+}  // namespace
+
+/// One evaluated request on its way back to the event thread. Carries the
+/// response metadata (not the request frame) so the reply can be encoded
+/// straight from the service's result bits without ever re-touching the
+/// request.
+struct Completion {
+  std::uint64_t conn_id = 0;
+  std::uint64_t tag = 0;
+  std::uint64_t layout_hash = 0;
+  std::uint64_t word_offset = 0;
+  std::uint64_t num_words = 0;
+  std::uint64_t num_channels = 0;
+  std::vector<std::uint8_t> bits;  ///< result matrix (empty on error)
+  bool failed = false;
+  ErrorCode error_code = ErrorCode::kInternal;
+  std::string error_text;
+};
+
+/// The bridge from service worker threads back to the event thread: a
+/// locked vector plus an eventfd wakeup. Held by shared_ptr from the
+/// submit_async callbacks, so a completion that lands after stop() still
+/// has a live queue to settle into (it is simply never drained).
+struct EvalServer::CompletionQueue {
+  std::mutex mutex;
+  std::vector<Completion> items;
+  int event_fd = -1;
+  bool open = true;  ///< false after stop(): skip the wakeup write
+
+  CompletionQueue() {
+    event_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    SW_REQUIRE(event_fd >= 0,
+               std::string("eventfd failed: ") + std::strerror(errno));
+  }
+  ~CompletionQueue() {
+    if (event_fd >= 0) ::close(event_fd);
+  }
+
+  void push(Completion&& completion) {
+    bool wake;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      // Coalesce wakeups: items already queued mean a wakeup is already
+      // pending (drain swaps the whole vector), so only the transition
+      // from empty needs the eventfd write.
+      wake = open && items.empty();
+      items.push_back(std::move(completion));
+    }
+    if (wake) {
+      const std::uint64_t one = 1;
+      (void)!::write(event_fd, &one, sizeof(one));
+    }
+  }
+};
+
+/// Per-connection state, owned exclusively by the event thread. The
+/// encode/decode buffers persist across requests: cleared (capacity kept)
+/// when drained, so steady-state serving does no per-frame allocation.
+struct EvalServer::Conn {
+  std::uint64_t id = 0;
+  Connection conn;
+  std::vector<std::uint8_t> rbuf;  ///< unparsed input; [rpos, end) live
+  std::size_t rpos = 0;
+  std::vector<std::uint8_t> wbuf;  ///< unflushed output; [wpos, end) live
+  std::size_t wpos = 0;
+  std::size_t inflight = 0;  ///< submitted to the service, not yet replied
+  std::uint32_t armed_events = 0;  ///< epoll mask currently registered
+  bool admitted = false;  ///< counted against max_connections
+  bool paused = false;    ///< reads stopped by back-pressure
+  /// No further socket reads; settle in-flight work, flush, then close.
+  /// Buffered complete frames are still served (a pipelining client may
+  /// half-close after its last request) unless discard_input is also set.
+  bool draining = false;
+  bool discard_input = false;  ///< protocol violation: drop buffered input
+  bool peer_eof = false;
+  std::chrono::steady_clock::time_point last_progress;
+
+  std::size_t pending_write() const { return wbuf.size() - wpos; }
+  bool has_complete_message() const {
+    const std::size_t avail = rbuf.size() - rpos;
+    if (discard_input || avail < kMessageHeaderSize) return false;
+    std::uint64_t payload_size = 0;
+    for (int i = 0; i < 8; ++i) {
+      payload_size |= static_cast<std::uint64_t>(rbuf[rpos + 16 + i])
+                      << (8 * i);
+    }
+    return avail >= kMessageHeaderSize + payload_size;
+  }
+  /// A draining connection with nothing left to do may close.
+  bool settled() const {
+    return draining && inflight == 0 && pending_write() == 0 &&
+           !has_complete_message();
+  }
+  bool has_stalled_work() const {
+    return pending_write() > 0 || rbuf.size() - rpos > 0 || draining ||
+           inflight > 0;
+  }
+};
 
 EvalServer::EvalServer(sw::serve::EvaluatorService& service,
                        Designer designer, const Endpoint& endpoint,
@@ -17,61 +148,466 @@ EvalServer::EvalServer(sw::serve::EvaluatorService& service,
       options_(options),
       listener_(endpoint) {
   SW_REQUIRE(designer_ != nullptr, "EvalServer needs a designer callback");
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  completions_ = std::make_shared<CompletionQueue>();
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  SW_REQUIRE(epoll_fd_ >= 0,
+             std::string("epoll_create1 failed: ") + std::strerror(errno));
+  set_fd_nonblocking(listener_.fd());
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenerSlot;
+  SW_REQUIRE(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listener_.fd(), &ev) == 0,
+             std::string("epoll_ctl(listener) failed: ") +
+                 std::strerror(errno));
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeupSlot;
+  SW_REQUIRE(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, completions_->event_fd,
+                         &ev) == 0,
+             std::string("epoll_ctl(eventfd) failed: ") +
+                 std::strerror(errno));
+  next_conn_id_ = kFirstConnId;
+  last_reap_ = std::chrono::steady_clock::now();
+  event_thread_ = std::thread([this] { event_loop(); });
+  if (options_.registry) {
+    heartbeat_thread_ = std::thread([this] { heartbeat_loop(); });
+  }
 }
 
-EvalServer::~EvalServer() { stop(); }
+EvalServer::~EvalServer() {
+  stop();
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+}
 
-void EvalServer::accept_loop() {
+void EvalServer::event_loop() {
+  std::vector<epoll_event> events(64);
+  const int tick_ms = static_cast<int>(options_.poll_tick.count());
   for (;;) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (stop_) return;
-      reap_finished_locked();
+      if (stop_) break;
     }
-    std::optional<Connection> conn;
-    try {
-      conn = listener_.accept(options_.poll_tick);
-    } catch (const sw::util::Error&) {
-      // A transient accept-level failure (fd pressure, netns teardown)
-      // must not kill the accept thread; back off one tick and retry.
-      std::this_thread::sleep_for(options_.poll_tick);
-      continue;
+    const int n =
+        ::epoll_wait(epoll_fd_, events.data(),
+                     static_cast<int>(events.size()), tick_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll itself failed; serving cannot continue
     }
-    if (!conn) continue;
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (stop_) return;  // stop() joins us, then closes the new connection
-    ++counters_.connections_accepted;
-    if (connections_.size() >= options_.max_connections) {
-      // Over the connection cap: a typed, retryable refusal beats a
-      // silent RST. Short timeout — an unreadable peer is not worth
-      // stalling the accept loop for.
-      try {
-        send_message(*conn,
-                     make_error_message(ErrorCode::kOverload,
-                                        "connection limit reached"),
-                     options_.poll_tick);
-      } catch (const sw::util::Error&) {
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t slot = events[i].data.u64;
+      if (slot == kListenerSlot) {
+        handle_accept();
+        continue;
       }
-      ++counters_.errors_sent;
-      continue;
+      if (slot == kWakeupSlot) {
+        std::uint64_t drained = 0;
+        (void)!::read(completions_->event_fd, &drained, sizeof(drained));
+        continue;  // completions drained below, once per wake
+      }
+      auto it = conns_.find(slot);
+      if (it == conns_.end()) continue;  // closed earlier this batch
+      Conn& conn = *it->second;
+      try {
+        if ((events[i].events & (EPOLLERR | EPOLLHUP)) && conn.draining) {
+          // A draining peer that reset: nothing left worth flushing.
+          close_conn(slot);
+          continue;
+        }
+        if (events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) {
+          handle_readable(conn);
+        }
+        if (conns_.count(slot) != 0 && (events[i].events & EPOLLOUT)) {
+          handle_writable(conn);
+        }
+      } catch (const std::exception&) {
+        // Peer reset, corrupt envelope, unsynchronised stream: drop it.
+        close_conn(slot);
+      }
     }
-    connections_.emplace_back();
-    ConnSlot* slot = &connections_.back();
-    slot->conn = std::move(*conn);
-    slot->thread = std::thread([this, slot] { serve_connection(slot); });
+    drain_completions();
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_reap_ >= options_.poll_tick) {
+      last_reap_ = now;
+      reap_stalled();
+    }
+  }
+  // Teardown on the owning thread: every fd dies here, so no other thread
+  // can race a descriptor reuse.
+  conns_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.active_connections = 0;
   }
 }
 
-void EvalServer::reap_finished_locked() {
-  for (auto it = connections_.begin(); it != connections_.end();) {
-    if (it->done) {
-      it->thread.join();
-      it = connections_.erase(it);
-    } else {
-      ++it;
+void EvalServer::handle_accept() {
+  for (;;) {
+    const int fd = ::accept4(listener_.fd(), nullptr, nullptr,
+                             SOCK_CLOEXEC | SOCK_NONBLOCK);
+    if (fd < 0) {
+      // EAGAIN: backlog drained. Anything transient (aborted handshake,
+      // fd pressure) is simply retried at the next readiness event.
+      return;
+    }
+    if (listener_.local_endpoint().kind == Endpoint::Kind::kTcp) {
+      int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->id = next_conn_id_++;
+    conn->conn = Connection(fd);
+    conn->last_progress = std::chrono::steady_clock::now();
+
+    std::size_t admitted_count = 0;
+    for (const auto& [id, c] : conns_) {
+      if (c->admitted) ++admitted_count;
+    }
+    const bool admit = admitted_count < options_.max_connections;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++counters_.connections_accepted;
+      if (admit) {
+        counters_.active_connections = admitted_count + 1;
+      } else {
+        ++counters_.connections_refused;
+        ++counters_.errors_sent;
+      }
+    }
+    conn->admitted = admit;
+    if (!admit) {
+      // Over the connection cap: a typed, retryable refusal beats a
+      // silent RST. Queued non-blockingly and flushed by readiness — an
+      // unreadable peer costs a buffer, never a stalled accept path; the
+      // reaper drops it after frame_timeout.
+      conn->draining = true;
+      append_reply(*conn, make_error_message(ErrorCode::kOverload,
+                                             "connection limit reached"));
+    }
+    epoll_event ev{};
+    ev.events = conn->admitted ? EPOLLIN : EPOLLOUT;
+    ev.data.u64 = conn->id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      continue;  // conn destructor closes the fd
+    }
+    conn->armed_events = ev.events;
+    const std::uint64_t id = conn->id;
+    conns_.emplace(id, std::move(conn));
+    if (!admit) {
+      // Optimistic flush: a readable peer gets its refusal immediately.
+      auto it = conns_.find(id);
+      try {
+        handle_writable(*it->second);
+      } catch (const std::exception&) {
+        close_conn(id);
+      }
     }
   }
+}
+
+void EvalServer::handle_readable(Conn& conn) {
+  for (;;) {
+    if (conn.paused || conn.draining || conn.peer_eof) break;
+    if (conn.rbuf.size() - conn.rpos >= kMaxBufferedRead) break;
+    const std::size_t old_size = conn.rbuf.size();
+    conn.rbuf.resize(old_size + kReadChunk);
+    const std::ptrdiff_t n =
+        conn.conn.recv_some({conn.rbuf.data() + old_size, kReadChunk});
+    if (n < 0) {
+      conn.rbuf.resize(old_size);
+      break;  // drained
+    }
+    if (n == 0) {
+      conn.rbuf.resize(old_size);
+      conn.peer_eof = true;
+      break;
+    }
+    conn.rbuf.resize(old_size + static_cast<std::size_t>(n));
+    conn.last_progress = std::chrono::steady_clock::now();
+    process_buffered(conn);
+    if (static_cast<std::size_t>(n) < kReadChunk) break;  // likely drained
+  }
+  process_buffered(conn);
+  if (conn.peer_eof) {
+    // Half-close: no more requests will arrive, but complete frames
+    // already buffered are still served before the connection closes.
+    conn.draining = true;
+  }
+  if (conn.settled()) {
+    close_conn(conn.id);
+    return;
+  }
+  update_epoll(conn);
+}
+
+void EvalServer::process_buffered(Conn& conn) {
+  for (;;) {
+    if (conn.discard_input) break;
+    if (conn.inflight >= options_.max_inflight_per_connection ||
+        conn.pending_write() > options_.max_pending_write_bytes) {
+      if (!conn.paused) {
+        conn.paused = true;
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.backpressure_pauses;
+      }
+      break;
+    }
+    const std::size_t avail = conn.rbuf.size() - conn.rpos;
+    if (avail < kMessageHeaderSize) break;
+    const MessageHeader header = parse_message_header(
+        {conn.rbuf.data() + conn.rpos, kMessageHeaderSize});
+    if (avail < kMessageHeaderSize + header.payload_size) break;
+    const std::span<const std::uint8_t> payload{
+        conn.rbuf.data() + conn.rpos + kMessageHeaderSize,
+        static_cast<std::size_t>(header.payload_size)};
+    conn.rpos += kMessageHeaderSize + header.payload_size;
+    handle_message(conn, header, payload);
+  }
+  // Reuse the buffer: fully parsed input resets it (capacity kept); a
+  // large parsed prefix ahead of a partial frame is compacted away.
+  if (conn.rpos == conn.rbuf.size()) {
+    conn.rbuf.clear();
+    conn.rpos = 0;
+  } else if (conn.rpos >= (1u << 20)) {
+    conn.rbuf.erase(conn.rbuf.begin(),
+                    conn.rbuf.begin() + static_cast<std::ptrdiff_t>(conn.rpos));
+    conn.rpos = 0;
+  }
+}
+
+void EvalServer::handle_message(Conn& conn, const MessageHeader& header,
+                                std::span<const std::uint8_t> payload) {
+  verify_message_payload(header, payload);
+  switch (header.kind) {
+    case MessageKind::kShutdown: {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_requested_ = true;
+      }
+      shutdown_cv_.notify_all();
+      return;
+    }
+    case MessageKind::kMetricsRequest: {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.metrics_requests;
+      }
+      Message reply =
+          make_text_message(MessageKind::kMetricsResponse, metrics_text());
+      reply.tag = header.tag;
+      append_reply(conn, reply);
+      return;
+    }
+    case MessageKind::kFrame: {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.frames_received;
+      }
+      handle_frame(conn, header.tag, payload);
+      return;
+    }
+    default: {
+      // A client has no business sending error/metrics-response/registry
+      // kinds; answer once, then drop the connection.
+      append_reply(conn, make_error_message(ErrorCode::kBadRequest,
+                                            "unexpected message kind",
+                                            header.tag));
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.errors_sent;
+      }
+      conn.draining = true;
+      conn.discard_input = true;
+      return;
+    }
+  }
+}
+
+void EvalServer::handle_frame(Conn& conn, std::uint64_t tag,
+                              std::span<const std::uint8_t> payload) {
+  bool submitted = false;
+  try {
+    sw::serve::SweepFrame request = sw::serve::decode_frame(payload);
+    SW_REQUIRE(request.kind == sw::serve::FrameKind::kRequest &&
+                   request.spec.has_value(),
+               "server expects request frames carrying a GateSpec");
+    const sw::core::GateLayout layout = layout_for(request);
+    const std::size_t num_words = static_cast<std::size_t>(request.num_words);
+    Completion meta;
+    meta.conn_id = conn.id;
+    meta.tag = tag;
+    meta.layout_hash = request.layout_hash;
+    meta.word_offset = request.word_offset;
+    meta.num_words = request.num_words;
+    service_->submit_async(
+        layout, std::move(request.matrix), num_words,
+        [queue = completions_, meta = std::move(meta)](
+            sw::serve::ResultBatch&& result, std::exception_ptr error) mutable {
+          if (error) {
+            meta.failed = true;
+            try {
+              std::rethrow_exception(error);
+            } catch (const sw::serve::OverloadError& e) {
+              meta.error_code = ErrorCode::kOverload;
+              meta.error_text = e.what();
+            } catch (const std::exception& e) {
+              meta.error_code = ErrorCode::kInternal;
+              meta.error_text = e.what();
+            }
+          } else {
+            meta.num_channels = result.num_channels;
+            meta.bits = std::move(result.bits);
+          }
+          queue->push(std::move(meta));
+        });
+    submitted = true;
+    ++conn.inflight;
+  } catch (const sw::serve::OverloadError& e) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++counters_.overloads;
+      ++counters_.errors_sent;
+    }
+    append_reply(conn, make_error_message(ErrorCode::kOverload, e.what(), tag));
+  } catch (const std::exception& e) {
+    // Before submit: the client sent something malformed (bad frame, wrong
+    // shape, alien geometry). After submit is unreachable here — those
+    // failures arrive through the completion callback.
+    (void)submitted;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++counters_.errors_sent;
+    }
+    append_reply(conn,
+                 make_error_message(ErrorCode::kBadRequest, e.what(), tag));
+  }
+}
+
+void EvalServer::append_reply(Conn& conn, const Message& message) {
+  append_message(conn.wbuf, message);
+  conn.last_progress = std::chrono::steady_clock::now();
+}
+
+void EvalServer::drain_completions() {
+  std::vector<Completion> items;
+  {
+    std::lock_guard<std::mutex> lock(completions_->mutex);
+    items.swap(completions_->items);
+  }
+  for (Completion& c : items) {
+    auto it = conns_.find(c.conn_id);
+    if (it == conns_.end()) continue;  // connection died while evaluating
+    Conn& conn = *it->second;
+    if (c.failed) {
+      append_reply(conn,
+                   make_error_message(c.error_code, c.error_text, c.tag));
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++counters_.errors_sent;
+      if (c.error_code == ErrorCode::kOverload) ++counters_.overloads;
+    } else {
+      sw::serve::SweepFrameView view;
+      view.kind = sw::serve::FrameKind::kResponse;
+      view.layout_hash = c.layout_hash;
+      view.word_offset = c.word_offset;
+      view.num_words = c.num_words;
+      view.num_cols = c.num_channels;
+      view.matrix = c.bits;
+      append_frame_message(conn.wbuf, view, c.tag);
+      conn.last_progress = std::chrono::steady_clock::now();
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++counters_.responses_sent;
+    }
+    --conn.inflight;
+  }
+  // Flush and, where back-pressure has lifted, resume reading. Done once
+  // per drained batch per connection rather than per completion.
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    Conn& conn = *it->second;
+    const std::uint64_t id = conn.id;
+    ++it;  // close_conn below invalidates this entry's iterator
+    if (conn.pending_write() == 0 && !conn.paused) continue;
+    try {
+      if (conn.pending_write() > 0) handle_writable(conn);
+    } catch (const std::exception&) {
+      close_conn(id);
+      continue;
+    }
+    if (conns_.count(id) == 0) continue;  // drained and closed
+    if (conn.paused &&
+        conn.inflight < options_.max_inflight_per_connection &&
+        conn.pending_write() <= options_.max_pending_write_bytes) {
+      conn.paused = false;
+      try {
+        process_buffered(conn);
+      } catch (const std::exception&) {
+        close_conn(id);
+        continue;
+      }
+      if (conn.settled()) {
+        close_conn(id);
+        continue;
+      }
+      update_epoll(conn);
+    }
+  }
+}
+
+void EvalServer::handle_writable(Conn& conn) {
+  while (conn.pending_write() > 0) {
+    const std::ptrdiff_t n = conn.conn.send_some(
+        {conn.wbuf.data() + conn.wpos, conn.pending_write()});
+    if (n < 0) break;  // socket buffer full; EPOLLOUT re-arms below
+    conn.wpos += static_cast<std::size_t>(n);
+    conn.last_progress = std::chrono::steady_clock::now();
+  }
+  if (conn.pending_write() == 0) {
+    conn.wbuf.clear();  // capacity kept for the next reply burst
+    conn.wpos = 0;
+    if (conn.settled()) {
+      close_conn(conn.id);
+      return;
+    }
+  }
+  update_epoll(conn);
+}
+
+void EvalServer::update_epoll(Conn& conn) {
+  std::uint32_t want = 0;
+  if (!conn.paused && !conn.draining && !conn.peer_eof) want |= EPOLLIN;
+  if (conn.pending_write() > 0) want |= EPOLLOUT;
+  if (want == conn.armed_events) return;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.u64 = conn.id;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.conn.fd(), &ev) == 0) {
+    conn.armed_events = want;
+  }
+}
+
+void EvalServer::close_conn(std::uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  const bool was_admitted = it->second->admitted;
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->conn.fd(), nullptr);
+  conns_.erase(it);  // Connection destructor closes the fd
+  if (was_admitted) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (counters_.active_connections > 0) --counters_.active_connections;
+  }
+}
+
+void EvalServer::reap_stalled() {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<std::uint64_t> stalled;
+  for (const auto& [id, conn] : conns_) {
+    if (conn->has_stalled_work() &&
+        now - conn->last_progress > options_.frame_timeout) {
+      stalled.push_back(id);
+    }
+  }
+  for (const std::uint64_t id : stalled) close_conn(id);
 }
 
 sw::core::GateLayout EvalServer::layout_for(
@@ -100,110 +636,32 @@ sw::core::GateLayout EvalServer::layout_for(
   return layout;
 }
 
-Message EvalServer::handle_frame(const Message& message) {
-  bool submitted = false;
-  try {
-    sw::serve::SweepFrame request = sw::serve::decode_frame(message.payload);
-    SW_REQUIRE(request.kind == sw::serve::FrameKind::kRequest &&
-                   request.spec.has_value(),
-               "server expects request frames carrying a GateSpec");
-    const sw::core::GateLayout layout = layout_for(request);
-    const std::size_t num_words =
-        static_cast<std::size_t>(request.num_words);
-    auto future =
-        service_->submit(layout, std::move(request.matrix), num_words);
-    submitted = true;
-    sw::serve::ResultBatch result = future.get();
-    request.matrix.clear();  // moved-from; make_response_frame reads meta
-    return make_frame_message(sw::serve::make_response_frame(
-        request, result.num_channels, std::move(result.bits)));
-  } catch (const sw::serve::OverloadError& e) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++counters_.overloads;
-    return make_error_message(ErrorCode::kOverload, e.what());
-  } catch (const sw::util::Error& e) {
-    // Before submit: the client sent something malformed (bad frame,
-    // wrong shape, alien geometry). After: the evaluation itself failed.
-    return make_error_message(
-        submitted ? ErrorCode::kInternal : ErrorCode::kBadRequest, e.what());
-  } catch (const std::exception& e) {
-    return make_error_message(ErrorCode::kInternal, e.what());
-  }
-}
-
-void EvalServer::serve_connection(ConnSlot* slot) {
-  Connection& conn = slot->conn;
+void EvalServer::heartbeat_loop() {
+  WorkerAdvert advert;
+  advert.endpoint = options_.advertise.empty()
+                        ? local_endpoint().to_string()
+                        : options_.advertise;
+  advert.kernel = std::string(sw::wavesim::active_kernel_name());
+  advert.precision = service_->stats().precision;
+  advert.words_per_second = options_.advertised_words_per_second;
   for (;;) {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (stop_) break;
-    }
     try {
-      if (!conn.wait_readable(options_.poll_tick)) continue;
-      auto message = recv_message(conn, options_.frame_timeout);
-      if (!message) break;  // orderly close
-      if (message->kind == MessageKind::kShutdown) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        shutdown_requested_ = true;
-        shutdown_cv_.notify_all();
-        continue;
-      }
-      Message reply;
-      if (message->kind == MessageKind::kMetricsRequest) {
-        {
-          std::lock_guard<std::mutex> lock(mutex_);
-          ++counters_.metrics_requests;
-        }
-        reply = make_text_message(MessageKind::kMetricsResponse,
-                                  metrics_text());
-      } else if (message->kind == MessageKind::kFrame) {
-        {
-          std::lock_guard<std::mutex> lock(mutex_);
-          ++counters_.frames_received;
-        }
-        reply = handle_frame(*message);
-      } else {
-        // A client has no business sending error/metrics-response kinds;
-        // answer once, then drop the connection.
-        send_message(conn,
-                     make_error_message(ErrorCode::kBadRequest,
-                                        "unexpected message kind"),
-                     options_.frame_timeout);
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++counters_.errors_sent;
-        break;
-      }
-      send_message(conn, reply, options_.frame_timeout);
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (reply.kind == MessageKind::kError) {
-        ++counters_.errors_sent;
-      } else if (reply.kind == MessageKind::kFrame) {
-        ++counters_.responses_sent;  // metrics replies count separately
-      }
-    } catch (const sw::util::Error&) {
-      // Envelope-level corruption, a mid-frame stall or a vanished peer:
-      // the stream is unsynchronised, so the only safe move is to drop
-      // the connection. (TimeoutError is a util::Error: a silent peer
-      // lands here too, keeping handler threads bounded.)
-      break;
+      register_worker(*options_.registry, advert,
+                      options_.heartbeat_interval);
+    } catch (const std::exception&) {
+      // Registry down or slow: keep serving, keep retrying. Workers must
+      // never die because discovery is flaky.
     }
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_cv_.wait_for(lock, options_.heartbeat_interval,
+                          [this] { return stop_; });
+    if (stop_) return;
   }
-  // Close under the lock: stop() walks the slot list calling shutdown()
-  // on live connections, and must never race the fd teardown.
-  std::lock_guard<std::mutex> lock(mutex_);
-  conn.close();
-  slot->done = true;
 }
 
 ServerCounters EvalServer::counters() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  ServerCounters out = counters_;
-  std::size_t active = 0;
-  for (const auto& slot : connections_) {
-    if (!slot.done) ++active;
-  }
-  out.active_connections = active;
-  return out;
+  return counters_;
 }
 
 std::string EvalServer::metrics_text() const {
@@ -234,20 +692,18 @@ void EvalServer::stop() {
     // destructor) are no-ops; only the first performs the joins.
     if (stop_) return;
     stop_ = true;
-    shutdown_cv_.notify_all();
-    // Unblock handlers that are mid-recv/send; fds stay valid until each
-    // handler closes its own connection on the way out.
-    for (auto& slot : connections_) {
-      if (!slot.done) slot.conn.shutdown();
-    }
   }
-  if (accept_thread_.joinable()) accept_thread_.join();
+  shutdown_cv_.notify_all();
+  {
+    // Late completions must not write a wakeup nobody reads.
+    std::lock_guard<std::mutex> lock(completions_->mutex);
+    completions_->open = false;
+  }
+  const std::uint64_t one = 1;
+  (void)!::write(completions_->event_fd, &one, sizeof(one));
+  if (event_thread_.joinable()) event_thread_.join();
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
   listener_.close();
-  // After the accept loop is gone the connection list is stable.
-  for (auto& slot : connections_) {
-    if (slot.thread.joinable()) slot.thread.join();
-  }
-  connections_.clear();
 }
 
 }  // namespace sw::net

@@ -1,31 +1,44 @@
 // Networked front end over serve::EvaluatorService.
 //
 // One EvalServer owns a listening socket (TCP or unix-domain) and serves
-// the sharded-sweep wire format to remote clients: each connection is a
-// sequence of request frames answered in order with response frames, so a
-// coordinator talks to a worker exactly as it would write/read frame
-// files, just over a stream. Service-level overload keeps its admission
-// semantics across the network boundary — a kShed rejection is answered
-// with a typed kOverload error message on the same connection (the client
-// can back off and retry), never by dropping the connection — and
-// kMetricsRequest messages are answered with the plain-text metrics
-// document (service stats, latency percentiles, transport counters), so
-// an operator can scrape a live worker with a three-line client.
+// the sharded-sweep wire format to remote clients. Since PR 6 the server
+// is an epoll-based event core rather than a thread per connection:
 //
-// Threading: one accept thread plus one handler thread per connection,
-// each request handled synchronously (decode, submit, wait, respond).
-// Concurrency across connections comes from the service's worker pool;
-// clients that want pipelined throughput open several connections. Every
-// blocking wait is tick-bounded so stop() completes within one frame
-// timeout even with live, silent or half-dead peers.
+//  - One event thread owns every socket. Connections are non-blocking;
+//    reads and writes run only when epoll reports readiness, into
+//    per-connection buffers that are reused across requests (no per-frame
+//    allocation in steady state).
+//  - Requests are *pipelined*: a client may send any number of tagged
+//    frames without waiting; evaluations run concurrently on the service
+//    pool via submit_async and each reply carries its request's tag, so
+//    completions are written in whatever order the evaluations finish.
+//  - Back-pressure, not shedding: when a connection reaches
+//    max_inflight_per_connection submitted-but-unanswered frames (or its
+//    outgoing buffer backs up past max_pending_write_bytes), the server
+//    simply stops *reading* that connection until it drains — TCP flow
+//    control pushes back to the client, and no admitted frame is ever
+//    dropped. Service-level overload keeps its typed semantics: a kShed
+//    rejection is answered with a kOverload error message carrying the
+//    request's tag, never by dropping the connection.
+//  - kMetricsRequest messages are answered with the plain-text metrics
+//    document (service stats, latency percentiles, transport counters).
+//  - With `registry` set, a heartbeat thread periodically registers a
+//    WorkerAdvert (endpoint, kernel, precision, measured words/s) with a
+//    RegistryServer so coordinators can discover this worker instead of
+//    being handed a static endpoint list.
+//
+// Connections past max_connections receive a typed kOverload refusal and
+// are closed — written non-blockingly from the event thread, so an
+// unreadable refused peer can never stall accepting or stop().
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <list>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -33,31 +46,51 @@
 #include "core/gate_design.h"
 #include "net/metrics.h"
 #include "net/protocol.h"
+#include "net/registry.h"
 #include "net/socket.h"
 #include "serve/service.h"
 
 namespace sw::net {
 
 struct EvalServerOptions {
-  /// Per-frame read/write budget once a transfer has started; a peer that
-  /// stalls a frame past this is dropped.
+  /// Budget for a *stalled* transfer: a connection with pending work
+  /// (half-read frame, unflushed replies, an unread refusal) that makes no
+  /// progress for this long is dropped. Idle connections are not reaped.
   std::chrono::milliseconds frame_timeout{10000};
-  /// Idle tick between frames/accepts: the cadence at which serving loops
-  /// notice stop() and shutdown requests.
+  /// Event-loop wake cadence when nothing is ready: bounds how fast the
+  /// loop notices stop() and runs the stall reaper.
   std::chrono::milliseconds poll_tick{100};
   /// Connections beyond this are answered with a kOverload error and
   /// closed instead of admitted.
   std::size_t max_connections = 64;
+  /// Pipelining cap: submitted-but-unanswered frames per connection before
+  /// the server pauses reading it. Keep max_connections x this within the
+  /// service's admission queue budget so admission never blocks the event
+  /// thread.
+  std::size_t max_inflight_per_connection = 16;
+  /// Outgoing-buffer cap per connection before reads are paused (a client
+  /// that sends but never reads otherwise grows the reply buffer without
+  /// bound).
+  std::size_t max_pending_write_bytes = 4u << 20;
   /// Designed layouts cached by wire hash (each verified against its
   /// request's spec); sized like the service plan cache it feeds.
   std::size_t layout_cache_capacity = 32;
+  /// When set, a heartbeat thread registers this worker with the registry
+  /// at this endpoint every `heartbeat_interval`.
+  std::optional<Endpoint> registry;
+  std::chrono::milliseconds heartbeat_interval{2000};
+  /// Throughput hint advertised to the registry (words/s; 0 = unmeasured).
+  double advertised_words_per_second = 0.0;
+  /// Endpoint string advertised to the registry; empty advertises
+  /// local_endpoint() (override when serving behind NAT or on 0.0.0.0).
+  std::string advertise;
 };
 
 class EvalServer {
  public:
   /// Maps a wire GateSpec to the layout the service evaluates; usually
   /// InlineGateDesigner::design against the same dispersion model the
-  /// service was built on. Must be callable from handler threads.
+  /// service was built on. Called from the event thread.
   using Designer =
       std::function<sw::core::GateLayout(const sw::core::GateSpec&)>;
 
@@ -93,41 +126,57 @@ class EvalServer {
   bool wait_shutdown(std::chrono::milliseconds timeout =
                          std::chrono::milliseconds(0)) const;
 
-  /// Stop accepting, unblock and join every connection handler, close all
-  /// sockets. Idempotent; bounded by one frame_timeout.
+  /// Stop accepting, wake the event thread, join every thread, close all
+  /// sockets. Idempotent; in-flight evaluations settle harmlessly into the
+  /// (kept-alive) completion queue.
   void stop();
 
  private:
-  struct ConnSlot {
-    Connection conn;
-    std::thread thread;
-    bool done = false;  ///< handler exited; accept loop may reap (mutex_)
-  };
+  struct Conn;
+  struct CompletionQueue;
 
-  void accept_loop();
-  void serve_connection(ConnSlot* slot);
-  /// Handle one admitted request frame; returns the reply message.
-  Message handle_frame(const Message& message);
+  void event_loop();
+  void heartbeat_loop();
+  void handle_accept();
+  void handle_readable(Conn& conn);
+  void handle_writable(Conn& conn);
+  void drain_completions();
+  void process_buffered(Conn& conn);
+  void handle_message(Conn& conn, const MessageHeader& header,
+                      std::span<const std::uint8_t> payload);
+  void handle_frame(Conn& conn, std::uint64_t tag,
+                    std::span<const std::uint8_t> payload);
+  void append_reply(Conn& conn, const Message& message);
+  void update_epoll(Conn& conn);
+  void close_conn(std::uint64_t conn_id);
+  void reap_stalled();
   sw::core::GateLayout layout_for(const sw::serve::SweepFrame& request);
-  void reap_finished_locked();
 
   sw::serve::EvaluatorService* service_;
   Designer designer_;
   EvalServerOptions options_;
   Listener listener_;
 
+  int epoll_fd_ = -1;
+  std::shared_ptr<CompletionQueue> completions_;
+  std::uint64_t next_conn_id_ = 1;
+  /// Owned by the event thread exclusively; no lock.
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+  std::chrono::steady_clock::time_point last_reap_;
+
   mutable std::mutex mutex_;
   mutable std::condition_variable shutdown_cv_;
   bool stop_ = false;
   bool shutdown_requested_ = false;
-  std::list<ConnSlot> connections_;
   ServerCounters counters_;
   /// Wire hash -> designed layout, each entry verified against the spec
   /// that produced it (a 64-bit collision therefore cannot alias two
-  /// specs: hits re-compare the full GateSpec).
+  /// specs: hits re-compare the full GateSpec). Event-thread only, but
+  /// kept under mutex_ for counters()' consistency with the old API.
   std::unordered_map<std::uint64_t, sw::core::GateLayout> layouts_;
 
-  std::thread accept_thread_;
+  std::thread event_thread_;
+  std::thread heartbeat_thread_;
 };
 
 }  // namespace sw::net

@@ -52,12 +52,14 @@ std::string render_server_metrics(const ServerCounters& counters) {
   out.reserve(256);
   line_u64(out, "sw_net_connections_accepted",
            counters.connections_accepted);
+  line_u64(out, "sw_net_connections_refused", counters.connections_refused);
   line_u64(out, "sw_net_connections_active", counters.active_connections);
   line_u64(out, "sw_net_frames_received", counters.frames_received);
   line_u64(out, "sw_net_responses_sent", counters.responses_sent);
   line_u64(out, "sw_net_errors_sent", counters.errors_sent);
   line_u64(out, "sw_net_overloads", counters.overloads);
   line_u64(out, "sw_net_metrics_requests", counters.metrics_requests);
+  line_u64(out, "sw_net_backpressure_pauses", counters.backpressure_pauses);
   return out;
 }
 

@@ -17,11 +17,15 @@ namespace sw::net {
 /// Per-server transport counters, appended below the service section.
 struct ServerCounters {
   std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_refused = 0;  ///< over max_connections
   std::uint64_t frames_received = 0;
   std::uint64_t responses_sent = 0;
   std::uint64_t errors_sent = 0;
   std::uint64_t overloads = 0;
   std::uint64_t metrics_requests = 0;
+  /// Times a connection's reads were paused because its in-flight count
+  /// hit the pipelining cap (back-pressure, not shedding).
+  std::uint64_t backpressure_pauses = 0;
   std::size_t active_connections = 0;
 };
 

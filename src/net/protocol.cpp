@@ -16,37 +16,105 @@ using sw::serve::detail::append_u64;
 
 bool known_kind(std::uint16_t kind) {
   return kind >= static_cast<std::uint16_t>(MessageKind::kFrame) &&
-         kind <= static_cast<std::uint16_t>(MessageKind::kShutdown);
+         kind <= static_cast<std::uint16_t>(MessageKind::kRegistryResponse);
+}
+
+/// The envelope checksum for `kind` over `payload`: kFrame covers only the
+/// wire-frame header prefix (the body self-checksums end to end), every
+/// other kind covers the whole payload.
+std::uint64_t envelope_checksum(MessageKind kind,
+                                std::span<const std::uint8_t> payload) {
+  if (kind == MessageKind::kFrame && payload.size() > kFrameChecksumPrefix) {
+    payload = payload.first(kFrameChecksumPrefix);
+  }
+  return sw::serve::chunked_fnv1a64(payload);
 }
 
 }  // namespace
 
-std::vector<std::uint8_t> encode_message(const Message& message) {
+void append_message(std::vector<std::uint8_t>& out, const Message& message) {
   SW_REQUIRE(known_kind(static_cast<std::uint16_t>(message.kind)),
              "unknown message kind");
   SW_REQUIRE(message.payload.size() <= kMaxMessagePayload,
              "message payload exceeds the protocol cap");
-  std::vector<std::uint8_t> out;
-  out.reserve(kMessageHeaderSize + message.payload.size());
+  out.reserve(out.size() + kMessageHeaderSize + message.payload.size());
   append_u32(out, kNetMagic);
   append_u16(out, kNetVersion);
   append_u16(out, static_cast<std::uint16_t>(message.kind));
+  append_u64(out, message.tag);
   append_u64(out, message.payload.size());
-  append_u64(out, sw::serve::chunked_fnv1a64(message.payload));
+  append_u64(out, envelope_checksum(message.kind, message.payload));
   out.insert(out.end(), message.payload.begin(), message.payload.end());
+}
+
+std::vector<std::uint8_t> encode_message(const Message& message) {
+  std::vector<std::uint8_t> out;
+  append_message(out, message);
   return out;
 }
 
-Message make_frame_message(const sw::serve::SweepFrame& frame) {
+void append_frame_message(std::vector<std::uint8_t>& out,
+                          const sw::serve::SweepFrameView& frame,
+                          std::uint64_t tag) {
+  const std::size_t base = out.size();
+  append_u32(out, kNetMagic);
+  append_u16(out, kNetVersion);
+  append_u16(out, static_cast<std::uint16_t>(MessageKind::kFrame));
+  append_u64(out, tag);
+  append_u64(out, 0);  // payload_size, patched once the frame is encoded
+  append_u64(out, 0);  // checksum, patched likewise
+  sw::serve::encode_frame_into(frame, out);
+  const std::size_t payload_size = out.size() - base - kMessageHeaderSize;
+  SW_REQUIRE(payload_size <= kMaxMessagePayload,
+             "message payload exceeds the protocol cap");
+  std::uint8_t* header = out.data() + base;
+  sw::serve::detail::store_u64(header + 16, payload_size);
+  sw::serve::detail::store_u64(
+      header + 24,
+      envelope_checksum(MessageKind::kFrame,
+                        {header + kMessageHeaderSize, payload_size}));
+}
+
+MessageHeader parse_message_header(std::span<const std::uint8_t> header) {
+  SW_REQUIRE(header.size() == kMessageHeaderSize,
+             "message header must be exactly kMessageHeaderSize bytes");
+  ByteReader r(header);
+  SW_REQUIRE(r.u32() == kNetMagic, "bad message magic");
+  SW_REQUIRE(r.u16() == kNetVersion, "unsupported protocol version");
+  const std::uint16_t kind = r.u16();
+  SW_REQUIRE(known_kind(kind), "unknown message kind");
+  MessageHeader out;
+  out.kind = static_cast<MessageKind>(kind);
+  out.tag = r.u64();
+  out.payload_size = r.u64();
+  out.checksum = r.u64();
+  SW_REQUIRE(out.payload_size <= kMaxMessagePayload,
+             "message payload size exceeds the protocol cap");
+  return out;
+}
+
+void verify_message_payload(const MessageHeader& header,
+                            std::span<const std::uint8_t> payload) {
+  SW_REQUIRE(payload.size() == header.payload_size,
+             "message payload size mismatch");
+  SW_REQUIRE(envelope_checksum(header.kind, payload) == header.checksum,
+             "message checksum mismatch (corrupt payload)");
+}
+
+Message make_frame_message(const sw::serve::SweepFrame& frame,
+                           std::uint64_t tag) {
   Message m;
   m.kind = MessageKind::kFrame;
+  m.tag = tag;
   m.payload = sw::serve::encode_frame(frame);
   return m;
 }
 
-Message make_error_message(ErrorCode code, std::string_view text) {
+Message make_error_message(ErrorCode code, std::string_view text,
+                           std::uint64_t tag) {
   Message m;
   m.kind = MessageKind::kError;
+  m.tag = tag;
   m.payload.resize(2 + text.size());
   m.payload[0] = static_cast<std::uint8_t>(static_cast<std::uint16_t>(code));
   m.payload[1] =
@@ -94,27 +162,19 @@ void send_message(Connection& connection, const Message& message,
 
 std::optional<Message> recv_message(Connection& connection,
                                     std::chrono::milliseconds timeout) {
-  std::uint8_t header[kMessageHeaderSize];
-  if (!connection.recv_all(header, timeout)) return std::nullopt;
-  ByteReader r(header);
-  SW_REQUIRE(r.u32() == kNetMagic, "bad message magic");
-  SW_REQUIRE(r.u16() == kNetVersion, "unsupported protocol version");
-  const std::uint16_t kind = r.u16();
-  SW_REQUIRE(known_kind(kind), "unknown message kind");
-  const std::uint64_t payload_size = r.u64();
-  const std::uint64_t checksum = r.u64();
-  SW_REQUIRE(payload_size <= kMaxMessagePayload,
-             "message payload size exceeds the protocol cap");
+  std::uint8_t header_bytes[kMessageHeaderSize];
+  if (!connection.recv_all(header_bytes, timeout)) return std::nullopt;
+  const MessageHeader header = parse_message_header(header_bytes);
 
   Message message;
-  message.kind = static_cast<MessageKind>(kind);
-  message.payload.resize(static_cast<std::size_t>(payload_size));
-  if (payload_size > 0) {
+  message.kind = header.kind;
+  message.tag = header.tag;
+  message.payload.resize(static_cast<std::size_t>(header.payload_size));
+  if (header.payload_size > 0) {
     SW_REQUIRE(connection.recv_all(message.payload, timeout),
                "connection closed between message header and payload");
   }
-  SW_REQUIRE(sw::serve::chunked_fnv1a64(message.payload) == checksum,
-             "message checksum mismatch (corrupt payload)");
+  verify_message_payload(header, message.payload);
   return message;
 }
 

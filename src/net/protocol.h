@@ -2,25 +2,37 @@
 //
 // The socket transport moves serve::wire sweep frames *unchanged*; what a
 // raw stream needs on top is a way to know how many bytes the next unit
-// occupies and a way to carry the non-frame traffic a server produces —
-// typed error replies (admission shed maps to an error message, not a
-// dropped connection), metrics requests/responses and a remote-shutdown
-// signal. One fixed 24-byte header does all of that:
+// occupies, a request tag so replies can complete out of order on a
+// pipelined connection, and a way to carry the non-frame traffic a server
+// produces — typed error replies (admission shed maps to an error message,
+// not a dropped connection), metrics requests/responses, worker-registry
+// traffic and a remote-shutdown signal. One fixed 32-byte header does all
+// of that:
 //
 //   offset  size  field
 //        0     4  magic "SWN1"
 //        4     2  version (kNetVersion)
 //        6     2  kind (MessageKind)
-//        8     8  payload_size (bytes)
-//       16     8  checksum (chunked FNV-1a 64 over the payload)
-//       24     …  payload
+//        8     8  tag (echoed verbatim in the reply; 0 when unused)
+//       16     8  payload_size (bytes)
+//       24     8  checksum (chunked FNV-1a 64, see below)
+//       32     …  payload
 //
-// Payloads by kind: kFrame carries one encoded serve::wire frame (which
-// keeps its own end-to-end checksum); kError carries a u16 ErrorCode plus
-// UTF-8 text; kMetricsResponse carries plain text; kMetricsRequest and
-// kShutdown are empty. The envelope checksum uses the chunked FNV variant
-// (one multiply per 8 bytes) so the per-word envelope cost stays far below
-// the evaluation kernels it feeds.
+// Version history: v1 had a 24-byte tagless header and one-in-flight
+// connections; v2 (current) added the tag for pipelining. Both ends of
+// every transport in this repo are built from the same tree, so decoders
+// only accept the current version.
+//
+// Payloads by kind: kFrame carries one encoded serve::wire frame; kError
+// carries a u16 ErrorCode plus UTF-8 text; kMetricsResponse carries plain
+// text; kRegister / kRegistryResponse carry encoded worker adverts
+// (net/registry.h); kMetricsRequest, kRegistryRequest and kShutdown are
+// empty. The checksum covers the payload — except for kFrame, where it
+// covers only the payload's first min(64, payload_size) bytes: a wire
+// frame's body already carries its own end-to-end checksum over spec +
+// matrix, so the envelope only needs to protect the frame header it would
+// otherwise trust for sizing, and skipping the second full-body pass
+// matters on the per-word serving path.
 #pragma once
 
 #include <chrono>
@@ -37,17 +49,23 @@
 namespace sw::net {
 
 inline constexpr std::uint32_t kNetMagic = 0x314E5753u;  // "SWN1" on the wire
-inline constexpr std::uint16_t kNetVersion = 1;
-inline constexpr std::size_t kMessageHeaderSize = 24;
+inline constexpr std::uint16_t kNetVersion = 2;
+inline constexpr std::size_t kMessageHeaderSize = 32;
 /// Caps a corrupt length prefix before it can drive a huge allocation.
 inline constexpr std::uint64_t kMaxMessagePayload = std::uint64_t{1} << 30;
+/// Bytes of a kFrame payload covered by the envelope checksum (the wire
+/// frame header; the body self-checksums).
+inline constexpr std::size_t kFrameChecksumPrefix = 64;
 
 enum class MessageKind : std::uint16_t {
-  kFrame = 1,           ///< one encoded serve::wire sweep frame
-  kError = 2,           ///< ErrorCode + text, answering a failed request
-  kMetricsRequest = 3,  ///< empty; asks for a metrics snapshot
-  kMetricsResponse = 4, ///< plain-text metrics
-  kShutdown = 5,        ///< empty; asks the server to stop serving
+  kFrame = 1,            ///< one encoded serve::wire sweep frame
+  kError = 2,            ///< ErrorCode + text, answering a failed request
+  kMetricsRequest = 3,   ///< empty; asks for a metrics snapshot
+  kMetricsResponse = 4,  ///< plain-text metrics
+  kShutdown = 5,         ///< empty; asks the server to stop serving
+  kRegister = 6,         ///< worker advert (registration / heartbeat)
+  kRegistryRequest = 7,  ///< empty; asks the registry for live workers
+  kRegistryResponse = 8, ///< encoded worker advert list
 };
 
 enum class ErrorCode : std::uint16_t {
@@ -58,7 +76,18 @@ enum class ErrorCode : std::uint16_t {
 
 struct Message {
   MessageKind kind = MessageKind::kFrame;
+  /// Request tag, echoed verbatim in the reply so a pipelined client can
+  /// match out-of-order completions; 0 for untagged (non-pipelined) use.
+  std::uint64_t tag = 0;
   std::vector<std::uint8_t> payload;
+};
+
+/// A parsed envelope header, before its payload has been read.
+struct MessageHeader {
+  MessageKind kind = MessageKind::kFrame;
+  std::uint64_t tag = 0;
+  std::uint64_t payload_size = 0;
+  std::uint64_t checksum = 0;
 };
 
 /// Error payload, decoded: the typed code plus human-readable context.
@@ -82,8 +111,32 @@ class RemoteError : public sw::util::Error {
 
 std::vector<std::uint8_t> encode_message(const Message& message);
 
-Message make_frame_message(const sw::serve::SweepFrame& frame);
-Message make_error_message(ErrorCode code, std::string_view text);
+/// Append the encoded message to `out` (the reusable-buffer path of the
+/// event server; encode_message is a fresh-vector wrapper over this).
+void append_message(std::vector<std::uint8_t>& out, const Message& message);
+
+/// Append a complete kFrame message, encoding the wire frame directly into
+/// `out` behind the envelope header — no intermediate payload vector. The
+/// zero-copy encode path for pipelined clients and the event server.
+void append_frame_message(std::vector<std::uint8_t>& out,
+                          const sw::serve::SweepFrameView& frame,
+                          std::uint64_t tag = 0);
+
+/// Parse and validate one fixed-size envelope header (magic, version,
+/// kind, payload cap); throws sw::util::Error on any violation. The
+/// event-driven read path, where the payload arrives incrementally.
+MessageHeader parse_message_header(std::span<const std::uint8_t> header);
+
+/// Checksum `payload` exactly as the encoder does for `kind` (kFrame
+/// covers only the first kFrameChecksumPrefix bytes) and compare; throws
+/// on mismatch.
+void verify_message_payload(const MessageHeader& header,
+                            std::span<const std::uint8_t> payload);
+
+Message make_frame_message(const sw::serve::SweepFrame& frame,
+                           std::uint64_t tag = 0);
+Message make_error_message(ErrorCode code, std::string_view text,
+                           std::uint64_t tag = 0);
 Message make_text_message(MessageKind kind, std::string_view text);
 
 /// Decode the payload of a kError / kMetricsResponse message; throws

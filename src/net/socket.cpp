@@ -1,6 +1,7 @@
 #include "net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -156,24 +157,63 @@ void Connection::shutdown() noexcept {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
+void Connection::set_nonblocking(bool enabled) {
+  SW_REQUIRE(valid(), "set_nonblocking on an invalid connection");
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  SW_REQUIRE(flags >= 0, "fcntl(F_GETFL) failed: " + errno_text());
+  const int next = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  SW_REQUIRE(::fcntl(fd_, F_SETFL, next) == 0,
+             "fcntl(F_SETFL) failed: " + errno_text());
+}
+
+std::ptrdiff_t Connection::recv_some(std::span<std::uint8_t> bytes) {
+  SW_REQUIRE(valid(), "recv on an invalid connection");
+  for (;;) {
+    const ssize_t n = ::recv(fd_, bytes.data(), bytes.size(), MSG_DONTWAIT);
+    if (n >= 0) return static_cast<std::ptrdiff_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    throw sw::util::Error("recv failed: " + errno_text());
+  }
+}
+
+std::ptrdiff_t Connection::send_some(std::span<const std::uint8_t> bytes) {
+  SW_REQUIRE(valid(), "send on an invalid connection");
+  for (;;) {
+    const ssize_t n =
+        ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n >= 0) return static_cast<std::ptrdiff_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    throw sw::util::Error("send failed: " + errno_text());
+  }
+}
+
+// send_all/recv_all try the syscall first (MSG_DONTWAIT, so a full/empty
+// buffer returns EAGAIN even on a blocking fd) and enter poll(2) only when
+// the kernel actually pushed back. Two wins over the old poll-first loop:
+// the happy path pays one syscall per transfer instead of two, and EAGAIN
+// now explicitly re-polls for readiness against the deadline — the old
+// loop's bare `continue` on EAGAIN could spin doing nothing against a
+// slow peer until the deadline expired.
+
 void Connection::send_all(std::span<const std::uint8_t> bytes,
                           std::chrono::milliseconds timeout) {
   SW_REQUIRE(valid(), "send on an invalid connection");
   const auto deadline = deadline_after(timeout);
   std::size_t sent = 0;
   while (sent < bytes.size()) {
+    const std::ptrdiff_t n = send_some(bytes.subspan(sent));
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    // Buffer full: block in poll until writable (or the deadline).
     if (!poll_until(fd_, POLLOUT, deadline)) {
       throw TimeoutError("send timed out with " +
                          std::to_string(bytes.size() - sent) +
                          " byte(s) unsent");
     }
-    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
-      throw sw::util::Error("send failed: " + errno_text());
-    }
-    sent += static_cast<std::size_t>(n);
   }
 }
 
@@ -183,17 +223,10 @@ bool Connection::recv_all(std::span<std::uint8_t> bytes,
   const auto deadline = deadline_after(timeout);
   std::size_t got = 0;
   while (got < bytes.size()) {
-    if (!poll_until(fd_, POLLIN, deadline)) {
-      throw TimeoutError("recv timed out with " +
-                         std::to_string(bytes.size() - got) + " of " +
-                         std::to_string(bytes.size()) +
-                         " byte(s) outstanding");
-    }
-    const ssize_t n =
-        ::recv(fd_, bytes.data() + got, bytes.size() - got, 0);
-    if (n < 0) {
-      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
-      throw sw::util::Error("recv failed: " + errno_text());
+    const std::ptrdiff_t n = recv_some(bytes.subspan(got));
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
     }
     if (n == 0) {
       if (got == 0) return false;  // orderly close at a message boundary
@@ -201,7 +234,13 @@ bool Connection::recv_all(std::span<std::uint8_t> bytes,
                             std::to_string(got) + " of " +
                             std::to_string(bytes.size()) + " bytes)");
     }
-    got += static_cast<std::size_t>(n);
+    // Nothing buffered: block in poll until readable (or the deadline).
+    if (!poll_until(fd_, POLLIN, deadline)) {
+      throw TimeoutError("recv timed out with " +
+                         std::to_string(bytes.size() - got) + " of " +
+                         std::to_string(bytes.size()) +
+                         " byte(s) outstanding");
+    }
   }
   return true;
 }

@@ -72,6 +72,22 @@ class Connection {
   int fd() const { return fd_; }
   void close() noexcept;
 
+  /// Flip O_NONBLOCK for the event-driven server: readiness comes from
+  /// epoll, and a send/recv must return EAGAIN instead of parking the
+  /// event thread. The deadline-based send_all/recv_all below still work
+  /// on a non-blocking fd (they poll on EAGAIN).
+  void set_nonblocking(bool enabled);
+
+  /// One non-blocking recv: bytes read (> 0), 0 on orderly close, -1 when
+  /// the socket has nothing buffered (EAGAIN) — never blocks, throws Error
+  /// on a hard socket failure. The epoll read path.
+  std::ptrdiff_t recv_some(std::span<std::uint8_t> bytes);
+
+  /// One non-blocking send: bytes written (>= 0, short counts normal),
+  /// -1 when the socket buffer is full (EAGAIN). SIGPIPE suppressed; peer
+  /// resets throw Error. The epoll write path.
+  std::ptrdiff_t send_some(std::span<const std::uint8_t> bytes);
+
   /// Shut down both directions without releasing the descriptor: a
   /// send/recv blocked on another thread returns immediately with an
   /// error/EOF. Safe to call concurrently with IO on the same connection
@@ -120,6 +136,7 @@ class Listener {
   /// The bound address with any ephemeral TCP port resolved.
   const Endpoint& local_endpoint() const { return endpoint_; }
   bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }  ///< for registering with epoll
 
   /// Accept one connection, waiting up to `timeout`; nullopt on timeout
   /// (and after close(), so accept loops terminate). Throws Error on a

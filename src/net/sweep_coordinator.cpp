@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "net/protocol.h"
+#include "net/registry.h"
 #include "serve/layout_hash.h"
 #include "serve/wire.h"
 
@@ -36,6 +37,7 @@ struct SweepState {
   std::vector<bool> idle;    ///< worker waiting for a shard
   std::vector<bool> alive;   ///< worker still participating
   std::size_t live_workers = 0;
+  std::size_t ready_workers = 0;  ///< connected or dead (start barrier)
   std::vector<std::size_t> completed;  ///< shards retired per worker
   std::size_t resharded = 0;
   std::size_t duplicate_results = 0;
@@ -82,6 +84,13 @@ std::optional<std::size_t> acquire_shard(SweepState& state, std::size_t w,
     const auto now = Clock::now();
     if (now > state.wall_deadline) {
       state.abort_locked("sweep wall deadline exceeded");
+      continue;
+    }
+    if (options.wait_for_all_workers &&
+        state.ready_workers < state.idle.size()) {
+      // Fleet-assembly barrier: no shard moves until every worker has
+      // connected or failed to, so distribution never races start-up.
+      state.cv.wait_for(lock, options.poll_tick);
       continue;
     }
     for (std::size_t i = 0; i < state.shards.size(); ++i) {
@@ -195,10 +204,22 @@ void worker_loop(SweepState& state, std::size_t w, const Endpoint& endpoint,
   try {
     conn = Connection::connect(endpoint, options.connect_timeout);
   } catch (const sw::util::Error& e) {
+    {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      ++state.ready_workers;  // resolved, just not usefully
+    }
     mark_dead(state, w, "connect to " + endpoint.to_string() +
                             " failed: " + e.what());
     return;
   }
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    ++state.ready_workers;
+    state.cv.notify_all();
+  }
+  // Reused across shards: steady-state encoding allocates nothing once
+  // the buffer has grown to one shard's frame size.
+  std::vector<std::uint8_t> request_bytes;
   bool dead = false;
   bool finished = false;  ///< left the loop with the connection healthy
   while (!dead && !finished) {
@@ -211,16 +232,18 @@ void worker_loop(SweepState& state, std::size_t w, const Endpoint& endpoint,
       offset = state.shards[index].offset;
       words = state.shards[index].words;
     }
-    std::vector<std::uint8_t> rows(
-        ctx.matrix->begin() +
-            static_cast<std::ptrdiff_t>(offset * ctx.slots),
-        ctx.matrix->begin() +
-            static_cast<std::ptrdiff_t>((offset + words) * ctx.slots));
+    // Zero-copy request: the frame encoder packs the shard's word range
+    // straight out of the sweep matrix (no row copy, no payload vector),
+    // with the layout hash computed once for the whole sweep.
+    const std::span<const std::uint8_t> rows{
+        ctx.matrix->data() + offset * ctx.slots, words * ctx.slots};
     try {
-      send_message(conn,
-                   make_frame_message(sw::serve::make_request_frame(
-                       *ctx.layout, offset, words, std::move(rows))),
-                   options.io_timeout);
+      request_bytes.clear();
+      append_frame_message(
+          request_bytes,
+          sw::serve::make_request_view(ctx.layout->spec, ctx.expected_hash,
+                                       offset, words, rows));
+      conn.send_all(request_bytes, options.io_timeout);
     } catch (const sw::util::Error& e) {
       requeue_shard(state, index);
       mark_dead(state, w, e.what());
@@ -321,6 +344,40 @@ SweepCoordinator::SweepCoordinator(std::vector<Endpoint> workers,
     : workers_(std::move(workers)), options_(options) {
   SW_REQUIRE(!workers_.empty(), "sweep coordinator needs >= 1 worker");
   SW_REQUIRE(options_.shard_words > 0, "shard_words must be positive");
+}
+
+std::vector<Endpoint> SweepCoordinator::discover(
+    const Endpoint& registry, std::size_t min_workers,
+    std::chrono::milliseconds timeout) {
+  SW_REQUIRE(min_workers > 0, "discover needs min_workers >= 1");
+  const auto deadline = Clock::now() + timeout;
+  std::string last_state = "registry not reached yet";
+  for (;;) {
+    std::chrono::milliseconds left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                              Clock::now());
+    if (left.count() <= 0) {
+      throw TimeoutError("worker discovery timed out (" + last_state + ")");
+    }
+    try {
+      const auto adverts = fetch_registry(registry, left);
+      if (adverts.size() >= min_workers) {
+        std::vector<Endpoint> endpoints;
+        endpoints.reserve(adverts.size());
+        for (const WorkerAdvert& a : adverts) {
+          endpoints.push_back(Endpoint::parse(a.endpoint));
+        }
+        return endpoints;
+      }
+      last_state = std::to_string(adverts.size()) + " of " +
+                   std::to_string(min_workers) + " workers registered";
+    } catch (const TimeoutError&) {
+      throw TimeoutError("worker discovery timed out (" + last_state + ")");
+    } catch (const sw::util::Error& e) {
+      last_state = e.what();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
 }
 
 std::vector<std::uint8_t> SweepCoordinator::run(

@@ -61,6 +61,12 @@ struct SweepOptions {
   /// Send a kShutdown message to each live worker after a successful
   /// sweep (the example workers exit on it).
   bool shutdown_workers = false;
+  /// Hold shard distribution until every worker has either connected or
+  /// been declared dead (bounded by connect_timeout per worker). Without
+  /// the barrier a fast first worker can drain a small sweep before the
+  /// others finish connecting, which makes load distribution — and any
+  /// test asserting on it — a race against thread start-up.
+  bool wait_for_all_workers = true;
 };
 
 struct SweepReport {
@@ -76,6 +82,15 @@ class SweepCoordinator {
  public:
   explicit SweepCoordinator(std::vector<Endpoint> workers,
                             SweepOptions options = {});
+
+  /// Discover workers from a RegistryServer instead of a static list:
+  /// poll the registry until at least `min_workers` live adverts are
+  /// listed (or `timeout` passes — then throws TimeoutError). Returns the
+  /// advertised endpoints in the registry's deterministic order; feed them
+  /// to the constructor.
+  static std::vector<Endpoint> discover(const Endpoint& registry,
+                                        std::size_t min_workers,
+                                        std::chrono::milliseconds timeout);
 
   /// Run the sweep: `matrix` is the row-major num_words x slot_count input
   /// (the evaluate_bits shape for `layout`); returns the merged row-major

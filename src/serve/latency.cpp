@@ -1,18 +1,21 @@
 #include "serve/latency.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace sw::serve {
 
 namespace {
 
 /// Nearest-rank percentile of an unsorted sample (mutated in place):
-/// element ceil(q * n) in the sorted order, 1-indexed.
+/// element ceil(q * n) in the sorted order, 1-indexed. The rank is an
+/// exact ceil — a `q * n + 0.999999` pseudo-ceil mis-ranks whenever the
+/// product lands within 1e-6 above an integer, which large windows hit.
 double percentile(std::vector<double>& sample, double q) {
   if (sample.empty()) return 0.0;
   const std::size_t n = sample.size();
   std::size_t rank = static_cast<std::size_t>(
-      q * static_cast<double>(n) + 0.999999);
+      std::ceil(q * static_cast<double>(n)));
   if (rank == 0) rank = 1;
   if (rank > n) rank = n;
   auto nth = sample.begin() + static_cast<std::ptrdiff_t>(rank - 1);

@@ -44,7 +44,10 @@ struct EvaluatorService::Request {
   PlanCache::PlanPtr plan;
   sw::core::GateLayout layout;
   std::vector<std::uint8_t> bits;
+  /// Exactly one of the two delivery channels is armed: submit() requests
+  /// settle `promise`, submit_async() requests invoke `done`.
   std::promise<ResultBatch> promise;
+  CompletionFn done;
 };
 
 EvaluatorService::EvaluatorService(const sw::disp::DispersionModel& model,
@@ -72,9 +75,10 @@ EvaluatorService::~EvaluatorService() {
   admission_.close();
 }
 
-std::future<ResultBatch> EvaluatorService::submit(
-    const sw::core::GateLayout& layout,
-    std::vector<std::uint8_t> packed_bits, std::size_t num_words) {
+void EvaluatorService::post_request(const sw::core::GateLayout& layout,
+                                    std::vector<std::uint8_t> packed_bits,
+                                    std::size_t num_words,
+                                    std::unique_ptr<Request> request) {
   const std::size_t slots =
       layout.spec.frequencies.size() * layout.spec.num_inputs;
   SW_REQUIRE(slots > 0, "layout has no input slots");
@@ -87,7 +91,6 @@ std::future<ResultBatch> EvaluatorService::submit(
   SW_REQUIRE(packed_bits.size() == num_words * slots,
              "packed bit matrix must be num_words x slot_count");
 
-  auto request = std::make_unique<Request>();
   request->num_words = num_words;
   request->num_channels = layout.spec.frequencies.size();
   request->submitted_at = std::chrono::steady_clock::now();
@@ -103,7 +106,6 @@ std::future<ResultBatch> EvaluatorService::submit(
     request->id = next_id_++;
     ++submitted_;
   }
-  auto future = request->promise.get_future();
   // Hand the queue a raw pointer: the two-word closure stays within
   // std::function's small-buffer optimisation (no allocation per post),
   // and process() reclaims ownership immediately.
@@ -116,7 +118,24 @@ std::future<ResultBatch> EvaluatorService::submit(
     delete raw;
     throw;
   }
+}
+
+std::future<ResultBatch> EvaluatorService::submit(
+    const sw::core::GateLayout& layout,
+    std::vector<std::uint8_t> packed_bits, std::size_t num_words) {
+  auto request = std::make_unique<Request>();
+  auto future = request->promise.get_future();
+  post_request(layout, std::move(packed_bits), num_words, std::move(request));
   return future;
+}
+
+void EvaluatorService::submit_async(const sw::core::GateLayout& layout,
+                                    std::vector<std::uint8_t> packed_bits,
+                                    std::size_t num_words, CompletionFn done) {
+  SW_REQUIRE(done != nullptr, "submit_async requires a completion callback");
+  auto request = std::make_unique<Request>();
+  request->done = std::move(done);
+  post_request(layout, std::move(packed_bits), num_words, std::move(request));
 }
 
 std::future<ResultBatch> EvaluatorService::submit(
@@ -179,7 +198,15 @@ void EvaluatorService::process(Request* raw) {
   if (options_.on_request_finish) {
     options_.on_request_finish(request->id, latency_s);
   }
-  if (error) {
+  if (request->done) {
+    // Callback delivery: the request has settled either way, so a throwing
+    // callback has nothing left to corrupt — swallow it rather than
+    // terminate the worker.
+    try {
+      request->done(std::move(out), error);
+    } catch (...) {
+    }
+  } else if (error) {
     request->promise.set_exception(error);
   } else {
     request->promise.set_value(std::move(out));

@@ -99,6 +99,14 @@ struct ServiceStats {
 
 class EvaluatorService {
  public:
+  /// Completion callback of submit_async: exactly one of result/error is
+  /// meaningful — `error` is null on success. Runs on the worker thread
+  /// that evaluated the request, after the request has fully settled
+  /// (accounting released, stats updated), so the callback may safely
+  /// re-submit or inspect stats().
+  using CompletionFn =
+      std::function<void(ResultBatch&& result, std::exception_ptr error)>;
+
   /// The service designs nothing itself: callers bring layouts (e.g. from
   /// InlineGateDesigner against the same model). `model` must outlive the
   /// service; `alpha` is the Gilbert damping for the owned WaveEngine.
@@ -133,12 +141,24 @@ class EvaluatorService {
       const sw::core::GateLayout& layout,
       const std::vector<std::vector<sw::core::Bits>>& batch);
 
+  /// Callback-style submit for event-driven callers (the epoll serving
+  /// core) that must not park a thread in future.get(): same admission,
+  /// plan-cache and accounting path as submit(), but completion is
+  /// delivered by invoking `done` on the worker thread. Exceptions thrown
+  /// by `done` itself are swallowed (the request has already settled).
+  void submit_async(const sw::core::GateLayout& layout,
+                    std::vector<std::uint8_t> packed_bits,
+                    std::size_t num_words, CompletionFn done);
+
   ServiceStats stats() const;
   const sw::wavesim::WaveEngine& engine() const { return engine_; }
   std::size_t num_threads() const { return pool_.size(); }
 
  private:
   struct Request;
+  void post_request(const sw::core::GateLayout& layout,
+                    std::vector<std::uint8_t> packed_bits,
+                    std::size_t num_words, std::unique_ptr<Request> request);
   void process(Request* request);  // takes ownership
 
   ServiceOptions options_;

@@ -6,6 +6,7 @@
 
 #include "serve/byteio.h"
 #include "serve/layout_hash.h"
+#include "serve/wire_simd.h"
 #include "util/error.h"
 
 namespace sw::serve {
@@ -25,8 +26,8 @@ constexpr std::size_t kHeaderSize = 64;
 constexpr std::uint64_t kMaxWords = std::uint64_t{1} << 32;
 constexpr std::uint64_t kMaxCols = std::uint64_t{1} << 20;
 
-std::vector<std::uint8_t> encode_spec(const sw::core::GateSpec& spec) {
-  std::vector<std::uint8_t> out;
+void append_spec(std::vector<std::uint8_t>& out,
+                 const sw::core::GateSpec& spec) {
   append_u64(out, spec.num_inputs);
   append_u64(out, spec.frequencies.size());
   for (const double f : spec.frequencies) append_f64(out, f);
@@ -37,7 +38,6 @@ std::vector<std::uint8_t> encode_spec(const sw::core::GateSpec& spec) {
                       static_cast<std::int64_t>(spec.multiple_search)));
   append_u64(out, spec.invert_output.size());
   for (const std::uint8_t b : spec.invert_output) out.push_back(b ? 1 : 0);
-  return out;
 }
 
 sw::core::GateSpec decode_spec(std::span<const std::uint8_t> bytes) {
@@ -116,7 +116,62 @@ void unpack_cells8(std::uint8_t packed, std::uint8_t* cells) {
   }
 }
 
+/// The AVX2 bulk codec for the flat (num_cols % 8 == 0) path, or nullptr
+/// on hosts/builds without it; resolved once, mirroring the wavesim kernel
+/// dispatch.
+const detail::WireCodec* wire_simd() {
+#if defined(__x86_64__) || defined(__i386__)
+  static const detail::WireCodec* codec =
+      __builtin_cpu_supports("avx2") ? detail::wire_codec_avx2_candidate()
+                                     : nullptr;
+  return codec;
+#else
+  return nullptr;
+#endif
+}
+
 }  // namespace
+
+SweepFrameView as_view(const SweepFrame& frame) {
+  SweepFrameView view;
+  view.kind = frame.kind;
+  view.layout_hash = frame.layout_hash;
+  view.word_offset = frame.word_offset;
+  view.num_words = frame.num_words;
+  view.num_cols = frame.num_cols;
+  view.spec = frame.spec ? &*frame.spec : nullptr;
+  view.matrix = frame.matrix;
+  return view;
+}
+
+SweepFrameView make_request_view(const sw::core::GateSpec& spec,
+                                 std::uint64_t layout_hash,
+                                 std::uint64_t word_offset,
+                                 std::uint64_t num_words,
+                                 std::span<const std::uint8_t> matrix) {
+  SweepFrameView view;
+  view.kind = FrameKind::kRequest;
+  view.layout_hash = layout_hash;
+  view.word_offset = word_offset;
+  view.num_words = num_words;
+  view.num_cols = spec.frequencies.size() * spec.num_inputs;
+  view.spec = &spec;
+  view.matrix = matrix;
+  return view;
+}
+
+SweepFrameView make_response_view(const SweepFrame& request,
+                                  std::uint64_t num_channels,
+                                  std::span<const std::uint8_t> matrix) {
+  SweepFrameView view;
+  view.kind = FrameKind::kResponse;
+  view.layout_hash = request.layout_hash;
+  view.word_offset = request.word_offset;
+  view.num_words = request.num_words;
+  view.num_cols = num_channels;
+  view.matrix = matrix;
+  return view;
+}
 
 SweepFrame make_request_frame(const sw::core::GateLayout& layout,
                               std::uint64_t word_offset,
@@ -146,42 +201,21 @@ SweepFrame make_response_frame(const SweepFrame& request,
   return frame;
 }
 
-std::vector<std::uint8_t> encode_frame(const SweepFrame& frame) {
+void encode_frame_into(const SweepFrameView& frame,
+                       std::vector<std::uint8_t>& out) {
   SW_REQUIRE(frame.kind == FrameKind::kRequest ||
                  frame.kind == FrameKind::kResponse,
              "unknown frame kind");
   const bool is_request = frame.kind == FrameKind::kRequest;
-  SW_REQUIRE(is_request == frame.spec.has_value(),
+  SW_REQUIRE(is_request == (frame.spec != nullptr),
              "request frames carry a GateSpec, response frames must not");
   SW_REQUIRE(frame.num_words <= kMaxWords && frame.num_cols <= kMaxCols,
              "frame dimensions out of range");
   SW_REQUIRE(frame.matrix.size() == frame.num_words * frame.num_cols,
              "matrix must be num_words x num_cols");
 
-  std::vector<std::uint8_t> spec_bytes;
-  if (frame.spec) spec_bytes = encode_spec(*frame.spec);
-
-  const std::size_t row_bytes = row_bytes_for(frame.num_cols);
-  const std::size_t full_bytes = static_cast<std::size_t>(frame.num_cols / 8);
-  std::vector<std::uint8_t> payload(
-      static_cast<std::size_t>(frame.num_words) * row_bytes, 0);
-  for (std::uint64_t w = 0; w < frame.num_words; ++w) {
-    const std::uint8_t* cells =
-        frame.matrix.data() + static_cast<std::size_t>(w * frame.num_cols);
-    std::uint8_t* row =
-        payload.data() + static_cast<std::size_t>(w) * row_bytes;
-    for (std::size_t b = 0; b < full_bytes; ++b) {
-      row[b] = pack_cells8(cells + b * 8);
-    }
-    for (std::uint64_t c = full_bytes * 8; c < frame.num_cols; ++c) {
-      if (cells[c]) {
-        row[full_bytes] |= static_cast<std::uint8_t>(1u << (c % 8));
-      }
-    }
-  }
-
-  std::vector<std::uint8_t> out;
-  out.reserve(kHeaderSize + spec_bytes.size() + payload.size());
+  const std::size_t base = out.size();
+  out.reserve(base + kHeaderSize + frame.matrix.size() / 8 + 256);
   append_u32(out, kWireMagic);
   append_u16(out, kWireVersion);
   append_u16(out, static_cast<std::uint16_t>(frame.kind));
@@ -189,19 +223,64 @@ std::vector<std::uint8_t> encode_frame(const SweepFrame& frame) {
   append_u64(out, frame.word_offset);
   append_u64(out, frame.num_words);
   append_u64(out, frame.num_cols);
-  append_u64(out, spec_bytes.size());
-  append_u64(out, payload.size());
-  append_u64(out, 0);  // checksum, patched below over the assembled body
-  out.insert(out.end(), spec_bytes.begin(), spec_bytes.end());
-  out.insert(out.end(), payload.begin(), payload.end());
+  append_u64(out, 0);  // spec_size, patched once the spec block is written
+  append_u64(out, 0);  // payload_size, patched below
+  append_u64(out, 0);  // checksum, patched over the assembled body
+
+  if (frame.spec) append_spec(out, *frame.spec);
+  const std::size_t spec_size = out.size() - base - kHeaderSize;
+
+  // Bit-pack the matrix straight into the output buffer: one resize to the
+  // final length, rows written in place. No intermediate payload vector —
+  // on the serving path this encoder runs per shard and the extra
+  // allocate+copy used to rival the packing itself.
+  const std::size_t row_bytes = row_bytes_for(frame.num_cols);
+  const std::size_t full_bytes = static_cast<std::size_t>(frame.num_cols / 8);
+  const std::size_t payload_size =
+      static_cast<std::size_t>(frame.num_words) * row_bytes;
+  const std::size_t payload_at = out.size();
+  out.resize(payload_at + payload_size, 0);
+  if (frame.num_cols % 8 == 0) {
+    // Byte-aligned rows tile the payload with no padding bits, so the
+    // whole matrix packs as one flat cell stream — the SIMD bulk path,
+    // with the u64 trick finishing the sub-group tail.
+    std::uint8_t* packed = out.data() + payload_at;
+    const detail::WireCodec* simd = wire_simd();
+    const std::size_t bulk = simd ? payload_size & ~std::size_t{3} : 0;
+    if (bulk > 0) simd->pack(frame.matrix.data(), bulk, packed);
+    for (std::size_t b = bulk; b < payload_size; ++b) {
+      packed[b] = pack_cells8(frame.matrix.data() + b * 8);
+    }
+  } else {
+    for (std::uint64_t w = 0; w < frame.num_words; ++w) {
+      const std::uint8_t* cells =
+          frame.matrix.data() + static_cast<std::size_t>(w * frame.num_cols);
+      std::uint8_t* row = out.data() + payload_at +
+                          static_cast<std::size_t>(w) * row_bytes;
+      for (std::size_t b = 0; b < full_bytes; ++b) {
+        row[b] = pack_cells8(cells + b * 8);
+      }
+      for (std::uint64_t c = full_bytes * 8; c < frame.num_cols; ++c) {
+        if (cells[c]) {
+          row[full_bytes] |= static_cast<std::uint8_t>(1u << (c % 8));
+        }
+      }
+    }
+  }
+
+  std::uint8_t* header = out.data() + base;
+  detail::store_u64(header + 40, spec_size);
+  detail::store_u64(header + 48, payload_size);
   // Checksum the spec block and payload as the one contiguous region they
   // occupy in the buffer: a single chunked pass, no concatenation copy.
   const std::uint64_t checksum = chunked_fnv1a64(
-      {out.data() + kHeaderSize, out.size() - kHeaderSize});
-  for (int i = 0; i < 8; ++i) {
-    out[56 + static_cast<std::size_t>(i)] =
-        static_cast<std::uint8_t>(checksum >> (8 * i));
-  }
+      {header + kHeaderSize, spec_size + payload_size});
+  detail::store_u64(header + 56, checksum);
+}
+
+std::vector<std::uint8_t> encode_frame(const SweepFrame& frame) {
+  std::vector<std::uint8_t> out;
+  encode_frame_into(as_view(frame), out);
   return out;
 }
 
@@ -254,6 +333,18 @@ SweepFrame decode_frame(std::span<const std::uint8_t> bytes) {
   frame.matrix.assign(
       static_cast<std::size_t>(frame.num_words * frame.num_cols), 0);
   const std::size_t full_bytes = static_cast<std::size_t>(frame.num_cols / 8);
+  if (frame.num_cols % 8 == 0) {
+    // Flat SIMD bulk path (see encode_frame_into): byte-aligned rows have
+    // no padding bits, so the payload is one contiguous packed stream.
+    const std::size_t total = static_cast<std::size_t>(payload_size);
+    const detail::WireCodec* simd = wire_simd();
+    const std::size_t bulk = simd ? total & ~std::size_t{3} : 0;
+    if (bulk > 0) simd->unpack(payload.data(), bulk, frame.matrix.data());
+    for (std::size_t b = bulk; b < total; ++b) {
+      unpack_cells8(payload[b], frame.matrix.data() + b * 8);
+    }
+    return frame;
+  }
   for (std::uint64_t w = 0; w < frame.num_words; ++w) {
     const std::uint8_t* row = payload.data() + w * row_bytes;
     std::uint8_t* cells =
@@ -266,12 +357,10 @@ SweepFrame decode_frame(std::span<const std::uint8_t> bytes) {
     }
     // Canonical encoding keeps row padding zero; a set padding bit means
     // the body was not produced by this encoder.
-    if (frame.num_cols % 8 != 0) {
-      const std::uint8_t last = row[row_bytes - 1];
-      const std::uint8_t mask = static_cast<std::uint8_t>(
-          0xFFu << (frame.num_cols % 8));
-      SW_REQUIRE((last & mask) == 0, "nonzero padding bits in payload row");
-    }
+    const std::uint8_t last = row[row_bytes - 1];
+    const std::uint8_t mask =
+        static_cast<std::uint8_t>(0xFFu << (frame.num_cols % 8));
+    SW_REQUIRE((last & mask) == 0, "nonzero padding bits in payload row");
   }
   return frame;
 }

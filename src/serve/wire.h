@@ -71,6 +71,39 @@ struct SweepFrame {
   std::vector<std::uint8_t> matrix;
 };
 
+/// A frame to encode whose matrix (and spec) are borrowed rather than
+/// owned: the zero-copy encode path of the socket transport, where the
+/// matrix is a word-range window into a larger sweep buffer or a result
+/// batch that must not be copied per request.
+struct SweepFrameView {
+  FrameKind kind = FrameKind::kRequest;
+  std::uint64_t layout_hash = 0;
+  std::uint64_t word_offset = 0;
+  std::uint64_t num_words = 0;
+  std::uint64_t num_cols = 0;
+  const sw::core::GateSpec* spec = nullptr;  ///< requests only
+  std::span<const std::uint8_t> matrix;
+};
+
+/// Borrow an owned frame as a view (no copies).
+SweepFrameView as_view(const SweepFrame& frame);
+
+/// Build a request view for `num_words` rows of `matrix` starting at
+/// `word_offset`; `layout_hash` is precomputed by the caller so a client
+/// streaming many shards of one sweep hashes the layout once, not per
+/// frame.
+SweepFrameView make_request_view(const sw::core::GateSpec& spec,
+                                 std::uint64_t layout_hash,
+                                 std::uint64_t word_offset,
+                                 std::uint64_t num_words,
+                                 std::span<const std::uint8_t> matrix);
+
+/// Build the response view answering `request` with a borrowed output
+/// matrix (num_words x num_channels).
+SweepFrameView make_response_view(const SweepFrame& request,
+                                  std::uint64_t num_channels,
+                                  std::span<const std::uint8_t> matrix);
+
 /// Build a request frame for `num_words` rows of `matrix` starting at
 /// `word_offset` of the full sweep; derives num_cols, the spec and the
 /// layout hash from `layout`.
@@ -88,6 +121,13 @@ SweepFrame make_response_frame(const SweepFrame& request,
 /// Serialise a frame. Throws sw::util::Error on inconsistent shapes (e.g.
 /// matrix size vs num_words * num_cols, response carrying a spec).
 std::vector<std::uint8_t> encode_frame(const SweepFrame& frame);
+
+/// Append the serialised frame to `out` without intermediate buffers: the
+/// matrix is bit-packed directly into the output and the checksum patched
+/// in place. The zero-copy path the event server and pipelined clients
+/// encode on; `encode_frame` is a resize-and-forward over this.
+void encode_frame_into(const SweepFrameView& frame,
+                       std::vector<std::uint8_t>& out);
 
 /// Parse a frame, validating magic, version, kind, sizes, checksum and
 /// payload padding; throws sw::util::Error on any violation (truncated

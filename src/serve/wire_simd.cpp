@@ -1,0 +1,73 @@
+// AVX2 bulk bit-pack/unpack for the wire codec. Compiled with -mavx2 when
+// the toolchain has it (see CMakeLists); the dispatcher in wire.cpp only
+// calls these after a runtime CPUID check, so the library stays portable.
+#include "serve/wire_simd.h"
+
+#if defined(SWLOGIC_WIRE_AVX2)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace sw::serve::detail {
+
+namespace {
+
+/// 32 cells -> 4 packed bytes per step: compare-to-zero gives a byte mask,
+/// movemask gathers one bit per byte in exactly the wire order (bit i of
+/// packed byte b = cell b*8 + i, little-endian across the u32).
+void pack_avx2(const std::uint8_t* cells, std::size_t packed_bytes,
+               std::uint8_t* out) {
+  const __m256i zero = _mm256_setzero_si256();
+  for (std::size_t b = 0; b + 4 <= packed_bytes; b += 4) {
+    const __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(cells + b * 8));
+    const __m256i is_zero = _mm256_cmpeq_epi8(v, zero);
+    const std::uint32_t mask =
+        ~static_cast<std::uint32_t>(_mm256_movemask_epi8(is_zero));
+    std::memcpy(out + b, &mask, 4);
+  }
+}
+
+/// 4 packed bytes -> 32 cells per step: broadcast the u32, shuffle each
+/// packed byte across its 8 destination lanes, select each lane's bit and
+/// normalise the 0xFF compare mask to 0/1.
+void unpack_avx2(const std::uint8_t* packed, std::size_t packed_bytes,
+                 std::uint8_t* cells) {
+  // Per 128-bit lane the shuffle sources its own lane of the broadcast, so
+  // lane 0 spreads packed bytes 0-1 and lane 1 spreads bytes 2-3.
+  const __m256i spread_ctl = _mm256_setr_epi8(
+      0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1,
+      2, 2, 2, 2, 2, 2, 2, 2, 3, 3, 3, 3, 3, 3, 3, 3);
+  const __m256i bit_sel =
+      _mm256_set1_epi64x(static_cast<long long>(0x8040201008040201ull));
+  const __m256i one = _mm256_set1_epi8(1);
+  for (std::size_t b = 0; b + 4 <= packed_bytes; b += 4) {
+    std::uint32_t word;
+    std::memcpy(&word, packed + b, 4);
+    const __m256i v = _mm256_set1_epi32(static_cast<int>(word));
+    const __m256i bytes = _mm256_shuffle_epi8(v, spread_ctl);
+    const __m256i sel = _mm256_and_si256(bytes, bit_sel);
+    const __m256i ones = _mm256_cmpeq_epi8(sel, bit_sel);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(cells + b * 8),
+                        _mm256_and_si256(ones, one));
+  }
+}
+
+constexpr WireCodec kAvx2Codec{pack_avx2, unpack_avx2};
+
+}  // namespace
+
+const WireCodec* wire_codec_avx2_candidate() { return &kAvx2Codec; }
+
+}  // namespace sw::serve::detail
+
+#else  // !SWLOGIC_WIRE_AVX2
+
+namespace sw::serve::detail {
+
+const WireCodec* wire_codec_avx2_candidate() { return nullptr; }
+
+}  // namespace sw::serve::detail
+
+#endif

@@ -1,0 +1,34 @@
+// SIMD bulk codec for the bit-packed wire matrix (serve/wire.cpp's hot
+// loop), mirroring the wavesim kernel pattern: the AVX2 implementation
+// lives in exactly one -mavx2 TU (wire_simd.cpp) behind a runtime CPUID
+// check, and this header exposes only a portable candidate accessor that
+// returns nullptr when the build or the host lacks AVX2.
+//
+// Both functions operate on the *flat* cell stream — valid whenever
+// num_cols % 8 == 0, where packed rows tile the payload with no padding
+// bits — and process only whole 32-cell groups; the caller finishes any
+// remainder with the scalar helpers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sw::serve::detail {
+
+struct WireCodec {
+  /// Pack cells[0 .. packed_bytes*8) (one byte per cell, nonzero = 1) into
+  /// packed_bytes output bytes, bit i of byte b = cell b*8 + i.
+  /// `packed_bytes` must be a multiple of 4 (32 cells per step).
+  void (*pack)(const std::uint8_t* cells, std::size_t packed_bytes,
+               std::uint8_t* out);
+  /// Inverse: expand packed_bytes bytes into 0/1 cells. Same multiple-of-4
+  /// contract.
+  void (*unpack)(const std::uint8_t* packed, std::size_t packed_bytes,
+                 std::uint8_t* cells);
+};
+
+/// The AVX2 codec, or nullptr when this TU was built without -mavx2. The
+/// caller still gates on __builtin_cpu_supports("avx2") before use.
+const WireCodec* wire_codec_avx2_candidate();
+
+}  // namespace sw::serve::detail

@@ -1,19 +1,23 @@
 // Networked-serving tests: endpoint parsing, socket round trips and
 // timeout behaviour over TCP and unix-domain transports, the message
 // envelope, EvalServer end-to-end against the in-process evaluator
-// (including kShed mapping to a typed error frame on a surviving
-// connection, metrics scraping and layout-hash rejection), and the
-// SweepCoordinator's distributed exhaustive sweep with straggler
-// re-sharding, bit-exact duplicate deduplication and
-// divergent-duplicate abort.
+// (including pipelined tagged out-of-order completion, kShed mapping to
+// a typed error frame on a surviving connection, connection-cap refusal
+// with a live accept loop, metrics scraping and layout-hash rejection),
+// the worker registry (advert codec, TTL upsert/expiry, tag echo), and
+// the SweepCoordinator's distributed exhaustive sweep with registry
+// discovery, straggler re-sharding, bit-exact duplicate deduplication
+// and divergent-duplicate abort.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <random>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -25,6 +29,7 @@
 #include "net/eval_server.h"
 #include "net/metrics.h"
 #include "net/protocol.h"
+#include "net/registry.h"
 #include "net/socket.h"
 #include "net/sweep_coordinator.h"
 #include "serve/layout_hash.h"
@@ -209,9 +214,10 @@ TEST(NetProtocol, CorruptEnvelopeRejected) {
 TEST(NetProtocol, OversizedPayloadPrefixRejected) {
   auto bytes =
       encode_message(make_error_message(ErrorCode::kInternal, "x"));
-  // Stamp an absurd payload_size (offset 8) before any body arrives: the
-  // decoder must reject from the header alone instead of allocating.
-  for (int i = 0; i < 8; ++i) bytes[8 + i] = 0xFF;
+  // Stamp an absurd payload_size (offset 16 in the v2 header) before any
+  // body arrives: the decoder must reject from the header alone instead
+  // of allocating.
+  for (int i = 0; i < 8; ++i) bytes[16 + i] = 0xFF;
   Listener listener(loopback());
   Connection client;
   std::thread connector([&] {
@@ -383,6 +389,242 @@ TEST(EvalServer, ShutdownMessageSetsFlagWithoutStopping) {
                    sw::serve::make_request_frame(layout, 0, 1, matrix)),
                2000ms);
   EXPECT_TRUE(recv_frame(conn, 10000ms).has_value());
+}
+
+TEST(EvalServer, PipelinedTaggedRequestsCompleteOutOfOrder) {
+  // One connection, six tagged shard requests sent back-to-back in a
+  // single write, replies matched by tag: the event core must answer all
+  // of them without a request/response lockstep, in whatever order the
+  // evaluations finish.
+  ServerFixture fx(loopback());
+  const GateSpec spec = majority_spec(3, 2);
+  const GateLayout layout = fx.designer.design(spec);
+  const std::uint64_t hash = sw::serve::hash_layout(layout);
+  constexpr std::size_t kDepth = 6;
+  constexpr std::size_t kShardWords = 8;
+  constexpr std::size_t kSlots = 2 * 3;
+  const std::size_t channels = layout.spec.frequencies.size();
+  const auto matrix = random_matrix(kDepth * kShardWords, kSlots, 21);
+
+  const WaveEngine engine(fx.model, fx.wg.material.alpha);
+  const DataParallelGate gate(layout, engine);
+  const BatchEvaluator evaluator(gate);
+  const auto expected = evaluator.evaluate_bits(kDepth * kShardWords, matrix);
+
+  auto conn = Connection::connect(fx.server.local_endpoint(), 2000ms);
+  std::vector<std::uint8_t> burst;
+  for (std::size_t tag = 0; tag < kDepth; ++tag) {
+    const auto view = sw::serve::make_request_view(
+        layout.spec, hash, tag * kShardWords, kShardWords,
+        std::span<const std::uint8_t>(matrix).subspan(
+            tag * kShardWords * kSlots, kShardWords * kSlots));
+    append_frame_message(burst, view, tag);
+  }
+  conn.send_all(burst, 5000ms);
+
+  std::vector<bool> seen(kDepth, false);
+  for (std::size_t i = 0; i < kDepth; ++i) {
+    auto message = recv_message(conn, 60000ms);
+    ASSERT_TRUE(message.has_value());
+    ASSERT_EQ(message->kind, MessageKind::kFrame);
+    const std::uint64_t tag = message->tag;
+    ASSERT_LT(tag, kDepth);
+    EXPECT_FALSE(seen[tag]) << "tag " << tag << " answered twice";
+    seen[tag] = true;
+    const auto frame = sw::serve::decode_frame(message->payload);
+    EXPECT_EQ(frame.kind, sw::serve::FrameKind::kResponse);
+    EXPECT_EQ(frame.word_offset, tag * kShardWords);
+    EXPECT_EQ(frame.num_words, kShardWords);
+    const std::vector<std::uint8_t> slice(
+        expected.begin() + static_cast<std::ptrdiff_t>(
+                               tag * kShardWords * channels),
+        expected.begin() + static_cast<std::ptrdiff_t>(
+                               (tag + 1) * kShardWords * channels));
+    EXPECT_EQ(frame.matrix, slice) << "wrong bits for tag " << tag;
+  }
+  for (std::size_t tag = 0; tag < kDepth; ++tag) {
+    EXPECT_TRUE(seen[tag]) << "tag " << tag << " never answered";
+  }
+  const auto counters = fx.server.counters();
+  EXPECT_EQ(counters.frames_received, kDepth);
+  EXPECT_EQ(counters.responses_sent, kDepth);
+  EXPECT_EQ(counters.errors_sent, 0u);
+}
+
+TEST(EvalServer, RefusesConnectionsPastCapButKeepsAccepting) {
+  EvalServerOptions server_options;
+  server_options.max_connections = 2;
+  ServerFixture fx(loopback(), {}, server_options);
+  const GateLayout layout = fx.designer.design(majority_spec(3, 2));
+  const auto matrix = random_matrix(1, 6, 23);
+  const auto request = sw::serve::make_request_frame(layout, 0, 1, matrix);
+
+  // Prove each admission with a served request before connecting the
+  // next peer: connect() only completes the TCP handshake (the kernel
+  // backlog does that), so without the round trip the refusal could land
+  // on any of the three.
+  auto conn_a = Connection::connect(fx.server.local_endpoint(), 2000ms);
+  send_message(conn_a, make_frame_message(request), 2000ms);
+  ASSERT_TRUE(recv_frame(conn_a, 60000ms).has_value());
+  auto conn_b = Connection::connect(fx.server.local_endpoint(), 2000ms);
+  send_message(conn_b, make_frame_message(request), 2000ms);
+  ASSERT_TRUE(recv_frame(conn_b, 60000ms).has_value());
+
+  // The third connection must receive a *typed* refusal, then EOF — not
+  // a silent drop, and not a hung accept loop.
+  auto conn_c = Connection::connect(fx.server.local_endpoint(), 2000ms);
+  auto refusal = recv_message(conn_c, 60000ms);
+  ASSERT_TRUE(refusal.has_value());
+  ASSERT_EQ(refusal->kind, MessageKind::kError);
+  EXPECT_EQ(decode_error_message(*refusal).code, ErrorCode::kOverload);
+  EXPECT_FALSE(recv_message(conn_c, 60000ms).has_value())
+      << "refused connection should be closed after the error reply";
+
+  {
+    // connections_accepted counts every accept(), refused ones included;
+    // the admitted population is the difference.
+    const auto counters = fx.server.counters();
+    EXPECT_GE(counters.connections_refused, 1u);
+    EXPECT_EQ(counters.connections_accepted - counters.connections_refused,
+              2u);
+    EXPECT_LE(counters.active_connections, 2u);
+  }
+
+  // Freeing a slot re-opens admission: close B, wait for the server to
+  // reap it, and a fresh connection must be served again.
+  conn_b.close();
+  const auto deadline = std::chrono::steady_clock::now() + 60s;
+  while (fx.server.counters().active_connections >= 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_LT(fx.server.counters().active_connections, 2u)
+      << "server never noticed the closed connection";
+  auto conn_d = Connection::connect(fx.server.local_endpoint(), 2000ms);
+  send_message(conn_d, make_frame_message(request), 2000ms);
+  EXPECT_TRUE(recv_frame(conn_d, 60000ms).has_value())
+      << "accept loop must stay live after refusals";
+}
+
+TEST(EvalServer, StopIsNotStalledByRefusedPeersThatNeverRead) {
+  // Regression: the old thread-per-connection server sent the refusal
+  // reply with a blocking write while holding the server mutex, so a
+  // refused peer that never read could wedge accept *and* stop(). The
+  // event core writes refusals non-blockingly; stop() must stay prompt
+  // however many unread refusals are outstanding.
+  EvalServerOptions server_options;
+  server_options.max_connections = 1;
+  ServerFixture fx(loopback(), {}, server_options);
+  const GateLayout layout = fx.designer.design(majority_spec(3, 2));
+  const auto matrix = random_matrix(1, 6, 29);
+  const auto request = sw::serve::make_request_frame(layout, 0, 1, matrix);
+
+  auto admitted = Connection::connect(fx.server.local_endpoint(), 2000ms);
+  send_message(admitted, make_frame_message(request), 2000ms);
+  ASSERT_TRUE(recv_frame(admitted, 60000ms).has_value());
+
+  std::vector<Connection> silent;
+  for (int i = 0; i < 3; ++i) {
+    silent.push_back(Connection::connect(fx.server.local_endpoint(), 2000ms));
+  }
+  const auto refused_deadline = std::chrono::steady_clock::now() + 60s;
+  while (fx.server.counters().connections_refused < 3 &&
+         std::chrono::steady_clock::now() < refused_deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_GE(fx.server.counters().connections_refused, 3u);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  fx.server.stop();
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, 5s)
+      << "stop() stalled behind unread refusal replies";
+}
+
+// ---------------------------------------------------------------- registry --
+
+TEST(NetRegistry, AdvertCodecRoundTripsAndRejectsMalformed) {
+  std::vector<WorkerAdvert> adverts(2);
+  adverts[0] = {"tcp:127.0.0.1:4101", "avx2", "f64", 2.5e7};
+  adverts[1] = {"unix:/tmp/worker.sock", "scalar", "f32", 0.0};
+  const auto bytes = encode_adverts(adverts);
+  EXPECT_EQ(decode_adverts(bytes), adverts);
+
+  // Truncation anywhere must throw, never read garbage.
+  for (const std::size_t keep : {std::size_t{0}, bytes.size() / 2,
+                                 bytes.size() - 1}) {
+    std::span<const std::uint8_t> cut(bytes.data(), keep);
+    EXPECT_THROW((void)decode_adverts(cut), sw::util::Error) << keep;
+  }
+  // Trailing bytes after the advertised count are corruption too.
+  auto padded = bytes;
+  padded.push_back(0);
+  EXPECT_THROW((void)decode_adverts(padded), sw::util::Error);
+  // An advert with no endpoint is useless to a coordinator: rejected.
+  const auto empty_endpoint =
+      encode_adverts({WorkerAdvert{"", "scalar", "f64", 0.0}});
+  EXPECT_THROW((void)decode_adverts(empty_endpoint), sw::util::Error);
+}
+
+TEST(NetRegistry, RegisterUpsertsPerEndpointAndExpiresByTtl) {
+  RegistryOptions registry_options;
+  registry_options.ttl = 300ms;
+  RegistryServer registry(loopback(), registry_options);
+
+  WorkerAdvert a{"tcp:127.0.0.1:4201", "scalar", "f64", 1e6};
+  WorkerAdvert b{"tcp:127.0.0.1:4202", "avx2", "f64", 3e6};
+  register_worker(registry.local_endpoint(), a, 2000ms);
+  // Regression: the upsert once keyed the entry map on a moved-out
+  // endpoint string, so every worker landed on the same "" key and only
+  // the last register survived. Both adverts must coexist.
+  register_worker(registry.local_endpoint(), b, 2000ms);
+  auto listed = fetch_registry(registry.local_endpoint(), 2000ms);
+  ASSERT_EQ(listed.size(), 2u);
+  EXPECT_EQ(listed[0], a);  // snapshot order is keyed by endpoint
+  EXPECT_EQ(listed[1], b);
+
+  // A heartbeat for a known endpoint updates in place, no duplicate.
+  a.words_per_second = 2e6;
+  register_worker(registry.local_endpoint(), a, 2000ms);
+  listed = fetch_registry(registry.local_endpoint(), 2000ms);
+  ASSERT_EQ(listed.size(), 2u);
+  EXPECT_EQ(listed[0].words_per_second, 2e6);
+
+  // Stop heartbeating and the adverts age out of the snapshot.
+  std::this_thread::sleep_for(400ms);
+  EXPECT_TRUE(fetch_registry(registry.local_endpoint(), 2000ms).empty());
+}
+
+TEST(NetRegistry, EchoesTagsAndRejectsUnsupportedKinds) {
+  RegistryServer registry(loopback());
+  auto conn = Connection::connect(registry.local_endpoint(), 2000ms);
+
+  Message reg;
+  reg.kind = MessageKind::kRegister;
+  reg.tag = 77;
+  reg.payload =
+      encode_adverts({WorkerAdvert{"tcp:127.0.0.1:4301", "scalar", "f64", 0}});
+  send_message(conn, reg, 2000ms);
+  auto ack = recv_message(conn, 5000ms);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->kind, MessageKind::kRegister);
+  EXPECT_EQ(ack->tag, 77u);
+
+  Message alien;
+  alien.kind = MessageKind::kMetricsRequest;
+  alien.tag = 78;
+  send_message(conn, alien, 2000ms);
+  auto refused = recv_message(conn, 5000ms);
+  ASSERT_TRUE(refused.has_value());
+  ASSERT_EQ(refused->kind, MessageKind::kError);
+  EXPECT_EQ(decode_error_message(*refused).code, ErrorCode::kBadRequest);
+  EXPECT_EQ(refused->tag, 78u);
+
+  // The connection survives the rejected message.
+  reg.tag = 79;
+  send_message(conn, reg, 2000ms);
+  ack = recv_message(conn, 5000ms);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->tag, 79u);
 }
 
 // ------------------------------------------------- distributed sweeping --
@@ -630,6 +872,63 @@ TEST(SweepCoordinator, DivergentDuplicateAborts) {
     EXPECT_NE(std::string(e.what()).find("diverge"), std::string::npos)
         << e.what();
   }
+}
+
+TEST(SweepCoordinator, DiscoversHeartbeatingWorkersAndSweepsBitExact) {
+  // End-to-end discovery: two EvalServers heartbeat their adverts into a
+  // registry, the coordinator takes its worker list from discover() alone
+  // (no static endpoints anywhere), and the distributed sweep still
+  // matches the in-process evaluator bit for bit.
+  RegistryServer registry(loopback());
+  EvalServerOptions server_options;
+  server_options.registry = registry.local_endpoint();
+  server_options.advertised_words_per_second = 1e6;
+  ServerFixture worker_a(loopback(), {}, server_options);
+  ServerFixture worker_b(loopback(), {}, server_options);
+
+  const auto discovered = SweepCoordinator::discover(
+      registry.local_endpoint(), 2, 30000ms);
+  ASSERT_EQ(discovered.size(), 2u);
+  std::vector<std::string> found;
+  for (const auto& ep : discovered) found.push_back(ep.to_string());
+  std::vector<std::string> served{
+      worker_a.server.local_endpoint().to_string(),
+      worker_b.server.local_endpoint().to_string()};
+  std::sort(found.begin(), found.end());
+  std::sort(served.begin(), served.end());
+  EXPECT_EQ(found, served);
+
+  // The adverts must carry real capability facts, not placeholders.
+  for (const auto& advert : fetch_registry(registry.local_endpoint(), 2000ms)) {
+    EXPECT_FALSE(advert.kernel.empty());
+    EXPECT_FALSE(advert.precision.empty());
+    EXPECT_EQ(advert.words_per_second, 1e6);
+  }
+
+  const GateSpec spec = majority_spec(3, SmallSweep::kChannels);
+  const GateLayout layout = worker_a.designer.design(spec);
+  const auto matrix =
+      random_matrix(SmallSweep::kWords, SmallSweep::kSlots, 31);
+  const WaveEngine engine(worker_a.model, worker_a.wg.material.alpha);
+  const DataParallelGate gate(layout, engine);
+  const BatchEvaluator evaluator(gate);
+  const auto expected = evaluator.evaluate_bits(SmallSweep::kWords, matrix);
+
+  SweepOptions options;
+  options.shard_words = 512;
+  SweepCoordinator coordinator(discovered, options);
+  SweepReport report;
+  const auto merged =
+      coordinator.run(layout, matrix, SmallSweep::kWords, &report);
+  EXPECT_EQ(merged, expected);
+  EXPECT_EQ(report.dead_workers, 0u);
+}
+
+TEST(SweepCoordinator, DiscoverTimesOutOnAnEmptyRegistry) {
+  RegistryServer registry(loopback());
+  EXPECT_THROW((void)SweepCoordinator::discover(registry.local_endpoint(),
+                                                1, 300ms),
+               TimeoutError);
 }
 
 TEST(SweepCoordinator, AbortsWhenEveryWorkerIsUnreachable) {

@@ -681,6 +681,40 @@ TEST(LatencyReservoir, EmptySummaryIsZero) {
   EXPECT_DOUBLE_EQ(summary.p99_s, 0.0);
 }
 
+TEST(LatencyReservoir, NearestRankBoundaries) {
+  // n = 1: every percentile is the single sample (rank ceil(q) == 1).
+  {
+    sw::serve::LatencyReservoir reservoir(8);
+    reservoir.record(7.0);
+    const auto summary = reservoir.summary();
+    EXPECT_DOUBLE_EQ(summary.p50_s, 7.0);
+    EXPECT_DOUBLE_EQ(summary.p95_s, 7.0);
+    EXPECT_DOUBLE_EQ(summary.p99_s, 7.0);
+  }
+  // n = 2: p50 must be the *lower* sample — ceil(0.5 * 2) is exactly 1,
+  // the boundary a pseudo-ceil (q * n + eps) overshoots to rank 2.
+  {
+    sw::serve::LatencyReservoir reservoir(8);
+    reservoir.record(2.0);
+    reservoir.record(1.0);
+    const auto summary = reservoir.summary();
+    EXPECT_DOUBLE_EQ(summary.p50_s, 1.0);
+    EXPECT_DOUBLE_EQ(summary.p95_s, 2.0);
+    EXPECT_DOUBLE_EQ(summary.p99_s, 2.0);
+  }
+  // n = 100 recorded in descending order: q * n integral for all three
+  // quantiles (ranks 50 / 95 / 99 exactly), and the result must not
+  // depend on insertion order.
+  {
+    sw::serve::LatencyReservoir reservoir(256);
+    for (int i = 100; i >= 1; --i) reservoir.record(static_cast<double>(i));
+    const auto summary = reservoir.summary();
+    EXPECT_DOUBLE_EQ(summary.p50_s, 50.0);
+    EXPECT_DOUBLE_EQ(summary.p95_s, 95.0);
+    EXPECT_DOUBLE_EQ(summary.p99_s, 99.0);
+  }
+}
+
 TEST(EvaluatorService, TracksLatencyPercentilesAndCompletionHook) {
   const ServeFixture fix;
   const auto layout = fix.majority_layout(3, 2);
