@@ -133,7 +133,17 @@ class BenchJson {
 
   void add(const std::string& name, const std::string& kernel,
            const std::string& precision, double words_per_s) {
-    rows_.push_back({name, kernel, precision, words_per_s});
+    rows_.push_back({name, kernel, precision, words_per_s, false, 0, 0});
+  }
+
+  /// Row for a mixed-precision (block-f32) measurement: also records the
+  /// per-detector grant split so the artifact shows WHAT ran at f32, not
+  /// just how fast. Plain `add` rows omit the mix fields entirely.
+  void add_mix(const std::string& name, const std::string& kernel,
+               const std::string& precision, double words_per_s,
+               std::size_t f32_detectors, std::size_t rescue_detectors) {
+    rows_.push_back({name, kernel, precision, words_per_s, true,
+                     f32_detectors, rescue_detectors});
   }
 
   /// Writes the file; returns false (and says so on stderr) when the path
@@ -153,6 +163,9 @@ class BenchJson {
     std::fprintf(f, "    \"avx2\": %s,\n",
                  sw::wavesim::kernels::avx2_kernel() != nullptr ? "true"
                                                                 : "false");
+    std::fprintf(f, "    \"avx512\": %s,\n",
+                 sw::wavesim::kernels::avx512_kernel() != nullptr ? "true"
+                                                                  : "false");
     std::fprintf(f, "    \"active_kernel\": \"%s\",\n",
                  std::string(sw::wavesim::active_kernel_name()).c_str());
     std::fprintf(f, "    \"active_precision\": \"%s\",\n",
@@ -166,9 +179,16 @@ class BenchJson {
       const Row& r = rows_[i];
       std::fprintf(f,
                    "    {\"name\": \"%s\", \"kernel\": \"%s\", "
-                   "\"precision\": \"%s\", \"words_per_s\": %.1f}%s\n",
+                   "\"precision\": \"%s\", \"words_per_s\": %.1f",
                    r.name.c_str(), r.kernel.c_str(), r.precision.c_str(),
-                   r.words_per_s, i + 1 < rows_.size() ? "," : "");
+                   r.words_per_s);
+      if (r.has_mix) {
+        std::fprintf(f,
+                     ", \"f32_detectors\": %zu, "
+                     "\"f64_rescue_detectors\": %zu",
+                     r.f32_detectors, r.f64_rescue_detectors);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
@@ -195,6 +215,9 @@ class BenchJson {
     std::string kernel;
     std::string precision;
     double words_per_s = 0.0;
+    bool has_mix = false;  ///< emit the per-detector precision split
+    std::size_t f32_detectors = 0;
+    std::size_t f64_rescue_detectors = 0;
   };
   std::string path_;
   std::vector<Row> rows_;

@@ -76,6 +76,7 @@ std::vector<std::uint8_t> run_rebuild_per_call(const BenchSetup& s) {
 }
 
 std::vector<std::uint8_t> run_service_batches(serve::EvaluatorService& svc,
+                                              const core::GateLayout& layout,
                                               const BenchSetup& s,
                                               std::size_t batches) {
   // Pipelined client: submit the whole wave, then drain the futures. The
@@ -84,7 +85,7 @@ std::vector<std::uint8_t> run_service_batches(serve::EvaluatorService& svc,
   std::deque<std::future<serve::ResultBatch>> inflight;
   std::vector<std::uint8_t> last;
   for (std::size_t i = 0; i < batches; ++i) {
-    inflight.push_back(svc.submit(s.layout, s.batch, kWordsPerBatch));
+    inflight.push_back(svc.submit(layout, s.batch, kWordsPerBatch));
   }
   while (!inflight.empty()) {
     last = inflight.front().get().bits;
@@ -118,7 +119,7 @@ void run_experiment(bench::BenchJson& json) {
 
   std::vector<std::uint8_t> served;
   const double service_s = bench::best_of_three_seconds(
-      [&] { served = run_service_batches(svc, s, kBatches); });
+      [&] { served = run_service_batches(svc, s.layout, s, kBatches); });
 
   const auto stats = svc.stats();
   std::printf("rebuild per call : %8.1f ms  (%10.0f words/s)\n",
@@ -180,6 +181,20 @@ void run_experiment(bench::BenchJson& json) {
     } else {
       std::printf("AVX2 kernel      : unavailable on this build/host\n\n");
     }
+    if (const auto* avx512 = wavesim::kernels::avx512_kernel()) {
+      const double simd512_s = time_kernel(f64, *avx512);
+      const double simd512_f32_s = time_kernel(f32, *avx512);
+      std::printf("AVX-512 f64      : %8.2f ms  (%10.0f words/s, %.2fx)\n",
+                  simd512_s * 1e3, words / simd512_s, scalar_s / simd512_s);
+      std::printf("AVX-512 f32      : %8.2f ms  (%10.0f words/s, %.2fx over "
+                  "f64 AVX-512)\n\n",
+                  simd512_f32_s * 1e3, words / simd512_f32_s,
+                  simd512_s / simd512_f32_s);
+      json.add("serving_batch_shape", "avx512", "f64", words / simd512_s);
+      json.add("serving_batch_shape", "avx512", "f32", words / simd512_f32_s);
+    } else {
+      std::printf("AVX-512 kernel   : unavailable on this build/host\n\n");
+    }
   }
   std::printf("cache: %llu hits / %llu misses / %llu evictions; "
               "%llu requests served\n",
@@ -204,6 +219,85 @@ void run_experiment(bench::BenchJson& json) {
   // rebuild-per-call baseline, as a hard floor so CI catches regressions.
   SW_REQUIRE(rebuild_s / service_s >= 2.0,
              "service steady state regressed below 2x rebuild-per-call");
+}
+
+/// Returns the serving layout with one channel's margin driven to ~0: the
+/// last input's source amplitude at `channel` is rescaled so the pattern
+/// exciting only that input nearly cancels the rest at the detector. The
+/// f32 margin proof must then reject exactly that detector, making an
+/// f32-precision service build a block plan (f32 run + one f64 rescue lane)
+/// instead of falling back wholesale.
+core::GateLayout thin_one_channel(const BenchSetup& s, std::size_t channel) {
+  core::GateLayout layout = s.layout;
+  const core::DataParallelGate gate(layout, s.engine);
+  const wavesim::EvalPlan probe(gate, wavesim::kDefaultFreqTol,
+                                wavesim::Precision::kFloat64);
+  const auto offsets = probe.detector_offsets();
+  for (std::size_t d = 0; d < probe.num_detectors(); ++d) {
+    if (probe.detector_channels()[d] != channel) continue;
+    const std::size_t i = offsets[d];
+    const std::size_t n = offsets[d + 1] - offsets[d];
+    SW_REQUIRE(n >= 2, "thin-channel fixture expects >= 2 contributions");
+    double head = 0.0;
+    for (std::size_t k = 0; k + 1 < n; ++k) head += probe.re0()[i + k];
+    const double t = head / probe.re0()[i + n - 1];
+    const std::uint32_t input = probe.inputs()[i + n - 1];
+    for (auto& src : layout.sources) {
+      if (src.channel == channel && src.input == input) src.amplitude *= t;
+    }
+    return layout;
+  }
+  throw sw::util::Error("no detector found for the thinned channel");
+}
+
+/// Steady-state serving of a layout whose f32 plan is a block plan: the
+/// detector mix must surface through PlanCacheStats -> ServiceStats -> the
+/// bench artifact, and the served bits must equal the all-f64 reference
+/// (the proof guarantees the f32 run, the rescue lanes guarantee the rest).
+void run_block_experiment(bench::BenchJson& json) {
+  const auto& s = setup();
+  const core::GateLayout thin = thin_one_channel(s, /*channel=*/5);
+  const double words = static_cast<double>(kBatches * kWordsPerBatch);
+
+  const core::DataParallelGate gate(thin, s.engine);
+  const wavesim::BatchEvaluator f64(
+      gate, {.num_threads = 1, .precision = wavesim::Precision::kFloat64});
+  const auto want = f64.evaluate_bits(kWordsPerBatch, s.batch);
+
+  serve::ServiceOptions options;
+  options.plan_cache_capacity = 8;
+  options.admission.max_queued_requests = kBatches + 8;
+  options.evaluator_options = {.num_threads = 1,
+                               .precision = wavesim::Precision::kFloat32};
+  serve::EvaluatorService svc(s.model, s.wg.material.alpha, options);
+  (void)svc.submit(thin, s.batch, kWordsPerBatch).get();  // warm the cache
+
+  std::vector<std::uint8_t> served;
+  const double service_s = bench::best_of_three_seconds(
+      [&] { served = run_service_batches(svc, thin, s, kBatches); });
+
+  const auto stats = svc.stats();
+  std::printf("block-plan serving (1 thinned channel, f32-precision "
+              "service):\n");
+  std::printf("steady state     : %8.1f ms  (%10.0f words/s, kernel: %s)\n",
+              service_s * 1e3, words / service_s, stats.kernel.c_str());
+  std::printf("plan mix         : %llu block plan(s), %llu f32 detectors / "
+              "%llu f64 rescue detectors\n\n",
+              static_cast<unsigned long long>(stats.cache.block_plans),
+              static_cast<unsigned long long>(stats.cache.f32_detectors),
+              static_cast<unsigned long long>(
+                  stats.cache.f64_rescue_detectors));
+  std::fflush(stdout);
+  SW_REQUIRE(served == want,
+             "block-plan serving diverged from the all-f64 reference");
+  SW_REQUIRE(stats.cache.block_plans == 1,
+             "thinned layout did not build a block plan in the service");
+  SW_REQUIRE(stats.cache.f32_detectors == 7 &&
+                 stats.cache.f64_rescue_detectors == 1,
+             "expected a 7-proved / 1-rescued detector split in the cache");
+  json.add_mix("service_block_plan", stats.kernel, "block-f32",
+               words / service_s, stats.cache.f32_detectors,
+               stats.cache.f64_rescue_detectors);
 }
 
 void BM_RebuildPerCall(benchmark::State& state) {
@@ -236,6 +330,7 @@ int main(int argc, char** argv) {
       "=== E7: serving throughput — plan cache vs rebuild per call ===\n\n");
   sw::bench::BenchJson json("BENCH_service.json");
   run_experiment(json);
+  run_block_experiment(json);
   json.write("bench_service_throughput");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

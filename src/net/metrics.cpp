@@ -40,10 +40,25 @@ std::string render_service_metrics(const sw::serve::ServiceStats& stats) {
   line_u64(out, "sw_serve_plan_cache_f32_plans", stats.cache.f32_plans);
   line_u64(out, "sw_serve_plan_cache_f32_fallbacks",
            stats.cache.f32_fallbacks);
+  line_u64(out, "sw_serve_plan_cache_block_plans", stats.cache.block_plans);
+  line_u64(out, "sw_serve_plan_cache_f32_detectors",
+           stats.cache.f32_detectors);
+  line_u64(out, "sw_serve_plan_cache_f64_rescue_detectors",
+           stats.cache.f64_rescue_detectors);
+  // Detector-granularity f32 share across every f32-requested build: 1.0
+  // means every detector runs f32, 0.0 none (or no f32 builds yet).
+  const double mix_total = static_cast<double>(stats.cache.f32_detectors) +
+                           static_cast<double>(stats.cache.f64_rescue_detectors);
+  line_f64(out, "sw_serve_f32_detector_ratio",
+           mix_total > 0.0
+               ? static_cast<double>(stats.cache.f32_detectors) / mix_total
+               : 0.0);
   // Identity flags carry their value in a label, Prometheus-style, so the
   // set of metric names stays fixed across hosts and configurations.
   out += "sw_serve_kernel{name=\"" + stats.kernel + "\"} 1\n";
   out += "sw_serve_precision{name=\"" + stats.precision + "\"} 1\n";
+  out += "sw_serve_kernel_info{kernel=\"" + stats.kernel + "\",precision=\"" +
+         stats.precision + "\"} 1\n";
   return out;
 }
 

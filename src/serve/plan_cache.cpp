@@ -152,13 +152,19 @@ PlanCache::Lookup PlanCache::get_or_build(const sw::core::GateLayout& layout,
       auto plan =
           std::make_shared<const CachedPlan>(layout, *engine_, options);
       if (precision == sw::wavesim::Precision::kFloat32) {
+        const auto& built = plan->plan();
         std::lock_guard<std::mutex> lock(mutex_);
-        if (plan->effective_precision() ==
-            sw::wavesim::Precision::kFloat32) {
+        // Exactly one of the three per-build counters, plus the
+        // detector-granularity mix either way.
+        if (built.has_f32()) {
           ++stats_.f32_plans;
+        } else if (built.is_block()) {
+          ++stats_.block_plans;
         } else {
           ++stats_.f32_fallbacks;
         }
+        stats_.f32_detectors += built.num_f32_detectors();
+        stats_.f64_rescue_detectors += built.num_f64_rescue_detectors();
       }
       builder.set_value(std::move(plan));
     } catch (...) {

@@ -64,10 +64,21 @@ class CachedPlan {
   const sw::wavesim::EvalPlan& plan() const { return *plan_; }
   const sw::wavesim::BatchEvaluator& evaluator() const { return evaluator_; }
   /// What this entry actually serves (kFloat64 when an f32 request fell
-  /// back; plan().f32_rejection() says why).
+  /// back; plan().f32_rejection() says why). Block-f32 entries report
+  /// kFloat64 here (not every decode runs f32) — the detector mix below
+  /// and precision_label() carry the finer verdict.
   sw::wavesim::Precision effective_precision() const {
     return plan_->effective_precision();
   }
+  /// Per-entry precision mix: how many of the plan's detectors run f32
+  /// accumulation vs f64 rescue lanes (see EvalPlan). Both 0 on a plan
+  /// that never requested f32.
+  std::size_t f32_detectors() const { return plan_->num_f32_detectors(); }
+  std::size_t f64_rescue_detectors() const {
+    return plan_->num_f64_rescue_detectors();
+  }
+  /// "f64", "f32" or "block-f32(k/n)" — the label logs and benches print.
+  std::string precision_label() const { return plan_->precision_label(); }
 
  private:
   sw::core::DataParallelGate gate_;
@@ -79,10 +90,22 @@ struct PlanCacheStats {
   std::uint64_t hits = 0;       ///< lookups served from a cached plan
   std::uint64_t misses = 0;     ///< lookups that triggered a build
   std::uint64_t evictions = 0;  ///< LRU entries dropped to respect capacity
-  /// Builds that requested kFloat32 and got it (margin analysis passed).
+  /// Builds that requested kFloat32 and got it everywhere (every detector
+  /// passed the margin analysis).
   std::uint64_t f32_plans = 0;
-  /// Builds that requested kFloat32 but fell back to the double plan.
+  /// Builds that requested kFloat32 but fell back to the double plan
+  /// entirely (no detector passed).
   std::uint64_t f32_fallbacks = 0;
+  /// Builds that came out block-f32: a genuine per-detector mix of f32 and
+  /// f64 rescue lanes. Disjoint from both counters above; every f32-
+  /// requested build lands in exactly one of the three.
+  std::uint64_t block_plans = 0;
+  /// Detector-granularity mix, accumulated across every f32-requested
+  /// build: how many detectors were proved for f32 accumulation vs rescued
+  /// to f64 lanes. f32_detectors / (f32_detectors + f64_rescue_detectors)
+  /// is the fleet-visible f32 ratio the metrics endpoint exports.
+  std::uint64_t f32_detectors = 0;
+  std::uint64_t f64_rescue_detectors = 0;
 };
 
 class PlanCache {

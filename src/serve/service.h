@@ -81,14 +81,16 @@ struct ServiceStats {
   std::size_t queued_requests = 0;  ///< admitted, not yet picked up
   std::size_t inflight_words = 0;   ///< admitted, not yet completed
   /// Evaluation kernel every evaluate_bits dispatches to ("scalar" |
-  /// "avx2"; see sw::wavesim::active_kernel_name()).
+  /// "avx2" | "avx512"; see sw::wavesim::active_kernel_name()).
   std::string kernel;
   /// Requested evaluation precision of this service's plans ("f64" |
   /// "f32"; ServiceOptions::evaluator_options.precision with kAuto
-  /// resolved). An f32 service can still serve double plans per layout —
-  /// cache.f32_fallbacks counts those margin-aware fallbacks, so
-  /// precision == "f32" with f32_fallbacks > 0 reads "asked for f32, some
-  /// layouts refused".
+  /// resolved). An f32 service can still serve double or block-f32 plans
+  /// per layout: cache.f32_fallbacks counts full margin-aware fallbacks,
+  /// cache.block_plans the per-detector mixes, and cache.f32_detectors /
+  /// cache.f64_rescue_detectors the detector-granularity split — so
+  /// precision == "f32" with f64_rescue_detectors > 0 reads "asked for
+  /// f32, some detectors were rescued to f64 lanes".
   std::string precision;
   /// Submit-to-completion latency percentiles over the recent-request
   /// window (ServiceOptions::latency_window); the metrics endpoint and the

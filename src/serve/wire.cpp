@@ -116,14 +116,23 @@ void unpack_cells8(std::uint8_t packed, std::uint8_t* cells) {
   }
 }
 
-/// The AVX2 bulk codec for the flat (num_cols % 8 == 0) path, or nullptr
-/// on hosts/builds without it; resolved once, mirroring the wavesim kernel
-/// dispatch.
+/// The SIMD bulk codec for the flat (num_cols % 8 == 0) path — AVX-512 (64
+/// cells/step) when the host and build have it, else AVX2 (32 cells/step),
+/// else nullptr; resolved once, mirroring the wavesim kernel dispatch. The
+/// caller reads codec->step for its bulk granularity.
 const detail::WireCodec* wire_simd() {
 #if defined(__x86_64__) || defined(__i386__)
-  static const detail::WireCodec* codec =
-      __builtin_cpu_supports("avx2") ? detail::wire_codec_avx2_candidate()
-                                     : nullptr;
+  static const detail::WireCodec* codec = [] {
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512bw")) {
+      if (const detail::WireCodec* c = detail::wire_codec_avx512_candidate()) {
+        return c;
+      }
+    }
+    return __builtin_cpu_supports("avx2")
+               ? detail::wire_codec_avx2_candidate()
+               : static_cast<const detail::WireCodec*>(nullptr);
+  }();
   return codec;
 #else
   return nullptr;
@@ -246,7 +255,7 @@ void encode_frame_into(const SweepFrameView& frame,
     // with the u64 trick finishing the sub-group tail.
     std::uint8_t* packed = out.data() + payload_at;
     const detail::WireCodec* simd = wire_simd();
-    const std::size_t bulk = simd ? payload_size & ~std::size_t{3} : 0;
+    const std::size_t bulk = simd ? payload_size & ~(simd->step - 1) : 0;
     if (bulk > 0) simd->pack(frame.matrix.data(), bulk, packed);
     for (std::size_t b = bulk; b < payload_size; ++b) {
       packed[b] = pack_cells8(frame.matrix.data() + b * 8);
@@ -338,7 +347,7 @@ SweepFrame decode_frame(std::span<const std::uint8_t> bytes) {
     // no padding bits, so the payload is one contiguous packed stream.
     const std::size_t total = static_cast<std::size_t>(payload_size);
     const detail::WireCodec* simd = wire_simd();
-    const std::size_t bulk = simd ? total & ~std::size_t{3} : 0;
+    const std::size_t bulk = simd ? total & ~(simd->step - 1) : 0;
     if (bulk > 0) simd->unpack(payload.data(), bulk, frame.matrix.data());
     for (std::size_t b = bulk; b < total; ++b) {
       unpack_cells8(payload[b], frame.matrix.data() + b * 8);

@@ -1,6 +1,10 @@
-// AVX2 bulk bit-pack/unpack for the wire codec. Compiled with -mavx2 when
-// the toolchain has it (see CMakeLists); the dispatcher in wire.cpp only
-// calls these after a runtime CPUID check, so the library stays portable.
+// SIMD bulk bit-pack/unpack for the wire codec. The AVX2 flavour rides the
+// TU-wide -mavx2 flag (added by CMake when the toolchain has it); the
+// AVX-512 flavour stays in this same TU behind per-function target
+// attributes, so the AVX2 code keeps its VEX encoding (no TU-wide
+// -mavx512* flags that could leak EVEX instructions into the AVX2 path and
+// SIGILL an AVX2-only host). The dispatcher in wire.cpp only calls either
+// after a runtime CPUID check, so the library stays portable.
 #include "serve/wire_simd.h"
 
 #if defined(SWLOGIC_WIRE_AVX2)
@@ -54,7 +58,7 @@ void unpack_avx2(const std::uint8_t* packed, std::size_t packed_bytes,
   }
 }
 
-constexpr WireCodec kAvx2Codec{pack_avx2, unpack_avx2};
+constexpr WireCodec kAvx2Codec{pack_avx2, unpack_avx2, 4};
 
 }  // namespace
 
@@ -67,6 +71,63 @@ const WireCodec* wire_codec_avx2_candidate() { return &kAvx2Codec; }
 namespace sw::serve::detail {
 
 const WireCodec* wire_codec_avx2_candidate() { return nullptr; }
+
+}  // namespace sw::serve::detail
+
+#endif
+
+#if defined(SWLOGIC_WIRE_AVX512)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace sw::serve::detail {
+
+namespace {
+
+/// 64 cells -> 8 packed bytes per step: one masked byte test turns the
+/// whole register into a __mmask64 whose bit j is "cell j nonzero" — which
+/// is already the wire order (bit i of packed byte b = cell b*8 + i,
+/// little-endian across the u64).
+__attribute__((target("avx512f,avx512bw"))) void pack_avx512(
+    const std::uint8_t* cells, std::size_t packed_bytes, std::uint8_t* out) {
+  for (std::size_t b = 0; b + 8 <= packed_bytes; b += 8) {
+    const __m512i v = _mm512_loadu_si512(cells + b * 8);
+    const std::uint64_t mask =
+        _cvtmask64_u64(_mm512_test_epi8_mask(v, v));
+    std::memcpy(out + b, &mask, 8);
+  }
+}
+
+/// 8 packed bytes -> 64 cells per step: reinterpret the bytes as a
+/// __mmask64 and let a masked zero-broadcast write 1 where the bit is set,
+/// 0 elsewhere — no shuffle/bit-select dance at all.
+__attribute__((target("avx512f,avx512bw"))) void unpack_avx512(
+    const std::uint8_t* packed, std::size_t packed_bytes,
+    std::uint8_t* cells) {
+  const __m512i one = _mm512_set1_epi8(1);
+  for (std::size_t b = 0; b + 8 <= packed_bytes; b += 8) {
+    std::uint64_t word;
+    std::memcpy(&word, packed + b, 8);
+    _mm512_storeu_si512(cells + b * 8,
+                        _mm512_maskz_mov_epi8(_cvtu64_mask64(word), one));
+  }
+}
+
+constexpr WireCodec kAvx512Codec{pack_avx512, unpack_avx512, 8};
+
+}  // namespace
+
+const WireCodec* wire_codec_avx512_candidate() { return &kAvx512Codec; }
+
+}  // namespace sw::serve::detail
+
+#else  // !SWLOGIC_WIRE_AVX512
+
+namespace sw::serve::detail {
+
+const WireCodec* wire_codec_avx512_candidate() { return nullptr; }
 
 }  // namespace sw::serve::detail
 

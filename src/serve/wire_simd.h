@@ -1,13 +1,16 @@
 // SIMD bulk codec for the bit-packed wire matrix (serve/wire.cpp's hot
-// loop), mirroring the wavesim kernel pattern: the AVX2 implementation
-// lives in exactly one -mavx2 TU (wire_simd.cpp) behind a runtime CPUID
-// check, and this header exposes only a portable candidate accessor that
-// returns nullptr when the build or the host lacks AVX2.
+// loop), mirroring the wavesim kernel pattern: the vector implementations
+// live in exactly one TU (wire_simd.cpp) behind a runtime CPUID check in
+// the dispatcher, and this header exposes only portable candidate
+// accessors that return nullptr when the build lacks the codegen.
 //
-// Both functions operate on the *flat* cell stream — valid whenever
+// Two flavours exist: AVX2 (32 cells per step via byte-compare + movemask)
+// and AVX-512 (64 cells per step via masked byte ops — one
+// _mm512_test_epi8_mask per pack step, one maskz byte-broadcast per unpack
+// step). Both operate on the *flat* cell stream — valid whenever
 // num_cols % 8 == 0, where packed rows tile the payload with no padding
-// bits — and process only whole 32-cell groups; the caller finishes any
-// remainder with the scalar helpers.
+// bits — and process only whole `step`-packed-byte groups; the caller
+// finishes any remainder with the scalar helpers.
 #pragma once
 
 #include <cstddef>
@@ -18,17 +21,26 @@ namespace sw::serve::detail {
 struct WireCodec {
   /// Pack cells[0 .. packed_bytes*8) (one byte per cell, nonzero = 1) into
   /// packed_bytes output bytes, bit i of byte b = cell b*8 + i.
-  /// `packed_bytes` must be a multiple of 4 (32 cells per step).
+  /// `packed_bytes` must be a multiple of `step`.
   void (*pack)(const std::uint8_t* cells, std::size_t packed_bytes,
                std::uint8_t* out);
-  /// Inverse: expand packed_bytes bytes into 0/1 cells. Same multiple-of-4
-  /// contract.
+  /// Inverse: expand packed_bytes bytes into 0/1 cells. Same multiple-of-
+  /// `step` contract.
   void (*unpack)(const std::uint8_t* packed, std::size_t packed_bytes,
                  std::uint8_t* cells);
+  /// Packed-byte granularity of one vector step (4 for AVX2's 32 cells, 8
+  /// for AVX-512's 64). Always a power of two; the caller computes its
+  /// bulk prefix as `total & ~(step - 1)`.
+  std::size_t step;
 };
 
 /// The AVX2 codec, or nullptr when this TU was built without -mavx2. The
 /// caller still gates on __builtin_cpu_supports("avx2") before use.
 const WireCodec* wire_codec_avx2_candidate();
+
+/// The AVX-512 codec, or nullptr when the build lacks AVX-512 codegen. The
+/// caller still gates on __builtin_cpu_supports for "avx512f" AND
+/// "avx512bw" (the byte-mask ops are BW) before use.
+const WireCodec* wire_codec_avx512_candidate();
 
 }  // namespace sw::serve::detail

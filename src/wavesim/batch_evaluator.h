@@ -8,20 +8,22 @@
 // orchestrator over that observation: the frozen constants live in a SoA
 // EvalPlan (eval_plan.h), every per-word path — the packed evaluate_bits
 // decode *and* the full ChannelResult evaluate/evaluate_with paths — runs
-// in a runtime-dispatched kernel (kernels/kernel.h — scalar reference or
-// AVX2, SW_EVAL_KERNEL overrides), and the word batch fans across a
-// ThreadPool. Decoded results are bit-for-bit identical to the scalar
-// path: the plan's constants are produced by the same arithmetic, and
-// every kernel preserves the scalar per-detector accumulation order word
-// by word.
+// in a runtime-dispatched kernel (kernels/kernel.h — scalar reference,
+// AVX2 or AVX-512, SW_EVAL_KERNEL overrides), and the word batch fans
+// across a ThreadPool. Decoded results are bit-for-bit identical to the
+// scalar path: the plan's constants are produced by the same arithmetic,
+// and every kernel preserves the scalar per-detector accumulation order
+// word by word.
 //
 // Precision: BatchOptions::precision (default kAuto -> SW_EVAL_PRECISION /
 // f64) asks for the single-precision plan variant on the packed
-// evaluate_bits path — 8 words per AVX2 register instead of 4 — which the
-// plan grants only after its build-time margin analysis proves no decode
-// can flip (see EvalPlan); otherwise evaluation transparently runs the
-// double arrays and effective_precision() says so. The ChannelResult paths
-// always accumulate in double: phase/amplitude/margin are analog readouts.
+// evaluate_bits path — twice the words per register — which the plan
+// grants *per detector* after its build-time margin analysis proves no
+// decode can flip (see EvalPlan): all proved runs the pure f32 kernel
+// entry, a mix runs the block-f32 entry (f32 for the proved run, f64
+// rescue lanes for the rest), none proved transparently runs the double
+// arrays and effective_precision() says so. The ChannelResult paths always
+// accumulate in double: phase/amplitude/margin are analog readouts.
 #pragma once
 
 #include <cstdint>

@@ -16,16 +16,29 @@
 // identical to DataParallelGate::evaluate by construction.
 //
 // A plan built with Precision::kFloat32 additionally carries float mirrors
-// of the real-part arrays for the 8-wide f32 kernels — but only when the
-// layout has been *proved* safe at build time: the minimum decode margin
-// (the smallest |Re| any bit assignment can produce at any detector) is
-// computed in double, checked against a worst-case f32 accumulation error
-// bound, and an exhaustive per-detector validation sweep replays the exact
-// f32 accumulation to confirm every reachable decode matches the double
-// plan. If any check fails the plan transparently falls back to double
-// arrays only (effective_precision() == kFloat64) and records why; decoded
-// bits are therefore identical across precisions on every plan this class
-// will ever serve.
+// of the real-part arrays for the wide f32 kernels — but only for detectors
+// that have been *proved* safe at build time. The margin proof runs per
+// detector: the minimum decode margin (the smallest |Re| any bit assignment
+// can produce at that detector) is computed in double, checked against a
+// worst-case f32 accumulation error bound, and an exhaustive validation
+// sweep replays the exact f32 accumulation to confirm every reachable
+// decode matches the double plan. The proof's verdict is a per-detector
+// precision tag, not an all-or-nothing plan property:
+//
+//   * every detector proved  -> a pure f32 plan (has_f32(), the PR 4 case);
+//   * every detector rejected -> the plan degenerates to exactly the double
+//     plan (no float arrays, identical decode path);
+//   * a mix -> a *block-f32* plan: detectors are partitioned at build time
+//     into two contiguous runs — the proved detectors first (served by f32
+//     accumulation over the float mirrors), the rejected ones after (served
+//     by f64 "rescue lanes" over the double arrays) — so the kernels' mixed
+//     entry point runs two branch-free loops instead of a per-detector
+//     precision branch. detector_results() maps each plan-order detector
+//     back to its original layout position for the ChannelResult paths.
+//
+// Decoded bits are identical across precisions on every plan this class
+// will ever serve: f32 lanes are enumerated-proved, rescue lanes are f64 by
+// construction.
 //
 // An EvalPlan is immutable after construction and holds no reference to the
 // gate or engine, so it is safe to share across threads and to cache (see
@@ -54,8 +67,8 @@ class EvalPlan {
   /// relative source/detector frequency matching tolerance and must equal
   /// the scalar path's for bit-exact equivalence. `precision` is the
   /// *requested* precision (kAuto defers to SW_EVAL_PRECISION / f64); the
-  /// margin analysis decides what is actually served — see
-  /// effective_precision().
+  /// per-detector margin analysis decides what is actually served — see
+  /// num_f32_detectors() / effective_precision().
   explicit EvalPlan(const sw::core::DataParallelGate& gate,
                     double freq_tol = kDefaultFreqTol,
                     Precision precision = Precision::kAuto);
@@ -71,13 +84,23 @@ class EvalPlan {
 
   /// Detector d's contributions occupy indices [detector_offsets()[d],
   /// detector_offsets()[d + 1]) of the per-contribution arrays, in scalar
-  /// source order. Size num_detectors() + 1.
+  /// source order. Size num_detectors() + 1. Detector indices are *plan
+  /// order*: on a block-f32 plan the proved detectors occupy [0,
+  /// num_f32_detectors()) and the rescue detectors the rest; everywhere
+  /// else plan order equals layout order.
   std::span<const std::size_t> detector_offsets() const {
     return det_offsets_;
   }
   /// Output channel written by detector d (row index of the decoded bit).
   std::span<const std::size_t> detector_channels() const {
     return det_channels_;
+  }
+  /// Original layout position of plan-order detector d — the element index
+  /// the ChannelResult kernels write, so reordering detectors for the
+  /// block-f32 partition never reorders caller-visible results. Identity
+  /// on every non-block plan.
+  std::span<const std::size_t> detector_results() const {
+    return det_results_;
   }
 
   /// Per-contribution SoA arrays (all of size num_contributions(), 64-byte
@@ -100,37 +123,64 @@ class EvalPlan {
 
   /// What the caller asked for, kAuto already resolved (kFloat64/kFloat32).
   Precision requested_precision() const { return requested_; }
-  /// What the plan actually serves: kFloat32 iff the f32 arrays exist,
-  /// kFloat64 when f64 was requested *or* the margin analysis rejected f32.
+  /// The strict verdict: kFloat32 iff *every* decode runs in f32
+  /// (has_f32()), kFloat64 otherwise — including block-f32 plans, whose
+  /// mix is reported by num_f32_detectors()/num_f64_rescue_detectors()
+  /// and precision_label() instead of widening this enum.
   Precision effective_precision() const {
     return has_f32() ? Precision::kFloat32 : Precision::kFloat64;
   }
-  bool has_f32() const { return f32_ok_; }
+  /// True iff every detector passed the margin proof (pure f32 plan; the
+  /// kernels' eval_bits_f32 entry is legal on the whole plan).
+  bool has_f32() const {
+    return requested_ == Precision::kFloat32 &&
+           num_f32_detectors_ == num_detectors();
+  }
 
-  /// Float mirrors of the real-part arrays (empty unless has_f32()). Only
-  /// the real parts exist in f32: the packed decode consumes nothing but
-  /// sign(Re), and the ChannelResult paths (which need im for phase and
-  /// amplitude) always run in double — those are analog readouts, not
-  /// thresholded bits, so single precision buys nothing worth the loss.
+  /// Detectors served by f32 accumulation — plan-order indices
+  /// [0, num_f32_detectors()). 0 unless kFloat32 was requested.
+  std::size_t num_f32_detectors() const { return num_f32_detectors_; }
+  /// Detectors that failed the margin proof and run f64 rescue lanes —
+  /// plan-order indices [num_f32_detectors(), num_detectors()). 0 when f32
+  /// was never requested (nothing was rescued).
+  std::size_t num_f64_rescue_detectors() const { return num_rescue_; }
+  /// A genuine mix: some detectors f32, some rescued. Selects the kernels'
+  /// eval_bits_mixed entry point.
+  bool is_block() const { return num_f32_detectors_ > 0 && num_rescue_ > 0; }
+
+  /// Human-readable precision mix: "f64", "f32", or "block-f32(7/8)" —
+  /// what logs, stats strings and benches print.
+  std::string precision_label() const;
+
+  /// Float mirrors of the real-part arrays, covering exactly the f32 run's
+  /// contributions: indices [0, detector_offsets()[num_f32_detectors()]).
+  /// Empty when no detector was proved. Only the real parts exist in f32:
+  /// the packed decode consumes nothing but sign(Re), and the
+  /// ChannelResult paths (which need im for phase and amplitude) always
+  /// run in double — those are analog readouts, not thresholded bits, so
+  /// single precision buys nothing worth the loss.
   std::span<const float> re0_f32() const { return re0_f32_; }
   std::span<const float> re1_f32() const { return re1_f32_; }
 
-  /// Smallest |Re| any bit assignment can produce at any detector, in
-  /// double (the decode threshold is Re < 0, so this is the worst-case
-  /// distance to a bit flip). 0 when the margin analysis was skipped
-  /// (kFloat64 requested) or could not enumerate (see f32_rejection()).
+  /// Smallest |Re| any bit assignment can produce at any enumerated
+  /// detector, in double (the decode threshold is Re < 0, so this is the
+  /// worst-case distance to a bit flip). 0 when the margin analysis was
+  /// skipped (kFloat64 requested) or no detector could be enumerated.
   double min_decode_margin() const { return min_decode_margin_; }
   /// Worst-case |f32 accumulation - f64 accumulation| bound over all
   /// detectors and bit assignments (conversion + summation rounding).
   double f32_error_bound() const { return f32_error_bound_; }
 
-  /// Why a kFloat32 request fell back to the double plan; empty when f32
-  /// is active or was never requested. Surfaced through PlanCacheStats /
-  /// ServiceStats so operators can see which layouts refuse f32.
+  /// Why a kFloat32 request could not run f32 everywhere; empty when every
+  /// detector was proved or f32 was never requested. On a block plan this
+  /// names how many detectors were rescued and the first rejection reason.
+  /// Surfaced through PlanCacheStats / ServiceStats so operators can see
+  /// which layouts refuse f32.
   const std::string& f32_rejection() const { return f32_rejection_; }
 
  private:
   void build_f32();
+  void partition_detectors(const std::vector<char>& accepted);
 
   double freq_tol_ = kDefaultFreqTol;
   Precision requested_ = Precision::kFloat64;
@@ -139,6 +189,7 @@ class EvalPlan {
 
   std::vector<std::size_t> det_offsets_;
   std::vector<std::size_t> det_channels_;
+  std::vector<std::size_t> det_results_;
 
   sw::util::AlignedVector<double> re0_;
   sw::util::AlignedVector<double> im0_;
@@ -150,7 +201,8 @@ class EvalPlan {
 
   sw::util::AlignedVector<float> re0_f32_;
   sw::util::AlignedVector<float> re1_f32_;
-  bool f32_ok_ = false;
+  std::size_t num_f32_detectors_ = 0;
+  std::size_t num_rescue_ = 0;
   double min_decode_margin_ = 0.0;
   double f32_error_bound_ = 0.0;
   std::string f32_rejection_;

@@ -1,6 +1,7 @@
 // Kernel selection: explicit by name, or once per process via
 // SW_EVAL_KERNEL / CPUID.
 #include <cstdlib>
+#include <iterator>
 #include <string>
 
 #include "util/error.h"
@@ -25,19 +26,71 @@ const Kernel* avx2_kernel() {
 #endif
 }
 
+const Kernel* avx512_kernel() {
+  // AVX512F covers the compute (masked blends, wide adds, mask compares);
+  // BW is checked for the byte-granularity mask transposes (shared contract
+  // with the AVX-512 wire codec), VL for the xmm-width masked ops in the
+  // mixed kernel's decode transpose. Every BW part ships VL (the one VL-less
+  // AVX-512 line, Knights Landing, lacked BW too), so the triple gate does
+  // not narrow real hardware coverage.
+#if defined(__x86_64__) || defined(__i386__)
+  static const Kernel* kernel = (__builtin_cpu_supports("avx512f") &&
+                                 __builtin_cpu_supports("avx512bw") &&
+                                 __builtin_cpu_supports("avx512vl"))
+                                    ? detail::avx512_kernel_candidate()
+                                    : nullptr;
+  return kernel;
+#else
+  return nullptr;
+#endif
+}
+
+namespace {
+
+/// The one dispatch table: every named kernel, slowest first. select_kernel
+/// resolves names against it, active_kernel's auto choice takes the *last*
+/// available entry, and error messages regenerate their accepted-values
+/// list from it — adding a kernel here is the whole registration.
+struct KernelEntry {
+  const char* name;
+  const Kernel* (*get)();
+};
+
+const Kernel* scalar_kernel_ptr() { return &scalar_kernel(); }
+
+constexpr KernelEntry kKernelTable[] = {
+    {"scalar", &scalar_kernel_ptr},
+    {"avx2", &avx2_kernel},
+    {"avx512", &avx512_kernel},
+};
+
+std::string accepted_kernel_names() {
+  std::string names;
+  constexpr std::size_t n = std::size(kKernelTable);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0) names += (i + 1 == n) ? " or " : ", ";
+    names += '\'';
+    names += kKernelTable[i].name;
+    names += '\'';
+  }
+  return names;
+}
+
+}  // namespace
+
 const Kernel& select_kernel(std::string_view name) {
-  if (name == "scalar") return scalar_kernel();
-  if (name == "avx2") {
-    const Kernel* kernel = avx2_kernel();
+  for (const KernelEntry& entry : kKernelTable) {
+    if (name != entry.name) continue;
+    const Kernel* kernel = entry.get();
     if (kernel == nullptr) {
-      throw sw::util::Error(
-          "evaluation kernel 'avx2' is unavailable: the build lacks AVX2 "
-          "codegen or this CPU lacks the instructions");
+      throw sw::util::Error("evaluation kernel '" + std::string(name) +
+                            "' is unavailable: the build lacks the codegen "
+                            "or this CPU lacks the instructions");
     }
     return *kernel;
   }
   throw sw::util::Error("unknown evaluation kernel '" + std::string(name) +
-                        "' (expected 'scalar' or 'avx2')");
+                        "' (expected " + accepted_kernel_names() + ")");
 }
 
 const Kernel& kernel_from_env(std::string_view value) {
@@ -58,8 +111,13 @@ const Kernel& active_kernel() {
   static const Kernel& chosen = []() -> const Kernel& {
     const char* env = std::getenv("SW_EVAL_KERNEL");
     if (env != nullptr && *env != '\0') return kernel_from_env(env);
-    if (const Kernel* kernel = avx2_kernel()) return *kernel;
-    return scalar_kernel();
+    // Auto: the fastest available entry (the table is ordered slowest
+    // first and 'scalar' is always available).
+    const Kernel* best = &scalar_kernel();
+    for (const KernelEntry& entry : kKernelTable) {
+      if (const Kernel* kernel = entry.get()) best = kernel;
+    }
+    return *best;
   }();
   return chosen;
 }

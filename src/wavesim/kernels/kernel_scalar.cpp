@@ -7,9 +7,15 @@
 // alone roughly halves the arithmetic of the PR 1/2 AoS loop, which dragged
 // the full complex pair (and the indexing metadata interleaved with it)
 // through the accumulator. eval_bits_f32 is the same loop over the plan's
-// float arrays; eval_channels keeps the full complex pair because phase and
-// amplitude need it, then decodes via decide_phase exactly like the scalar
-// gate path.
+// float arrays; eval_bits_mixed composes the two loops over the plan's f32
+// and rescue detector runs; eval_channels keeps the full complex pair
+// because phase and amplitude need it, then decodes via decide_phase
+// exactly like the scalar gate path.
+//
+// The bit loops are defined as detector-range helpers (exported through
+// kernels::detail) because the block-f32 path needs them twice per word
+// range — once per precision run — and the vector kernels need them for
+// odd-word tails that must not re-decode the other run's detectors.
 #include "wavesim/kernels/kernel.h"
 
 #include <complex>
@@ -21,10 +27,11 @@
 
 namespace sw::wavesim::kernels {
 
-namespace {
-
-void eval_bits_scalar(const EvalPlan& plan, const std::uint8_t* bits,
-                      std::size_t begin, std::size_t end, std::uint8_t* out) {
+void detail::eval_bits_scalar_range(const EvalPlan& plan,
+                                    const std::uint8_t* bits,
+                                    std::size_t begin, std::size_t end,
+                                    std::uint8_t* out, std::size_t d_begin,
+                                    std::size_t d_end) {
   const auto offsets = plan.detector_offsets();
   const auto det_channel = plan.detector_channels();
   const auto re0 = plan.re0();
@@ -32,12 +39,11 @@ void eval_bits_scalar(const EvalPlan& plan, const std::uint8_t* bits,
   const auto slots = plan.slots();
   const std::size_t stride = plan.slot_count();
   const std::size_t channels = plan.num_channels();
-  const std::size_t detectors = plan.num_detectors();
 
   for (std::size_t w = begin; w < end; ++w) {
     const std::uint8_t* word = bits + w * stride;
     std::uint8_t* row = out + w * channels;
-    for (std::size_t d = 0; d < detectors; ++d) {
+    for (std::size_t d = d_begin; d < d_end; ++d) {
       double acc = 0.0;
       for (std::size_t i = offsets[d]; i < offsets[d + 1]; ++i) {
         acc += word[slots[i]] ? re1[i] : re0[i];
@@ -49,9 +55,11 @@ void eval_bits_scalar(const EvalPlan& plan, const std::uint8_t* bits,
   }
 }
 
-void eval_bits_f32_scalar(const EvalPlan& plan, const std::uint8_t* bits,
-                          std::size_t begin, std::size_t end,
-                          std::uint8_t* out) {
+void detail::eval_bits_f32_scalar_range(const EvalPlan& plan,
+                                        const std::uint8_t* bits,
+                                        std::size_t begin, std::size_t end,
+                                        std::uint8_t* out, std::size_t d_begin,
+                                        std::size_t d_end) {
   const auto offsets = plan.detector_offsets();
   const auto det_channel = plan.detector_channels();
   const auto re0 = plan.re0_f32();
@@ -59,15 +67,14 @@ void eval_bits_f32_scalar(const EvalPlan& plan, const std::uint8_t* bits,
   const auto slots = plan.slots();
   const std::size_t stride = plan.slot_count();
   const std::size_t channels = plan.num_channels();
-  const std::size_t detectors = plan.num_detectors();
 
   for (std::size_t w = begin; w < end; ++w) {
     const std::uint8_t* word = bits + w * stride;
     std::uint8_t* row = out + w * channels;
-    for (std::size_t d = 0; d < detectors; ++d) {
+    for (std::size_t d = d_begin; d < d_end; ++d) {
       // Float accumulation in index order — exactly the sum the plan's
       // build-time validation sweep replayed, so the decode below can
-      // never disagree with the double plan on a plan that has_f32().
+      // never disagree with the double plan on a proved detector.
       float acc = 0.0f;
       for (std::size_t i = offsets[d]; i < offsets[d + 1]; ++i) {
         acc += word[slots[i]] ? re1[i] : re0[i];
@@ -77,11 +84,36 @@ void eval_bits_f32_scalar(const EvalPlan& plan, const std::uint8_t* bits,
   }
 }
 
+namespace {
+
+void eval_bits_scalar(const EvalPlan& plan, const std::uint8_t* bits,
+                      std::size_t begin, std::size_t end, std::uint8_t* out) {
+  detail::eval_bits_scalar_range(plan, bits, begin, end, out, 0,
+                                 plan.num_detectors());
+}
+
+void eval_bits_f32_scalar(const EvalPlan& plan, const std::uint8_t* bits,
+                          std::size_t begin, std::size_t end,
+                          std::uint8_t* out) {
+  detail::eval_bits_f32_scalar_range(plan, bits, begin, end, out, 0,
+                                     plan.num_detectors());
+}
+
+void eval_bits_mixed_scalar(const EvalPlan& plan, const std::uint8_t* bits,
+                            std::size_t begin, std::size_t end,
+                            std::uint8_t* out) {
+  const std::size_t kf = plan.num_f32_detectors();
+  detail::eval_bits_f32_scalar_range(plan, bits, begin, end, out, 0, kf);
+  detail::eval_bits_scalar_range(plan, bits, begin, end, out, kf,
+                                 plan.num_detectors());
+}
+
 void eval_channels_scalar(const EvalPlan& plan, const std::uint8_t* bits,
                           std::size_t begin, std::size_t end,
                           sw::core::ChannelResult* out) {
   const auto offsets = plan.detector_offsets();
   const auto det_channel = plan.detector_channels();
+  const auto results = plan.detector_results();
   const auto re0 = plan.re0();
   const auto im0 = plan.im0();
   const auto re1 = plan.re1();
@@ -100,11 +132,14 @@ void eval_channels_scalar(const EvalPlan& plan, const std::uint8_t* bits,
                               : std::complex<double>(re0[i], im0[i]);
       }
       const auto decision = sw::core::decide_phase(acc, sw::core::kPhaseZero);
-      row[d].channel = det_channel[d];
-      row[d].logic = decision.logic;
-      row[d].phase = decision.phase;
-      row[d].amplitude = decision.amplitude;
-      row[d].margin = decision.margin;
+      // Element results[d], not d: a block-f32 plan's detectors are in
+      // partitioned plan order, but result rows stay in layout order.
+      sw::core::ChannelResult& r = row[results[d]];
+      r.channel = det_channel[d];
+      r.logic = decision.logic;
+      r.phase = decision.phase;
+      r.amplitude = decision.amplitude;
+      r.margin = decision.margin;
     }
   }
 }
@@ -113,7 +148,8 @@ void eval_channels_scalar(const EvalPlan& plan, const std::uint8_t* bits,
 
 const Kernel& scalar_kernel() {
   static constexpr Kernel kernel{"scalar", &eval_bits_scalar,
-                                 &eval_bits_f32_scalar, &eval_channels_scalar};
+                                 &eval_bits_f32_scalar, &eval_bits_mixed_scalar,
+                                 &eval_channels_scalar};
   return kernel;
 }
 

@@ -1,9 +1,10 @@
-// Kernel-layer coverage: the SoA EvalPlan, the scalar and AVX2 evaluation
-// kernels, and the runtime dispatch. The load-bearing property is bit-exact
-// equivalence — every kernel must decode exactly like the scalar gate path
-// (DataParallelGate::evaluate) on every BooleanOp, including the full 2^16
-// operand sweep at n = 8 and word counts that exercise the AVX2 kernel's
-// 4-word grouping and scalar remainder tail.
+// Kernel-layer coverage: the SoA EvalPlan, the scalar/AVX2/AVX-512
+// evaluation kernels, and the runtime dispatch. The load-bearing property
+// is bit-exact equivalence — every kernel must decode exactly like the
+// scalar gate path (DataParallelGate::evaluate) on every BooleanOp,
+// including the full 2^16 operand sweep at n = 8 and word counts that
+// exercise each kernel's word grouping (4/8 doubles, 8/16 floats) and
+// scalar remainder tail.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -33,6 +34,7 @@ using sw::disp::Waveguide;
 using sw::wavesim::BatchEvaluator;
 using sw::wavesim::EvalPlan;
 using sw::wavesim::kernels::avx2_kernel;
+using sw::wavesim::kernels::avx512_kernel;
 using sw::wavesim::kernels::Kernel;
 using sw::wavesim::kernels::scalar_kernel;
 using sw::wavesim::kernels::select_kernel;
@@ -132,10 +134,40 @@ TEST(KernelDispatch, Avx2SelectionMatchesAvailability) {
   }
 }
 
+TEST(KernelDispatch, Avx512SelectionMatchesAvailability) {
+  if (const Kernel* k = avx512_kernel()) {
+    EXPECT_STREQ(k->name, "avx512");
+    EXPECT_EQ(&select_kernel("avx512"), k);
+  } else {
+    // A build without the codegen (or a host without the instructions)
+    // must fail loudly on a forced avx512 — never fall back silently.
+    try {
+      select_kernel("avx512");
+      FAIL() << "expected sw::util::Error";
+    } catch (const sw::util::Error& e) {
+      EXPECT_NE(std::string(e.what()).find("avx512"), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find("unavailable"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
 TEST(KernelDispatch, UnknownNamesAreRejected) {
   EXPECT_THROW(select_kernel(""), sw::util::Error);
   EXPECT_THROW(select_kernel("sse2"), sw::util::Error);
   EXPECT_THROW(select_kernel("AVX2"), sw::util::Error);  // names are exact
+  // The unknown-name error enumerates the accepted names straight from the
+  // dispatch table, so it can never drift from the kernels that exist.
+  try {
+    select_kernel("avx1024");
+    FAIL() << "expected sw::util::Error";
+  } catch (const sw::util::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'scalar'"), std::string::npos) << what;
+    EXPECT_NE(what.find("'avx2'"), std::string::npos) << what;
+    EXPECT_NE(what.find("'avx512'"), std::string::npos) << what;
+  }
 }
 
 TEST(KernelDispatch, BadEnvOverrideFailsLoudlyAndNamesTheVariable) {
@@ -157,6 +189,21 @@ TEST(KernelDispatch, BadEnvOverrideFailsLoudlyAndNamesTheVariable) {
   // Valid names pass through to the same kernels select_kernel returns.
   EXPECT_EQ(&sw::wavesim::kernels::kernel_from_env("scalar"),
             &scalar_kernel());
+  // SW_EVAL_KERNEL=avx512 is a valid name everywhere; on builds/hosts
+  // without the kernel it must fail loudly naming the variable, not fall
+  // back to a slower kernel.
+  if (const Kernel* k = avx512_kernel()) {
+    EXPECT_EQ(&sw::wavesim::kernels::kernel_from_env("avx512"), k);
+  } else {
+    try {
+      sw::wavesim::kernels::kernel_from_env("avx512");
+      FAIL() << "expected sw::util::Error";
+    } catch (const sw::util::Error& e) {
+      EXPECT_NE(std::string(e.what()).find("SW_EVAL_KERNEL"),
+                std::string::npos)
+          << e.what();
+    }
+  }
 }
 
 TEST(PrecisionDispatch, ParseAndEnvOverride) {
@@ -201,7 +248,9 @@ TEST(KernelDispatch, ActiveKernelHonoursOverrideOrPicksBest) {
   if (const char* env = std::getenv("SW_EVAL_KERNEL"); env && *env) {
     EXPECT_EQ(active, std::string(env));
   } else {
-    EXPECT_EQ(active, avx2_kernel() != nullptr ? "avx2" : "scalar");
+    EXPECT_EQ(active, avx512_kernel() != nullptr
+                          ? "avx512"
+                          : (avx2_kernel() != nullptr ? "avx2" : "scalar"));
   }
   // The cached choice is stable.
   EXPECT_EQ(std::string(sw::wavesim::active_kernel_name()), active);
@@ -377,6 +426,10 @@ TEST(KernelEquivalence, EveryOpExhaustiveAtEveryWidth) {
       if (const Kernel* avx2 = avx2_kernel()) {
         expect_kernel_matches_scalar_gate(logic, evaluator, sweep, *avx2, n);
       }
+      if (const Kernel* avx512 = avx512_kernel()) {
+        expect_kernel_matches_scalar_gate(logic, evaluator, sweep, *avx512,
+                                          n);
+      }
     }
   }
 }
@@ -409,16 +462,25 @@ TEST(KernelEquivalence, Float32DecodesBitIdenticalOnEveryOp) {
         EXPECT_EQ(f32.evaluate_bits(sweep.num_words, sweep.bits, *avx2), want)
             << boolean_op_name(op) << " n=" << n << " (f32 avx2)";
       }
+      if (const Kernel* avx512 = avx512_kernel()) {
+        EXPECT_EQ(f32.evaluate_bits(sweep.num_words, sweep.bits, *avx512),
+                  want)
+            << boolean_op_name(op) << " n=" << n << " (f32 avx512)";
+      }
     }
   }
 }
 
-TEST(KernelEquivalence, Float32OddWordCountsExerciseTheEightWideTail) {
-  // The f32 AVX2 kernel groups EIGHT words per register; word counts below,
-  // at and just past the group size exercise the f32 scalar tail.
-  const Kernel* avx2 = avx2_kernel();
-  if (avx2 == nullptr) {
-    GTEST_SKIP() << "AVX2 kernel unavailable on this build/host";
+TEST(KernelEquivalence, Float32OddWordCountsExerciseTheWideTails) {
+  // The f32 AVX2 kernel groups EIGHT words per register and the AVX-512
+  // one SIXTEEN; word counts below, at and just past both group sizes
+  // exercise each kernel's f32 scalar tail (15/17 straddle the 16-wide
+  // group, 65 leaves a 1-word tail after four full 16-wide groups).
+  std::vector<const Kernel*> simd;
+  if (const Kernel* avx2 = avx2_kernel()) simd.push_back(avx2);
+  if (const Kernel* avx512 = avx512_kernel()) simd.push_back(avx512);
+  if (simd.empty()) {
+    GTEST_SKIP() << "no SIMD kernel available on this build/host";
   }
   const KernelFixture fix;
   const auto gate = fix.majority_gate(3, 4);
@@ -434,9 +496,11 @@ TEST(KernelEquivalence, Float32OddWordCountsExerciseTheEightWideTail) {
                                   31ul, 33ul, 65ul}) {
     std::vector<std::uint8_t> packed(words * stride);
     for (auto& b : packed) b = static_cast<std::uint8_t>(byte(rng));
-    EXPECT_EQ(evaluator.evaluate_bits(words, packed, *avx2),
-              evaluator.evaluate_bits(words, packed, scalar_kernel()))
-        << words << " words";
+    const auto want = evaluator.evaluate_bits(words, packed, scalar_kernel());
+    for (const Kernel* k : simd) {
+      EXPECT_EQ(evaluator.evaluate_bits(words, packed, *k), want)
+          << words << " words, kernel " << k->name;
+    }
   }
 }
 
@@ -452,9 +516,11 @@ TEST(KernelEquivalence, ActiveKernelMatchesScalarKernel) {
 }
 
 TEST(KernelEquivalence, OddWordCountsExerciseTheVectorTail) {
-  const Kernel* avx2 = avx2_kernel();
-  if (avx2 == nullptr) {
-    GTEST_SKIP() << "AVX2 kernel unavailable on this build/host";
+  std::vector<const Kernel*> simd;
+  if (const Kernel* avx2 = avx2_kernel()) simd.push_back(avx2);
+  if (const Kernel* avx512 = avx512_kernel()) simd.push_back(avx512);
+  if (simd.empty()) {
+    GTEST_SKIP() << "no SIMD kernel available on this build/host";
   }
   const KernelFixture fix;
   const auto gate = fix.majority_gate(3, 4);
@@ -463,26 +529,32 @@ TEST(KernelEquivalence, OddWordCountsExerciseTheVectorTail) {
 
   std::mt19937 rng(31);
   std::bernoulli_distribution coin(0.5);
-  // 1..3 words never enter the 4-word loop; 5/7/9 leave 1/3/1-word tails;
-  // 33 leaves a tail after several full groups.
+  // 1..3 words never enter AVX2's 4-word loop and 1..7 never enter
+  // AVX-512's 8-word loop; 5/7/9 leave AVX2 tails, 9 leaves an AVX-512
+  // 1-word tail; 31/33 leave tails after several full groups of either
+  // width.
   for (const std::size_t words : {1ul, 2ul, 3ul, 4ul, 5ul, 6ul, 7ul, 9ul,
                                   31ul, 32ul, 33ul}) {
     std::vector<std::uint8_t> packed(words * stride);
     for (auto& b : packed) b = coin(rng) ? 1 : 0;
-    EXPECT_EQ(evaluator.evaluate_bits(words, packed, *avx2),
-              evaluator.evaluate_bits(words, packed, scalar_kernel()))
-        << words << " words";
+    const auto want = evaluator.evaluate_bits(words, packed, scalar_kernel());
+    for (const Kernel* k : simd) {
+      EXPECT_EQ(evaluator.evaluate_bits(words, packed, *k), want)
+          << words << " words, kernel " << k->name;
+    }
   }
 }
 
 TEST(KernelEquivalence, NonCanonicalBytesDecodeIdentically) {
   // evaluate_bits documents a bit per byte but never validates the values;
-  // the scalar kernel treats any nonzero byte as a set bit, and the AVX2
-  // mask transpose must agree (a lane mask keyed on bit 0 alone would
+  // the scalar kernel treats any nonzero byte as a set bit, and the SIMD
+  // mask builds must agree (a lane mask keyed on bit 0 alone would
   // silently decode 2, 4, 0x80... as zeros).
-  const Kernel* avx2 = avx2_kernel();
-  if (avx2 == nullptr) {
-    GTEST_SKIP() << "AVX2 kernel unavailable on this build/host";
+  std::vector<const Kernel*> simd;
+  if (const Kernel* avx2 = avx2_kernel()) simd.push_back(avx2);
+  if (const Kernel* avx512 = avx512_kernel()) simd.push_back(avx512);
+  if (simd.empty()) {
+    GTEST_SKIP() << "no SIMD kernel available on this build/host";
   }
   const KernelFixture fix;
   const auto gate = fix.majority_gate(3, 4);
@@ -492,8 +564,11 @@ TEST(KernelEquivalence, NonCanonicalBytesDecodeIdentically) {
   std::uniform_int_distribution<int> byte(0, 255);
   std::vector<std::uint8_t> packed(words * evaluator.slot_count());
   for (auto& b : packed) b = static_cast<std::uint8_t>(byte(rng));
-  EXPECT_EQ(evaluator.evaluate_bits(words, packed, *avx2),
-            evaluator.evaluate_bits(words, packed, scalar_kernel()));
+  const auto want = evaluator.evaluate_bits(words, packed, scalar_kernel());
+  for (const Kernel* k : simd) {
+    EXPECT_EQ(evaluator.evaluate_bits(words, packed, *k), want)
+        << "kernel " << k->name;
+  }
 }
 
 TEST(KernelEquivalence, ThreadedChunkingDoesNotChangeDecodes) {

@@ -37,6 +37,7 @@
 #include "serve/wire.h"
 #include "util/error.h"
 #include "wavesim/batch_evaluator.h"
+#include "wavesim/kernels/kernel.h"
 #include "wavesim/wave_engine.h"
 
 namespace {
@@ -269,6 +270,19 @@ TEST(EvalServer, ServesBatchesBitExactWithMetrics) {
   EXPECT_NE(text.find("sw_serve_plan_cache_hits 2"), std::string::npos);
   EXPECT_NE(text.find("sw_net_frames_received 3"), std::string::npos);
   EXPECT_NE(text.find("sw_net_connections_accepted 1"), std::string::npos);
+  // The kernel/precision identity gauge and the detector-granularity f32
+  // share must scrape: the kernel label is the active kernel's name and
+  // the ratio is a bare number (0 here — no f32 builds in this fixture).
+  EXPECT_NE(
+      text.find("sw_serve_kernel_info{kernel=\"" +
+                std::string(sw::wavesim::active_kernel_name()) + "\""),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("sw_serve_f32_detector_ratio 0"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("sw_serve_plan_cache_block_plans 0"),
+            std::string::npos)
+      << text;
 
   const auto counters = fx.server.counters();
   EXPECT_EQ(counters.frames_received, 3u);
@@ -679,9 +693,13 @@ TEST(SweepCoordinator, DistributedExhaustiveSweepMatchesSingleProcess) {
   EXPECT_EQ(report.dead_workers, 0u);
   EXPECT_EQ(report.shards_per_worker.size(), 2u);
   EXPECT_EQ(report.shards_per_worker[0] + report.shards_per_worker[1], 16u);
-  EXPECT_GE(report.shards_per_worker[0], 1u)
-      << "both live workers should retire shards";
-  EXPECT_GE(report.shards_per_worker[1], 1u);
+  // No per-worker minimum: shard acquisition is pull-based, and with the
+  // SIMD kernels a 4096-word shard evaluates in tens of microseconds —
+  // on a single-core host one worker can legitimately drain the whole
+  // queue while the other is still building its plan. That the work
+  // flows to whichever worker makes progress is asserted
+  // deterministically by the straggler test below (all shards end up on
+  // the fast worker when the other is delayed).
 }
 
 /// A hand-rolled worker for fault injection: serves real evaluations but

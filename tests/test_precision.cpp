@@ -5,6 +5,12 @@
 // whose stats count the fallbacks) and by EvaluatorService (whose
 // ServiceStats report the configured precision and the per-layout
 // verdicts). A paper-margin layout on the same fixtures must keep f32.
+//
+// The margin proof is per DETECTOR: when only some channels are thin the
+// plan partitions into a block-f32 plan (proved detectors accumulate f32,
+// rejected ones ride f64 rescue lanes) that must decode bit-identical to
+// the all-f64 plan on every kernel, and the detector mix must surface in
+// PlanCacheStats / ServiceStats.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -15,6 +21,7 @@
 #include "core/encoding.h"
 #include "core/gate.h"
 #include "core/gate_design.h"
+#include "core/logic_ops.h"
 #include "dispersion/fvmsw.h"
 #include "mag/material.h"
 #include "serve/plan_cache.h"
@@ -22,6 +29,7 @@
 #include "util/error.h"
 #include "wavesim/batch_evaluator.h"
 #include "wavesim/eval_plan.h"
+#include "wavesim/kernels/kernel.h"
 #include "wavesim/precision.h"
 #include "wavesim/wave_engine.h"
 
@@ -58,32 +66,44 @@ struct PrecisionFixture {
     return designer.design(spec);
   }
 
-  /// A single-channel 3-input layout rescaled so one bit assignment sums
-  /// to (nearly) zero at the detector: with phase-pi contributions being
-  /// exact negations, scaling the third source's amplitude by
+  /// Rescales one channel of a 3-input layout so a bit assignment sums to
+  /// (nearly) zero at that channel's detector: with phase-pi contributions
+  /// being exact negations, scaling the third source's amplitude by
   /// (re0[0] + re0[1]) / re0[2] makes the (0, 0, 1) assignment cancel.
   /// The double plan still decodes deterministically (bit-exact vs the
-  /// scalar gate path either way); f32 must refuse the layout.
-  GateLayout thin_margin_layout() const {
-    GateLayout layout = majority_layout(3, 1);
+  /// scalar gate path either way); f32 must refuse exactly that detector
+  /// while every other channel keeps its paper margin.
+  GateLayout thin_channel(GateLayout layout, std::size_t channel) const {
     const DataParallelGate gate(layout, engine);
     const EvalPlan probe(gate, sw::wavesim::kDefaultFreqTol,
                          Precision::kFloat64);
-    // One detector, three contributions; map the third contribution back
-    // to its source via the plan's input index rather than assuming the
-    // source vector's order. Throw (clean test failure) rather than index
-    // past the spans if a designer change ever alters the shape.
-    if (probe.num_contributions() != 3) {
-      throw sw::util::Error("thin-margin fixture expects 3 contributions");
+    const auto offsets = probe.detector_offsets();
+    for (std::size_t d = 0; d < probe.num_detectors(); ++d) {
+      if (probe.detector_channels()[d] != channel) continue;
+      // Three contributions per detector on the majority fabric; map the
+      // third back to its source via the plan's input index rather than
+      // assuming the source vector's order. Throw (clean test failure)
+      // rather than index past the spans if a designer change ever alters
+      // the shape.
+      if (offsets[d + 1] - offsets[d] != 3) {
+        throw sw::util::Error("thin-channel fixture expects 3 contributions");
+      }
+      const std::size_t i = offsets[d];
+      const double t =
+          (probe.re0()[i] + probe.re0()[i + 1]) / probe.re0()[i + 2];
+      EXPECT_GT(t, 0.0);  // phase-0 contributions are co-phased by design
+      const std::uint32_t input = probe.inputs()[i + 2];
+      for (auto& s : layout.sources) {
+        if (s.channel == channel && s.input == input) s.amplitude *= t;
+      }
+      return layout;
     }
-    const double t =
-        (probe.re0()[0] + probe.re0()[1]) / probe.re0()[2];
-    EXPECT_GT(t, 0.0);  // phase-0 contributions are co-phased by design
-    const std::uint32_t input = probe.inputs()[2];
-    for (auto& s : layout.sources) {
-      if (s.channel == 0 && s.input == input) s.amplitude *= t;
-    }
-    return layout;
+    throw sw::util::Error("no detector found for the thinned channel");
+  }
+
+  /// The single-channel special case the all-or-nothing fallback tests use.
+  GateLayout thin_margin_layout() const {
+    return thin_channel(majority_layout(3, 1), 0);
   }
 };
 
@@ -151,6 +171,217 @@ TEST(MarginFallback, WideMarginLayoutKeepsFloat32) {
   EXPECT_EQ(plan.effective_precision(), Precision::kFloat32);
 }
 
+// ---------------------------------------------------------------- block --
+
+using sw::wavesim::kernels::Kernel;
+
+/// Every kernel available on this build/host, scalar first.
+std::vector<const Kernel*> all_kernels() {
+  std::vector<const Kernel*> kernels{&sw::wavesim::kernels::scalar_kernel()};
+  if (const Kernel* k = sw::wavesim::kernels::avx2_kernel()) {
+    kernels.push_back(k);
+  }
+  if (const Kernel* k = sw::wavesim::kernels::avx512_kernel()) {
+    kernels.push_back(k);
+  }
+  return kernels;
+}
+
+/// The exhaustive operand sweep of a logic op packed into the evaluate_bits
+/// matrix: binary ops sweep all 2^n x 2^n (a, b) word pairs with the
+/// constant input pinned per op (2^16 words at n = 8); unary ops sweep the
+/// 2^n a-words.
+std::vector<std::uint8_t> exhaustive_op_matrix(BooleanOp op, std::size_t n,
+                                               std::size_t num_inputs,
+                                               std::size_t* num_words) {
+  const bool binary =
+      op != BooleanOp::kBuffer && op != BooleanOp::kNot;
+  const std::uint8_t pin =
+      (op == BooleanOp::kOr || op == BooleanOp::kNor) ? 1 : 0;
+  const std::size_t stride = n * num_inputs;
+  const std::size_t a_values = std::size_t{1} << n;
+  const std::size_t b_values = binary ? a_values : 1;
+  *num_words = a_values * b_values;
+  std::vector<std::uint8_t> bits(*num_words * stride);
+  std::size_t w = 0;
+  for (std::size_t av = 0; av < a_values; ++av) {
+    for (std::size_t bv = 0; bv < b_values; ++bv, ++w) {
+      for (std::size_t ch = 0; ch < n; ++ch) {
+        std::uint8_t* slot = bits.data() + w * stride + ch * num_inputs;
+        slot[0] = static_cast<std::uint8_t>((av >> ch) & 1u);
+        if (binary) {
+          slot[1] = static_cast<std::uint8_t>((bv >> ch) & 1u);
+          slot[2] = pin;
+        }
+      }
+    }
+  }
+  return bits;
+}
+
+TEST(BlockPrecision, OneThinDetectorYieldsBlockPlan) {
+  const PrecisionFixture fix;
+  // Thin a middle channel of an 8-channel majority fabric: exactly one
+  // detector must lose its f32 grant, and the plan must partition rather
+  // than abandon single precision wholesale.
+  const GateLayout layout = fix.thin_channel(fix.majority_layout(3, 8), 3);
+  const DataParallelGate gate(layout, fix.engine);
+  const EvalPlan plan(gate, sw::wavesim::kDefaultFreqTol,
+                      Precision::kFloat32);
+  const std::size_t nd = plan.num_detectors();
+  ASSERT_EQ(nd, 8u);
+
+  EXPECT_TRUE(plan.is_block());
+  EXPECT_EQ(plan.num_f32_detectors(), 7u);
+  EXPECT_EQ(plan.num_f64_rescue_detectors(), 1u);
+  // A block plan is not "all f32": the coarse precision channel keeps its
+  // all-or-nothing meaning and the rejection note names the rescue.
+  EXPECT_FALSE(plan.has_f32());
+  EXPECT_EQ(plan.effective_precision(), Precision::kFloat64);
+  EXPECT_NE(plan.f32_rejection().find("rescue"), std::string::npos)
+      << plan.f32_rejection();
+  EXPECT_EQ(plan.precision_label(), "block-f32(7/8)");
+
+  // The rescued detector is parked at the end of plan order, and it is the
+  // thinned channel.
+  EXPECT_EQ(plan.detector_channels()[nd - 1], 3u);
+
+  // f32 mirrors cover exactly the proved prefix, entry for entry.
+  const std::size_t nf = plan.detector_offsets()[plan.num_f32_detectors()];
+  ASSERT_EQ(plan.re0_f32().size(), nf);
+  ASSERT_EQ(plan.re1_f32().size(), nf);
+  for (std::size_t i = 0; i < nf; ++i) {
+    EXPECT_EQ(plan.re0_f32()[i], static_cast<float>(plan.re0()[i]));
+    EXPECT_EQ(plan.re1_f32()[i], static_cast<float>(plan.re1()[i]));
+  }
+
+  // detector_results() is a permutation: every original result position is
+  // produced by exactly one plan-order detector.
+  std::vector<unsigned> seen(nd, 0);
+  for (const std::size_t r : plan.detector_results()) {
+    ASSERT_LT(r, nd);
+    ++seen[r];
+  }
+  for (const unsigned count : seen) EXPECT_EQ(count, 1u);
+
+  // The SoA invariant survives the permutation.
+  for (std::size_t i = 0; i < plan.num_contributions(); ++i) {
+    EXPECT_EQ(plan.slots()[i],
+              plan.channels()[i] * plan.num_inputs() + plan.inputs()[i]);
+  }
+}
+
+TEST(BlockPrecision, BlockDecodesBitIdenticalToDoubleOnEveryOp) {
+  // The block acceptance bar: with one channel thinned, the f32-requested
+  // plan (block on n > 1 binary fabrics, full fallback at n = 1) must
+  // decode bit-identical to the all-f64 plan on every kernel over the
+  // exhaustive operand sweep — the full 2^16 words on binary ops at n = 8.
+  const PrecisionFixture fix;
+  const auto kernels = all_kernels();
+  for (const std::size_t n : {1ul, 4ul, 8ul}) {
+    for (const BooleanOp op :
+         {BooleanOp::kAnd, BooleanOp::kOr, BooleanOp::kNand, BooleanOp::kNor,
+          BooleanOp::kBuffer, BooleanOp::kNot}) {
+      std::vector<double> freqs;
+      for (std::size_t i = 1; i <= n; ++i) {
+        freqs.push_back(1e10 * static_cast<double>(i));
+      }
+      const ParallelLogicGate logic(op, freqs, fix.designer, fix.engine);
+      const bool binary = logic.data_inputs() == 2;
+      // Unary fabrics have single-contribution detectors (nothing to
+      // cancel), so only binary layouts get a thin channel; their sweep
+      // still pins the block machinery against the full-f32 path.
+      GateLayout layout = logic.layout();
+      if (binary) layout = fix.thin_channel(std::move(layout), n / 2);
+      const DataParallelGate gate(layout, fix.engine);
+      const BatchEvaluator f64(
+          gate, {.num_threads = 1, .precision = Precision::kFloat64});
+      const BatchEvaluator f32(
+          gate, {.num_threads = 1, .precision = Precision::kFloat32});
+      if (binary && n > 1) {
+        ASSERT_TRUE(f32.plan().is_block())
+            << boolean_op_name(op) << " n=" << n << ": "
+            << f32.plan().f32_rejection();
+        ASSERT_EQ(f32.plan().num_f64_rescue_detectors(), 1u);
+      }
+      std::size_t num_words = 0;
+      const auto bits = exhaustive_op_matrix(op, n, layout.spec.num_inputs,
+                                             &num_words);
+      const auto want = f64.evaluate_bits(num_words, bits);
+      for (const Kernel* k : kernels) {
+        EXPECT_EQ(f32.evaluate_bits(num_words, bits, *k), want)
+            << boolean_op_name(op) << " n=" << n << " kernel " << k->name;
+      }
+    }
+  }
+}
+
+TEST(BlockPrecision, MixedKernelOddWordCountsExerciseTheTails) {
+  // The mixed entry point splits each word group into an f32 sub-pass and
+  // an f64 rescue sub-pass with DIFFERENT group widths (8/16 floats vs
+  // 4/8 doubles per register), so odd word counts leave different tails in
+  // each sub-pass. Every SIMD kernel must agree with scalar on all of them.
+  const PrecisionFixture fix;
+  const GateLayout layout = fix.thin_channel(fix.majority_layout(3, 8), 5);
+  const DataParallelGate gate(layout, fix.engine);
+  const BatchEvaluator evaluator(
+      gate, {.num_threads = 1, .precision = Precision::kFloat32});
+  ASSERT_TRUE(evaluator.plan().is_block());
+  const auto kernels = all_kernels();
+  const std::size_t stride = evaluator.slot_count();
+  for (const std::size_t words :
+       {1ul, 3ul, 5ul, 7ul, 8ul, 9ul, 15ul, 16ul, 17ul, 31ul, 33ul, 65ul}) {
+    const auto packed = random_matrix(words, stride, /*seed=*/71 + words);
+    const auto want = evaluator.evaluate_bits(
+        words, packed, sw::wavesim::kernels::scalar_kernel());
+    for (const Kernel* k : kernels) {
+      EXPECT_EQ(evaluator.evaluate_bits(words, packed, *k), want)
+          << words << " words, kernel " << k->name;
+    }
+  }
+}
+
+TEST(BlockPrecision, AllDetectorsRejectedDegeneratesToTheDoublePlan) {
+  // Thin EVERY channel: no detector earns f32, so the block plan must
+  // degenerate to exactly the f64 plan — no mirrors, no permutation, the
+  // fallback counters (not the block ones) take the build.
+  const PrecisionFixture fix;
+  GateLayout layout = fix.majority_layout(3, 4);
+  for (std::size_t ch = 0; ch < 4; ++ch) {
+    layout = fix.thin_channel(std::move(layout), ch);
+  }
+  const DataParallelGate gate(layout, fix.engine);
+  const EvalPlan plan(gate, sw::wavesim::kDefaultFreqTol,
+                      Precision::kFloat32);
+  EXPECT_FALSE(plan.is_block());
+  EXPECT_FALSE(plan.has_f32());
+  EXPECT_EQ(plan.num_f32_detectors(), 0u);
+  EXPECT_EQ(plan.num_f64_rescue_detectors(), 4u);
+  EXPECT_TRUE(plan.re0_f32().empty());
+  EXPECT_EQ(plan.effective_precision(), Precision::kFloat64);
+  EXPECT_EQ(plan.precision_label(), "f64");
+  EXPECT_NE(plan.f32_rejection().find("double plan"), std::string::npos)
+      << plan.f32_rejection();
+
+  // Plan order is untouched: detector_results() is the identity.
+  const auto results = plan.detector_results();
+  for (std::size_t d = 0; d < results.size(); ++d) {
+    EXPECT_EQ(results[d], d);
+  }
+
+  // And it decodes exactly like a plan that never asked for f32.
+  const BatchEvaluator fallback(
+      gate, {.num_threads = 1, .precision = Precision::kFloat32});
+  const BatchEvaluator f64(
+      gate, {.num_threads = 1, .precision = Precision::kFloat64});
+  const auto matrix = random_matrix(128, fallback.slot_count(), /*seed=*/17);
+  for (const Kernel* k : all_kernels()) {
+    EXPECT_EQ(fallback.evaluate_bits(128, matrix, *k),
+              f64.evaluate_bits(128, matrix, *k))
+        << "kernel " << k->name;
+  }
+}
+
 // ---------------------------------------------------------------- cache --
 
 TEST(PlanCachePrecision, KeysCarryThePrecisionBit) {
@@ -201,6 +432,37 @@ TEST(PlanCachePrecision, FallbacksAreCountedPerBuild) {
   EXPECT_EQ(stats.f32_fallbacks, 1u);
 }
 
+TEST(PlanCachePrecision, BlockBuildsAndDetectorMixAreCounted) {
+  const PrecisionFixture fix;
+  sw::serve::PlanCache cache(fix.engine, 8,
+                             {.num_threads = 1,
+                              .precision = Precision::kFloat32});
+
+  // Three f32-requested builds, one per verdict: all proved, a 7/8 block,
+  // and an all-rejected fallback.
+  const auto wide = cache.get_or_build(fix.majority_layout(3, 2));
+  const auto block = cache.get_or_build(
+      fix.thin_channel(fix.majority_layout(3, 8), 2));
+  const auto thin = cache.get_or_build(fix.thin_margin_layout());
+
+  EXPECT_TRUE(wide.plan->plan().has_f32());
+  ASSERT_TRUE(block.plan->plan().is_block());
+  EXPECT_EQ(block.plan->f32_detectors(), 7u);
+  EXPECT_EQ(block.plan->f64_rescue_detectors(), 1u);
+  EXPECT_EQ(block.plan->precision_label(), "block-f32(7/8)");
+  EXPECT_FALSE(thin.plan->plan().has_f32());
+
+  const auto stats = cache.stats();
+  // Each f32-requested build lands in exactly one of the three counters.
+  EXPECT_EQ(stats.f32_plans, 1u);
+  EXPECT_EQ(stats.block_plans, 1u);
+  EXPECT_EQ(stats.f32_fallbacks, 1u);
+  // The detector mix sums across every f32-requested build: 2 + 7 proved,
+  // 1 + 1 rescued.
+  EXPECT_EQ(stats.f32_detectors, 9u);
+  EXPECT_EQ(stats.f64_rescue_detectors, 2u);
+}
+
 // -------------------------------------------------------------- service --
 
 TEST(ServicePrecision, TransparentFallbackSurfacesInStats) {
@@ -241,6 +503,32 @@ TEST(ServicePrecision, TransparentFallbackSurfacesInStats) {
   EXPECT_EQ(stats.precision, "f32");
   EXPECT_EQ(stats.cache.f32_plans, 1u);
   EXPECT_EQ(stats.cache.f32_fallbacks, 1u);
+}
+
+TEST(ServicePrecision, BlockPlanMixSurfacesInStats) {
+  const PrecisionFixture fix;
+  sw::serve::ServiceOptions options;
+  options.evaluator_options.precision = Precision::kFloat32;
+  options.evaluator_options.num_threads = 1;
+  sw::serve::EvaluatorService svc(fix.model, fix.wg.material.alpha, options);
+
+  // A block layout served end to end decodes exactly like the all-f64
+  // reference...
+  const GateLayout layout =
+      fix.thin_channel(fix.majority_layout(3, 8), 6);
+  const DataParallelGate gate(layout, fix.engine);
+  const BatchEvaluator reference(
+      gate, {.num_threads = 1, .precision = Precision::kFloat64});
+  const auto matrix = random_matrix(96, reference.slot_count(), /*seed=*/23);
+  EXPECT_EQ(svc.submit(layout, matrix, 96).get().bits,
+            reference.evaluate_bits(96, matrix));
+
+  // ...and the per-detector mix is visible in the service stats.
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.precision, "f32");
+  EXPECT_EQ(stats.cache.block_plans, 1u);
+  EXPECT_EQ(stats.cache.f32_detectors, 7u);
+  EXPECT_EQ(stats.cache.f64_rescue_detectors, 1u);
 }
 
 TEST(ServicePrecision, DefaultPrecisionFollowsTheProcessChoice) {
