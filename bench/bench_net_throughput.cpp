@@ -104,7 +104,7 @@ NetBenchSetup& setup() {
 std::vector<std::uint8_t> run_inprocess(NetBenchSetup& s) {
   std::deque<std::future<serve::ResultBatch>> inflight;
   for (std::size_t i = 0; i < kBatches; ++i) {
-    inflight.push_back(s.service.submit(s.layout, s.batch, kWordsPerBatch));
+    inflight.push_back(s.service.submit(serve::EvalRequest::for_layout(s.layout, s.batch, kWordsPerBatch)));
   }
   std::vector<std::uint8_t> last;
   while (!inflight.empty()) {
@@ -233,7 +233,7 @@ void run_experiment(bench::BenchJson& json) {
               kBatches, kWordsPerBatch, kNumInputs, kChannels, connections);
 
   // Warm the plan cache; steady state is what serving measures.
-  (void)s.service.submit(s.layout, s.batch, kWordsPerBatch).get();
+  (void)s.service.submit(serve::EvalRequest::for_layout(s.layout, s.batch, kWordsPerBatch)).get();
 
   // Interleaved best-of-N: one round times all three paths back to back,
   // so a noisy-neighbour window on a shared core hits them alike instead

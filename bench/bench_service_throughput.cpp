@@ -85,7 +85,7 @@ std::vector<std::uint8_t> run_service_batches(serve::EvaluatorService& svc,
   std::deque<std::future<serve::ResultBatch>> inflight;
   std::vector<std::uint8_t> last;
   for (std::size_t i = 0; i < batches; ++i) {
-    inflight.push_back(svc.submit(layout, s.batch, kWordsPerBatch));
+    inflight.push_back(svc.submit(serve::EvalRequest::for_layout(layout, s.batch, kWordsPerBatch)));
   }
   while (!inflight.empty()) {
     last = inflight.front().get().bits;
@@ -115,7 +115,7 @@ void run_experiment(bench::BenchJson& json) {
   options.admission.max_queued_requests = kBatches + 8;
   serve::EvaluatorService svc(s.model, s.wg.material.alpha, options);
   // Warm the plan cache once; steady state is what serving measures.
-  (void)svc.submit(s.layout, s.batch, kWordsPerBatch).get();
+  (void)svc.submit(serve::EvalRequest::for_layout(s.layout, s.batch, kWordsPerBatch)).get();
 
   std::vector<std::uint8_t> served;
   const double service_s = bench::best_of_three_seconds(
@@ -270,7 +270,7 @@ void run_block_experiment(bench::BenchJson& json) {
   options.evaluator_options = {.num_threads = 1,
                                .precision = wavesim::Precision::kFloat32};
   serve::EvaluatorService svc(s.model, s.wg.material.alpha, options);
-  (void)svc.submit(thin, s.batch, kWordsPerBatch).get();  // warm the cache
+  (void)svc.submit(serve::EvalRequest::for_layout(thin, s.batch, kWordsPerBatch)).get();  // warm the cache
 
   std::vector<std::uint8_t> served;
   const double service_s = bench::best_of_three_seconds(
@@ -313,10 +313,10 @@ BENCHMARK(BM_RebuildPerCall);
 void BM_ServiceCachedSubmit(benchmark::State& state) {
   const auto& s = setup();
   serve::EvaluatorService svc(s.model, s.wg.material.alpha);
-  (void)svc.submit(s.layout, s.batch, kWordsPerBatch).get();
+  (void)svc.submit(serve::EvalRequest::for_layout(s.layout, s.batch, kWordsPerBatch)).get();
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        svc.submit(s.layout, s.batch, kWordsPerBatch).get().bits);
+        svc.submit(serve::EvalRequest::for_layout(s.layout, s.batch, kWordsPerBatch)).get().bits);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(kWordsPerBatch));

@@ -19,6 +19,11 @@
 # anywhere), one SIGSTOPped *after* registering. The coordinator discovers
 # both endpoints from the registry, the frozen worker's shards get
 # re-sharded, and the sweep still completes bit-for-bit.
+#
+# Leg 4 — compiled cascade: a fresh worker serves a wire-v3 program frame.
+# example_compile_function synthesizes an arbitrary 3-input truth table to
+# a majority cascade, ships it over TCP, and asserts the remote result
+# bit-for-bit against the Boolean table.
 set -euo pipefail
 
 BUILD=${1:-build}
@@ -128,3 +133,20 @@ kill -CONT "$W6" 2>/dev/null || true
 kill "$W6" 2>/dev/null || true
 kill "$R1" 2>/dev/null || true
 echo "leg 3 OK: registry-discovered sweep completed around the stopped worker"
+
+echo "=== leg 4: compiled cascade over a wire-v3 program frame ==="
+COMPILE="$BUILD/example_compile_function"
+[[ -x $COMPILE ]] || { echo "missing $COMPILE (build first)" >&2; exit 1; }
+P8=$((P1 + 7))
+"$WORKER" --transport=tcp --listen "tcp:127.0.0.1:$P8" --max-seconds 300 &
+W7=$!
+PIDS+=("$W7")
+sleep 1
+# 00011011 = 0x1B, an arbitrary non-special 3-ary function: the cascade is
+# a real multi-gate chain, and the binary exits non-zero on any bit
+# mismatch against the Boolean table.
+OUT=$("$COMPILE" 00011011 --connect "tcp:127.0.0.1:$P8")
+echo "$OUT"
+grep -q "PASS: remote cascade" <<<"$OUT"
+kill "$W7" 2>/dev/null || true
+echo "leg 4 OK: synthesized cascade served remotely bit-for-bit"

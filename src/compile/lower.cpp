@@ -1,0 +1,64 @@
+#include "compile/lower.h"
+
+#include <cstdint>
+
+#include "util/error.h"
+
+namespace sw::compile {
+
+namespace wavesim = sw::wavesim;
+
+wavesim::ProgramSpec lower_to_program(const CompiledCircuit& circuit,
+                                      const sw::core::GateSpec& base) {
+  SW_REQUIRE(!base.frequencies.empty(),
+             "lowering needs at least one frequency channel");
+  SW_REQUIRE(!circuit.nodes.empty(), "cannot lower an empty circuit");
+  SW_REQUIRE(circuit.num_inputs >= 1, "circuit needs at least one input");
+  const std::size_t n = base.frequencies.size();
+
+  wavesim::ProgramSpec program;
+  program.num_primary_inputs = circuit.num_inputs;
+  program.stages.reserve(circuit.nodes.size());
+  for (const MajNode& node : circuit.nodes) {
+    wavesim::StageSpec stage;
+    stage.gate = base;
+    stage.gate.num_inputs = 3;
+    stage.gate.invert_output.clear();
+    if (node.invert_output) stage.gate.invert_output.assign(n, 1);
+    stage.sources.resize(3 * n);
+    for (std::size_t ch = 0; ch < n; ++ch) {
+      for (std::size_t k = 0; k < 3; ++k) {
+        const Literal& lit = node.in[k];
+        wavesim::SlotSource src;
+        switch (lit.kind) {
+          case Literal::Kind::kConstZero:
+            src.kind = lit.negated ? wavesim::SlotSource::Kind::kOne
+                                   : wavesim::SlotSource::Kind::kZero;
+            break;
+          case Literal::Kind::kInput:
+            SW_REQUIRE(lit.index < circuit.num_inputs,
+                       "circuit literal reads past its inputs");
+            src.kind = wavesim::SlotSource::Kind::kPrimary;
+            src.index = static_cast<std::uint32_t>(
+                ch * circuit.num_inputs + lit.index);
+            src.negated = lit.negated;
+            break;
+          case Literal::Kind::kNode:
+            SW_REQUIRE(lit.index < program.stages.size(),
+                       "circuit literal references a later node");
+            src.kind = wavesim::SlotSource::Kind::kStage;
+            src.stage = lit.index;
+            src.index = static_cast<std::uint32_t>(ch);
+            src.negated = lit.negated;
+            break;
+        }
+        stage.sources[ch * 3 + k] = src;
+      }
+    }
+    program.stages.push_back(std::move(stage));
+  }
+  program.validate();
+  return program;
+}
+
+}  // namespace sw::compile

@@ -1,0 +1,28 @@
+// Lowering: a synthesized majority chain -> a portable multi-stage
+// ProgramSpec the wavesim/serve layers can freeze and evaluate.
+//
+// Each MajNode becomes one 3-input StageSpec that copies the base spec's
+// physical knobs (frequencies, transducer geometry, spacing policy) and
+// realises the node's free complements in the stage interconnect: fanin
+// negations become SlotSource::negated (a drive-phase flip), the node's
+// output inversion becomes per-channel half-integer ports via
+// GateSpec::invert_output, and constant fanins become pinned kZero/kOne
+// transducers. The circuit's primary input i on channel ch reads primary
+// column ch * num_inputs + i — the ProgramSpec packing.
+#pragma once
+
+#include "compile/synth.h"
+#include "core/gate_design.h"
+#include "wavesim/eval_program.h"
+
+namespace sw::compile {
+
+/// Lower `circuit` to a ProgramSpec over `base`'s channels and geometry.
+/// `base.num_inputs` and `base.invert_output` are ignored (every stage is a
+/// 3-input majority; inversions come from the circuit). Requires at least
+/// one channel. The result validates and its last stage computes
+/// `circuit.function` on every channel.
+sw::wavesim::ProgramSpec lower_to_program(const CompiledCircuit& circuit,
+                                          const sw::core::GateSpec& base);
+
+}  // namespace sw::compile

@@ -1,0 +1,357 @@
+#include "compile/synth.h"
+
+#include <algorithm>
+#include <bitset>
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "util/error.h"
+
+namespace sw::compile {
+
+namespace {
+
+std::uint32_t memo_key(const TruthTable& t) {
+  return (static_cast<std::uint32_t>(t.num_inputs()) << 16) | t.bits();
+}
+
+/// Mask of the projection function "input i" in an arity-n space.
+std::uint16_t input_mask(std::size_t n, std::size_t input) {
+  std::uint16_t m = 0;
+  for (std::size_t a = 0; a < (std::size_t{1} << n); ++a) {
+    if ((a >> input) & 1u) m |= static_cast<std::uint16_t>(1u << a);
+  }
+  return m;
+}
+
+/// Bitwise majority over truth-table masks: bit a of the result is the
+/// majority vote of bit a of the three operands.
+std::uint16_t maj3(std::uint16_t a, std::uint16_t b, std::uint16_t c) {
+  return static_cast<std::uint16_t>((a & b) | (a & c) | (b & c));
+}
+
+}  // namespace
+
+bool CompiledCircuit::eval(std::size_t assignment) const {
+  SW_REQUIRE(!nodes.empty(), "circuit has no nodes");
+  std::vector<std::uint8_t> values(nodes.size());
+  const auto lit_value = [&](const Literal& l) -> bool {
+    bool v = false;
+    switch (l.kind) {
+      case Literal::Kind::kConstZero:
+        v = false;
+        break;
+      case Literal::Kind::kInput:
+        v = ((assignment >> l.index) & 1u) != 0;
+        break;
+      case Literal::Kind::kNode:
+        v = values[l.index] != 0;
+        break;
+    }
+    return v != l.negated;
+  };
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const MajNode& node = nodes[i];
+    const int ones = (lit_value(node.in[0]) ? 1 : 0) +
+                     (lit_value(node.in[1]) ? 1 : 0) +
+                     (lit_value(node.in[2]) ? 1 : 0);
+    bool out = ones >= 2;
+    if (node.invert_output) out = !out;
+    values[i] = static_cast<std::uint8_t>(out);
+  }
+  return values.back() != 0;
+}
+
+TruthTable CompiledCircuit::table() const {
+  std::uint16_t bits = 0;
+  for (std::size_t a = 0; a < (std::size_t{1} << num_inputs); ++a) {
+    if (eval(a)) bits |= static_cast<std::uint16_t>(1u << a);
+  }
+  return TruthTable(num_inputs, bits);
+}
+
+std::size_t circuit_depth(const CompiledCircuit& circuit) {
+  std::vector<std::size_t> depth(circuit.nodes.size(), 0);
+  for (std::size_t i = 0; i < circuit.nodes.size(); ++i) {
+    std::size_t d = 0;
+    for (const Literal& l : circuit.nodes[i].in) {
+      if (l.kind == Literal::Kind::kNode) d = std::max(d, depth[l.index]);
+    }
+    depth[i] = d + 1;
+  }
+  return depth.empty() ? 0 : depth.back();
+}
+
+CompiledCircuit Synthesizer::compile(const TruthTable& t) {
+  ++stats_.requests;
+
+  CompiledCircuit c;
+  if (t.is_constant()) {
+    // MAJ(k, k, k) = k: one gate whose drives are pinned transducers.
+    const Literal k = t.bits() == 0 ? const_zero() : const_one();
+    MajNode node;
+    node.in = {k, k, k};
+    c.num_inputs = t.num_inputs();
+    c.nodes.push_back(node);
+  } else {
+    // Support reduction: drop inputs the function does not depend on, so
+    // the NPN memo never splits one class across padded arities.
+    std::vector<std::uint32_t> essential;
+    for (std::size_t i = 0; i < t.num_inputs(); ++i) {
+      if (t.depends_on(i)) essential.push_back(static_cast<std::uint32_t>(i));
+    }
+    TruthTable reduced = t;
+    if (essential.size() < t.num_inputs()) {
+      std::uint16_t bits = 0;
+      for (std::size_t a = 0; a < (std::size_t{1} << essential.size()); ++a) {
+        std::size_t full = 0;
+        for (std::size_t i = 0; i < essential.size(); ++i) {
+          full |= ((a >> i) & 1u) << essential[i];
+        }
+        if (t.value(full)) bits |= static_cast<std::uint16_t>(1u << a);
+      }
+      reduced = TruthTable(essential.size(), bits);
+    }
+    c = compile_reduced(reduced);
+    if (essential.size() < t.num_inputs()) {
+      for (MajNode& node : c.nodes) {
+        for (Literal& lit : node.in) {
+          if (lit.kind == Literal::Kind::kInput) {
+            lit.index = essential[lit.index];
+          }
+        }
+      }
+      c.num_inputs = t.num_inputs();
+    }
+  }
+
+  c.function = t;
+  c.depth = circuit_depth(c);
+  SW_REQUIRE(c.table() == t, "synthesized circuit failed verification");
+  return c;
+}
+
+CompiledCircuit Synthesizer::compile_reduced(const TruthTable& t) {
+  if (t.num_inputs() == 1) {
+    // Buffer / NOT: MAJ(x, 0, 1) = x, with the complement on the fanin.
+    CompiledCircuit c;
+    c.num_inputs = 1;
+    MajNode node;
+    node.in = {input_lit(0, /*negated=*/t.bits() == 0b01), const_zero(),
+               const_one()};
+    c.nodes.push_back(node);
+    return c;
+  }
+
+  const NpnClass cls = npn_canonicalize(t);
+  CompiledCircuit c = compile_canonical(cls.representative);
+  // Undo the transform: the representative's input i is the original's
+  // input perm[i] (complemented per the mask), and an output complement
+  // folds into the last node's free output inversion.
+  for (MajNode& node : c.nodes) {
+    for (Literal& lit : node.in) {
+      if (lit.kind == Literal::Kind::kInput) {
+        const std::uint32_t orig = cls.transform.perm[lit.index];
+        lit.negated ^= ((cls.transform.input_negations >> orig) & 1u) != 0;
+        lit.index = orig;
+      }
+    }
+  }
+  if (cls.transform.output_negated) {
+    c.nodes.back().invert_output = !c.nodes.back().invert_output;
+  }
+  c.num_inputs = t.num_inputs();
+  return c;
+}
+
+CompiledCircuit Synthesizer::compile_canonical(const TruthTable& rep) {
+  const std::uint32_t key = memo_key(rep);
+  if (auto it = memo_.find(key); it != memo_.end()) {
+    ++stats_.memo_hits;
+    return it->second;
+  }
+  CompiledCircuit c;
+  if (exact_search(rep, c)) {
+    ++stats_.exact;
+  } else {
+    c = shannon(rep);
+    ++stats_.decomposed;
+  }
+  c.function = rep;
+  c.depth = circuit_depth(c);
+  SW_REQUIRE(c.table() == rep, "canonical circuit failed verification");
+  memo_.emplace(key, c);
+  return c;
+}
+
+bool Synthesizer::exact_search(const TruthTable& rep,
+                               CompiledCircuit& out) const {
+  const std::size_t n = rep.num_inputs();
+  const std::uint16_t full = rep.full_mask();
+  const std::uint16_t target = rep.bits();
+
+  // Signal list: index 0 is constant zero, 1..n the inputs, then candidate
+  // nodes as the DFS stacks them. `seen` marks the function of every live
+  // signal so a candidate recomputing one (or its free complement) prunes.
+  std::vector<std::uint16_t> funcs;
+  std::vector<std::uint8_t> depths;
+  funcs.reserve(1 + n + options_.max_exact_gates);
+  depths.reserve(funcs.capacity());
+  funcs.push_back(0);
+  depths.push_back(0);
+  for (std::size_t i = 0; i < n; ++i) {
+    funcs.push_back(input_mask(n, i));
+    depths.push_back(0);
+  }
+  auto seen = std::make_unique<std::bitset<65536>>();
+  for (const std::uint16_t f : funcs) seen->set(f);
+
+  const auto make_lit = [n](std::size_t signal, bool neg) -> Literal {
+    if (signal == 0) return neg ? const_one() : const_zero();
+    if (signal <= n) {
+      return input_lit(static_cast<std::uint32_t>(signal - 1), neg);
+    }
+    return node_lit(static_cast<std::uint32_t>(signal - 1 - n), neg);
+  };
+
+  std::vector<MajNode> nodes;
+  bool found = false;
+  std::size_t best_depth = std::numeric_limits<std::size_t>::max();
+
+  // Iterative deepening: the first gate count with any solution is the
+  // minimum; within it the chain with the shallowest output wins (depth is
+  // the physical latency of the cascade). Branches are deduplicated by the
+  // function a candidate computes — sound because a chain's continuation
+  // depends only on the set of available functions, and complements are
+  // free at every fanin.
+  std::function<void(std::size_t)> dfs = [&](std::size_t remaining) {
+    const std::size_t s = funcs.size();
+    auto tried = std::make_unique<std::bitset<65536>>();
+    for (std::size_t i = 0; i + 2 < s; ++i) {
+      for (std::size_t j = i + 1; j + 1 < s; ++j) {
+        for (std::size_t k = j + 1; k < s; ++k) {
+          for (unsigned pol = 0; pol < 8; ++pol) {
+            const std::uint16_t fa =
+                (pol & 1u) ? static_cast<std::uint16_t>(~funcs[i] & full)
+                           : funcs[i];
+            const std::uint16_t fb =
+                (pol & 2u) ? static_cast<std::uint16_t>(~funcs[j] & full)
+                           : funcs[j];
+            const std::uint16_t fc =
+                (pol & 4u) ? static_cast<std::uint16_t>(~funcs[k] & full)
+                           : funcs[k];
+            const std::uint16_t m = maj3(fa, fb, fc);
+            const std::uint16_t mc = static_cast<std::uint16_t>(~m & full);
+            if (seen->test(m) || seen->test(mc)) continue;
+            if (tried->test(m) || tried->test(mc)) continue;
+            tried->set(m);
+
+            MajNode node;
+            node.in = {make_lit(i, pol & 1u), make_lit(j, (pol & 2u) != 0),
+                       make_lit(k, (pol & 4u) != 0)};
+            const std::size_t d =
+                1 + std::max({depths[i], depths[j], depths[k]});
+            if (m == target || mc == target) {
+              node.invert_output = mc == target;
+              if (!found || d < best_depth) {
+                nodes.push_back(node);
+                out.num_inputs = n;
+                out.nodes = nodes;
+                nodes.pop_back();
+                best_depth = d;
+                found = true;
+              }
+              continue;
+            }
+            if (remaining == 1) continue;
+            nodes.push_back(node);
+            funcs.push_back(m);
+            depths.push_back(static_cast<std::uint8_t>(d));
+            seen->set(m);
+            dfs(remaining - 1);
+            seen->reset(m);
+            depths.pop_back();
+            funcs.pop_back();
+            nodes.pop_back();
+          }
+        }
+      }
+    }
+  };
+
+  for (std::size_t r = 1; r <= options_.max_exact_gates; ++r) {
+    found = false;
+    best_depth = std::numeric_limits<std::size_t>::max();
+    dfs(r);
+    if (found) return true;
+  }
+  return false;
+}
+
+CompiledCircuit Synthesizer::shannon(const TruthTable& rep) {
+  const std::size_t n = rep.num_inputs();
+  SW_REQUIRE(n >= 2, "Shannon decomposition needs arity >= 2");
+
+  // Split on the variable whose cofactors synthesize cheapest: the
+  // cofactors are one arity smaller and recurse through the NPN memo, so
+  // probing every candidate is a handful of memoised lookups.
+  std::size_t best_var = 0;
+  std::size_t best_cost = std::numeric_limits<std::size_t>::max();
+  CompiledCircuit f0, f1;
+  for (std::size_t v = 0; v < n; ++v) {
+    CompiledCircuit c0 = compile(rep.cofactor(v, false));
+    CompiledCircuit c1 = compile(rep.cofactor(v, true));
+    const std::size_t cost = c0.nodes.size() + c1.nodes.size();
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_var = v;
+      f0 = std::move(c0);
+      f1 = std::move(c1);
+    }
+  }
+
+  // MUX(x, f1, f0) = OR(AND(x, f1), AND(!x, f0)) — three majority nodes
+  // with constant fanins, appended after both cofactor chains.
+  CompiledCircuit c;
+  c.num_inputs = n;
+  const auto remap_input = [&](std::uint32_t i) -> std::uint32_t {
+    return i < best_var ? i : i + 1;
+  };
+  const auto append = [&](const CompiledCircuit& sub) -> Literal {
+    const std::uint32_t base = static_cast<std::uint32_t>(c.nodes.size());
+    for (const MajNode& node : sub.nodes) {
+      MajNode copy = node;
+      for (Literal& lit : copy.in) {
+        if (lit.kind == Literal::Kind::kInput) {
+          lit.index = remap_input(lit.index);
+        } else if (lit.kind == Literal::Kind::kNode) {
+          lit.index += base;
+        }
+      }
+      c.nodes.push_back(copy);
+    }
+    return node_lit(base + static_cast<std::uint32_t>(sub.nodes.size()) - 1);
+  };
+
+  const Literal o0 = append(f0);
+  const Literal o1 = append(f1);
+  MajNode and1;
+  and1.in = {input_lit(static_cast<std::uint32_t>(best_var)), o1,
+             const_zero()};
+  c.nodes.push_back(and1);
+  const Literal l1 = node_lit(static_cast<std::uint32_t>(c.nodes.size()) - 1);
+  MajNode and0;
+  and0.in = {input_lit(static_cast<std::uint32_t>(best_var), true), o0,
+             const_zero()};
+  c.nodes.push_back(and0);
+  const Literal l0 = node_lit(static_cast<std::uint32_t>(c.nodes.size()) - 1);
+  MajNode orn;
+  orn.in = {l1, l0, const_one()};
+  c.nodes.push_back(orn);
+  return c;
+}
+
+}  // namespace sw::compile

@@ -1,0 +1,131 @@
+// Majority-chain synthesis: truth table -> cascade of 3-input majority
+// gates with free complements.
+//
+// The physical fabric (core/cascade.h) composes 3-input in-line majority
+// gates where every negation is free — inputs complement by flipping the
+// drive phase, outputs by reading a half-wavelength port — and constants
+// are just transducers pinned to phase 0 or pi. The synthesis target is
+// therefore a *majority chain*: a topological list of MAJ3 nodes whose
+// fanins are constants, primary inputs or earlier nodes, each with an
+// optional complement, the last node being the output. AND/OR come out as
+// MAJ with a constant fanin, so the `BooleanOp` set is subsumed.
+//
+// The search (percy-style exact chain enumeration, bounded):
+//   1. constants and single-input functions are emitted directly;
+//   2. non-essential inputs are dropped first (support reduction);
+//   3. the reduced table is NPN-canonicalised (truth_table.h) and the
+//      representative's chain is memoised — equivalent functions share one
+//      search and one circuit shape;
+//   4. a representative is solved by iterative-deepening exact search up to
+//      Options::max_exact_gates nodes (within the minimal gate count the
+//      lowest-depth chain wins — depth is physical cascade latency), with
+//      branches deduplicated by the *function* a candidate node computes
+//      (complement-closed: a chain's future depends only on the set of
+//      functions available, and complements are free);
+//   5. anything deeper falls back to Shannon expansion around the
+//      cheapest split variable — MUX(x, f1, f0) is 3 MAJ nodes and the
+//      cofactors recurse through the memo — so synthesis always
+//      terminates with a correct (if not minimal) chain.
+//
+// Every compiled circuit is re-simulated against its target table before
+// it is returned; a synthesis bug surfaces as an exception, never as a
+// wrong circuit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "compile/truth_table.h"
+
+namespace sw::compile {
+
+/// One fanin of a majority node. kConstZero negated is constant one.
+struct Literal {
+  enum class Kind : std::uint8_t { kConstZero = 0, kInput = 1, kNode = 2 };
+  Kind kind = Kind::kConstZero;
+  std::uint32_t index = 0;  ///< input position or node position (kind-typed)
+  bool negated = false;
+
+  friend bool operator==(const Literal&, const Literal&) = default;
+};
+
+constexpr Literal const_zero() { return {Literal::Kind::kConstZero, 0, false}; }
+constexpr Literal const_one() { return {Literal::Kind::kConstZero, 0, true}; }
+constexpr Literal input_lit(std::uint32_t i, bool negated = false) {
+  return {Literal::Kind::kInput, i, negated};
+}
+constexpr Literal node_lit(std::uint32_t i, bool negated = false) {
+  return {Literal::Kind::kNode, i, negated};
+}
+
+struct MajNode {
+  std::array<Literal, 3> in{};
+  /// Read the node's output from a half-integer port (free complement).
+  bool invert_output = false;
+
+  friend bool operator==(const MajNode&, const MajNode&) = default;
+};
+
+/// A synthesized majority chain. Nodes are topological (fanins reference
+/// only inputs, constants and strictly earlier nodes); the circuit output
+/// is the last node's output.
+struct CompiledCircuit {
+  std::size_t num_inputs = 0;
+  std::vector<MajNode> nodes;
+  /// Longest node-to-node path to the output (1 for a single gate):
+  /// the number of physical stages a wavefront traverses.
+  std::size_t depth = 0;
+  /// The function the circuit realises (set — and verified — by compile).
+  TruthTable function;
+
+  /// Reference simulation of one input assignment.
+  bool eval(std::size_t assignment) const;
+  /// Simulate all assignments into a table (arity = num_inputs).
+  TruthTable table() const;
+};
+
+/// Recompute CompiledCircuit::depth from the node list.
+std::size_t circuit_depth(const CompiledCircuit& circuit);
+
+class Synthesizer {
+ public:
+  struct Options {
+    /// Gate budget of the exact search; beyond it synthesis decomposes.
+    /// 3 covers every n <= 2 function and the bulk of the n = 3 classes
+    /// while keeping the n = 4 search in the low milliseconds.
+    std::size_t max_exact_gates = 3;
+  };
+
+  struct Stats {
+    std::uint64_t requests = 0;    ///< compile() calls
+    std::uint64_t memo_hits = 0;   ///< served from the NPN-class memo
+    std::uint64_t exact = 0;       ///< representatives solved exactly
+    std::uint64_t decomposed = 0;  ///< representatives solved by Shannon
+  };
+
+  Synthesizer() = default;
+  explicit Synthesizer(Options options) : options_(options) {}
+
+  /// Synthesize a majority chain computing `t`. Deterministic: the same
+  /// table always yields the same circuit. Throws only on internal
+  /// verification failure (a bug, not an input condition).
+  CompiledCircuit compile(const TruthTable& t);
+
+  const Stats& stats() const { return stats_; }
+  std::size_t memo_size() const { return memo_.size(); }
+
+ private:
+  CompiledCircuit compile_reduced(const TruthTable& t);
+  CompiledCircuit compile_canonical(const TruthTable& rep);
+  bool exact_search(const TruthTable& rep, CompiledCircuit& out) const;
+  CompiledCircuit shannon(const TruthTable& rep);
+
+  Options options_;
+  Stats stats_;
+  /// Key: representative arity << 16 | representative bits.
+  std::unordered_map<std::uint32_t, CompiledCircuit> memo_;
+};
+
+}  // namespace sw::compile

@@ -1,0 +1,110 @@
+#include "compile/truth_table.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace sw::compile {
+
+TruthTable::TruthTable(std::size_t num_inputs, std::uint16_t bits)
+    : num_inputs_(num_inputs), bits_(bits) {
+  SW_REQUIRE(num_inputs >= 1 && num_inputs <= kMaxTableInputs,
+             "truth table arity must be in [1, 4]");
+  SW_REQUIRE((bits & ~full_mask()) == 0,
+             "truth table has bits beyond 2^num_inputs assignments");
+}
+
+TruthTable TruthTable::from_string(const std::string& column) {
+  std::size_t n = 1;
+  while (n < kMaxTableInputs && (std::size_t{1} << n) < column.size()) ++n;
+  const std::size_t size = std::size_t{1} << n;
+  SW_REQUIRE(column.size() == size,
+             "truth table column length must be a power of two in [2, 16]");
+  std::uint16_t bits = 0;
+  for (std::size_t i = 0; i < size; ++i) {
+    const char c = column[i];
+    SW_REQUIRE(c == '0' || c == '1', "truth table column must be 0/1 digits");
+    if (c == '1') bits |= static_cast<std::uint16_t>(1u << (size - 1 - i));
+  }
+  return TruthTable(n, bits);
+}
+
+bool TruthTable::depends_on(std::size_t input) const {
+  SW_REQUIRE(input < num_inputs_, "input index out of range");
+  return negate_input(input) != *this;
+}
+
+TruthTable TruthTable::negate_input(std::size_t input) const {
+  SW_REQUIRE(input < num_inputs_, "input index out of range");
+  std::uint16_t out = 0;
+  for (std::size_t a = 0; a < size(); ++a) {
+    if (value(a ^ (std::size_t{1} << input))) {
+      out |= static_cast<std::uint16_t>(1u << a);
+    }
+  }
+  return TruthTable(num_inputs_, out);
+}
+
+TruthTable TruthTable::permute(
+    const std::array<std::uint8_t, kMaxTableInputs>& perm) const {
+  std::uint16_t out = 0;
+  for (std::size_t a_new = 0; a_new < size(); ++a_new) {
+    std::size_t a_old = 0;
+    for (std::size_t i = 0; i < num_inputs_; ++i) {
+      SW_REQUIRE(perm[i] < num_inputs_, "permutation entry out of range");
+      a_old |= ((a_new >> i) & 1u) << perm[i];
+    }
+    if (value(a_old)) out |= static_cast<std::uint16_t>(1u << a_new);
+  }
+  return TruthTable(num_inputs_, out);
+}
+
+TruthTable TruthTable::cofactor(std::size_t input, bool bound) const {
+  SW_REQUIRE(num_inputs_ >= 2, "cofactor needs arity >= 2");
+  SW_REQUIRE(input < num_inputs_, "input index out of range");
+  const std::size_t low_mask = (std::size_t{1} << input) - 1;
+  std::uint16_t out = 0;
+  for (std::size_t a = 0; a < size() / 2; ++a) {
+    const std::size_t full = (a & low_mask) |
+                             (bound ? (std::size_t{1} << input) : 0) |
+                             ((a & ~low_mask) << 1);
+    if (value(full)) out |= static_cast<std::uint16_t>(1u << a);
+  }
+  return TruthTable(num_inputs_ - 1, out);
+}
+
+TruthTable NpnTransform::apply(const TruthTable& t) const {
+  TruthTable out = t;
+  for (std::size_t j = 0; j < t.num_inputs(); ++j) {
+    if ((input_negations >> j) & 1u) out = out.negate_input(j);
+  }
+  out = out.permute(perm);
+  if (output_negated) out = out.complement();
+  return out;
+}
+
+NpnClass npn_canonicalize(const TruthTable& t) {
+  const std::size_t n = t.num_inputs();
+  std::array<std::uint8_t, kMaxTableInputs> perm{0, 1, 2, 3};
+  NpnClass best;
+  bool first = true;
+  do {
+    for (std::uint8_t neg = 0; neg < (1u << n); ++neg) {
+      for (int out_neg = 0; out_neg < 2; ++out_neg) {
+        NpnTransform tf;
+        tf.perm = perm;
+        tf.input_negations = neg;
+        tf.output_negated = out_neg != 0;
+        const TruthTable candidate = tf.apply(t);
+        if (first || candidate.bits() < best.representative.bits()) {
+          best.representative = candidate;
+          best.transform = tf;
+          first = false;
+        }
+      }
+    }
+  } while (std::next_permutation(perm.begin(), perm.begin() + n));
+  return best;
+}
+
+}  // namespace sw::compile

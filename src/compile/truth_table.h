@@ -1,0 +1,105 @@
+// Truth tables of up to 4 inputs, and their NPN canonical forms.
+//
+// The synthesis layer (synth.h) searches for majority-gate cascades
+// realising arbitrary Boolean functions. A function of n <= 4 inputs fits
+// in one 16-bit mask — bit `a` of the mask is f(a) with assignment bit i of
+// `a` being input i — so function algebra (cofactors, composition with the
+// bitwise majority MAJ(x,y,z) = (x&y)|(x&z)|(y&z) over masks) is a handful
+// of integer ops, and exhaustive equivalence checks over all 2^(2^n)
+// functions are feasible in tests.
+//
+// Two functions that differ only by input Negation, input Permutation and
+// output Negation (NPN) compile to the same circuit shape: the spin-wave
+// fabric gives every negation away for free (drive-phase flip on inputs,
+// half-wavelength output port on outputs), and permuting inputs just
+// relabels fanins. npn_canonicalize therefore maps a table to the
+// lexicographically-least representative of its NPN class plus the
+// transform that recovers the original, and the synthesizer memoises
+// circuits per representative — 222 classes cover all 65536 functions of
+// n = 4 instead of one search each.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sw::compile {
+
+/// Most inputs a single table supports (the exhaustive-synthesis regime).
+inline constexpr std::size_t kMaxTableInputs = 4;
+
+class TruthTable {
+ public:
+  TruthTable() = default;
+
+  /// `bits` holds f(a) at bit position a for every assignment a in
+  /// [0, 2^num_inputs); bits above 2^num_inputs must be zero. Throws on
+  /// num_inputs outside [1, kMaxTableInputs] or stray high bits.
+  TruthTable(std::size_t num_inputs, std::uint16_t bits);
+
+  /// Parse "11101000"-style strings, most significant assignment first
+  /// (the conventional truth-table column read top-to-bottom for
+  /// assignments 2^n-1 .. 0). Length must be a power of two in [2, 16].
+  static TruthTable from_string(const std::string& column);
+
+  std::size_t num_inputs() const { return num_inputs_; }
+  std::size_t size() const { return std::size_t{1} << num_inputs_; }
+  std::uint16_t bits() const { return bits_; }
+  /// The mask with every assignment bit set for this arity.
+  std::uint16_t full_mask() const {
+    return static_cast<std::uint16_t>((1u << size()) - 1u);
+  }
+
+  bool value(std::size_t assignment) const {
+    return (bits_ >> assignment) & 1u;
+  }
+
+  bool is_constant() const { return bits_ == 0 || bits_ == full_mask(); }
+  /// True when `input` never changes the output (the support-reduction
+  /// test: both cofactors equal).
+  bool depends_on(std::size_t input) const;
+
+  TruthTable complement() const {
+    return TruthTable(num_inputs_,
+                      static_cast<std::uint16_t>(~bits_ & full_mask()));
+  }
+  /// f with `input` complemented.
+  TruthTable negate_input(std::size_t input) const;
+  /// f with inputs relabelled: new input i reads old input perm[i].
+  TruthTable permute(const std::array<std::uint8_t, kMaxTableInputs>& perm)
+      const;
+  /// Cofactor f|_{input = value}, dropping the bound input (arity n - 1;
+  /// requires n >= 2).
+  TruthTable cofactor(std::size_t input, bool value) const;
+
+  friend bool operator==(const TruthTable&, const TruthTable&) = default;
+
+ private:
+  std::size_t num_inputs_ = 0;
+  std::uint16_t bits_ = 0;
+};
+
+/// One NPN transform: reading direction is "the representative's input i is
+/// the original's input perm[i], complemented when bit perm[i] of
+/// input_negations is set; the representative's output is complemented when
+/// output_negated". apply() runs it forward (original -> representative).
+struct NpnTransform {
+  std::array<std::uint8_t, kMaxTableInputs> perm{0, 1, 2, 3};
+  std::uint8_t input_negations = 0;  ///< bit mask over *original* inputs
+  bool output_negated = false;
+
+  TruthTable apply(const TruthTable& t) const;
+};
+
+struct NpnClass {
+  TruthTable representative;  ///< lexicographic minimum of the class
+  NpnTransform transform;     ///< maps the original onto the representative
+};
+
+/// Canonicalise by brute force over all n! x 2^n x 2 transforms (<= 768 at
+/// n = 4): minimal representative bits win, ties broken by transform
+/// enumeration order so the result is deterministic.
+NpnClass npn_canonicalize(const TruthTable& t);
+
+}  // namespace sw::compile

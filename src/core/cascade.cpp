@@ -39,10 +39,93 @@ SignalRef MajorityCascade::maj(SignalRef a, SignalRef b, SignalRef c,
   node.gate =
       std::make_unique<DataParallelGate>(designer_->design(spec), *engine_);
   nodes_.push_back(std::move(node));
+  {
+    // The compiled program no longer matches the netlist; rebuild lazily.
+    std::lock_guard<std::mutex> lock(program_mutex_);
+    program_.reset();
+  }
   return {next_id, false};
 }
 
+sw::wavesim::ProgramSpec MajorityCascade::program_spec() const {
+  const std::size_t n = frequencies_.size();
+  sw::wavesim::ProgramSpec program;
+  program.num_primary_inputs = num_inputs_;
+  program.stages.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    sw::wavesim::StageSpec stage;
+    stage.gate.num_inputs = 3;
+    stage.gate.frequencies = frequencies_;
+    if (node.invert) stage.gate.invert_output.assign(n, 1);
+    stage.sources.resize(3 * n);
+    for (std::size_t ch = 0; ch < n; ++ch) {
+      for (int k = 0; k < 3; ++k) {
+        const SignalRef& ref = node.in[k];
+        sw::wavesim::SlotSource src;
+        if (ref.id < num_inputs_) {
+          src.kind = sw::wavesim::SlotSource::Kind::kPrimary;
+          src.index = static_cast<std::uint32_t>(ch * num_inputs_ + ref.id);
+        } else {
+          src.kind = sw::wavesim::SlotSource::Kind::kStage;
+          src.stage = static_cast<std::uint32_t>(ref.id - num_inputs_);
+          src.index = static_cast<std::uint32_t>(ch);
+        }
+        src.negated = ref.negated;
+        stage.sources[ch * 3 + static_cast<std::size_t>(k)] = src;
+      }
+    }
+    program.stages.push_back(std::move(stage));
+  }
+  program.validate();
+  return program;
+}
+
+const sw::wavesim::EvalProgram& MajorityCascade::program() const {
+  SW_REQUIRE(!nodes_.empty(), "cascade has no gates to compile");
+  std::lock_guard<std::mutex> lock(program_mutex_);
+  if (!program_) {
+    // A single inline worker: cascade evaluate() calls are one-word-ish
+    // (exhaustive verifies, interactive use); batch traffic goes through
+    // the serving layer, which builds its own programs.
+    sw::wavesim::BatchOptions options;
+    options.num_threads = 1;
+    program_ = std::make_unique<sw::wavesim::EvalProgram>(
+        program_spec(), *designer_, *engine_, options);
+  }
+  return *program_;
+}
+
 std::vector<Bits> MajorityCascade::evaluate(
+    const std::vector<Bits>& primary) const {
+  SW_REQUIRE(primary.size() == num_inputs_, "primary input count mismatch");
+  const std::size_t n = frequencies_.size();
+  for (const auto& word : primary) {
+    SW_REQUIRE(word.size() == n, "each input needs one bit per channel");
+  }
+  if (nodes_.empty()) return primary;
+
+  // One word through the fused program, all stages kept.
+  std::vector<std::uint8_t> packed(num_inputs_ * n);
+  for (std::size_t ch = 0; ch < n; ++ch) {
+    for (std::size_t i = 0; i < num_inputs_; ++i) {
+      packed[ch * num_inputs_ + i] = primary[i][ch];
+    }
+  }
+  const auto stage_bits = program().evaluate_all_bits(1, packed);
+
+  std::vector<Bits> signals = primary;
+  signals.reserve(num_inputs_ + nodes_.size());
+  for (std::size_t s = 0; s < nodes_.size(); ++s) {
+    Bits out(n);
+    for (std::size_t ch = 0; ch < n; ++ch) {
+      out[ch] = stage_bits[s * n + ch];
+    }
+    signals.push_back(std::move(out));
+  }
+  return signals;
+}
+
+std::vector<Bits> MajorityCascade::evaluate_physics(
     const std::vector<Bits>& primary) const {
   SW_REQUIRE(primary.size() == num_inputs_, "primary input count mismatch");
   const std::size_t n = frequencies_.size();
@@ -101,11 +184,14 @@ void MajorityCascade::verify() const {
       parallel[i] = Bits(n, scalar[i]);
     }
     const auto want = reference_eval(scalar);
-    const auto got = evaluate(parallel);
+    const auto fused = evaluate(parallel);
+    const auto physics = evaluate_physics(parallel);
     for (std::size_t s = 0; s < want.size(); ++s) {
       for (std::size_t ch = 0; ch < n; ++ch) {
-        SW_REQUIRE(got[s][ch] == want[s],
+        SW_REQUIRE(physics[s][ch] == want[s],
                    "cascade physical evaluation diverged from reference");
+        SW_REQUIRE(fused[s][ch] == physics[s][ch],
+                   "compiled program diverged from the per-stage physics");
       }
     }
   }

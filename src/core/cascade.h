@@ -17,10 +17,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/gate.h"
 #include "core/gate_design.h"
+#include "wavesim/eval_program.h"
 #include "wavesim/wave_engine.h"
 
 namespace sw::core {
@@ -54,17 +56,36 @@ class MajorityCascade {
   std::size_t num_gates() const { return nodes_.size(); }
   std::size_t num_channels() const { return frequencies_.size(); }
 
-  /// Evaluate physically: `primary[i]` holds the per-channel word of input
-  /// signal i. Returns per-signal, per-channel values for ALL signals
-  /// (primaries first, then node outputs in creation order).
+  /// Evaluate the cascade: `primary[i]` holds the per-channel word of
+  /// input signal i. Returns per-signal, per-channel values for ALL
+  /// signals (primaries first, then node outputs in creation order).
+  /// Since the gate-cascade compiler this delegates to the compiled fused
+  /// EvalProgram (one kernel pass through every stage), which is bit-exact
+  /// with the per-stage physics path — kept as evaluate_physics(), the
+  /// oracle verify() checks both against.
   std::vector<Bits> evaluate(const std::vector<Bits>& primary) const;
+
+  /// The per-stage physics path: every node evaluated gate-by-gate on the
+  /// wave engine, verdicts re-driven by the regenerating transducers. The
+  /// oracle the fused program is verified against.
+  std::vector<Bits> evaluate_physics(const std::vector<Bits>& primary) const;
+
+  /// The cascade lowered to a portable multi-stage ProgramSpec (node k ->
+  /// stage k; free complements on the interconnect): what the wire format
+  /// ships and the plan cache keys on.
+  sw::wavesim::ProgramSpec program_spec() const;
+
+  /// The compiled fused program evaluate() runs on; built lazily from
+  /// program_spec() and invalidated by maj(). Requires at least one node.
+  const sw::wavesim::EvalProgram& program() const;
 
   /// Pure Boolean reference evaluation with scalar inputs.
   std::vector<std::uint8_t> reference_eval(
       const std::vector<std::uint8_t>& primary) const;
 
-  /// Exhaustively verify physical == reference over all input patterns on
-  /// every channel (throws on mismatch). Feasible for <= ~16 inputs.
+  /// Exhaustively verify fused program == per-stage physics == reference
+  /// over all input patterns on every channel (throws on mismatch).
+  /// Feasible for <= ~16 inputs.
   void verify() const;
 
   /// Total waveguide area of all nodes [m^2] given a guide width.
@@ -82,6 +103,10 @@ class MajorityCascade {
   const sw::wavesim::WaveEngine* engine_;
   std::size_t num_inputs_ = 0;
   std::vector<Node> nodes_;
+  /// Lazily compiled fused program (guarded for concurrent evaluate());
+  /// reset whenever a node is added.
+  mutable std::mutex program_mutex_;
+  mutable std::unique_ptr<sw::wavesim::EvalProgram> program_;
 };
 
 /// Outputs of a full-adder slice built on a cascade.

@@ -40,20 +40,21 @@ class DataParallelGate {
   /// Convenience: apply the same m-bit pattern to every channel.
   std::vector<ChannelResult> evaluate_uniform(const Bits& pattern) const;
 
-  /// Batched evaluation of many input assignments via a one-shot
-  /// sw::wavesim::BatchEvaluator (a SoA EvalPlan built from this layout,
-  /// evaluated by the runtime-dispatched kernels + thread-pool fan-out).
-  /// Results match a per-word `evaluate` loop bit-for-bit. Callers with a
-  /// long-lived gate and repeated batches should hold a BatchEvaluator (or
-  /// use sw::serve::EvaluatorService, which caches the SoA plans across
-  /// layouts) instead of paying this call's per-batch plan construction.
+  /// \deprecated One-shot batched evaluation that rebuilds the SoA
+  /// EvalPlan on every call. Hold a sw::wavesim::BatchEvaluator over the
+  /// gate (or submit through sw::serve::EvaluatorService, which caches
+  /// plans across targets) instead; results are identical bit-for-bit.
+  [[deprecated(
+      "hold a sw::wavesim::BatchEvaluator (or submit an EvalRequest to "
+      "serve::EvaluatorService) instead of the per-call plan rebuild")]]
   std::vector<std::vector<ChannelResult>> evaluate_batch(
       const std::vector<std::vector<Bits>>& batch,
       std::size_t num_threads = 0) const;
 
-  /// Batched uniform evaluation: word w applies patterns[w] on every
-  /// channel. The exhaustive majority sweep is `evaluate_batch_uniform(
-  /// all_patterns(m))`.
+  /// \deprecated Batched uniform evaluation; same per-call plan rebuild as
+  /// evaluate_batch. Use BatchEvaluator::evaluate_uniform.
+  [[deprecated(
+      "hold a sw::wavesim::BatchEvaluator and call evaluate_uniform")]]
   std::vector<std::vector<ChannelResult>> evaluate_batch_uniform(
       const std::vector<Bits>& patterns, std::size_t num_threads = 0) const;
 

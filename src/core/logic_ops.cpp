@@ -83,9 +83,8 @@ std::vector<std::uint8_t> ParallelLogicGate::evaluate(const Bits& a,
   return out;
 }
 
-std::vector<std::vector<std::uint8_t>> ParallelLogicGate::evaluate_batch(
-    const std::vector<Bits>& a_words, const std::vector<Bits>& b_words,
-    std::size_t num_threads) const {
+std::vector<std::uint8_t> ParallelLogicGate::pack_batch(
+    const std::vector<Bits>& a_words, const std::vector<Bits>& b_words) const {
   const std::size_t n = layout().spec.frequencies.size();
   const std::size_t words = a_words.size();
   SW_REQUIRE(data_inputs_ == 1 || b_words.size() == words,
@@ -97,15 +96,11 @@ std::vector<std::vector<std::uint8_t>> ParallelLogicGate::evaluate_batch(
                "operand b must have one bit per channel");
   }
 
-  sw::wavesim::BatchOptions opts;
-  opts.num_threads = sw::wavesim::clamp_batch_threads(num_threads, words);
-  const sw::wavesim::BatchEvaluator evaluator(*gate_, opts);
-
-  // Pack the operands into the evaluator's flat slot matrix. Input slot
-  // layout per channel (see evaluate()): slot 0 = a, slot 1 = b for binary
-  // ops, last slot = the pinned constant when present.
-  const std::size_t stride = evaluator.slot_count();
-  const std::size_t m = stride / n;
+  // Pack the operands into the gate's flat slot matrix. Input slot layout
+  // per channel (see evaluate()): slot 0 = a, slot 1 = b for binary ops,
+  // last slot = the pinned constant when present.
+  const std::size_t m = layout().spec.num_inputs;
+  const std::size_t stride = n * m;
   std::vector<std::uint8_t> packed(words * stride);
   for (std::size_t w = 0; w < words; ++w) {
     std::uint8_t* row = packed.data() + w * stride;
@@ -115,6 +110,19 @@ std::vector<std::vector<std::uint8_t>> ParallelLogicGate::evaluate_batch(
       if (has_pin_) row[ch * m + m - 1] = pinned_value_;
     }
   }
+  return packed;
+}
+
+std::vector<std::vector<std::uint8_t>> ParallelLogicGate::evaluate_batch(
+    const std::vector<Bits>& a_words, const std::vector<Bits>& b_words,
+    std::size_t num_threads) const {
+  const std::size_t n = layout().spec.frequencies.size();
+  const std::size_t words = a_words.size();
+  const std::vector<std::uint8_t> packed = pack_batch(a_words, b_words);
+
+  sw::wavesim::BatchOptions opts;
+  opts.num_threads = sw::wavesim::clamp_batch_threads(num_threads, words);
+  const sw::wavesim::BatchEvaluator evaluator(*gate_, opts);
   const auto decoded = evaluator.evaluate_bits(words, packed);
 
   std::vector<std::vector<std::uint8_t>> out(words);

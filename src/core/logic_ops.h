@@ -64,11 +64,24 @@ class ParallelLogicGate {
   /// ops). Sizes must equal the channel count.
   std::vector<std::uint8_t> evaluate(const Bits& a, const Bits& b) const;
 
-  /// Batched evaluation: word w is the operand pair (a_words[w],
-  /// b_words[w]); b_words may be empty for unary ops. Shares the gate's
-  /// dispersion/decay precompute across the whole batch and fans words
-  /// across a thread pool; output words match a per-word `evaluate` loop
-  /// bit-for-bit. `num_threads == 0` selects hardware concurrency.
+  /// Pack per-word operand pairs into the flat num_words x slot_count bit
+  /// matrix of gate()'s slot layout (slot 0 = a, slot 1 = b for binary
+  /// ops, last slot = the pinned constant): the input a long-lived
+  /// sw::wavesim::BatchEvaluator over gate() — or a serve::EvalRequest —
+  /// evaluates. b_words may be empty for unary ops.
+  std::vector<std::uint8_t> pack_batch(const std::vector<Bits>& a_words,
+                                       const std::vector<Bits>& b_words) const;
+
+  /// \deprecated Batched evaluation: word w is the operand pair
+  /// (a_words[w], b_words[w]); b_words may be empty for unary ops. Output
+  /// words match a per-word `evaluate` loop bit-for-bit, but every call
+  /// rebuilds the underlying BatchEvaluator — hold one over gate() (slot
+  /// packing documented there) or submit through
+  /// sw::serve::EvaluatorService instead.
+  [[deprecated(
+      "hold a sw::wavesim::BatchEvaluator over gate() (or submit an "
+      "EvalRequest to serve::EvaluatorService) instead of the per-call "
+      "plan rebuild")]]
   std::vector<std::vector<std::uint8_t>> evaluate_batch(
       const std::vector<Bits>& a_words, const std::vector<Bits>& b_words,
       std::size_t num_threads = 0) const;

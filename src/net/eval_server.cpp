@@ -429,11 +429,10 @@ void EvalServer::handle_frame(Conn& conn, std::uint64_t tag,
                               std::span<const std::uint8_t> payload) {
   bool submitted = false;
   try {
-    sw::serve::SweepFrame request = sw::serve::decode_frame(payload);
-    SW_REQUIRE(request.kind == sw::serve::FrameKind::kRequest &&
-                   request.spec.has_value(),
-               "server expects request frames carrying a GateSpec");
-    const sw::core::GateLayout layout = layout_for(request);
+    sw::serve::SweepFrame request =
+        sw::serve::decode_frame(payload, options_.max_wire_version);
+    SW_REQUIRE(request.kind == sw::serve::FrameKind::kRequest,
+               "server expects request frames");
     const std::size_t num_words = static_cast<std::size_t>(request.num_words);
     Completion meta;
     meta.conn_id = conn.id;
@@ -441,8 +440,26 @@ void EvalServer::handle_frame(Conn& conn, std::uint64_t tag,
     meta.layout_hash = request.layout_hash;
     meta.word_offset = request.word_offset;
     meta.num_words = request.num_words;
+    sw::serve::EvalRequest eval_request;
+    sw::core::GateLayout layout;
+    if (request.program) {
+      // v3: prove both ends mean the same program before evaluating, the
+      // same contract layout_for enforces for geometry. The service's plan
+      // cache keys on these canonical bytes, so no server-side program
+      // cache is needed — a repeated program is a cache hit there.
+      SW_REQUIRE(sw::serve::hash_program(*request.program) ==
+                     request.layout_hash,
+                 "program hash mismatch: decoded program differs from the "
+                 "client's");
+      eval_request = sw::serve::EvalRequest::for_program(
+          *request.program, std::move(request.matrix), num_words);
+    } else {
+      layout = layout_for(request);
+      eval_request = sw::serve::EvalRequest::for_layout(
+          layout, std::move(request.matrix), num_words);
+    }
     service_->submit_async(
-        layout, std::move(request.matrix), num_words,
+        std::move(eval_request),
         [queue = completions_, meta = std::move(meta)](
             sw::serve::ResultBatch&& result, std::exception_ptr error) mutable {
           if (error) {
@@ -471,6 +488,16 @@ void EvalServer::handle_frame(Conn& conn, std::uint64_t tag,
       ++counters_.errors_sent;
     }
     append_reply(conn, make_error_message(ErrorCode::kOverload, e.what(), tag));
+  } catch (const sw::serve::UnsupportedVersionError& e) {
+    // A frame newer than this worker decodes (a v3 program frame at a
+    // v2-pinned worker): typed refusal, connection kept — the client
+    // negotiates down rather than reconnecting.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++counters_.errors_sent;
+    }
+    append_reply(conn, make_error_message(ErrorCode::kUnsupportedVersion,
+                                          e.what(), tag));
   } catch (const std::exception& e) {
     // Before submit: the client sent something malformed (bad frame, wrong
     // shape, alien geometry). After submit is unreachable here — those

@@ -84,6 +84,13 @@ struct EvalServerOptions {
   /// Endpoint string advertised to the registry; empty advertises
   /// local_endpoint() (override when serving behind NAT or on 0.0.0.0).
   std::string advertise;
+  /// Newest wire frame version this worker accepts. The default serves
+  /// both single-gate (v2) and program (v3) requests; pinning it to
+  /// sw::serve::kWireVersion emulates a pre-program worker, which answers
+  /// v3 frames with a typed kUnsupportedVersion error instead of treating
+  /// them as corruption — the negotiation path version-mixed fleets rely
+  /// on (and what the tests exercise).
+  std::uint16_t max_wire_version = sw::serve::kWireVersionMax;
 };
 
 class EvalServer {

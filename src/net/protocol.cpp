@@ -140,9 +140,10 @@ ErrorInfo decode_error_message(const Message& message) {
   ByteReader r(message.payload);
   ErrorInfo info;
   const std::uint16_t code = r.u16();
-  SW_REQUIRE(code >= static_cast<std::uint16_t>(ErrorCode::kOverload) &&
-                 code <= static_cast<std::uint16_t>(ErrorCode::kInternal),
-             "unknown error code in error message");
+  SW_REQUIRE(
+      code >= static_cast<std::uint16_t>(ErrorCode::kOverload) &&
+          code <= static_cast<std::uint16_t>(ErrorCode::kUnsupportedVersion),
+      "unknown error code in error message");
   info.code = static_cast<ErrorCode>(code);
   const auto text = r.take(r.remaining());
   info.text.assign(text.begin(), text.end());

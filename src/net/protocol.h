@@ -72,6 +72,10 @@ enum class ErrorCode : std::uint16_t {
   kOverload = 1,    ///< admission control shed the request (retryable)
   kBadRequest = 2,  ///< malformed frame, hash mismatch, bad shape
   kInternal = 3,    ///< evaluation failed server-side
+  /// The request's wire frame version exceeds what this worker decodes
+  /// (e.g. a v3 program frame sent to a v2-pinned worker). Not retryable
+  /// as-is, but negotiable: the client can fall back to v2 requests.
+  kUnsupportedVersion = 4,
 };
 
 struct Message {

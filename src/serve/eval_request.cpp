@@ -1,0 +1,26 @@
+#include "serve/eval_request.h"
+
+#include "util/error.h"
+
+namespace sw::serve {
+
+EvalRequest EvalRequest::for_batch(
+    const sw::core::GateLayout& layout,
+    const std::vector<std::vector<sw::core::Bits>>& batch) {
+  const std::size_t n = layout.spec.frequencies.size();
+  const std::size_t m = layout.spec.num_inputs;
+  std::vector<std::uint8_t> packed(batch.size() * n * m);
+  for (std::size_t w = 0; w < batch.size(); ++w) {
+    SW_REQUIRE(batch[w].size() == n,
+               "each word needs one bit vector per channel");
+    for (std::size_t ch = 0; ch < n; ++ch) {
+      SW_REQUIRE(batch[w][ch].size() == m, "each channel needs m bits");
+      for (std::size_t in = 0; in < m; ++in) {
+        packed[w * n * m + ch * m + in] = batch[w][ch][in];
+      }
+    }
+  }
+  return for_layout(layout, std::move(packed), batch.size());
+}
+
+}  // namespace sw::serve

@@ -1,0 +1,71 @@
+// The one request type of the serving API.
+//
+// Historically EvaluatorService grew three submit entry points (packed
+// layout, nested-batch layout, packed async); adding multi-stage programs
+// would have doubled that. EvalRequest collapses the request shape into a
+// single value: a packed word batch bound to *either* a single gate layout
+// *or* a multi-stage ProgramSpec, plus an optional per-request precision
+// hint, consumed by EvaluatorService::submit / submit_async. The legacy
+// overloads survive as thin deprecated shims over this type.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/encoding.h"
+#include "core/gate_design.h"
+#include "wavesim/eval_program.h"
+#include "wavesim/precision.h"
+
+namespace sw::serve {
+
+/// One evaluation request. Exactly one of `layout` / `program` must be
+/// set; both are borrowed — submit() copies what it needs (the cache key
+/// bytes on the fast path, the spec itself only on a cache miss) before it
+/// returns, so the pointee need only outlive the submit call itself.
+struct EvalRequest {
+  /// Single-gate target: packed_bits is the row-major num_words x
+  /// slot_count matrix of BatchEvaluator::evaluate_bits
+  /// (slot = channel * num_inputs + input).
+  const sw::core::GateLayout* layout = nullptr;
+  /// Multi-stage target: packed_bits is the row-major num_words x
+  /// primary_slot_count() matrix of EvalProgram::evaluate_bits (column =
+  /// channel * num_primary_inputs + input); the result carries the last
+  /// stage's decoded bits.
+  const sw::wavesim::ProgramSpec* program = nullptr;
+  std::vector<std::uint8_t> packed_bits;
+  std::size_t num_words = 0;
+  /// Per-request precision override; unset uses the service's configured
+  /// precision. Distinct precisions cache as distinct plan entries.
+  std::optional<sw::wavesim::Precision> precision;
+
+  static EvalRequest for_layout(const sw::core::GateLayout& layout,
+                                std::vector<std::uint8_t> packed_bits,
+                                std::size_t num_words) {
+    EvalRequest r;
+    r.layout = &layout;
+    r.packed_bits = std::move(packed_bits);
+    r.num_words = num_words;
+    return r;
+  }
+
+  static EvalRequest for_program(const sw::wavesim::ProgramSpec& program,
+                                 std::vector<std::uint8_t> packed_bits,
+                                 std::size_t num_words) {
+    EvalRequest r;
+    r.program = &program;
+    r.packed_bits = std::move(packed_bits);
+    r.num_words = num_words;
+    return r;
+  }
+
+  /// Convenience: pack the nested per-channel batch shape of
+  /// DataParallelGate::evaluate (`batch[word][channel][input]`) against a
+  /// layout.
+  static EvalRequest for_batch(
+      const sw::core::GateLayout& layout,
+      const std::vector<std::vector<sw::core::Bits>>& batch);
+};
+
+}  // namespace sw::serve

@@ -1,6 +1,7 @@
 #include "serve/layout_hash.h"
 
 #include "serve/byteio.h"
+#include "wavesim/eval_program.h"
 
 namespace sw::serve {
 
@@ -11,6 +12,21 @@ using detail::ByteWriter;
 // Bumped whenever the serialisation below changes shape, so bytes from two
 // revisions of the canonical form can never compare equal by accident.
 constexpr std::uint64_t kCanonicalFormatTag = 0x73776c3176310001ull;  // "swl1v1"+rev
+// Program form: a different tag namespace entirely, so program bytes can
+// never alias layout bytes of any revision.
+constexpr std::uint64_t kProgramFormatTag = 0x7377707276310001ull;  // "swprv1"+rev
+
+void append_gate_spec(ByteWriter& w, const sw::core::GateSpec& spec) {
+  w.u64(spec.num_inputs);
+  w.u64(spec.frequencies.size());
+  for (const double f : spec.frequencies) w.f64(f);
+  w.f64(spec.transducer_width);
+  w.f64(spec.min_gap);
+  w.f64(spec.min_same_channel_spacing);
+  w.i64(spec.multiple_search);
+  w.u64(spec.invert_output.size());
+  for (const std::uint8_t b : spec.invert_output) w.u8(b ? 1 : 0);
+}
 
 }  // namespace
 
@@ -100,9 +116,47 @@ std::uint64_t hash_layout(const sw::core::GateLayout& layout) {
   return chunked_fnv1a64(canonical_layout_bytes(layout));
 }
 
+std::vector<std::uint8_t> canonical_program_bytes(
+    const sw::wavesim::ProgramSpec& program) {
+  std::vector<std::uint8_t> out;
+  std::size_t bound = 32;
+  for (const auto& stage : program.stages) {
+    bound += 128 + 8 * stage.gate.frequencies.size() +
+             stage.gate.invert_output.size() + 18 * stage.sources.size();
+  }
+  ByteWriter w(out, bound);
+
+  w.u64(kProgramFormatTag);
+  w.u64(program.num_primary_inputs);
+  w.u64(program.stages.size());
+  for (const auto& stage : program.stages) {
+    append_gate_spec(w, stage.gate);
+    w.u64(stage.sources.size());
+    for (const auto& src : stage.sources) {
+      w.u8(static_cast<std::uint8_t>(src.kind));
+      w.u64(src.stage);
+      w.u64(src.index);
+      w.u8(src.negated ? 1 : 0);
+    }
+  }
+  w.finish();
+  return out;
+}
+
+std::uint64_t hash_program(const sw::wavesim::ProgramSpec& program) {
+  return chunked_fnv1a64(canonical_program_bytes(program));
+}
+
 LayoutKey LayoutKey::from(const sw::core::GateLayout& layout) {
   LayoutKey key;
   key.bytes_ = canonical_layout_bytes(layout);
+  key.hash_ = chunked_fnv1a64(key.bytes_);
+  return key;
+}
+
+LayoutKey LayoutKey::from(const sw::wavesim::ProgramSpec& program) {
+  LayoutKey key;
+  key.bytes_ = canonical_program_bytes(program);
   key.hash_ = chunked_fnv1a64(key.bytes_);
   return key;
 }

@@ -17,6 +17,10 @@
 
 #include "core/gate_design.h"
 
+namespace sw::wavesim {
+struct ProgramSpec;
+}
+
 namespace sw::serve {
 
 /// FNV-1a 64-bit parameters (public so the wire format can reuse the same
@@ -48,6 +52,19 @@ std::vector<std::uint8_t> canonical_layout_bytes(
 /// 64-bit hash of canonical_layout_bytes(layout).
 std::uint64_t hash_layout(const sw::core::GateLayout& layout);
 
+/// Canonical byte serialisation of a multi-stage ProgramSpec: a format tag
+/// distinct from the layout form (so a program and a layout can never hash
+/// or compare equal), then the primary input count and every stage's
+/// GateSpec plus interconnect map, little-endian and length-prefixed like
+/// the layout bytes. This is what program cache keys and the v3 wire frames
+/// agree on across processes.
+std::vector<std::uint8_t> canonical_program_bytes(
+    const sw::wavesim::ProgramSpec& program);
+
+/// 64-bit hash of canonical_program_bytes(program) — the program analogue
+/// of hash_layout(), used as the v3 frame routing hash.
+std::uint64_t hash_program(const sw::wavesim::ProgramSpec& program);
+
 /// Collision-safe plan-cache key: the hash indexes the cache, the canonical
 /// bytes back equality, so two distinct layouts that collide on the 64-bit
 /// hash still occupy distinct cache entries.
@@ -56,6 +73,7 @@ class LayoutKey {
   LayoutKey() = default;
 
   static LayoutKey from(const sw::core::GateLayout& layout);
+  static LayoutKey from(const sw::wavesim::ProgramSpec& program);
 
   std::uint64_t hash() const { return hash_; }
   const std::vector<std::uint8_t>& bytes() const { return bytes_; }

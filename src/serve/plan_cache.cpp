@@ -3,11 +3,14 @@
 #include <chrono>
 #include <utility>
 
+#include "util/error.h"
+
 namespace sw::serve {
 
 namespace {
 
-bool ready(const std::shared_future<PlanCache::PlanPtr>& fut) {
+template <typename T>
+bool ready(const std::shared_future<T>& fut) {
   return fut.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
 }
 
@@ -15,10 +18,12 @@ bool ready(const std::shared_future<PlanCache::PlanPtr>& fut) {
 
 PlanCache::PlanCache(const sw::wavesim::WaveEngine& engine,
                      std::size_t capacity,
-                     sw::wavesim::BatchOptions evaluator_options)
+                     sw::wavesim::BatchOptions evaluator_options,
+                     const sw::core::InlineGateDesigner* designer)
     : engine_(&engine),
       capacity_(capacity),
-      evaluator_options_(evaluator_options) {
+      evaluator_options_(evaluator_options),
+      designer_(designer) {
   // Resolve kAuto once so every entry, key and stat of this cache agrees
   // on the precision even if the environment changes mid-run.
   evaluator_options_.precision =
@@ -30,18 +35,28 @@ std::uint64_t PlanCache::bucket_hash(const LayoutKey& key,
   // The precision bit is part of the cache key: an f32 and an f64 plan for
   // one layout are distinct artefacts (different arrays, different margin
   // verdicts) and must never alias. Golden-ratio mixing keeps the two
-  // variants in unrelated buckets instead of chaining in one.
+  // variants in unrelated buckets instead of chaining in one. Programs and
+  // layouts need no extra bit: their canonical bytes carry distinct format
+  // tags, so their key hashes already disagree.
   return precision == sw::wavesim::Precision::kFloat32
              ? key.hash() ^ 0x9e3779b97f4a7c15ull
              : key.hash();
 }
 
+bool PlanCache::slot_ready(const Slot& slot) {
+  return slot.is_program ? ready(slot.program) : ready(slot.plan);
+}
+
 PlanCache::Slot* PlanCache::find_locked(const LayoutKey& key,
-                                        sw::wavesim::Precision precision) {
+                                        sw::wavesim::Precision precision,
+                                        bool is_program) {
   const auto bucket = slots_.find(bucket_hash(key, precision));
   if (bucket == slots_.end()) return nullptr;
   for (auto& slot : bucket->second) {
-    if (slot.precision == precision && slot.key == key) return &slot;
+    if (slot.precision == precision && slot.is_program == is_program &&
+        slot.key == key) {
+      return &slot;
+    }
   }
   return nullptr;
 }
@@ -59,7 +74,7 @@ void PlanCache::evict_for_insert_locked() {
     for (auto it = slots_.begin(); it != slots_.end(); ++it) {
       for (std::size_t i = 0; i < it->second.size(); ++i) {
         const Slot& slot = it->second[i];
-        if (!ready(slot.plan)) continue;
+        if (!slot_ready(slot)) continue;
         if (!found || slot.last_used < oldest) {
           found = true;
           oldest = slot.last_used;
@@ -78,12 +93,14 @@ void PlanCache::evict_for_insert_locked() {
 }
 
 void PlanCache::erase_locked(const LayoutKey& key,
-                             sw::wavesim::Precision precision) {
+                             sw::wavesim::Precision precision,
+                             bool is_program) {
   const auto bucket = slots_.find(bucket_hash(key, precision));
   if (bucket == slots_.end()) return;
   auto& vec = bucket->second;
   for (std::size_t i = 0; i < vec.size(); ++i) {
-    if (vec[i].precision == precision && vec[i].key == key) {
+    if (vec[i].precision == precision && vec[i].is_program == is_program &&
+        vec[i].key == key) {
       vec.erase(vec.begin() + static_cast<std::ptrdiff_t>(i));
       if (vec.empty()) slots_.erase(bucket);
       --size_;
@@ -103,7 +120,7 @@ PlanCache::PlanPtr PlanCache::try_get(const sw::core::GateLayout& layout,
   std::shared_future<PlanPtr> fut;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    Slot* slot = find_locked(key, precision);
+    Slot* slot = find_locked(key, precision, /*is_program=*/false);
     if (slot == nullptr || !ready(slot->plan)) return nullptr;
     ++stats_.hits;
     slot->last_used = ++tick_;
@@ -111,6 +128,30 @@ PlanCache::PlanPtr PlanCache::try_get(const sw::core::GateLayout& layout,
   }
   // A ready slot always carries a value: failed builds erase their slot
   // before publishing the exception, so they are never observable here.
+  return fut.get();
+}
+
+PlanCache::ProgramPtr PlanCache::try_get_program(
+    const sw::wavesim::ProgramSpec& program) {
+  return try_get_program(program, evaluator_options_.precision);
+}
+
+PlanCache::ProgramPtr PlanCache::try_get_program(
+    const sw::wavesim::ProgramSpec& program,
+    sw::wavesim::Precision precision) {
+  SW_REQUIRE(designer_ != nullptr,
+             "plan cache was built without a designer; cannot serve programs");
+  precision = sw::wavesim::resolve_precision(precision);
+  const LayoutKey key = LayoutKey::from(program);
+  std::shared_future<ProgramPtr> fut;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Slot* slot = find_locked(key, precision, /*is_program=*/true);
+    if (slot == nullptr || !ready(slot->program)) return nullptr;
+    ++stats_.hits;
+    slot->last_used = ++tick_;
+    fut = slot->program;
+  }
   return fut.get();
 }
 
@@ -127,7 +168,7 @@ PlanCache::Lookup PlanCache::get_or_build(const sw::core::GateLayout& layout,
   bool build_here = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (Slot* slot = find_locked(key, precision)) {
+    if (Slot* slot = find_locked(key, precision, /*is_program=*/false)) {
       ++stats_.hits;
       slot->last_used = ++tick_;
       fut = slot->plan;
@@ -172,7 +213,88 @@ PlanCache::Lookup PlanCache::get_or_build(const sw::core::GateLayout& layout,
       // ready-with-exception slot, then wake the waiters with the error.
       {
         std::lock_guard<std::mutex> lock(mutex_);
-        erase_locked(key, precision);
+        erase_locked(key, precision, /*is_program=*/false);
+      }
+      builder.set_exception(std::current_exception());
+    }
+  }
+  return {fut.get(), !build_here};
+}
+
+PlanCache::ProgramLookup PlanCache::get_or_build_program(
+    const sw::wavesim::ProgramSpec& program) {
+  return get_or_build_program(program, evaluator_options_.precision);
+}
+
+PlanCache::ProgramLookup PlanCache::get_or_build_program(
+    const sw::wavesim::ProgramSpec& program,
+    sw::wavesim::Precision precision) {
+  SW_REQUIRE(designer_ != nullptr,
+             "plan cache was built without a designer; cannot serve programs");
+  // Reject malformed specs before touching the cache: a spec that cannot
+  // validate must not occupy a slot (its build would fail every time).
+  program.validate();
+  precision = sw::wavesim::resolve_precision(precision);
+  const LayoutKey key = LayoutKey::from(program);
+  std::promise<ProgramPtr> builder;
+  std::shared_future<ProgramPtr> fut;
+  bool build_here = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (Slot* slot = find_locked(key, precision, /*is_program=*/true)) {
+      ++stats_.hits;
+      slot->last_used = ++tick_;
+      fut = slot->program;
+    } else {
+      ++stats_.misses;
+      evict_for_insert_locked();
+      Slot fresh;
+      fresh.key = key;
+      fresh.precision = precision;
+      fresh.is_program = true;
+      fresh.program = builder.get_future().share();
+      fresh.last_used = ++tick_;
+      fut = fresh.program;
+      slots_[bucket_hash(key, precision)].push_back(std::move(fresh));
+      ++size_;
+      build_here = true;
+    }
+  }
+  if (build_here) {
+    try {
+      sw::wavesim::BatchOptions options = evaluator_options_;
+      options.precision = precision;
+      auto built = std::make_shared<const CachedProgram>(program, *designer_,
+                                                         *engine_, options);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.program_builds;
+        stats_.program_stages += built->num_stages();
+        if (built->depth() > stats_.max_program_depth) {
+          stats_.max_program_depth = built->depth();
+        }
+        // Per-stage precision verdicts roll into the same detector mix the
+        // metrics endpoint exports for single plans.
+        if (precision == sw::wavesim::Precision::kFloat32) {
+          for (std::size_t s = 0; s < built->num_stages(); ++s) {
+            const auto& plan = built->program().stage_plan(s);
+            if (plan.has_f32()) {
+              ++stats_.f32_plans;
+            } else if (plan.is_block()) {
+              ++stats_.block_plans;
+            } else {
+              ++stats_.f32_fallbacks;
+            }
+            stats_.f32_detectors += plan.num_f32_detectors();
+            stats_.f64_rescue_detectors += plan.num_f64_rescue_detectors();
+          }
+        }
+      }
+      builder.set_value(std::move(built));
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        erase_locked(key, precision, /*is_program=*/true);
       }
       builder.set_exception(std::current_exception());
     }

@@ -30,9 +30,11 @@
 #include <vector>
 
 #include "core/gate.h"
+#include "core/gate_design.h"
 #include "serve/layout_hash.h"
 #include "wavesim/batch_evaluator.h"
 #include "wavesim/eval_plan.h"
+#include "wavesim/eval_program.h"
 #include "wavesim/precision.h"
 #include "wavesim/wave_engine.h"
 
@@ -86,6 +88,31 @@ class CachedPlan {
   sw::wavesim::BatchEvaluator evaluator_;
 };
 
+/// One cached multi-stage program: the fused EvalProgram (which owns its
+/// per-stage gates and plans) built once from a portable ProgramSpec
+/// against the cache's designer and engine. Immutable once constructed and
+/// handed out as shared_ptr<const>, like CachedPlan.
+class CachedProgram {
+ public:
+  CachedProgram(sw::wavesim::ProgramSpec spec,
+                const sw::core::InlineGateDesigner& designer,
+                const sw::wavesim::WaveEngine& engine,
+                sw::wavesim::BatchOptions options)
+      : program_(std::move(spec), designer, engine, options) {}
+
+  CachedProgram(const CachedProgram&) = delete;
+  CachedProgram& operator=(const CachedProgram&) = delete;
+
+  const sw::wavesim::EvalProgram& program() const { return program_; }
+  std::size_t num_stages() const { return program_.num_stages(); }
+  std::size_t depth() const { return program_.depth(); }
+  /// Aggregate label over the per-stage plans ("f64" / "f32" / "mixed(...)").
+  std::string precision_label() const { return program_.precision_label(); }
+
+ private:
+  sw::wavesim::EvalProgram program_;
+};
+
 struct PlanCacheStats {
   std::uint64_t hits = 0;       ///< lookups served from a cached plan
   std::uint64_t misses = 0;     ///< lookups that triggered a build
@@ -106,17 +133,31 @@ struct PlanCacheStats {
   /// is the fleet-visible f32 ratio the metrics endpoint exports.
   std::uint64_t f32_detectors = 0;
   std::uint64_t f64_rescue_detectors = 0;
+  /// Multi-stage program entries built (program lookups also count into
+  /// hits/misses/evictions above — the LRU is shared).
+  std::uint64_t program_builds = 0;
+  /// Stages across every program built: program_stages / program_builds is
+  /// the mean cascade length the service compiles.
+  std::uint64_t program_stages = 0;
+  /// Deepest stage-to-stage path among built programs (physical cascade
+  /// latency in stages).
+  std::uint64_t max_program_depth = 0;
 };
 
 class PlanCache {
  public:
   using PlanPtr = std::shared_ptr<const CachedPlan>;
+  using ProgramPtr = std::shared_ptr<const CachedProgram>;
 
   /// `capacity == 0` means unbounded. The engine must outlive the cache.
   /// evaluator_options.precision (kAuto resolved at construction) is the
   /// default precision for lookups that do not pass one explicitly.
+  /// `designer` enables program entries (a ProgramSpec carries design
+  /// requests, not finished layouts, so building one needs a designer);
+  /// when null, program lookups throw. The designer must outlive the cache.
   PlanCache(const sw::wavesim::WaveEngine& engine, std::size_t capacity,
-            sw::wavesim::BatchOptions evaluator_options = {.num_threads = 1});
+            sw::wavesim::BatchOptions evaluator_options = {.num_threads = 1},
+            const sw::core::InlineGateDesigner* designer = nullptr);
 
   /// Fast-path lookup: returns the plan when it is cached *and ready*,
   /// nullptr otherwise (counts a hit only when it returns a plan). Never
@@ -138,6 +179,25 @@ class PlanCache {
   Lookup get_or_build(const sw::core::GateLayout& layout,
                       sw::wavesim::Precision precision);
 
+  /// Program analogues of try_get / get_or_build: same LRU, same
+  /// one-builder-per-key discipline, keyed by the canonical program bytes
+  /// (which can never collide with a layout key). Throw sw::util::Error
+  /// when the cache was built without a designer.
+  ProgramPtr try_get_program(const sw::wavesim::ProgramSpec& program);
+  ProgramPtr try_get_program(const sw::wavesim::ProgramSpec& program,
+                             sw::wavesim::Precision precision);
+
+  struct ProgramLookup {
+    ProgramPtr program;
+    bool hit = false;  ///< false when this call performed the build
+  };
+
+  ProgramLookup get_or_build_program(const sw::wavesim::ProgramSpec& program);
+  ProgramLookup get_or_build_program(const sw::wavesim::ProgramSpec& program,
+                                     sw::wavesim::Precision precision);
+
+  bool has_designer() const { return designer_ != nullptr; }
+
   PlanCacheStats stats() const;
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
@@ -150,19 +210,26 @@ class PlanCache {
   struct Slot {
     LayoutKey key;
     sw::wavesim::Precision precision = sw::wavesim::Precision::kFloat64;
+    bool is_program = false;
+    /// Exactly one of the two futures is armed, per is_program.
     std::shared_future<PlanPtr> plan;
+    std::shared_future<ProgramPtr> program;
     std::uint64_t last_used = 0;
   };
 
   static std::uint64_t bucket_hash(const LayoutKey& key,
                                    sw::wavesim::Precision precision);
-  Slot* find_locked(const LayoutKey& key, sw::wavesim::Precision precision);
+  static bool slot_ready(const Slot& slot);
+  Slot* find_locked(const LayoutKey& key, sw::wavesim::Precision precision,
+                    bool is_program);
   void evict_for_insert_locked();
-  void erase_locked(const LayoutKey& key, sw::wavesim::Precision precision);
+  void erase_locked(const LayoutKey& key, sw::wavesim::Precision precision,
+                    bool is_program);
 
   const sw::wavesim::WaveEngine* engine_;
   std::size_t capacity_;
   sw::wavesim::BatchOptions evaluator_options_;
+  const sw::core::InlineGateDesigner* designer_ = nullptr;
 
   mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, std::vector<Slot>> slots_;

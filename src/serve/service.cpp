@@ -39,10 +39,15 @@ struct EvaluatorService::Request {
   std::size_t num_words = 0;
   std::size_t num_channels = 0;
   std::chrono::steady_clock::time_point submitted_at;
+  /// Per-request precision override (EvalRequest::precision).
+  std::optional<sw::wavesim::Precision> precision;
+  bool is_program = false;
   /// Resolved on the submit fast path; when null the worker consults the
-  /// cache with `layout` (and builds the plan on a cold miss).
+  /// cache with the copied spec (and builds the entry on a cold miss).
   PlanCache::PlanPtr plan;
+  PlanCache::ProgramPtr program;
   sw::core::GateLayout layout;
+  sw::wavesim::ProgramSpec program_spec;
   std::vector<std::uint8_t> bits;
   /// Exactly one of the two delivery channels is armed: submit() requests
   /// settle `promise`, submit_async() requests invoke `done`.
@@ -61,8 +66,9 @@ EvaluatorService::EvaluatorService(const sw::disp::DispersionModel& model,
         return std::move(options);
       }()),
       engine_(model, alpha),
+      designer_(model),
       cache_(engine_, options_.plan_cache_capacity,
-             options_.evaluator_options),
+             options_.evaluator_options, &designer_),
       admission_(options_.admission),
       latency_(options_.latency_window),
       pool_(options_.num_threads, /*always_spawn=*/true) {
@@ -75,32 +81,54 @@ EvaluatorService::~EvaluatorService() {
   admission_.close();
 }
 
-void EvaluatorService::post_request(const sw::core::GateLayout& layout,
-                                    std::vector<std::uint8_t> packed_bits,
-                                    std::size_t num_words,
+void EvaluatorService::post_request(EvalRequest&& source,
                                     std::unique_ptr<Request> request) {
-  const std::size_t slots =
-      layout.spec.frequencies.size() * layout.spec.num_inputs;
-  SW_REQUIRE(slots > 0, "layout has no input slots");
+  SW_REQUIRE((source.layout != nullptr) != (source.program != nullptr),
+             "EvalRequest must bind exactly one of layout or program");
+  std::size_t slots = 0;
+  if (source.layout != nullptr) {
+    slots = source.layout->spec.frequencies.size() *
+            source.layout->spec.num_inputs;
+    request->num_channels = source.layout->spec.frequencies.size();
+  } else {
+    // Validate the spec up front so a malformed program fails on the
+    // submitting thread (a typed error), not inside a worker.
+    source.program->validate();
+    slots = source.program->primary_slot_count();
+    request->num_channels = source.program->num_channels();
+    request->is_program = true;
+  }
+  const std::size_t num_words = source.num_words;
+  SW_REQUIRE(slots > 0, "request target has no input slots");
   // Mirror evaluate_bits' overflow guard up front: a wrapping product must
   // fail synchronously here, before admission charges a near-SIZE_MAX word
   // count that would shed or block every other submitter until a worker
   // rejects the request.
   SW_REQUIRE(num_words <= std::numeric_limits<std::size_t>::max() / slots,
              "num_words x slot_count overflows size_t");
-  SW_REQUIRE(packed_bits.size() == num_words * slots,
+  SW_REQUIRE(source.packed_bits.size() == num_words * slots,
              "packed bit matrix must be num_words x slot_count");
 
   request->num_words = num_words;
-  request->num_channels = layout.spec.frequencies.size();
   request->submitted_at = std::chrono::steady_clock::now();
-  request->bits = std::move(packed_bits);
+  request->precision = source.precision;
+  request->bits = std::move(source.packed_bits);
 
   admission_.admit(num_words);  // may block or throw OverloadError
-  // Resolve the plan only once admitted: a shed request must not touch
-  // hit counters or LRU recency (and must not pay the hash).
-  request->plan = cache_.try_get(layout);
-  if (!request->plan) request->layout = layout;
+  // Resolve the cache entry only once admitted: a shed request must not
+  // touch hit counters or LRU recency (and must not pay the hash).
+  if (request->is_program) {
+    request->program =
+        source.precision
+            ? cache_.try_get_program(*source.program, *source.precision)
+            : cache_.try_get_program(*source.program);
+    if (!request->program) request->program_spec = *source.program;
+  } else {
+    request->plan = source.precision
+                        ? cache_.try_get(*source.layout, *source.precision)
+                        : cache_.try_get(*source.layout);
+    if (!request->plan) request->layout = *source.layout;
+  }
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     request->id = next_id_++;
@@ -120,41 +148,39 @@ void EvaluatorService::post_request(const sw::core::GateLayout& layout,
   }
 }
 
+std::future<ResultBatch> EvaluatorService::submit(EvalRequest request) {
+  auto state = std::make_unique<Request>();
+  auto future = state->promise.get_future();
+  post_request(std::move(request), std::move(state));
+  return future;
+}
+
+void EvaluatorService::submit_async(EvalRequest request, CompletionFn done) {
+  SW_REQUIRE(done != nullptr, "submit_async requires a completion callback");
+  auto state = std::make_unique<Request>();
+  state->done = std::move(done);
+  post_request(std::move(request), std::move(state));
+}
+
 std::future<ResultBatch> EvaluatorService::submit(
     const sw::core::GateLayout& layout,
     std::vector<std::uint8_t> packed_bits, std::size_t num_words) {
-  auto request = std::make_unique<Request>();
-  auto future = request->promise.get_future();
-  post_request(layout, std::move(packed_bits), num_words, std::move(request));
-  return future;
+  return submit(
+      EvalRequest::for_layout(layout, std::move(packed_bits), num_words));
 }
 
 void EvaluatorService::submit_async(const sw::core::GateLayout& layout,
                                     std::vector<std::uint8_t> packed_bits,
                                     std::size_t num_words, CompletionFn done) {
-  SW_REQUIRE(done != nullptr, "submit_async requires a completion callback");
-  auto request = std::make_unique<Request>();
-  request->done = std::move(done);
-  post_request(layout, std::move(packed_bits), num_words, std::move(request));
+  submit_async(
+      EvalRequest::for_layout(layout, std::move(packed_bits), num_words),
+      std::move(done));
 }
 
 std::future<ResultBatch> EvaluatorService::submit(
     const sw::core::GateLayout& layout,
     const std::vector<std::vector<sw::core::Bits>>& batch) {
-  const std::size_t n = layout.spec.frequencies.size();
-  const std::size_t m = layout.spec.num_inputs;
-  std::vector<std::uint8_t> packed(batch.size() * n * m);
-  for (std::size_t w = 0; w < batch.size(); ++w) {
-    SW_REQUIRE(batch[w].size() == n,
-               "each word needs one bit vector per channel");
-    for (std::size_t ch = 0; ch < n; ++ch) {
-      SW_REQUIRE(batch[w][ch].size() == m, "each channel needs m bits");
-      for (std::size_t in = 0; in < m; ++in) {
-        packed[w * n * m + ch * m + in] = batch[w][ch][in];
-      }
-    }
-  }
-  return submit(layout, std::move(packed), batch.size());
+  return submit(EvalRequest::for_batch(layout, batch));
 }
 
 void EvaluatorService::process(Request* raw) {
@@ -165,18 +191,39 @@ void EvaluatorService::process(Request* raw) {
   try {
     if (options_.on_request_start) options_.on_request_start(request->id);
     bool hit = true;
-    PlanCache::PlanPtr plan = request->plan;
-    if (!plan) {
-      PlanCache::Lookup lookup = cache_.get_or_build(request->layout);
-      plan = std::move(lookup.plan);
-      hit = lookup.hit;
-    }
     out.request_id = request->id;
     out.num_words = request->num_words;
     out.num_channels = request->num_channels;
-    out.cache_hit = hit;
-    out.bits =
-        plan->evaluator().evaluate_bits(request->num_words, request->bits);
+    if (request->is_program) {
+      PlanCache::ProgramPtr program = request->program;
+      if (!program) {
+        PlanCache::ProgramLookup lookup =
+            request->precision
+                ? cache_.get_or_build_program(request->program_spec,
+                                              *request->precision)
+                : cache_.get_or_build_program(request->program_spec);
+        program = std::move(lookup.program);
+        hit = lookup.hit;
+      }
+      out.cache_hit = hit;
+      out.num_stages = program->num_stages();
+      out.depth = program->depth();
+      out.bits =
+          program->program().evaluate_bits(request->num_words, request->bits);
+    } else {
+      PlanCache::PlanPtr plan = request->plan;
+      if (!plan) {
+        PlanCache::Lookup lookup =
+            request->precision
+                ? cache_.get_or_build(request->layout, *request->precision)
+                : cache_.get_or_build(request->layout);
+        plan = std::move(lookup.plan);
+        hit = lookup.hit;
+      }
+      out.cache_hit = hit;
+      out.bits =
+          plan->evaluator().evaluate_bits(request->num_words, request->bits);
+    }
   } catch (...) {
     error = std::current_exception();
   }

@@ -1,15 +1,17 @@
 // Long-lived evaluator service: the traffic-serving front end over the
 // batch-evaluation subsystem.
 //
-// One EvaluatorService owns the WaveEngine, a plan cache and a worker pool,
-// and accepts interleaved packed-word batches against *arbitrary* gate
-// layouts: submit() is asynchronous (returns a std::future), admission
-// control bounds the request queue and the words in flight (shed or block,
-// caller-visible), and per-layout BatchEvaluator plans are cached in an LRU
-// keyed by the canonical layout hash — so the steady-state cost of a
-// repeated layout is just the packed-bit evaluation, not plan
-// reconstruction. The submit fast path resolves a cached plan without
-// copying the layout; a miss hands the layout to a worker, where plan
+// One EvaluatorService owns the WaveEngine, a designer, a plan cache and a
+// worker pool, and accepts interleaved packed-word batches against
+// *arbitrary* targets — single gate layouts or multi-stage ProgramSpecs —
+// through one request type (serve::EvalRequest): submit() is asynchronous
+// (returns a std::future), admission control bounds the request queue and
+// the words in flight (shed or block, caller-visible), and per-target
+// artefacts (BatchEvaluator plans, fused EvalPrograms) are cached in one
+// LRU keyed by the canonical target hash — so the steady-state cost of a
+// repeated target is just the packed-bit evaluation, not plan or program
+// reconstruction. The submit fast path resolves a cached entry without
+// copying the target; a miss hands the spec to a worker, where
 // construction is serialised per key behind the cache entry.
 #pragma once
 
@@ -22,8 +24,10 @@
 #include <vector>
 
 #include "core/gate.h"
+#include "core/gate_design.h"
 #include "dispersion/model.h"
 #include "serve/admission.h"
+#include "serve/eval_request.h"
 #include "serve/latency.h"
 #include "serve/plan_cache.h"
 #include "util/thread_pool.h"
@@ -66,6 +70,12 @@ struct ResultBatch {
   std::size_t num_words = 0;
   std::size_t num_channels = 0;
   bool cache_hit = false;  ///< plan came from the cache (no build this call)
+  /// Evaluation stages behind these bits: 1 for a single-gate layout,
+  /// the cascade length for a program (whose bits are the LAST stage's).
+  std::size_t num_stages = 1;
+  /// Longest stage-to-stage path of the evaluated target (1 for a gate):
+  /// the physical cascade latency in stages.
+  std::size_t depth = 1;
   std::vector<std::uint8_t> bits;
 
   std::uint8_t bit(std::size_t word, std::size_t channel) const {
@@ -127,44 +137,53 @@ class EvaluatorService {
   EvaluatorService(const EvaluatorService&) = delete;
   EvaluatorService& operator=(const EvaluatorService&) = delete;
 
-  /// Submit a packed word batch against `layout`. `packed_bits` is the
-  /// row-major num_words x slot_count matrix of BatchEvaluator::
-  /// evaluate_bits (slot = channel * num_inputs + input). Returns a future
-  /// carrying the decoded bits; evaluation errors surface through the
-  /// future. Throws OverloadError (kShed) or blocks (kBlock) per the
-  /// admission policy, and throws sw::util::Error on a shape mismatch.
-  std::future<ResultBatch> submit(const sw::core::GateLayout& layout,
-                                  std::vector<std::uint8_t> packed_bits,
-                                  std::size_t num_words);
-
-  /// Convenience: pack a nested per-channel bit batch (the shape of
-  /// DataParallelGate::evaluate) and submit it.
-  std::future<ResultBatch> submit(
-      const sw::core::GateLayout& layout,
-      const std::vector<std::vector<sw::core::Bits>>& batch);
+  /// Submit one EvalRequest (layout- or program-bound, see eval_request.h).
+  /// Returns a future carrying the decoded bits — for a program, the LAST
+  /// stage's — with stage-count/depth metadata; evaluation errors surface
+  /// through the future. Throws OverloadError (kShed) or blocks (kBlock)
+  /// per the admission policy, and throws sw::util::Error on a shape
+  /// mismatch or a request binding neither (or both) targets.
+  std::future<ResultBatch> submit(EvalRequest request);
 
   /// Callback-style submit for event-driven callers (the epoll serving
   /// core) that must not park a thread in future.get(): same admission,
   /// plan-cache and accounting path as submit(), but completion is
   /// delivered by invoking `done` on the worker thread. Exceptions thrown
   /// by `done` itself are swallowed (the request has already settled).
+  void submit_async(EvalRequest request, CompletionFn done);
+
+  /// \deprecated Shim over submit(EvalRequest::for_layout(...)).
+  [[deprecated("build an EvalRequest with EvalRequest::for_layout")]]
+  std::future<ResultBatch> submit(const sw::core::GateLayout& layout,
+                                  std::vector<std::uint8_t> packed_bits,
+                                  std::size_t num_words);
+
+  /// \deprecated Shim over submit(EvalRequest::for_batch(...)).
+  [[deprecated("build an EvalRequest with EvalRequest::for_batch")]]
+  std::future<ResultBatch> submit(
+      const sw::core::GateLayout& layout,
+      const std::vector<std::vector<sw::core::Bits>>& batch);
+
+  /// \deprecated Shim over submit_async(EvalRequest::for_layout(...), done).
+  [[deprecated("build an EvalRequest with EvalRequest::for_layout")]]
   void submit_async(const sw::core::GateLayout& layout,
                     std::vector<std::uint8_t> packed_bits,
                     std::size_t num_words, CompletionFn done);
 
   ServiceStats stats() const;
   const sw::wavesim::WaveEngine& engine() const { return engine_; }
+  /// The designer backing program builds (shared with the plan cache).
+  const sw::core::InlineGateDesigner& designer() const { return designer_; }
   std::size_t num_threads() const { return pool_.size(); }
 
  private:
   struct Request;
-  void post_request(const sw::core::GateLayout& layout,
-                    std::vector<std::uint8_t> packed_bits,
-                    std::size_t num_words, std::unique_ptr<Request> request);
+  void post_request(EvalRequest&& source, std::unique_ptr<Request> request);
   void process(Request* request);  // takes ownership
 
   ServiceOptions options_;
   sw::wavesim::WaveEngine engine_;
+  sw::core::InlineGateDesigner designer_;
   PlanCache cache_;
   AdmissionController admission_;
   LatencyReservoir latency_;

@@ -1,5 +1,6 @@
 #include "serve/wire.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 #include <fstream>
@@ -40,8 +41,9 @@ void append_spec(std::vector<std::uint8_t>& out,
   for (const std::uint8_t b : spec.invert_output) out.push_back(b ? 1 : 0);
 }
 
-sw::core::GateSpec decode_spec(std::span<const std::uint8_t> bytes) {
-  ByteReader r(bytes);
+/// Read one GateSpec's fields from the current reader position (shared by
+/// the v2 spec block and each stage of the v3 program block).
+sw::core::GateSpec decode_spec_fields(ByteReader& r) {
   sw::core::GateSpec spec;
   spec.num_inputs = static_cast<std::size_t>(r.u64());
   SW_REQUIRE(spec.num_inputs <= kMaxCols,
@@ -60,8 +62,95 @@ sw::core::GateSpec decode_spec(std::span<const std::uint8_t> bytes) {
   SW_REQUIRE(ninv <= kMaxCols, "implausible invert flag count in spec block");
   spec.invert_output.resize(static_cast<std::size_t>(ninv));
   for (auto& b : spec.invert_output) b = r.u8();
+  return spec;
+}
+
+sw::core::GateSpec decode_spec(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  sw::core::GateSpec spec = decode_spec_fields(r);
   SW_REQUIRE(r.remaining() == 0, "trailing bytes after spec block");
   return spec;
+}
+
+// v3 program block: a versioned, self-checksummed serialisation of a
+// ProgramSpec in the spec-block position. The trailing checksum looks
+// redundant next to the frame checksum, but the block is also the unit a
+// coordinator persists or relays independent of any one frame, so it must
+// verify on its own.
+//
+//   u16  block format (kProgramBlockFormat)
+//   u64  num_primary_inputs
+//   u64  num_stages
+//   per stage: GateSpec fields (as the v2 spec block), u64 num_sources,
+//              then per source u8 kind, u64 stage, u64 index, u8 negated
+//   u64  chunked FNV-1a 64 over everything above
+
+constexpr std::uint16_t kProgramBlockFormat = 1;
+// Synthesis depth for n <= 4 truth tables is single digits; anything near
+// this cap is a corrupt or hostile frame, not a real cascade.
+constexpr std::uint64_t kMaxStages = 4096;
+
+void append_program(std::vector<std::uint8_t>& out,
+                    const sw::wavesim::ProgramSpec& program) {
+  const std::size_t block_at = out.size();
+  append_u16(out, kProgramBlockFormat);
+  append_u64(out, program.num_primary_inputs);
+  append_u64(out, program.stages.size());
+  for (const auto& stage : program.stages) {
+    append_spec(out, stage.gate);
+    append_u64(out, stage.sources.size());
+    for (const auto& src : stage.sources) {
+      out.push_back(static_cast<std::uint8_t>(src.kind));
+      append_u64(out, src.stage);
+      append_u64(out, src.index);
+      out.push_back(src.negated ? 1 : 0);
+    }
+  }
+  append_u64(out, chunked_fnv1a64(
+                      {out.data() + block_at, out.size() - block_at}));
+}
+
+sw::wavesim::ProgramSpec decode_program(std::span<const std::uint8_t> bytes) {
+  SW_REQUIRE(bytes.size() > 8, "program block shorter than its checksum");
+  const auto body = bytes.first(bytes.size() - 8);
+  ByteReader tail(bytes.subspan(bytes.size() - 8));
+  SW_REQUIRE(chunked_fnv1a64(body) == tail.u64(),
+             "program block checksum mismatch");
+  ByteReader r(body);
+  SW_REQUIRE(r.u16() == kProgramBlockFormat,
+             "unknown program block format");
+  sw::wavesim::ProgramSpec program;
+  program.num_primary_inputs = static_cast<std::size_t>(r.u64());
+  SW_REQUIRE(program.num_primary_inputs <= kMaxCols,
+             "implausible primary input count in program block");
+  const std::uint64_t num_stages = r.u64();
+  SW_REQUIRE(num_stages <= kMaxStages,
+             "implausible stage count in program block");
+  program.stages.resize(static_cast<std::size_t>(num_stages));
+  for (auto& stage : program.stages) {
+    stage.gate = decode_spec_fields(r);
+    const std::uint64_t num_sources = r.u64();
+    SW_REQUIRE(num_sources <= kMaxCols,
+               "implausible source count in program block");
+    stage.sources.resize(static_cast<std::size_t>(num_sources));
+    for (auto& src : stage.sources) {
+      const std::uint8_t kind = r.u8();
+      SW_REQUIRE(kind <= 3, "unknown slot source kind in program block");
+      src.kind = static_cast<sw::wavesim::SlotSource::Kind>(kind);
+      const std::uint64_t stage_ref = r.u64();
+      const std::uint64_t index_ref = r.u64();
+      SW_REQUIRE(stage_ref <= 0xffffffffull && index_ref <= 0xffffffffull,
+                 "slot source reference out of range");
+      src.stage = static_cast<std::uint32_t>(stage_ref);
+      src.index = static_cast<std::uint32_t>(index_ref);
+      src.negated = r.u8() != 0;
+    }
+  }
+  SW_REQUIRE(r.remaining() == 0, "trailing bytes after program block");
+  // Reject structurally invalid programs (forward stage references, ragged
+  // source lists …) at the wire boundary, before any caching or design.
+  program.validate();
+  return program;
 }
 
 std::size_t row_bytes_for(std::uint64_t num_cols) {
@@ -149,6 +238,7 @@ SweepFrameView as_view(const SweepFrame& frame) {
   view.num_words = frame.num_words;
   view.num_cols = frame.num_cols;
   view.spec = frame.spec ? &*frame.spec : nullptr;
+  view.program = frame.program ? &*frame.program : nullptr;
   view.matrix = frame.matrix;
   return view;
 }
@@ -165,6 +255,21 @@ SweepFrameView make_request_view(const sw::core::GateSpec& spec,
   view.num_words = num_words;
   view.num_cols = spec.frequencies.size() * spec.num_inputs;
   view.spec = &spec;
+  view.matrix = matrix;
+  return view;
+}
+
+SweepFrameView make_program_request_view(
+    const sw::wavesim::ProgramSpec& program, std::uint64_t program_hash,
+    std::uint64_t word_offset, std::uint64_t num_words,
+    std::span<const std::uint8_t> matrix) {
+  SweepFrameView view;
+  view.kind = FrameKind::kRequest;
+  view.layout_hash = program_hash;
+  view.word_offset = word_offset;
+  view.num_words = num_words;
+  view.num_cols = program.primary_slot_count();
+  view.program = &program;
   view.matrix = matrix;
   return view;
 }
@@ -197,6 +302,22 @@ SweepFrame make_request_frame(const sw::core::GateLayout& layout,
   return frame;
 }
 
+SweepFrame make_program_request_frame(const sw::wavesim::ProgramSpec& program,
+                                      std::uint64_t word_offset,
+                                      std::uint64_t num_words,
+                                      std::vector<std::uint8_t> matrix) {
+  program.validate();
+  SweepFrame frame;
+  frame.kind = FrameKind::kRequest;
+  frame.layout_hash = hash_program(program);
+  frame.word_offset = word_offset;
+  frame.num_words = num_words;
+  frame.num_cols = program.primary_slot_count();
+  frame.program = program;
+  frame.matrix = std::move(matrix);
+  return frame;
+}
+
 SweepFrame make_response_frame(const SweepFrame& request,
                                std::uint64_t num_channels,
                                std::vector<std::uint8_t> matrix) {
@@ -216,8 +337,11 @@ void encode_frame_into(const SweepFrameView& frame,
                  frame.kind == FrameKind::kResponse,
              "unknown frame kind");
   const bool is_request = frame.kind == FrameKind::kRequest;
-  SW_REQUIRE(is_request == (frame.spec != nullptr),
-             "request frames carry a GateSpec, response frames must not");
+  SW_REQUIRE(!(frame.spec != nullptr && frame.program != nullptr),
+             "a frame carries at most one of GateSpec / ProgramSpec");
+  SW_REQUIRE(is_request == (frame.spec != nullptr || frame.program != nullptr),
+             "request frames carry a GateSpec or a ProgramSpec, response "
+             "frames must not");
   SW_REQUIRE(frame.num_words <= kMaxWords && frame.num_cols <= kMaxCols,
              "frame dimensions out of range");
   SW_REQUIRE(frame.matrix.size() == frame.num_words * frame.num_cols,
@@ -226,7 +350,10 @@ void encode_frame_into(const SweepFrameView& frame,
   const std::size_t base = out.size();
   out.reserve(base + kHeaderSize + frame.matrix.size() / 8 + 256);
   append_u32(out, kWireMagic);
-  append_u16(out, kWireVersion);
+  // A frame is v3 exactly when it carries a program: single-gate requests
+  // and all responses keep encoding v2, so an upgraded peer stays
+  // compatible with an old worker until the first program request.
+  append_u16(out, frame.program ? kWireVersionProgram : kWireVersion);
   append_u16(out, static_cast<std::uint16_t>(frame.kind));
   append_u64(out, frame.layout_hash);
   append_u64(out, frame.word_offset);
@@ -237,6 +364,7 @@ void encode_frame_into(const SweepFrameView& frame,
   append_u64(out, 0);  // checksum, patched over the assembled body
 
   if (frame.spec) append_spec(out, *frame.spec);
+  if (frame.program) append_program(out, *frame.program);
   const std::size_t spec_size = out.size() - base - kHeaderSize;
 
   // Bit-pack the matrix straight into the output buffer: one resize to the
@@ -293,11 +421,19 @@ std::vector<std::uint8_t> encode_frame(const SweepFrame& frame) {
   return out;
 }
 
-SweepFrame decode_frame(std::span<const std::uint8_t> bytes) {
+SweepFrame decode_frame(std::span<const std::uint8_t> bytes,
+                        std::uint16_t max_version) {
   SW_REQUIRE(bytes.size() >= kHeaderSize, "frame shorter than header");
   ByteReader r(bytes);
   SW_REQUIRE(r.u32() == kWireMagic, "bad frame magic");
-  SW_REQUIRE(r.u16() == kWireVersion, "unsupported wire version");
+  const std::uint16_t version = r.u16();
+  // v1 frames are retired (checksum change), not negotiable: rejecting
+  // them is a plain decode error. Anything newer than this decoder (or the
+  // caller's pinned ceiling) throws the typed error so the transport can
+  // answer with a version refusal instead of a corruption report.
+  SW_REQUIRE(version >= kWireVersion, "retired wire version");
+  const std::uint16_t ceiling = std::min(max_version, kWireVersionMax);
+  if (version > ceiling) throw UnsupportedVersionError(version, ceiling);
   const std::uint16_t kind = r.u16();
   SW_REQUIRE(kind == static_cast<std::uint16_t>(FrameKind::kRequest) ||
                  kind == static_cast<std::uint16_t>(FrameKind::kResponse),
@@ -333,10 +469,15 @@ SweepFrame decode_frame(std::span<const std::uint8_t> bytes) {
   const auto payload = body.subspan(static_cast<std::size_t>(spec_size));
 
   if (frame.kind == FrameKind::kRequest) {
-    SW_REQUIRE(spec_size > 0, "request frame missing its GateSpec block");
-    frame.spec = decode_spec(spec_bytes);
+    SW_REQUIRE(spec_size > 0, "request frame missing its spec block");
+    if (version == kWireVersionProgram) {
+      frame.program = decode_program(spec_bytes);
+    } else {
+      frame.spec = decode_spec(spec_bytes);
+    }
   } else {
-    SW_REQUIRE(spec_size == 0, "response frame must not carry a GateSpec");
+    SW_REQUIRE(version == kWireVersion, "response frames encode as wire v2");
+    SW_REQUIRE(spec_size == 0, "response frame must not carry a spec block");
   }
 
   frame.matrix.assign(

@@ -22,18 +22,27 @@
 //       24     8  num_words
 //       32     8  num_cols     (slot_count for requests, channels for
 //                               responses)
-//       40     8  spec_size    (bytes; > 0 iff kind == request)
+//       40     8  spec_size    (bytes; > 0 iff kind == request; the spec
+//                               block holds a GateSpec for v2, a program
+//                               block for v3)
 //       48     8  payload_size (bytes)
 //       56     8  checksum     (chunked FNV-1a 64 over spec block + payload)
 //       64     …  spec block, then payload
 //
-// Version history: v1 checksummed with byte-wise FNV-1a; v2 (current)
-// switched to the chunked variant (one multiply per 8 bytes) because on
-// the socket transport the checksum sits on the per-word serving path and
-// the byte-wise chain cost rivalled the SIMD evaluation itself. Frames are
-// ephemeral request/response units — both ends of every transport in this
-// repo are built from the same tree — so decoders only accept the current
-// version.
+// Version history: v1 checksummed with byte-wise FNV-1a; v2 switched to
+// the chunked variant (one multiply per 8 bytes) because on the socket
+// transport the checksum sits on the per-word serving path and the
+// byte-wise chain cost rivalled the SIMD evaluation itself. v3 (current
+// maximum) carries a multi-stage ProgramSpec in the spec-block position
+// instead of a GateSpec: a versioned, self-checksummed program block
+// (stage GateSpecs plus the interconnect map) whose layout_hash field is
+// hash_program. A frame is encoded v3 only when it actually carries a
+// program; single-gate requests and all responses stay v2, so an upgraded
+// coordinator interoperates with an old worker until the first program
+// request. Decoders accept versions up to a caller-chosen maximum and
+// reject newer frames with the *typed* UnsupportedVersionError so a
+// transport can answer "I don't speak v3" instead of dropping the
+// connection.
 //
 // The payload is the matrix bit-packed row-major: each row is
 // ceil(num_cols / 8) bytes, bit i of byte b is column b * 8 + i, and the
@@ -47,11 +56,31 @@
 #include <vector>
 
 #include "core/gate_design.h"
+#include "util/error.h"
+#include "wavesim/eval_program.h"
 
 namespace sw::serve {
 
 inline constexpr std::uint32_t kWireMagic = 0x31575753u;  // "SWW1" on disk
 inline constexpr std::uint16_t kWireVersion = 2;
+/// Frames carrying a ProgramSpec instead of a GateSpec encode as v3.
+inline constexpr std::uint16_t kWireVersionProgram = 3;
+/// Newest version this tree can decode (decode_frame's default ceiling).
+inline constexpr std::uint16_t kWireVersionMax = kWireVersionProgram;
+
+/// Thrown by decode_frame for a structurally sound frame whose version is
+/// newer than the decoder's ceiling — the one decode failure a peer can
+/// negotiate around (fall back to v2) rather than treat as corruption.
+class UnsupportedVersionError : public sw::util::Error {
+ public:
+  UnsupportedVersionError(std::uint16_t version, std::uint16_t max_version)
+      : Error("unsupported wire version " + std::to_string(version) +
+              " (this endpoint speaks up to " + std::to_string(max_version) +
+              ")"),
+        version(version) {}
+
+  std::uint16_t version = 0;
+};
 
 enum class FrameKind : std::uint16_t {
   kRequest = 1,
@@ -67,7 +96,11 @@ struct SweepFrame {
   std::uint64_t word_offset = 0;
   std::uint64_t num_words = 0;
   std::uint64_t num_cols = 0;
-  std::optional<sw::core::GateSpec> spec;  ///< requests only
+  std::optional<sw::core::GateSpec> spec;  ///< v2 requests only
+  /// v3 requests only: the multi-stage program to evaluate (layout_hash is
+  /// then hash_program, num_cols its primary_slot_count()). A request
+  /// carries exactly one of spec / program.
+  std::optional<sw::wavesim::ProgramSpec> program;
   std::vector<std::uint8_t> matrix;
 };
 
@@ -81,7 +114,8 @@ struct SweepFrameView {
   std::uint64_t word_offset = 0;
   std::uint64_t num_words = 0;
   std::uint64_t num_cols = 0;
-  const sw::core::GateSpec* spec = nullptr;  ///< requests only
+  const sw::core::GateSpec* spec = nullptr;  ///< v2 requests only
+  const sw::wavesim::ProgramSpec* program = nullptr;  ///< v3 requests only
   std::span<const std::uint8_t> matrix;
 };
 
@@ -98,6 +132,15 @@ SweepFrameView make_request_view(const sw::core::GateSpec& spec,
                                  std::uint64_t num_words,
                                  std::span<const std::uint8_t> matrix);
 
+/// Build a v3 program-request view for `num_words` rows of `matrix`
+/// (num_words x primary_slot_count) starting at `word_offset`;
+/// `program_hash` is hash_program(program), precomputed by the caller for
+/// the same once-per-sweep reason as make_request_view.
+SweepFrameView make_program_request_view(
+    const sw::wavesim::ProgramSpec& program, std::uint64_t program_hash,
+    std::uint64_t word_offset, std::uint64_t num_words,
+    std::span<const std::uint8_t> matrix);
+
 /// Build the response view answering `request` with a borrowed output
 /// matrix (num_words x num_channels).
 SweepFrameView make_response_view(const SweepFrame& request,
@@ -111,6 +154,13 @@ SweepFrame make_request_frame(const sw::core::GateLayout& layout,
                               std::uint64_t word_offset,
                               std::uint64_t num_words,
                               std::vector<std::uint8_t> matrix);
+
+/// Build a v3 program-request frame; validates the program and derives
+/// num_cols (primary_slot_count) and the canonical program hash from it.
+SweepFrame make_program_request_frame(const sw::wavesim::ProgramSpec& program,
+                                      std::uint64_t word_offset,
+                                      std::uint64_t num_words,
+                                      std::vector<std::uint8_t> matrix);
 
 /// Build the response frame answering `request` with the decoded output
 /// matrix (num_words x num_channels).
@@ -131,8 +181,12 @@ void encode_frame_into(const SweepFrameView& frame,
 
 /// Parse a frame, validating magic, version, kind, sizes, checksum and
 /// payload padding; throws sw::util::Error on any violation (truncated
-/// buffer, trailing bytes, corrupt body, nonzero padding bits …).
-SweepFrame decode_frame(std::span<const std::uint8_t> bytes);
+/// buffer, trailing bytes, corrupt body, nonzero padding bits …). A frame
+/// whose version exceeds `max_version` throws UnsupportedVersionError
+/// instead, so a worker pinned at v2 (max_version = kWireVersion) answers
+/// program requests with a typed refusal rather than a corruption error.
+SweepFrame decode_frame(std::span<const std::uint8_t> bytes,
+                        std::uint16_t max_version = kWireVersionMax);
 
 /// Whole-file helpers for the file/pipe transport of the examples.
 void write_frame_file(const std::string& path, const SweepFrame& frame);

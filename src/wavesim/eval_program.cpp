@@ -1,0 +1,227 @@
+#include "wavesim/eval_program.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "util/error.h"
+
+namespace sw::wavesim {
+
+namespace {
+
+/// Words per fused sub-block: sized so one block's slot matrix plus every
+/// stage's output bits stay within L2 while still amortising the per-stage
+/// kernel call over enough words for the SIMD lanes to matter.
+constexpr std::size_t kBlockWords = 1024;
+
+}  // namespace
+
+std::size_t ProgramSpec::depth() const {
+  std::vector<std::size_t> d(stages.size(), 0);
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    std::size_t fanin = 0;
+    for (const SlotSource& src : stages[s].sources) {
+      if (src.kind == SlotSource::Kind::kStage) {
+        fanin = std::max(fanin, d[src.stage]);
+      }
+    }
+    d[s] = fanin + 1;
+  }
+  return d.empty() ? 0 : d.back();
+}
+
+void ProgramSpec::validate() const {
+  SW_REQUIRE(!stages.empty(), "program needs at least one stage");
+  SW_REQUIRE(num_primary_inputs >= 1,
+             "program needs at least one primary input");
+  const std::size_t n = stages.front().gate.frequencies.size();
+  SW_REQUIRE(n >= 1, "program stages need at least one channel");
+  const std::size_t primary_slots = num_primary_inputs * n;
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    const StageSpec& st = stages[s];
+    SW_REQUIRE(st.gate.frequencies.size() == n,
+               "every stage must share the program's channel count");
+    SW_REQUIRE(st.gate.num_inputs >= 1, "stage gate needs inputs");
+    SW_REQUIRE(st.sources.size() == st.gate.num_inputs * n,
+               "stage sources must cover num_inputs x num_channels slots");
+    for (const SlotSource& src : st.sources) {
+      switch (src.kind) {
+        case SlotSource::Kind::kZero:
+        case SlotSource::Kind::kOne:
+          break;
+        case SlotSource::Kind::kPrimary:
+          SW_REQUIRE(src.index < primary_slots,
+                     "slot source reads past the primary matrix");
+          break;
+        case SlotSource::Kind::kStage:
+          SW_REQUIRE(src.stage < s,
+                     "slot source must reference a strictly earlier stage");
+          SW_REQUIRE(src.index < n,
+                     "slot source reads past the stage's channels");
+          break;
+        default:
+          throw sw::util::Error("unknown slot source kind");
+      }
+    }
+  }
+}
+
+EvalProgram::EvalProgram(ProgramSpec spec,
+                         const sw::core::InlineGateDesigner& designer,
+                         const WaveEngine& engine, BatchOptions options)
+    : spec_(std::move(spec)), pool_(options.num_threads) {
+  spec_.validate();
+  options.precision = resolve_precision(options.precision);
+  stages_.reserve(spec_.stages.size());
+  for (const StageSpec& st : spec_.stages) {
+    Stage stage;
+    stage.gate = std::make_unique<sw::core::DataParallelGate>(
+        designer.design(st.gate), engine);
+    stage.plan = std::make_shared<const EvalPlan>(
+        *stage.gate, options.freq_tol, options.precision);
+    max_slots_ = std::max(max_slots_, stage.plan->slot_count());
+    stages_.push_back(std::move(stage));
+  }
+  depth_ = spec_.depth();
+}
+
+std::string EvalProgram::precision_label() const {
+  std::string first = stages_.front().plan->precision_label();
+  bool uniform = true;
+  for (const Stage& stage : stages_) {
+    if (stage.plan->precision_label() != first) {
+      uniform = false;
+      break;
+    }
+  }
+  if (uniform) return first;
+  std::string label = "mixed(";
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    if (s > 0) label += ",";
+    label += stages_[s].plan->precision_label();
+  }
+  label += ")";
+  return label;
+}
+
+void EvalProgram::eval_range(const kernels::Kernel& kernel,
+                             std::span<const std::uint8_t> bits,
+                             std::size_t begin, std::size_t end,
+                             std::vector<std::uint8_t>& slot_scratch,
+                             std::vector<std::uint8_t>& stage_bits) const {
+  const std::size_t block = end - begin;
+  const std::size_t n = num_channels();
+  const std::size_t prim = num_primary_slots();
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    const EvalPlan& plan = *stages_[s].plan;
+    const auto& sources = spec_.stages[s].sources;
+    const std::size_t slots = plan.slot_count();
+    // Gather: re-encode this stage's drive bits from constants, primary
+    // columns and earlier stages' decoded verdicts. A negated source is
+    // one XOR — the physical drive-phase flip costs nothing here either.
+    for (std::size_t w = 0; w < block; ++w) {
+      std::uint8_t* row = slot_scratch.data() + w * slots;
+      const std::uint8_t* prim_row = bits.data() + (begin + w) * prim;
+      for (std::size_t j = 0; j < slots; ++j) {
+        const SlotSource& src = sources[j];
+        std::uint8_t v = 0;
+        switch (src.kind) {
+          case SlotSource::Kind::kZero:
+            v = 0;
+            break;
+          case SlotSource::Kind::kOne:
+            v = 1;
+            break;
+          case SlotSource::Kind::kPrimary:
+            v = prim_row[src.index] != 0 ? 1 : 0;
+            break;
+          case SlotSource::Kind::kStage:
+            v = stage_bits[src.stage * block * n + w * n + src.index];
+            break;
+        }
+        row[j] = v ^ static_cast<std::uint8_t>(src.negated ? 1 : 0);
+      }
+    }
+    // Decode through the stage plan's own precision verdicts — the same
+    // three-way dispatch as BatchEvaluator::evaluate_bits, per stage.
+    std::uint8_t* out = stage_bits.data() + s * block * n;
+    if (plan.has_f32()) {
+      kernel.eval_bits_f32(plan, slot_scratch.data(), 0, block, out);
+    } else if (plan.is_block()) {
+      kernel.eval_bits_mixed(plan, slot_scratch.data(), 0, block, out);
+    } else {
+      kernel.eval_bits(plan, slot_scratch.data(), 0, block, out);
+    }
+  }
+}
+
+std::vector<std::uint8_t> EvalProgram::evaluate_impl(
+    std::size_t num_words, std::span<const std::uint8_t> bits,
+    const kernels::Kernel& kernel, bool all_stages) const {
+  const std::size_t prim = num_primary_slots();
+  const std::size_t n = num_channels();
+  const std::size_t num_stages = stages_.size();
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  SW_REQUIRE(prim == 0 || num_words <= kMax / prim,
+             "num_words x primary_slot_count overflows size_t");
+  SW_REQUIRE(bits.size() == num_words * prim,
+             "packed primary matrix must be num_words x primary_slot_count");
+  SW_REQUIRE(num_words <= kMax / (num_stages * n),
+             "num_words x stage output count overflows size_t");
+
+  const std::size_t out_cols = all_stages ? num_stages * n : n;
+  std::vector<std::uint8_t> result(num_words * out_cols);
+  pool_.parallel_for(num_words, [&](std::size_t chunk_begin,
+                                    std::size_t chunk_end) {
+    const std::size_t scratch_words =
+        std::min(kBlockWords, chunk_end - chunk_begin);
+    std::vector<std::uint8_t> slot_scratch(max_slots_ * scratch_words);
+    std::vector<std::uint8_t> stage_bits(num_stages * n * scratch_words);
+    for (std::size_t begin = chunk_begin; begin < chunk_end;
+         begin += kBlockWords) {
+      const std::size_t end = std::min(begin + kBlockWords, chunk_end);
+      const std::size_t block = end - begin;
+      eval_range(kernel, bits, begin, end, slot_scratch, stage_bits);
+      if (all_stages) {
+        for (std::size_t w = 0; w < block; ++w) {
+          std::uint8_t* dst = result.data() + (begin + w) * out_cols;
+          for (std::size_t s = 0; s < num_stages; ++s) {
+            std::memcpy(dst + s * n,
+                        stage_bits.data() + s * block * n + w * n, n);
+          }
+        }
+      } else {
+        std::memcpy(result.data() + begin * n,
+                    stage_bits.data() + (num_stages - 1) * block * n,
+                    block * n);
+      }
+    }
+  });
+  return result;
+}
+
+std::vector<std::uint8_t> EvalProgram::evaluate_bits(
+    std::size_t num_words, std::span<const std::uint8_t> bits) const {
+  return evaluate_impl(num_words, bits, kernels::active_kernel(), false);
+}
+
+std::vector<std::uint8_t> EvalProgram::evaluate_bits(
+    std::size_t num_words, std::span<const std::uint8_t> bits,
+    const kernels::Kernel& kernel) const {
+  return evaluate_impl(num_words, bits, kernel, false);
+}
+
+std::vector<std::uint8_t> EvalProgram::evaluate_all_bits(
+    std::size_t num_words, std::span<const std::uint8_t> bits) const {
+  return evaluate_impl(num_words, bits, kernels::active_kernel(), true);
+}
+
+std::vector<std::uint8_t> EvalProgram::evaluate_all_bits(
+    std::size_t num_words, std::span<const std::uint8_t> bits,
+    const kernels::Kernel& kernel) const {
+  return evaluate_impl(num_words, bits, kernel, true);
+}
+
+}  // namespace sw::wavesim

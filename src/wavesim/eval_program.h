@@ -1,0 +1,184 @@
+// Multi-stage fused evaluation: a compiled gate cascade as one program.
+//
+// EvalPlan freezes ONE gate layout into SoA constants the kernels decode
+// at register width. A synthesized circuit (src/compile) is a *cascade* of
+// such gates: stage outputs become the next stage's phase inputs — the
+// paper's "passed to potential following SW gates", with the regenerating
+// transducers between stages flipping drive phases for free complements
+// and pinning constants. EvalProgram is the frozen multi-stage artefact:
+// one EvalPlan per stage plus an interconnect map (SlotSource per input
+// slot), evaluated block-wise so a word batch runs end to end through
+// every stage inside one pass — decoded verdict bits re-encoded as the
+// next stage's inputs in scratch buffers that stay cache-hot, no
+// per-stage replan, no per-stage round trip, no intermediate matrices of
+// batch size.
+//
+// Each stage dispatches through the same kernel ladder as a single plan
+// (scalar/AVX2/AVX-512; eval_bits / eval_bits_f32 / eval_bits_mixed per
+// the stage plan's margin verdicts), so per-stage precision and block-f32
+// are honoured and every stage's decode is lane-for-lane bit-exact with
+// evaluating that stage's gate alone — which makes the whole program
+// bit-exact with the per-stage physics path by induction.
+//
+// The ProgramSpec half of this header is the *portable* description —
+// per-stage GateSpecs plus the interconnect, no designed geometry — which
+// is what the wire format ships (serve/wire.h, v3 frames) and the plan
+// cache hashes; an EvalProgram is built from it locally against a
+// designer and engine, exactly like layouts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/gate.h"
+#include "core/gate_design.h"
+#include "util/thread_pool.h"
+#include "wavesim/batch_evaluator.h"
+#include "wavesim/eval_plan.h"
+#include "wavesim/kernels/kernel.h"
+#include "wavesim/precision.h"
+#include "wavesim/wave_engine.h"
+
+namespace sw::wavesim {
+
+/// Where one input slot of a stage gets its bit. Negation is free on the
+/// fabric (the driving transducer flips phase), so it lives here rather
+/// than costing a gate.
+struct SlotSource {
+  enum class Kind : std::uint8_t {
+    kZero = 0,     ///< transducer pinned to phase 0
+    kOne = 1,      ///< transducer pinned to phase pi
+    kPrimary = 2,  ///< column `index` of the primary packed word
+    kStage = 3,    ///< output channel `index` of earlier stage `stage`
+  };
+  Kind kind = Kind::kZero;
+  std::uint32_t stage = 0;  ///< producing stage, kStage only
+  std::uint32_t index = 0;  ///< primary column or stage output channel
+  bool negated = false;     ///< complement the gathered bit
+
+  friend bool operator==(const SlotSource&, const SlotSource&) = default;
+};
+
+/// One stage: the physical design request plus where each of its
+/// num_inputs x num_channels slots (slot = channel * num_inputs + input,
+/// the EvalPlan packing) reads from.
+struct StageSpec {
+  sw::core::GateSpec gate;
+  std::vector<SlotSource> sources;
+
+  friend bool operator==(const StageSpec&, const StageSpec&) = default;
+};
+
+/// A portable multi-stage program: what clients ship over the wire and
+/// what the plan cache keys on. The program output is the last stage's
+/// decoded bits.
+struct ProgramSpec {
+  /// Function inputs per channel. The primary packed matrix a program
+  /// evaluates is row-major num_words x primary_slot_count(), the bit of
+  /// primary input i on channel ch at column ch * num_primary_inputs + i
+  /// (the same channel-major packing as a single gate's slots).
+  std::size_t num_primary_inputs = 0;
+  std::vector<StageSpec> stages;
+
+  std::size_t num_stages() const { return stages.size(); }
+  /// Channel count shared by every stage (validate() enforces agreement).
+  std::size_t num_channels() const {
+    return stages.empty() ? 0 : stages.back().gate.frequencies.size();
+  }
+  std::size_t primary_slot_count() const {
+    return num_primary_inputs * num_channels();
+  }
+  /// Longest stage-to-stage path feeding the output stage (1 for a single
+  /// gate): the physical cascade latency in stages.
+  std::size_t depth() const;
+
+  /// Shape and reference checks: at least one stage, uniform channel
+  /// count, every stage's source list sized num_inputs x num_channels,
+  /// kStage references strictly earlier stages and valid channels,
+  /// kPrimary columns within primary_slot_count(). Throws sw::util::Error.
+  void validate() const;
+
+  friend bool operator==(const ProgramSpec&, const ProgramSpec&) = default;
+};
+
+class EvalProgram {
+ public:
+  /// Designs every stage's layout with `designer`, builds the per-stage
+  /// EvalPlans on `engine` at options.precision (kAuto resolved; each
+  /// stage's margin analysis decides f32 / block-f32 / f64 independently)
+  /// and keeps a worker pool of options.num_threads for the word loop.
+  /// Neither designer nor engine needs to outlive the program.
+  EvalProgram(ProgramSpec spec, const sw::core::InlineGateDesigner& designer,
+              const WaveEngine& engine, BatchOptions options = {});
+
+  const ProgramSpec& spec() const { return spec_; }
+  std::size_t num_stages() const { return stages_.size(); }
+  std::size_t num_channels() const { return spec_.num_channels(); }
+  std::size_t num_primary_slots() const {
+    return spec_.primary_slot_count();
+  }
+  std::size_t depth() const { return depth_; }
+
+  const EvalPlan& stage_plan(std::size_t stage) const {
+    return *stages_[stage].plan;
+  }
+  const sw::core::DataParallelGate& stage_gate(std::size_t stage) const {
+    return *stages_[stage].gate;
+  }
+
+  /// Aggregate precision mix: "f64" / "f32" when every stage agrees, else
+  /// "mixed(<stage labels>)".
+  std::string precision_label() const;
+
+  /// Fused evaluation. `bits` is the row-major num_words x
+  /// num_primary_slots() primary matrix (see ProgramSpec); returns the
+  /// row-major num_words x num_channels() decoded bits of the LAST stage.
+  /// Bit-exact with evaluating each stage's gate separately and re-packing
+  /// by hand, for every kernel and per-stage precision.
+  std::vector<std::uint8_t> evaluate_bits(
+      std::size_t num_words, std::span<const std::uint8_t> bits) const;
+  std::vector<std::uint8_t> evaluate_bits(
+      std::size_t num_words, std::span<const std::uint8_t> bits,
+      const kernels::Kernel& kernel) const;
+
+  /// Same pass, keeping every stage's outputs: row-major num_words x
+  /// (num_stages() * num_channels()), stage s's channel ch at column
+  /// s * num_channels() + ch. The cascade-delegation and oracle-test
+  /// surface.
+  std::vector<std::uint8_t> evaluate_all_bits(
+      std::size_t num_words, std::span<const std::uint8_t> bits) const;
+  std::vector<std::uint8_t> evaluate_all_bits(
+      std::size_t num_words, std::span<const std::uint8_t> bits,
+      const kernels::Kernel& kernel) const;
+
+ private:
+  struct Stage {
+    std::unique_ptr<sw::core::DataParallelGate> gate;  ///< owns the layout
+    std::shared_ptr<const EvalPlan> plan;
+  };
+
+  /// Run words [begin, end) through every stage; stage_bits must hold
+  /// num_stages() * (end - begin) * num_channels() bytes and receives
+  /// stage s's outputs at [s * (end - begin) * num_channels(), ...) in
+  /// block-local row-major order.
+  void eval_range(const kernels::Kernel& kernel,
+                  std::span<const std::uint8_t> bits, std::size_t begin,
+                  std::size_t end, std::vector<std::uint8_t>& slot_scratch,
+                  std::vector<std::uint8_t>& stage_bits) const;
+
+  std::vector<std::uint8_t> evaluate_impl(std::size_t num_words,
+                                          std::span<const std::uint8_t> bits,
+                                          const kernels::Kernel& kernel,
+                                          bool all_stages) const;
+
+  ProgramSpec spec_;
+  std::vector<Stage> stages_;
+  std::size_t depth_ = 0;
+  std::size_t max_slots_ = 0;
+  mutable sw::util::ThreadPool pool_;
+};
+
+}  // namespace sw::wavesim

@@ -143,6 +143,12 @@ TEST(BatchEvaluator, ThreadCountDoesNotChangeResults) {
   }
 }
 
+// The one-shot gate hooks are deprecated in favour of holding a
+// BatchEvaluator (or submitting serve::EvalRequests), but the shims must
+// stay bit-exact until removal — these three tests are that contract.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 TEST(BatchEvaluator, GateHookMatchesScalar) {
   const GateFixture fix;
   const auto gate = fix.majority_gate(3, 4);
@@ -186,6 +192,37 @@ TEST(BatchEvaluator, ParallelLogicGateBatchMatchesScalar) {
     for (std::size_t w = 0; w < a_words.size(); ++w) {
       EXPECT_EQ(got[w], gate.evaluate(a_words[w], b_words[w]))
           << "op " << boolean_op_name(op) << " word " << w;
+    }
+  }
+}
+
+#pragma GCC diagnostic pop
+
+TEST(BatchEvaluator, PackBatchFeedsAHeldEvaluatorBitExactly) {
+  const GateFixture fix;
+  const ParallelLogicGate gate(BooleanOp::kNand, channel_frequencies(4),
+                               fix.designer, fix.engine);
+  std::mt19937 rng(29);
+  std::bernoulli_distribution coin(0.5);
+  std::vector<Bits> a_words(48), b_words(48);
+  for (std::size_t w = 0; w < a_words.size(); ++w) {
+    a_words[w].resize(4);
+    b_words[w].resize(4);
+    for (std::size_t ch = 0; ch < 4; ++ch) {
+      a_words[w][ch] = coin(rng) ? 1 : 0;
+      b_words[w][ch] = coin(rng) ? 1 : 0;
+    }
+  }
+  // The replacement idiom for the deprecated evaluate_batch: pack once per
+  // batch, evaluate on a long-lived plan.
+  const BatchEvaluator evaluator(gate.gate(), {.num_threads = 1});
+  const auto packed = gate.pack_batch(a_words, b_words);
+  const auto decoded = evaluator.evaluate_bits(a_words.size(), packed);
+  const std::size_t n = 4;
+  for (std::size_t w = 0; w < a_words.size(); ++w) {
+    const auto want = gate.evaluate(a_words[w], b_words[w]);
+    for (std::size_t ch = 0; ch < n; ++ch) {
+      ASSERT_EQ(decoded[w * n + ch], want[ch]) << "word " << w;
     }
   }
 }

@@ -1,0 +1,356 @@
+// Synthesis correctness: every truth table the compiler accepts must come
+// back as a majority chain computing exactly that function (exhaustively for
+// n <= 3, sampled plus structured specials for n = 4), and lowering a chain
+// to an EvalProgram must be bit-exact against both the Boolean reference and
+// the per-stage physics path (MajorityCascade) on every channel.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "compile/lower.h"
+#include "compile/synth.h"
+#include "compile/truth_table.h"
+#include "core/cascade.h"
+#include "core/encoding.h"
+#include "core/gate_design.h"
+#include "dispersion/fvmsw.h"
+#include "mag/material.h"
+#include "util/error.h"
+#include "wavesim/eval_program.h"
+#include "wavesim/wave_engine.h"
+
+namespace {
+
+using sw::compile::CompiledCircuit;
+using sw::compile::NpnClass;
+using sw::compile::Synthesizer;
+using sw::compile::TruthTable;
+using sw::core::Bits;
+using sw::core::GateSpec;
+using sw::core::InlineGateDesigner;
+using sw::core::MajorityCascade;
+using sw::disp::FvmswDispersion;
+using sw::disp::Waveguide;
+using sw::wavesim::EvalProgram;
+using sw::wavesim::ProgramSpec;
+using sw::wavesim::WaveEngine;
+
+Waveguide paper_waveguide() {
+  Waveguide wg;
+  wg.material = sw::mag::make_fecob();
+  wg.width = 50e-9;
+  wg.thickness = 1e-9;
+  return wg;
+}
+
+std::vector<double> channel_frequencies(std::size_t n) {
+  std::vector<double> f;
+  for (std::size_t i = 1; i <= n; ++i) {
+    f.push_back(1e10 * static_cast<double>(i));
+  }
+  return f;
+}
+
+struct CompileFixture {
+  Waveguide wg = paper_waveguide();
+  FvmswDispersion model{wg};
+  InlineGateDesigner designer{model};
+  WaveEngine engine{model, wg.material.alpha};
+
+  GateSpec base_spec(std::size_t n) const {
+    GateSpec spec;
+    spec.num_inputs = 3;
+    spec.frequencies = channel_frequencies(n);
+    return spec;
+  }
+};
+
+// --------------------------------------------------------------------------
+// TruthTable mechanics
+
+TEST(TruthTable, FromStringMsbFirst) {
+  // Column is listed from assignment 2^n-1 down to 0.
+  const TruthTable maj = TruthTable::from_string("11101000");
+  EXPECT_EQ(maj.num_inputs(), 3u);
+  EXPECT_EQ(maj.bits(), 0xE8u);
+  EXPECT_FALSE(maj.value(0b000));
+  EXPECT_FALSE(maj.value(0b001));
+  EXPECT_TRUE(maj.value(0b011));
+  EXPECT_TRUE(maj.value(0b111));
+}
+
+TEST(TruthTable, CofactorSplitsShannon) {
+  const TruthTable maj(3, 0xE8);
+  // MAJ(a,b,1) = OR(a,b); MAJ(a,b,0) = AND(a,b), splitting on input 2.
+  EXPECT_EQ(maj.cofactor(2, true).bits(), 0b1110u);
+  EXPECT_EQ(maj.cofactor(2, false).bits(), 0b1000u);
+}
+
+TEST(TruthTable, NpnTransformRoundTrip) {
+  for (std::uint32_t bits = 0; bits < 256; ++bits) {
+    const TruthTable t(3, static_cast<std::uint16_t>(bits));
+    const NpnClass cls = sw::compile::npn_canonicalize(t);
+    // The stored transform maps t to its representative.
+    EXPECT_EQ(cls.transform.apply(t), cls.representative);
+    // Canonicalisation is idempotent across the class.
+    EXPECT_EQ(sw::compile::npn_canonicalize(cls.representative).representative,
+              cls.representative);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Synthesis: exhaustive and sampled equivalence
+
+void expect_compiles_exactly(Synthesizer& synth, const TruthTable& t) {
+  const CompiledCircuit circuit = synth.compile(t);
+  ASSERT_EQ(circuit.num_inputs, t.num_inputs());
+  ASSERT_FALSE(circuit.nodes.empty());
+  EXPECT_EQ(circuit.table(), t) << "n=" << t.num_inputs()
+                                << " bits=" << t.bits();
+  EXPECT_EQ(circuit.depth, sw::compile::circuit_depth(circuit));
+  EXPECT_EQ(circuit.function, t);
+  // Topological discipline: fanins reference strictly earlier nodes.
+  for (std::size_t i = 0; i < circuit.nodes.size(); ++i) {
+    for (const sw::compile::Literal& lit : circuit.nodes[i].in) {
+      if (lit.kind == sw::compile::Literal::Kind::kNode) {
+        EXPECT_LT(lit.index, i);
+      }
+      if (lit.kind == sw::compile::Literal::Kind::kInput) {
+        EXPECT_LT(lit.index, circuit.num_inputs);
+      }
+    }
+  }
+}
+
+TEST(Synthesizer, ExhaustiveUpToThreeInputs) {
+  Synthesizer synth;
+  for (std::size_t n = 1; n <= 3; ++n) {
+    const std::uint32_t tables = 1u << (1u << n);
+    for (std::uint32_t bits = 0; bits < tables; ++bits) {
+      expect_compiles_exactly(synth, TruthTable(n, static_cast<std::uint16_t>(bits)));
+    }
+  }
+  // 2 + 16 + 256 top-level requests collapse onto a handful of NPN classes
+  // (Shannon cofactors recurse through compile(), so requests may exceed the
+  // top-level count).
+  EXPECT_GT(synth.stats().memo_hits, 0u);
+  EXPECT_GE(synth.stats().requests, 2u + 16u + 256u);
+}
+
+TEST(Synthesizer, SampledFourInputTables) {
+  Synthesizer synth;
+  // Structured specials first: parity, majority-like, mux.
+  expect_compiles_exactly(synth, TruthTable(4, 0x6996));  // XOR4
+  expect_compiles_exactly(synth, TruthTable(4, 0xE8E8));  // MAJ3(a,b,c)
+  expect_compiles_exactly(synth, TruthTable(4, 0xF888));  // MAJ-ish threshold
+  expect_compiles_exactly(synth, TruthTable(4, 0xCACA));  // MUX(a, b, c)
+  expect_compiles_exactly(synth, TruthTable(4, 0x0000));  // const 0
+  expect_compiles_exactly(synth, TruthTable(4, 0xFFFF));  // const 1
+  // Deterministic LCG sample over the 65536-table space.
+  std::uint32_t x = 0x12345u;
+  for (int i = 0; i < 300; ++i) {
+    x = x * 1664525u + 1013904223u;
+    expect_compiles_exactly(synth, TruthTable(4, static_cast<std::uint16_t>(x >> 16)));
+  }
+  EXPECT_GT(synth.stats().exact + synth.stats().decomposed, 0u);
+}
+
+TEST(Synthesizer, KnownMinimalChains) {
+  Synthesizer synth;
+  // One gate suffices for MAJ, AND, OR (free constants).
+  EXPECT_EQ(synth.compile(TruthTable(3, 0xE8)).nodes.size(), 1u);
+  EXPECT_EQ(synth.compile(TruthTable(2, 0b1000)).nodes.size(), 1u);
+  EXPECT_EQ(synth.compile(TruthTable(2, 0b1110)).nodes.size(), 1u);
+  // XOR2 needs exactly 3 majority gates (no MAJ chain of 2 computes it).
+  EXPECT_EQ(synth.compile(TruthTable(2, 0b0110)).nodes.size(), 3u);
+  // NAND and NOR are one gate with a free output complement.
+  EXPECT_EQ(synth.compile(TruthTable(2, 0b0111)).nodes.size(), 1u);
+  EXPECT_EQ(synth.compile(TruthTable(2, 0b0001)).nodes.size(), 1u);
+}
+
+TEST(Synthesizer, MemoSharesNpnClasses) {
+  Synthesizer synth;
+  synth.compile(TruthTable(2, 0b1000));  // AND
+  const std::size_t after_first = synth.memo_size();
+  synth.compile(TruthTable(2, 0b1110));  // OR = NPN-equivalent to AND
+  synth.compile(TruthTable(2, 0b0111));  // NAND
+  synth.compile(TruthTable(2, 0b0010));  // a AND NOT b
+  EXPECT_EQ(synth.memo_size(), after_first);
+  EXPECT_EQ(synth.stats().memo_hits, 3u);
+}
+
+// --------------------------------------------------------------------------
+// Lowering: EvalProgram vs Boolean reference on every channel
+
+TEST(Lowering, ProgramMatchesReferenceExhaustively) {
+  const CompileFixture fix;
+  Synthesizer synth;
+  const std::size_t n = 4;
+  const std::array<std::uint16_t, 5> functions = {
+      0x96,  // XOR3 (parity)
+      0xE8,  // MAJ3
+      0xCA,  // MUX(a2; a1, a0)
+      0x1B,  // random-ish
+      0x80,  // AND3
+  };
+  for (const std::uint16_t bits : functions) {
+    const TruthTable t(3, bits);
+    const CompiledCircuit circuit = synth.compile(t);
+    const ProgramSpec spec = sw::compile::lower_to_program(circuit, fix.base_spec(n));
+    EXPECT_EQ(spec.num_stages(), circuit.nodes.size());
+    EXPECT_EQ(spec.depth(), circuit.depth);
+    const EvalProgram program(spec, fix.designer, fix.engine);
+
+    // Words cover all 8 assignments; channel ch carries assignment
+    // (w + ch) % 8 so channels exercise independent data.
+    const std::size_t num_words = 8;
+    std::vector<std::uint8_t> packed(num_words * program.num_primary_slots());
+    for (std::size_t w = 0; w < num_words; ++w) {
+      for (std::size_t ch = 0; ch < n; ++ch) {
+        const std::size_t a = (w + ch) % 8;
+        for (std::size_t i = 0; i < 3; ++i) {
+          packed[w * program.num_primary_slots() + ch * 3 + i] =
+              static_cast<std::uint8_t>((a >> i) & 1);
+        }
+      }
+    }
+    const auto out = program.evaluate_bits(num_words, packed);
+    ASSERT_EQ(out.size(), num_words * n);
+    for (std::size_t w = 0; w < num_words; ++w) {
+      for (std::size_t ch = 0; ch < n; ++ch) {
+        const std::size_t a = (w + ch) % 8;
+        EXPECT_EQ(out[w * n + ch], t.value(a) ? 1 : 0)
+            << "bits=" << bits << " w=" << w << " ch=" << ch;
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Program vs per-stage physics: the full adder at n in {1, 4, 8}
+
+// Build the paper's 3-gate majority full adder as a ProgramSpec:
+//   carry = MAJ(a, b, cin); t = MAJ(a, b, !cin); sum = MAJ(!carry, t, cin).
+ProgramSpec full_adder_program(const GateSpec& base) {
+  using sw::compile::MajNode;
+  CompiledCircuit circuit;
+  circuit.num_inputs = 3;
+  circuit.nodes.push_back(MajNode{{sw::compile::input_lit(0),
+                                   sw::compile::input_lit(1),
+                                   sw::compile::input_lit(2)}});
+  circuit.nodes.push_back(MajNode{{sw::compile::input_lit(0),
+                                   sw::compile::input_lit(1),
+                                   sw::compile::input_lit(2, true)}});
+  circuit.nodes.push_back(MajNode{{sw::compile::node_lit(0, true),
+                                   sw::compile::node_lit(1),
+                                   sw::compile::input_lit(2)}});
+  circuit.depth = sw::compile::circuit_depth(circuit);
+  return sw::compile::lower_to_program(circuit, base);
+}
+
+void expect_program_matches_physics(const CompileFixture& fix, std::size_t n,
+                                    std::size_t num_words) {
+  const EvalProgram program(full_adder_program(fix.base_spec(n)),
+                            fix.designer, fix.engine);
+
+  MajorityCascade cascade(channel_frequencies(n), fix.designer, fix.engine);
+  const auto fa = sw::core::build_full_adder(cascade);
+  ASSERT_EQ(cascade.num_gates(), program.num_stages());
+
+  // Deterministic word stream: word w, channel ch carries assignment
+  // (w * 3 + ch * 5 + (w >> 6)) % 8 — covers all assignments per channel
+  // for any num_words >= 8 and differs across channels.
+  std::vector<std::uint8_t> packed(num_words * program.num_primary_slots());
+  std::vector<std::size_t> assignment(num_words * n);
+  for (std::size_t w = 0; w < num_words; ++w) {
+    for (std::size_t ch = 0; ch < n; ++ch) {
+      const std::size_t a = (w * 3 + ch * 5 + (w >> 6)) % 8;
+      assignment[w * n + ch] = a;
+      for (std::size_t i = 0; i < 3; ++i) {
+        packed[w * program.num_primary_slots() + ch * 3 + i] =
+            static_cast<std::uint8_t>((a >> i) & 1);
+      }
+    }
+  }
+  const auto all = program.evaluate_all_bits(num_words, packed);
+  ASSERT_EQ(all.size(), num_words * program.num_stages() * n);
+
+  // Physics oracle: evaluate each distinct assignment per channel once via
+  // the per-stage gate path and compare each stage's verdicts.
+  for (std::size_t a = 0; a < 8; ++a) {
+    std::vector<Bits> primary(3, Bits(n));
+    for (std::size_t i = 0; i < 3; ++i) {
+      for (std::size_t ch = 0; ch < n; ++ch) {
+        primary[i][ch] = static_cast<std::uint8_t>((a >> i) & 1);
+      }
+    }
+    const auto signals = cascade.evaluate(primary);
+    for (std::size_t w = 0; w < num_words; ++w) {
+      for (std::size_t ch = 0; ch < n; ++ch) {
+        if (assignment[w * n + ch] != a) continue;
+        for (std::size_t s = 0; s < program.num_stages(); ++s) {
+          EXPECT_EQ(all[w * program.num_stages() * n + s * n + ch],
+                    signals[3 + s][ch])
+              << "n=" << n << " w=" << w << " ch=" << ch << " stage=" << s;
+        }
+      }
+    }
+  }
+  // Spot-check the named full-adder outputs against arithmetic.
+  const std::size_t n_stages = program.num_stages();
+  for (std::size_t w = 0; w < num_words; ++w) {
+    for (std::size_t ch = 0; ch < n; ++ch) {
+      const std::size_t a = assignment[w * n + ch];
+      const int ones = ((a >> 0) & 1) + ((a >> 1) & 1) + ((a >> 2) & 1);
+      EXPECT_EQ(all[w * n_stages * n + 0 * n + ch], ones >= 2 ? 1 : 0);
+      EXPECT_EQ(all[w * n_stages * n + 2 * n + ch], ones & 1);
+    }
+  }
+  (void)fa;
+}
+
+TEST(ProgramPhysics, FullAdderOneChannel) {
+  const CompileFixture fix;
+  expect_program_matches_physics(fix, 1, 8);
+}
+
+TEST(ProgramPhysics, FullAdderFourChannels) {
+  const CompileFixture fix;
+  expect_program_matches_physics(fix, 4, 4096);
+}
+
+TEST(ProgramPhysics, FullAdderEightChannelFullSweep) {
+  const CompileFixture fix;
+  expect_program_matches_physics(fix, 8, 65536);
+}
+
+// --------------------------------------------------------------------------
+// ProgramSpec validation
+
+TEST(ProgramSpec, ValidateRejectsMalformedPrograms) {
+  const CompileFixture fix;
+  ProgramSpec empty;
+  empty.num_primary_inputs = 1;
+  EXPECT_THROW(empty.validate(), sw::util::Error);
+
+  ProgramSpec good = full_adder_program(fix.base_spec(2));
+  good.validate();
+
+  ProgramSpec forward = good;
+  forward.stages[0].sources[0] = {sw::wavesim::SlotSource::Kind::kStage, 2, 0,
+                                  false};
+  EXPECT_THROW(forward.validate(), sw::util::Error);
+
+  ProgramSpec overread = good;
+  overread.stages[0].sources[0] = {sw::wavesim::SlotSource::Kind::kPrimary, 0,
+                                   99, false};
+  EXPECT_THROW(overread.validate(), sw::util::Error);
+
+  ProgramSpec ragged = good;
+  ragged.stages[1].sources.pop_back();
+  EXPECT_THROW(ragged.validate(), sw::util::Error);
+}
+
+}  // namespace

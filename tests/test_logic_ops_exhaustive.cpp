@@ -12,6 +12,7 @@
 #include "core/logic_ops.h"
 #include "dispersion/fvmsw.h"
 #include "mag/material.h"
+#include "wavesim/batch_evaluator.h"
 #include "wavesim/wave_engine.h"
 
 namespace {
@@ -103,9 +104,20 @@ TEST_P(ExhaustiveTruthTable, EveryOpMatchesReferenceOnAllWords) {
     }
 
     if (n >= 8) {
-      // 2^(2n) words: sweep through the batch path.
-      check_against_reference(op, n, a_words, b_words,
-                              gate.evaluate_batch(a_words, b_words));
+      // 2^(2n) words: sweep through the batch path — pack_batch feeding a
+      // held BatchEvaluator, the replacement for the deprecated
+      // evaluate_batch hook.
+      const sw::wavesim::BatchEvaluator evaluator(gate.gate());
+      const auto decoded =
+          evaluator.evaluate_bits(a_words.size(),
+                                  gate.pack_batch(a_words, b_words));
+      std::vector<std::vector<std::uint8_t>> outputs(a_words.size());
+      for (std::size_t w = 0; w < outputs.size(); ++w) {
+        outputs[w].assign(
+            decoded.begin() + static_cast<std::ptrdiff_t>(w * n),
+            decoded.begin() + static_cast<std::ptrdiff_t>((w + 1) * n));
+      }
+      check_against_reference(op, n, a_words, b_words, outputs);
     } else {
       // Small tables: exercise the scalar path directly.
       std::vector<std::vector<std::uint8_t>> outputs;

@@ -22,6 +22,9 @@
 #include <thread>
 #include <vector>
 
+#include "compile/lower.h"
+#include "compile/synth.h"
+#include "compile/truth_table.h"
 #include "core/gate.h"
 #include "core/gate_design.h"
 #include "dispersion/fvmsw.h"
@@ -37,6 +40,7 @@
 #include "serve/wire.h"
 #include "util/error.h"
 #include "wavesim/batch_evaluator.h"
+#include "wavesim/eval_program.h"
 #include "wavesim/kernels/kernel.h"
 #include "wavesim/wave_engine.h"
 
@@ -384,6 +388,131 @@ TEST(EvalServer, RejectsAlienGeometryWithTypedError) {
   // And the connection survives a bad request.
   request.layout_hash ^= 0xdeadbeefull;
   send_message(conn, make_frame_message(request), 2000ms);
+  EXPECT_TRUE(recv_frame(conn, 10000ms).has_value());
+}
+
+/// Synthesize `bits` (a 3-ary truth table) into a majority cascade and
+/// lower it onto an n-channel fabric.
+sw::wavesim::ProgramSpec synthesize_program(std::uint16_t bits,
+                                            std::size_t n) {
+  sw::compile::Synthesizer synth;
+  const auto circuit = synth.compile(sw::compile::TruthTable(3, bits));
+  return sw::compile::lower_to_program(circuit, majority_spec(3, n));
+}
+
+/// Per-stage physics oracle (mirrors the serving-layer tests): every stage
+/// evaluated as its own DataParallelGate, inputs gathered per SlotSource.
+/// Returns stage-major outputs; the last n entries are the program output.
+std::vector<std::uint8_t> physics_stage_outputs(
+    const sw::wavesim::ProgramSpec& program,
+    const InlineGateDesigner& designer, const WaveEngine& engine,
+    std::span<const std::uint8_t> primary_row) {
+  using sw::wavesim::SlotSource;
+  const std::size_t n = program.num_channels();
+  std::vector<std::uint8_t> stage_out;
+  for (const auto& ss : program.stages) {
+    const DataParallelGate gate(designer.design(ss.gate), engine);
+    const std::size_t m = ss.gate.num_inputs;
+    std::vector<sw::core::Bits> inputs(n, sw::core::Bits(m));
+    for (std::size_t ch = 0; ch < n; ++ch) {
+      for (std::size_t k = 0; k < m; ++k) {
+        const auto& src = ss.sources[ch * m + k];
+        bool v = false;
+        switch (src.kind) {
+          case SlotSource::Kind::kZero: v = false; break;
+          case SlotSource::Kind::kOne: v = true; break;
+          case SlotSource::Kind::kPrimary:
+            v = primary_row[src.index] != 0;
+            break;
+          case SlotSource::Kind::kStage:
+            v = stage_out[src.stage * n + src.index] != 0;
+            break;
+        }
+        inputs[ch][k] = static_cast<std::uint8_t>(v != src.negated);
+      }
+    }
+    const auto results = gate.evaluate(inputs);
+    std::vector<std::uint8_t> out(n);
+    for (const auto& r : results) out[r.channel] = r.logic;
+    stage_out.insert(stage_out.end(), out.begin(), out.end());
+  }
+  return stage_out;
+}
+
+TEST(EvalServer, ServesCompiledProgramsBitExact) {
+  ServerFixture fx(loopback());
+  const std::size_t n = 4;
+  const std::uint16_t bits = 0x1B;
+  const auto program = synthesize_program(bits, n);
+  ASSERT_GE(program.num_stages(), 2u);  // a real cascade, not one gate
+  const std::size_t words = 33;  // odd size: exercises vector tails
+  const std::size_t cols = program.primary_slot_count();
+  const auto matrix = random_matrix(words, cols, 71);
+
+  auto conn = Connection::connect(fx.server.local_endpoint(), 2000ms);
+  send_message(conn,
+               make_frame_message(sw::serve::make_program_request_frame(
+                   program, 0, words, matrix)),
+               2000ms);
+  const auto response = recv_frame(conn, 10000ms);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->kind, sw::serve::FrameKind::kResponse);
+  EXPECT_EQ(response->layout_hash, sw::serve::hash_program(program));
+  EXPECT_EQ(response->num_words, words);
+  EXPECT_EQ(response->num_cols, n);
+  ASSERT_EQ(response->matrix.size(), words * n);
+
+  const WaveEngine engine(fx.model, fx.wg.material.alpha);
+  const sw::compile::TruthTable table(3, bits);
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::span<const std::uint8_t> row{matrix.data() + w * cols, cols};
+    const auto stages =
+        physics_stage_outputs(program, fx.designer, engine, row);
+    for (std::size_t ch = 0; ch < n; ++ch) {
+      // The remote fused result equals the local per-stage physics …
+      EXPECT_EQ(response->matrix[w * n + ch],
+                stages[(program.num_stages() - 1) * n + ch])
+          << "w=" << w << " ch=" << ch;
+      // … and the Boolean function the client compiled.
+      std::size_t a = 0;
+      for (std::size_t i = 0; i < 3; ++i) {
+        a |= static_cast<std::size_t>(row[ch * 3 + i] != 0) << i;
+      }
+      EXPECT_EQ(response->matrix[w * n + ch], table.value(a) ? 1 : 0)
+          << "w=" << w << " ch=" << ch;
+    }
+  }
+}
+
+TEST(EvalServer, PinnedWorkerRejectsProgramFramesWithTypedError) {
+  // A worker pinned to wire v2 (a pre-program build) must answer a v3
+  // program frame with kUnsupportedVersion — the typed reply coordinators
+  // key version negotiation on — and keep serving v2 on the connection.
+  EvalServerOptions server_options;
+  server_options.max_wire_version = sw::serve::kWireVersion;
+  ServerFixture fx(loopback(), {}, server_options);
+
+  const auto program = synthesize_program(0xE8, 2);
+  const auto matrix = random_matrix(2, program.primary_slot_count(), 81);
+  auto conn = Connection::connect(fx.server.local_endpoint(), 2000ms);
+  send_message(conn,
+               make_frame_message(sw::serve::make_program_request_frame(
+                   program, 0, 2, matrix)),
+               2000ms);
+  try {
+    (void)recv_frame(conn, 10000ms);
+    FAIL() << "expected a typed version error";
+  } catch (const RemoteError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnsupportedVersion);
+    EXPECT_NE(std::string(e.what()).find("unsupported wire version"),
+              std::string::npos);
+  }
+  // Fall back to v2 on the same connection: still served.
+  const GateLayout layout = fx.designer.design(majority_spec(3, 2));
+  send_message(conn,
+               make_frame_message(sw::serve::make_request_frame(
+                   layout, 0, 2, random_matrix(2, 6, 83))),
+               2000ms);
   EXPECT_TRUE(recv_frame(conn, 10000ms).has_value());
 }
 

@@ -479,7 +479,7 @@ TEST(ServicePrecision, TransparentFallbackSurfacesInStats) {
                                  {.num_threads = 1,
                                   .precision = Precision::kFloat64});
   const auto matrix = random_matrix(64, reference.slot_count(), /*seed=*/9);
-  EXPECT_EQ(svc.submit(wide, matrix, 64).get().bits,
+  EXPECT_EQ(svc.submit(sw::serve::EvalRequest::for_layout(wide, matrix, 64)).get().bits,
             reference.evaluate_bits(64, matrix));
 
   // Thin-margin layout: the service transparently serves the double plan.
@@ -493,7 +493,7 @@ TEST(ServicePrecision, TransparentFallbackSurfacesInStats) {
     }
   }
   const auto thin_bits =
-      svc.submit(thin, packed, patterns.size()).get().bits;
+      svc.submit(sw::serve::EvalRequest::for_layout(thin, packed, patterns.size())).get().bits;
   for (std::size_t w = 0; w < patterns.size(); ++w) {
     EXPECT_EQ(thin_bits[w], thin_gate.evaluate_uniform(patterns[w])[0].logic)
         << "word " << w;
@@ -520,7 +520,7 @@ TEST(ServicePrecision, BlockPlanMixSurfacesInStats) {
   const BatchEvaluator reference(
       gate, {.num_threads = 1, .precision = Precision::kFloat64});
   const auto matrix = random_matrix(96, reference.slot_count(), /*seed=*/23);
-  EXPECT_EQ(svc.submit(layout, matrix, 96).get().bits,
+  EXPECT_EQ(svc.submit(sw::serve::EvalRequest::for_layout(layout, matrix, 96)).get().bits,
             reference.evaluate_bits(96, matrix));
 
   // ...and the per-detector mix is visible in the service stats.

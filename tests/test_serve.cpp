@@ -12,9 +12,13 @@
 #include <limits>
 #include <mutex>
 #include <random>
+#include <span>
 #include <thread>
 #include <vector>
 
+#include "compile/lower.h"
+#include "compile/synth.h"
+#include "compile/truth_table.h"
 #include "core/encoding.h"
 #include "core/gate.h"
 #include "core/gate_design.h"
@@ -28,6 +32,7 @@
 #include "util/error.h"
 #include "wavesim/kernels/kernel.h"
 #include "wavesim/batch_evaluator.h"
+#include "wavesim/eval_program.h"
 #include "wavesim/wave_engine.h"
 
 namespace {
@@ -487,12 +492,12 @@ TEST(EvaluatorService, MatchesScalarGateAndCachesPlans) {
   const BatchEvaluator reference(gate, {.num_threads = 1});
   const auto matrix = random_matrix(96, reference.slot_count(), /*seed=*/31);
 
-  auto first = svc.submit(layout, matrix, 96).get();
+  auto first = svc.submit(EvalRequest::for_layout(layout, matrix, 96)).get();
   EXPECT_FALSE(first.cache_hit);
   EXPECT_EQ(first.num_channels, 4u);
   EXPECT_EQ(first.bits, reference.evaluate_bits(96, matrix));
 
-  auto second = svc.submit(layout, matrix, 96).get();
+  auto second = svc.submit(EvalRequest::for_layout(layout, matrix, 96)).get();
   EXPECT_TRUE(second.cache_hit);
   EXPECT_EQ(second.bits, first.bits);
 
@@ -526,7 +531,7 @@ TEST(EvaluatorService, NestedBitsConvenienceMatchesScalarLoop) {
       for (auto& b : bits) b = coin(rng) ? 1 : 0;
     }
   }
-  const auto result = svc.submit(layout, batch).get();
+  const auto result = svc.submit(EvalRequest::for_batch(layout, batch)).get();
   for (std::size_t w = 0; w < batch.size(); ++w) {
     const auto want = gate.evaluate(batch[w]);
     for (const auto& r : want) {
@@ -549,7 +554,7 @@ TEST(EvaluatorService, DistinctLayoutsInterleaveThroughTheCache) {
       const std::size_t slots =
           lay->spec.frequencies.size() * lay->spec.num_inputs;
       const auto matrix = random_matrix(8, slots, /*seed=*/round + 1);
-      const auto result = svc.submit(*lay, matrix, 8).get();
+      const auto result = svc.submit(EvalRequest::for_layout(*lay, matrix, 8)).get();
       const DataParallelGate gate(*lay, fix.engine);
       const BatchEvaluator reference(gate, {.num_threads = 1});
       EXPECT_EQ(result.bits, reference.evaluate_bits(8, matrix));
@@ -566,14 +571,14 @@ TEST(EvaluatorService, SubmitValidatesShapeUpFront) {
   const ServeFixture fix;
   const auto layout = fix.majority_layout(3, 2);
   EvaluatorService svc(fix.model, fix.wg.material.alpha);
-  EXPECT_THROW((void)svc.submit(layout, std::vector<std::uint8_t>(5), 1),
+  EXPECT_THROW((void)svc.submit(EvalRequest::for_layout(layout, std::vector<std::uint8_t>(5), 1)),
                sw::util::Error);
   // A word count whose product with slot_count wraps size_t must fail
   // synchronously here — before admission charges a near-SIZE_MAX inflight
   // word budget that would starve every other submitter.
   const std::size_t wrap =
       (std::numeric_limits<std::size_t>::max() / 6) + 1;  // 6 slots
-  EXPECT_THROW((void)svc.submit(layout, std::vector<std::uint8_t>(6), wrap),
+  EXPECT_THROW((void)svc.submit(EvalRequest::for_layout(layout, std::vector<std::uint8_t>(6), wrap)),
                sw::util::Error);
   EXPECT_EQ(svc.stats().inflight_words, 0u);
 }
@@ -583,7 +588,7 @@ TEST(EvaluatorService, BrokenLayoutFailsThroughTheFuture) {
   auto broken = fix.majority_layout(3, 2);
   broken.sources[0].x += 1e-9;  // invalid geometry: plan build throws
   EvaluatorService svc(fix.model, fix.wg.material.alpha);
-  auto future = svc.submit(broken, std::vector<std::uint8_t>(6), 1);
+  auto future = svc.submit(EvalRequest::for_layout(broken, std::vector<std::uint8_t>(6), 1));
   EXPECT_THROW((void)future.get(), sw::util::Error);
   EXPECT_EQ(svc.stats().completed, 1u);
   EXPECT_EQ(svc.stats().inflight_words, 0u);
@@ -604,10 +609,10 @@ TEST(EvaluatorService, ShedsWhenSaturated) {
 
   // r1 is picked up by the single worker (leaves the queue) and parks in
   // the gate; r2 then occupies the one queue slot; r3 must shed.
-  auto r1 = svc.submit(layout, matrix, 4);
+  auto r1 = svc.submit(EvalRequest::for_layout(layout, matrix, 4));
   gate.wait_entered();
-  auto r2 = svc.submit(layout, matrix, 4);
-  EXPECT_THROW((void)svc.submit(layout, matrix, 4), OverloadError);
+  auto r2 = svc.submit(EvalRequest::for_layout(layout, matrix, 4));
+  EXPECT_THROW((void)svc.submit(EvalRequest::for_layout(layout, matrix, 4)), OverloadError);
   EXPECT_EQ(svc.stats().shed, 1u);
 
   gate.open();
@@ -630,12 +635,12 @@ TEST(EvaluatorService, BlocksWhenSaturatedAndResumes) {
   const auto layout = fix.majority_layout(3, 2);
   const auto matrix = random_matrix(4, 6, /*seed=*/43);
 
-  auto r1 = svc.submit(layout, matrix, 4);
+  auto r1 = svc.submit(EvalRequest::for_layout(layout, matrix, 4));
   gate.wait_entered();
-  auto r2 = svc.submit(layout, matrix, 4);
+  auto r2 = svc.submit(EvalRequest::for_layout(layout, matrix, 4));
 
   std::future<ResultBatch> r3;
-  std::thread submitter([&] { r3 = svc.submit(layout, matrix, 4); });
+  std::thread submitter([&] { r3 = svc.submit(EvalRequest::for_layout(layout, matrix, 4)); });
   // The submitter must actually block (registered, not admitted) …
   while (svc.stats().blocked == 0) std::this_thread::yield();
   EXPECT_EQ(svc.stats().submitted, 2u);
@@ -731,7 +736,7 @@ TEST(EvaluatorService, TracksLatencyPercentilesAndCompletionHook) {
   };
   EvaluatorService svc(fix.model, fix.wg.material.alpha, options);
   for (int i = 0; i < 5; ++i) {
-    (void)svc.submit(layout, matrix, 4).get();
+    (void)svc.submit(EvalRequest::for_layout(layout, matrix, 4)).get();
   }
   const auto stats = svc.stats();
   EXPECT_EQ(stats.latency.count, 5u);
@@ -751,13 +756,211 @@ TEST(EvaluatorService, DestructorDrainsPendingRequests) {
   {
     EvaluatorService svc(fix.model, fix.wg.material.alpha);
     for (int i = 0; i < 32; ++i) {
-      futures.push_back(svc.submit(layout, matrix, 4));
+      futures.push_back(svc.submit(EvalRequest::for_layout(layout, matrix, 4)));
     }
     // Destructor runs here with requests still queued.
   }
   for (auto& f : futures) {
     EXPECT_EQ(f.get().num_words, 4u);  // every future completed
   }
+}
+
+// --------------------------------------------------------------------------
+// Compiled programs: wire v3 frames, shared-LRU cache entries, and the
+// service end to end against the per-stage physics oracle.
+
+/// Synthesize `bits` (an `num_inputs`-ary truth table, MSB-first column)
+/// into a minimal majority cascade and lower it onto an n-channel fabric.
+sw::wavesim::ProgramSpec synthesize_program(std::uint16_t bits,
+                                            std::size_t num_inputs,
+                                            std::size_t n) {
+  sw::compile::Synthesizer synth;
+  const auto circuit =
+      synth.compile(sw::compile::TruthTable(num_inputs, bits));
+  GateSpec base;
+  base.num_inputs = 3;
+  base.frequencies = channel_frequencies(n);
+  return sw::compile::lower_to_program(circuit, base);
+}
+
+/// Per-stage physics oracle: run every stage as its own DataParallelGate,
+/// gathering inputs per SlotSource by hand. Returns the stage-major
+/// outputs (stage s, channel ch at s * n + ch); the last n entries are
+/// the program's output word.
+std::vector<std::uint8_t> physics_stage_outputs(
+    const sw::wavesim::ProgramSpec& program,
+    const InlineGateDesigner& designer, const WaveEngine& engine,
+    std::span<const std::uint8_t> primary_row) {
+  using sw::wavesim::SlotSource;
+  const std::size_t n = program.num_channels();
+  std::vector<std::uint8_t> stage_out;
+  for (const auto& ss : program.stages) {
+    const DataParallelGate gate(designer.design(ss.gate), engine);
+    const std::size_t m = ss.gate.num_inputs;
+    std::vector<Bits> inputs(n, Bits(m));
+    for (std::size_t ch = 0; ch < n; ++ch) {
+      for (std::size_t k = 0; k < m; ++k) {
+        const auto& src = ss.sources[ch * m + k];
+        bool v = false;
+        switch (src.kind) {
+          case SlotSource::Kind::kZero: v = false; break;
+          case SlotSource::Kind::kOne: v = true; break;
+          case SlotSource::Kind::kPrimary:
+            v = primary_row[src.index] != 0;
+            break;
+          case SlotSource::Kind::kStage:
+            v = stage_out[src.stage * n + src.index] != 0;
+            break;
+        }
+        inputs[ch][k] = static_cast<std::uint8_t>(v != src.negated);
+      }
+    }
+    const auto results = gate.evaluate(inputs);
+    std::vector<std::uint8_t> out(n);
+    for (const auto& r : results) out[r.channel] = r.logic;
+    stage_out.insert(stage_out.end(), out.begin(), out.end());
+  }
+  return stage_out;
+}
+
+TEST(WireFormat, ProgramRequestRoundTripsBitExact) {
+  const auto program = synthesize_program(0x1B, 3, 4);
+  ASSERT_GE(program.num_stages(), 2u);  // a real cascade, not one gate
+  const auto matrix = random_matrix(17, program.primary_slot_count(), 51);
+  const auto frame =
+      make_program_request_frame(program, /*word_offset=*/64, 17, matrix);
+  const auto decoded = decode_frame(encode_frame(frame));
+
+  EXPECT_EQ(decoded.kind, FrameKind::kRequest);
+  EXPECT_EQ(decoded.layout_hash, hash_program(program));
+  EXPECT_EQ(decoded.word_offset, 64u);
+  EXPECT_EQ(decoded.num_words, 17u);
+  EXPECT_EQ(decoded.num_cols, program.primary_slot_count());
+  EXPECT_FALSE(decoded.spec.has_value());
+  ASSERT_TRUE(decoded.program.has_value());
+  EXPECT_EQ(*decoded.program, program);  // field-wise, doubles bit-exact
+  EXPECT_EQ(decoded.matrix, matrix);
+}
+
+TEST(WireFormat, ProgramBlockCorruptionRejected) {
+  const auto program = synthesize_program(0xE8, 3, 2);
+  const auto good = encode_frame(
+      make_program_request_frame(program, 0, 4,
+                                 random_matrix(4, 6, /*seed=*/53)));
+  // Flip one byte inside the program block: either the block's trailing
+  // self-checksum or the frame checksum must catch it.
+  auto bad = good;
+  bad[80] ^= 0xFF;
+  EXPECT_THROW((void)decode_frame(bad), sw::util::Error);
+  // Truncation inside the program block must be caught, not read past.
+  EXPECT_THROW((void)decode_frame({good.data(), good.size() - 9}),
+               sw::util::Error);
+}
+
+TEST(WireFormat, VersionCeilingYieldsTypedUnsupportedError) {
+  const auto program = synthesize_program(0xE8, 3, 2);
+  const auto v3 = encode_frame(
+      make_program_request_frame(program, 0, 2,
+                                 random_matrix(2, 6, /*seed=*/55)));
+  // A v2-pinned decoder (an old worker) must refuse the frame with the
+  // typed error negotiation keys on — not a generic parse failure.
+  try {
+    (void)decode_frame(v3, kWireVersion);
+    FAIL() << "expected UnsupportedVersionError";
+  } catch (const UnsupportedVersionError& e) {
+    EXPECT_EQ(e.version, kWireVersionProgram);
+    EXPECT_NE(std::string(e.what()).find("unsupported wire version"),
+              std::string::npos);
+  }
+  // The pinned ceiling still accepts plain v2 layout frames.
+  const ServeFixture fix;
+  const auto layout = fix.majority_layout(3, 2);
+  const auto v2 = encode_frame(
+      make_request_frame(layout, 0, 2, random_matrix(2, 6, /*seed=*/57)));
+  EXPECT_TRUE(decode_frame(v2, kWireVersion).spec.has_value());
+}
+
+TEST(PlanCache, ProgramEntriesShareTheLruWithStats) {
+  const ServeFixture fix;
+  PlanCache cache(fix.engine, /*capacity=*/2, {.num_threads = 1},
+                  &fix.designer);
+  const auto program = synthesize_program(0x1B, 3, 2);
+
+  EXPECT_EQ(cache.try_get_program(program), nullptr);  // cold: no entry
+  const auto first = cache.get_or_build_program(program);
+  EXPECT_FALSE(first.hit);
+  ASSERT_NE(first.program, nullptr);
+  EXPECT_EQ(first.program->num_stages(), program.num_stages());
+  EXPECT_TRUE(cache.get_or_build_program(program).hit);
+  EXPECT_NE(cache.try_get_program(program), nullptr);
+
+  // Layout entries share the LRU: two layout builds push the program out.
+  (void)cache.get_or_build(fix.majority_layout(3, 2));
+  (void)cache.get_or_build(fix.majority_layout(3, 3));
+  EXPECT_EQ(cache.try_get_program(program), nullptr);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 3u);  // program + two layouts
+  EXPECT_EQ(stats.hits, 2u);    // get_or_build_program hit + try_get
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.program_builds, 1u);
+  EXPECT_EQ(stats.program_stages, first.program->num_stages());
+  EXPECT_EQ(stats.max_program_depth, first.program->depth());
+}
+
+TEST(PlanCache, ProgramLookupWithoutDesignerThrows) {
+  const ServeFixture fix;
+  PlanCache cache(fix.engine, 4);  // no designer: layouts only
+  const auto program = synthesize_program(0xE8, 3, 2);
+  EXPECT_THROW((void)cache.try_get_program(program), sw::util::Error);
+  EXPECT_THROW((void)cache.get_or_build_program(program), sw::util::Error);
+  // Layout lookups stay unaffected.
+  EXPECT_FALSE(cache.get_or_build(fix.majority_layout(3, 2)).hit);
+}
+
+TEST(EvaluatorService, ProgramRequestMatchesPerStagePhysicsOracle) {
+  const ServeFixture fix;
+  const std::size_t n = 4;
+  const std::uint16_t bits = 0x1B;  // arbitrary non-special 3-ary function
+  const auto program = synthesize_program(bits, 3, n);
+  EvaluatorService svc(fix.model, fix.wg.material.alpha);
+
+  const std::size_t words = 32;
+  const std::size_t cols = program.primary_slot_count();
+  const auto matrix = random_matrix(words, cols, /*seed=*/61);
+  auto first =
+      svc.submit(EvalRequest::for_program(program, matrix, words)).get();
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_EQ(first.num_channels, n);
+  EXPECT_EQ(first.num_stages, program.num_stages());
+  EXPECT_EQ(first.depth, program.depth());
+  ASSERT_EQ(first.bits.size(), words * n);
+
+  const sw::compile::TruthTable table(3, bits);
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::span<const std::uint8_t> row{matrix.data() + w * cols, cols};
+    const auto stages =
+        physics_stage_outputs(program, fix.designer, fix.engine, row);
+    for (std::size_t ch = 0; ch < n; ++ch) {
+      // The fused program equals the per-stage physics oracle …
+      EXPECT_EQ(first.bits[w * n + ch],
+                stages[(program.num_stages() - 1) * n + ch])
+          << "w=" << w << " ch=" << ch;
+      // … and both equal the Boolean function that was compiled.
+      std::size_t a = 0;
+      for (std::size_t i = 0; i < 3; ++i) {
+        a |= static_cast<std::size_t>(row[ch * 3 + i] != 0) << i;
+      }
+      EXPECT_EQ(first.bits[w * n + ch], table.value(a) ? 1 : 0)
+          << "w=" << w << " ch=" << ch;
+    }
+  }
+
+  auto second =
+      svc.submit(EvalRequest::for_program(program, matrix, words)).get();
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.bits, first.bits);
+  EXPECT_GE(svc.stats().cache.program_builds, 1u);
 }
 
 }  // namespace
