@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
@@ -146,6 +147,16 @@ class BenchJson {
                      f32_detectors, rescue_detectors});
   }
 
+  /// Phase-breakdown row: time spent in one request phase during the
+  /// named experiment, taken from the serving-side phase histograms
+  /// (obs::HistogramSnapshot mean + count). Emitted as a separate
+  /// "phases" array so `results` keeps its flat shape; bench_summary.py
+  /// renders them as their own table.
+  void add_phase(const std::string& name, const std::string& phase,
+                 double mean_seconds, std::uint64_t count) {
+    phases_.push_back({name, phase, mean_seconds, count});
+  }
+
   /// Writes the file; returns false (and says so on stderr) when the path
   /// is unwritable. Benches call this after their floor checks so a gating
   /// failure still aborts before a half-written artifact uploads.
@@ -190,7 +201,21 @@ class BenchJson {
       }
       std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ]%s\n", phases_.empty() ? "" : ",");
+    if (!phases_.empty()) {
+      std::fprintf(f, "  \"phases\": [\n");
+      for (std::size_t i = 0; i < phases_.size(); ++i) {
+        const PhaseRow& p = phases_[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"phase\": \"%s\", "
+                     "\"mean_seconds\": %.9g, \"count\": %llu}%s\n",
+                     p.name.c_str(), p.phase.c_str(), p.mean_seconds,
+                     static_cast<unsigned long long>(p.count),
+                     i + 1 < phases_.size() ? "," : "");
+      }
+      std::fprintf(f, "  ]\n");
+    }
+    std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("bench results written to %s\n", path_.c_str());
     return true;
@@ -219,8 +244,15 @@ class BenchJson {
     std::size_t f32_detectors = 0;
     std::size_t f64_rescue_detectors = 0;
   };
+  struct PhaseRow {
+    std::string name;
+    std::string phase;
+    double mean_seconds = 0.0;
+    std::uint64_t count = 0;
+  };
   std::string path_;
   std::vector<Row> rows_;
+  std::vector<PhaseRow> phases_;
 };
 
 }  // namespace sw::bench

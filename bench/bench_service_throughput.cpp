@@ -204,11 +204,34 @@ void run_experiment(bench::BenchJson& json) {
               static_cast<unsigned long long>(stats.completed));
   // Tail latency over the recent-request window (the metrics endpoint
   // serves the same numbers as sw_serve_latency_p*_seconds).
-  const auto latest = svc.stats().latency;
-  std::printf("latency: p50 %.0f us / p95 %.0f us / p99 %.0f us over the "
-              "last <=1024 of %llu request(s)\n\n",
-              latest.p50_s * 1e6, latest.p95_s * 1e6, latest.p99_s * 1e6,
-              static_cast<unsigned long long>(latest.count));
+  const auto latest = svc.stats();
+  std::printf("latency: p50 %.0f us / p95 %.0f us / p99 %.0f us / "
+              "mean %.0f us / max %.0f us over the last <=1024 of %llu "
+              "request(s)\n",
+              latest.latency.p50_s * 1e6, latest.latency.p95_s * 1e6,
+              latest.latency.p99_s * 1e6, latest.latency.mean_s * 1e6,
+              latest.latency.max_s * 1e6,
+              static_cast<unsigned long long>(latest.latency.count));
+  // Phase breakdown from the service's always-on histograms: where a
+  // request's lifetime actually went, in the same shape the metrics
+  // endpoint exposes — and folded into the bench artifact so the
+  // trajectory tracks phase drift, not just the end-to-end rate.
+  const struct {
+    const char* label;
+    const sw::obs::HistogramSnapshot& h;
+  } phases[] = {
+      {"request_latency", latest.request_latency},
+      {"admission_wait", latest.admission_wait},
+      {"queue_wait", latest.queue_wait},
+      {"kernel_exec", latest.kernel_exec},
+  };
+  std::printf("phase breakdown (mean over all requests):\n");
+  for (const auto& p : phases) {
+    std::printf("  %-16s %10.1f us  (n=%llu)\n", p.label, p.h.mean() * 1e6,
+                static_cast<unsigned long long>(p.h.count));
+    json.add_phase("service_steady_state", p.label, p.h.mean(), p.h.count);
+  }
+  std::printf("\n");
 
   std::fflush(stdout);
   SW_REQUIRE(served == rebuilt,

@@ -1,0 +1,77 @@
+// One-shot observability scrape for a running EvalServer (or registry).
+//
+//   example_scrape ENDPOINT            # kMetricsRequest -> Prometheus text
+//   example_scrape --trace ENDPOINT    # kTraceRequest   -> trace JSON
+//   example_scrape [--trace] ENDPOINT --out FILE
+//
+// Prints the reply to stdout (or writes FILE) — the `curl` of this wire
+// protocol, for smoke scripts and humans debugging a live worker. Metrics
+// scrapes work against an EvalServer and a RegistryServer alike; trace
+// scrapes are EvalServer-only (the registry rejects them, and this tool
+// surfaces that as the typed error it is).
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "util/error.h"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--trace] ENDPOINT [--out FILE] [--timeout-ms T]\n"
+               "  ENDPOINT  tcp:HOST:PORT or unix:PATH\n",
+               argv0);
+  std::exit(64);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool trace = false;
+  std::string endpoint;
+  std::string out_path;
+  long timeout_ms = 5000;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--trace") {
+        trace = true;
+      } else if (arg == "--out" && i + 1 < argc) {
+        out_path = argv[++i];
+      } else if (arg == "--timeout-ms" && i + 1 < argc) {
+        timeout_ms = std::atol(argv[++i]);
+      } else if (!arg.empty() && arg[0] == '-') {
+        usage(argv[0]);
+      } else if (endpoint.empty()) {
+        endpoint = arg;
+      } else {
+        usage(argv[0]);
+      }
+    }
+    if (endpoint.empty()) usage(argv[0]);
+
+    const std::string text = sw::net::fetch_text(
+        sw::net::Endpoint::parse(endpoint),
+        trace ? sw::net::MessageKind::kTraceRequest
+              : sw::net::MessageKind::kMetricsRequest,
+        std::chrono::milliseconds(timeout_ms));
+    if (out_path.empty()) {
+      std::fwrite(text.data(), 1, text.size(), stdout);
+    } else {
+      std::FILE* f = std::fopen(out_path.c_str(), "w");
+      SW_REQUIRE(f != nullptr, "cannot open --out file " + out_path);
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "wrote %zu bytes to %s\n", text.size(),
+                   out_path.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "scrape: %s\n", e.what());
+    return 1;
+  }
+}

@@ -14,7 +14,7 @@
 //
 //   example_sweep_coordinator --transport=tcp|unix
 //       --workers EP1,EP2,…  [--shard-words N] [--deadline-ms D]
-//       [--grace-ms G] [--shutdown-workers]
+//       [--grace-ms G] [--shutdown-workers] [--trace-out FILE]
 //   example_sweep_coordinator --transport=tcp|unix
 //       --registry ENDPOINT --min-workers N [--discover-ms T] [...]
 //
@@ -25,6 +25,15 @@
 // optionally shuts the workers down afterwards. With --registry the
 // worker list is discovered from an example_registry process instead:
 // the coordinator polls until at least --min-workers adverts are live.
+//
+// --trace-out FILE writes one Chrome trace-event JSON document loadable in
+// Perfetto: the coordinator's per-shard spans (assign/send/wait/retire per
+// worker track, plus zero-length reshard events) merged with each worker's
+// own trace ring (wire decode, admission, plan, kernel, wire encode,
+// write-queue spans per request) fetched over kTraceRequest after the
+// sweep. With --shutdown-workers the traces are collected first and the
+// shutdown sent by the example afterwards, so the dump never races worker
+// exit.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -36,8 +45,10 @@
 #include "core/gate.h"
 #include "core/gate_design.h"
 #include "dispersion/fvmsw.h"
+#include "net/protocol.h"
 #include "net/socket.h"
 #include "net/sweep_coordinator.h"
+#include "obs/trace.h"
 #include "serve/layout_hash.h"
 #include "serve/wire.h"
 #include "sweep_common.h"
@@ -70,6 +81,7 @@ struct Args {
   long deadline_ms = 2000;
   long grace_ms = 0;
   bool shutdown_workers = false;
+  std::string trace_out;
 };
 
 /// Run the sweep over the file transport: one worker process per shard,
@@ -158,10 +170,51 @@ std::vector<std::uint8_t> run_socket_sweep(
   options.straggler_deadline = std::chrono::milliseconds(args.deadline_ms);
   options.duplicate_grace = std::chrono::milliseconds(args.grace_ms);
   options.shutdown_workers = args.shutdown_workers;
+  const bool tracing = !args.trace_out.empty();
+  // Tracing defers the shutdown to this function: worker trace rings must
+  // be fetched while the workers still serve.
+  if (tracing) options.shutdown_workers = false;
+  sw::obs::TraceRecorder recorder(8192);
+  if (tracing) options.recorder = &recorder;
   sw::net::SweepCoordinator coordinator(std::move(endpoints), options);
 
   sw::net::SweepReport report;
   auto merged = coordinator.run(layout, matrix, kSweepWords, &report);
+  if (tracing) {
+    std::vector<std::string> documents;
+    documents.push_back(
+        sw::obs::trace_json(recorder.snapshot(), "sweep-coordinator"));
+    for (const auto& ep : coordinator.workers()) {
+      try {
+        documents.push_back(sw::net::fetch_text(
+            ep, sw::net::MessageKind::kTraceRequest,
+            std::chrono::milliseconds(5000)));
+      } catch (const sw::util::Error& e) {
+        std::fprintf(stderr, "trace fetch from %s failed: %s\n",
+                     ep.to_string().c_str(), e.what());
+      }
+    }
+    const std::string merged_json = sw::obs::merge_trace_json(documents);
+    std::FILE* f = std::fopen(args.trace_out.c_str(), "w");
+    SW_REQUIRE(f != nullptr, "cannot open --trace-out file " + args.trace_out);
+    std::fwrite(merged_json.data(), 1, merged_json.size(), f);
+    std::fclose(f);
+    std::printf("trace: %zu document(s) merged into %s\n", documents.size(),
+                args.trace_out.c_str());
+    if (args.shutdown_workers) {
+      for (const auto& ep : coordinator.workers()) {
+        try {
+          auto conn = sw::net::Connection::connect(
+              ep, std::chrono::milliseconds(5000));
+          sw::net::Message m;
+          m.kind = sw::net::MessageKind::kShutdown;
+          sw::net::send_message(conn, m, std::chrono::milliseconds(5000));
+        } catch (const sw::util::Error&) {
+          // Best-effort, like the coordinator's own shutdown path.
+        }
+      }
+    }
+  }
   std::printf("socket transport: %zu shard(s), %zu re-shard(s), "
               "%zu duplicate result(s), %zu overload retr%s, "
               "%zu dead worker(s)\n",
@@ -183,7 +236,7 @@ std::vector<std::uint8_t> run_socket_sweep(
       "usage: %s [--shards N] [--dir PATH] [--worker PATH]\n"
       "       %s --transport=tcp|unix --workers EP1,EP2,… "
       "[--shard-words N] [--deadline-ms D] [--grace-ms G] "
-      "[--shutdown-workers]\n"
+      "[--shutdown-workers] [--trace-out FILE]\n"
       "       … --registry ENDPOINT [--min-workers N] [--discover-ms T] "
       "instead of --workers\n",
       argv0, argv0);
@@ -221,6 +274,8 @@ int main(int argc, char** argv) {
         args.grace_ms = std::atol(argv[++i]);
       } else if (arg == "--shutdown-workers") {
         args.shutdown_workers = true;
+      } else if (arg == "--trace-out" && i + 1 < argc) {
+        args.trace_out = argv[++i];
       } else {
         usage(argv[0]);
       }

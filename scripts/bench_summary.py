@@ -52,16 +52,17 @@ def find_bench_files(paths):
 
 
 def load_rows(leg, path):
-    """One flat dict per result row, annotated with leg + host info."""
+    """(result_rows, phase_rows): flat dicts annotated with leg + host."""
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
     host = doc.get("host", {})
+    bench = doc.get("bench", os.path.basename(path))
     rows = []
     for r in doc.get("results", []):
         rows.append(
             {
                 "leg": leg,
-                "bench": doc.get("bench", os.path.basename(path)),
+                "bench": bench,
                 "name": r.get("name", "?"),
                 "kernel": r.get("kernel", "?"),
                 "precision": r.get("precision", "?"),
@@ -71,7 +72,19 @@ def load_rows(leg, path):
                 "host_kernel": host.get("active_kernel", "?"),
             }
         )
-    return rows
+    phases = []
+    for p in doc.get("phases", []):
+        phases.append(
+            {
+                "leg": leg,
+                "bench": bench,
+                "name": p.get("name", "?"),
+                "phase": p.get("phase", "?"),
+                "mean_seconds": float(p.get("mean_seconds", 0.0)),
+                "count": int(p.get("count", 0)),
+            }
+        )
+    return rows, phases
 
 
 def fmt_rate(words_per_s):
@@ -88,11 +101,18 @@ def fmt_mix(row):
     return f"{row['f32_detectors']}f32/{row['f64_rescue_detectors']}f64"
 
 
+def fmt_mean_us(seconds):
+    return f"{seconds * 1e6:.1f}us"
+
+
 def main(argv):
     rows = []
+    phase_rows = []
     for leg, path in find_bench_files(argv[1:]):
         try:
-            rows.extend(load_rows(leg, path))
+            file_rows, file_phases = load_rows(leg, path)
+            rows.extend(file_rows)
+            phase_rows.extend(file_phases)
         except (OSError, ValueError) as e:
             print(f"warning: {path}: {e}", file=sys.stderr)
     if not rows:
@@ -116,6 +136,29 @@ def main(argv):
     print("|" + "|".join("-" * (w + 2) for w in widths) + "|")
     for row in table:
         print(line(row))
+
+    if phase_rows:
+        # The per-phase sections benches emit (bench_common.h add_phase):
+        # where a served request's lifetime went, as its own table.
+        phase_rows.sort(key=lambda r: (r["bench"], r["name"], r["phase"],
+                                       r["leg"]))
+        pheader = ["bench", "experiment", "phase", "mean", "count", "leg"]
+        ptable = [
+            [r["bench"], r["name"], r["phase"], fmt_mean_us(r["mean_seconds"]),
+             str(r["count"]), r["leg"]]
+            for r in phase_rows
+        ]
+        pwidths = [max(len(h), *(len(row[i]) for row in ptable))
+                   for i, h in enumerate(pheader)]
+        def pline(cells):
+            return "| " + " | ".join(
+                c.ljust(w) for c, w in zip(cells, pwidths)) + " |"
+        print()
+        print("phase breakdown:")
+        print(pline(pheader))
+        print("|" + "|".join("-" * (w + 2) for w in pwidths) + "|")
+        for row in ptable:
+            print(pline(row))
 
     legs = sorted({(r["leg"], r["host_kernel"]) for r in rows})
     print()

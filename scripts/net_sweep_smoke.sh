@@ -9,10 +9,17 @@
 # in-process sweep and the Boolean AND reference, then shuts the workers
 # down (both must exit 0).
 #
-# Leg 2 — straggler: 2 fresh workers, one SIGSTOPped before the sweep
-# starts. Its shards sit in flight until the straggler deadline, get
-# re-sharded to the live worker, and the sweep must still complete
-# bit-for-bit. The stopped worker is then resumed and killed.
+# Leg 2 — straggler + observability: 2 fresh workers, one SIGSTOPped
+# before the sweep starts. Its shards sit in flight until the straggler
+# deadline, get re-sharded to the live worker, and the sweep must still
+# complete bit-for-bit. The coordinator runs in the background with
+# --trace-out so the script can scrape the live worker's metrics endpoint
+# *mid-sweep* (request-latency histogram buckets and non-zero byte
+# counters must be present), and the merged Perfetto trace written
+# afterwards must parse as JSON and contain per-request phase spans
+# (admission, kernel), per-shard coordinator spans (shard_send) and at
+# least one reshard event. The trace file lands at $TRACE_OUT (default
+# sweep_trace.json) for CI to upload next to the bench JSON.
 #
 # Leg 3 — registry discovery + straggler: an example_registry process with
 # a long TTL, 2 fresh workers that register themselves (no --workers list
@@ -30,8 +37,10 @@ BUILD=${1:-build}
 WORKER="$BUILD/example_sweep_worker"
 COORD="$BUILD/example_sweep_coordinator"
 REGISTRY="$BUILD/example_registry"
-[[ -x $WORKER && -x $COORD && -x $REGISTRY ]] || {
-  echo "missing $WORKER, $COORD or $REGISTRY (build first)" >&2
+SCRAPE="$BUILD/example_scrape"
+TRACE_OUT=${TRACE_OUT:-sweep_trace.json}
+[[ -x $WORKER && -x $COORD && -x $REGISTRY && -x $SCRAPE ]] || {
+  echo "missing $WORKER, $COORD, $REGISTRY or $SCRAPE (build first)" >&2
   exit 1
 }
 
@@ -65,7 +74,7 @@ wait "$W1"
 wait "$W2"
 echo "leg 1 OK: both workers exited cleanly after shutdown"
 
-echo "=== leg 2: straggler (one worker SIGSTOPped) ==="
+echo "=== leg 2: straggler (one worker SIGSTOPped) + observability ==="
 "$WORKER" --transport=tcp --listen "tcp:127.0.0.1:$P3" --max-seconds 300 &
 W3=$!
 "$WORKER" --transport=tcp --listen "tcp:127.0.0.1:$P4" --max-seconds 300 &
@@ -76,9 +85,38 @@ PIDS+=("$W3" "$W4")
 # and never hears back: exactly the straggler shape.
 sleep 1
 kill -STOP "$W4"
-OUT=$("$COORD" --transport=tcp \
+# Background coordinator: the straggler deadline guarantees the sweep is
+# still in flight one second in, which is when the metrics scrape lands.
+COORD_LOG=$(mktemp)
+"$COORD" --transport=tcp \
   --workers "tcp:127.0.0.1:$P3,tcp:127.0.0.1:$P4" \
-  --deadline-ms 1000 --shutdown-workers)
+  --deadline-ms 1000 --shutdown-workers --trace-out "$TRACE_OUT" \
+  >"$COORD_LOG" &
+C1=$!
+PIDS+=("$C1")
+sleep 1
+# Mid-sweep scrape of the live worker: the histogram families must render
+# and the transport byte counters must already be counting.
+METRICS=$("$SCRAPE" "tcp:127.0.0.1:$P3")
+grep -q 'sw_serve_request_latency_seconds_bucket' <<<"$METRICS" || {
+  echo "mid-sweep scrape is missing the request-latency histogram" >&2
+  exit 1
+}
+grep -q 'sw_serve_kernel_exec_seconds_bucket' <<<"$METRICS" || {
+  echo "mid-sweep scrape is missing the kernel-exec histogram" >&2
+  exit 1
+}
+grep -qE 'sw_net_rx_bytes_total [1-9]' <<<"$METRICS" || {
+  echo "mid-sweep scrape shows no bytes received" >&2
+  exit 1
+}
+grep -qE 'sw_net_tx_bytes_total [1-9]' <<<"$METRICS" || {
+  echo "mid-sweep scrape shows no bytes sent" >&2
+  exit 1
+}
+wait "$C1"
+OUT=$(cat "$COORD_LOG")
+rm -f "$COORD_LOG"
 echo "$OUT"
 grep -q "PASS" <<<"$OUT"
 # The straggler's shard(s) must actually have been re-sharded, not just
@@ -87,6 +125,20 @@ grep -qE "[1-9][0-9]* re-shard" <<<"$OUT" || {
   echo "straggler leg completed without re-sharding" >&2
   exit 1
 }
+# The merged trace must be valid JSON and show the per-request phase spans
+# from the worker, the per-shard spans from the coordinator, and the
+# reshard event the straggler forced.
+python3 - "$TRACE_OUT" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+names = {e.get("name") for e in doc["traceEvents"]}
+for want in ("admission", "kernel", "wire_decode", "wire_encode",
+             "shard_assign", "shard_send", "shard_wait", "shard_retire",
+             "reshard"):
+    assert want in names, f"trace is missing {want!r} spans: {sorted(names)}"
+print(f"trace OK: {len(doc['traceEvents'])} events, "
+      f"{len(names)} distinct span names")
+EOF
 wait "$W3"
 kill -CONT "$W4" 2>/dev/null || true
 kill "$W4" 2>/dev/null || true

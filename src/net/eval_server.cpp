@@ -10,9 +10,11 @@
 
 #include <cerrno>
 #include <cstring>
+#include <deque>
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
 #include "serve/admission.h"
 #include "serve/layout_hash.h"
 #include "serve/wire.h"
@@ -55,6 +57,9 @@ struct Completion {
   std::uint64_t num_words = 0;
   std::uint64_t num_channels = 0;
   std::vector<std::uint8_t> bits;  ///< result matrix (empty on error)
+  /// The request's settled spans (wire decode + service phases); the event
+  /// thread appends wire-encode / write-queue spans before recording it.
+  sw::obs::TraceContext trace;
   bool failed = false;
   ErrorCode error_code = ErrorCode::kInternal;
   std::string error_text;
@@ -117,6 +122,18 @@ struct EvalServer::Conn {
   bool discard_input = false;  ///< protocol violation: drop buffered input
   bool peer_eof = false;
   std::chrono::steady_clock::time_point last_progress;
+  /// Bytes ever flushed to the socket; with pending_write() this gives the
+  /// queue position a newly appended reply will have drained at.
+  std::uint64_t total_flushed = 0;
+  /// Traces whose reply sits in wbuf, waiting for its last byte to reach
+  /// the socket (flush_mark = total_flushed at which the write-queue span
+  /// closes and the trace records).
+  struct PendingTrace {
+    std::uint64_t flush_mark = 0;
+    std::size_t slot = sw::obs::TraceContext::kNoSlot;
+    sw::obs::TraceContext trace;
+  };
+  std::deque<PendingTrace> pending_traces;
 
   std::size_t pending_write() const { return wbuf.size() - wpos; }
   bool has_complete_message() const {
@@ -308,6 +325,7 @@ void EvalServer::handle_accept() {
 }
 
 void EvalServer::handle_readable(Conn& conn) {
+  std::uint64_t read_total = 0;
   for (;;) {
     if (conn.paused || conn.draining || conn.peer_eof) break;
     if (conn.rbuf.size() - conn.rpos >= kMaxBufferedRead) break;
@@ -325,9 +343,14 @@ void EvalServer::handle_readable(Conn& conn) {
       break;
     }
     conn.rbuf.resize(old_size + static_cast<std::size_t>(n));
+    read_total += static_cast<std::uint64_t>(n);
     conn.last_progress = std::chrono::steady_clock::now();
     process_buffered(conn);
     if (static_cast<std::size_t>(n) < kReadChunk) break;  // likely drained
+  }
+  if (read_total > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.bytes_read += read_total;
   }
   process_buffered(conn);
   if (conn.peer_eof) {
@@ -400,6 +423,17 @@ void EvalServer::handle_message(Conn& conn, const MessageHeader& header,
       append_reply(conn, reply);
       return;
     }
+    case MessageKind::kTraceRequest: {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.trace_requests;
+      }
+      Message reply =
+          make_text_message(MessageKind::kTraceResponse, trace_text());
+      reply.tag = header.tag;
+      append_reply(conn, reply);
+      return;
+    }
     case MessageKind::kFrame: {
       {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -429,6 +463,9 @@ void EvalServer::handle_frame(Conn& conn, std::uint64_t tag,
                               std::span<const std::uint8_t> payload) {
   bool submitted = false;
   try {
+    sw::obs::TraceContext trace;
+    trace.track = conn.id;
+    const std::size_t decode_slot = trace.begin(sw::obs::Phase::kWireDecode);
     sw::serve::SweepFrame request =
         sw::serve::decode_frame(payload, options_.max_wire_version);
     SW_REQUIRE(request.kind == sw::serve::FrameKind::kRequest,
@@ -458,6 +495,12 @@ void EvalServer::handle_frame(Conn& conn, std::uint64_t tag,
       eval_request = sw::serve::EvalRequest::for_layout(
           layout, std::move(request.matrix), num_words);
     }
+    trace.end(decode_slot);
+    eval_request.trace = std::move(trace);
+    // The service's settle is not the request's end here — the reply still
+    // has to be encoded and flushed — so recording is deferred to this
+    // server (wire-encode + write-queue spans appended first).
+    eval_request.defer_trace_record = true;
     service_->submit_async(
         std::move(eval_request),
         [queue = completions_, meta = std::move(meta)](
@@ -477,6 +520,7 @@ void EvalServer::handle_frame(Conn& conn, std::uint64_t tag,
             meta.num_channels = result.num_channels;
             meta.bits = std::move(result.bits);
           }
+          meta.trace = std::move(result.trace);
           queue->push(std::move(meta));
         });
     submitted = true;
@@ -525,15 +569,23 @@ void EvalServer::drain_completions() {
   }
   for (Completion& c : items) {
     auto it = conns_.find(c.conn_id);
-    if (it == conns_.end()) continue;  // connection died while evaluating
+    if (it == conns_.end()) {
+      // Connection died while evaluating: the reply has nowhere to go, but
+      // the request still happened — record its trace as-is.
+      service_->trace_recorder().record(c.trace);
+      continue;
+    }
     Conn& conn = *it->second;
     if (c.failed) {
       append_reply(conn,
                    make_error_message(c.error_code, c.error_text, c.tag));
+      service_->trace_recorder().record(c.trace);
       std::lock_guard<std::mutex> lock(mutex_);
       ++counters_.errors_sent;
       if (c.error_code == ErrorCode::kOverload) ++counters_.overloads;
     } else {
+      const std::size_t encode_slot =
+          c.trace.begin(sw::obs::Phase::kWireEncode);
       sw::serve::SweepFrameView view;
       view.kind = sw::serve::FrameKind::kResponse;
       view.layout_hash = c.layout_hash;
@@ -542,7 +594,16 @@ void EvalServer::drain_completions() {
       view.num_cols = c.num_channels;
       view.matrix = c.bits;
       append_frame_message(conn.wbuf, view, c.tag);
+      c.trace.end(encode_slot);
       conn.last_progress = std::chrono::steady_clock::now();
+      // The write-queue span stays open until the reply's last byte has
+      // left for the socket (flush_mark); handle_writable closes it and
+      // records the finished trace.
+      Conn::PendingTrace pending;
+      pending.flush_mark = conn.total_flushed + conn.pending_write();
+      pending.slot = c.trace.begin(sw::obs::Phase::kWriteQueue);
+      pending.trace = std::move(c.trace);
+      conn.pending_traces.push_back(std::move(pending));
       std::lock_guard<std::mutex> lock(mutex_);
       ++counters_.responses_sent;
     }
@@ -582,12 +643,27 @@ void EvalServer::drain_completions() {
 }
 
 void EvalServer::handle_writable(Conn& conn) {
+  std::uint64_t sent_total = 0;
   while (conn.pending_write() > 0) {
     const std::ptrdiff_t n = conn.conn.send_some(
         {conn.wbuf.data() + conn.wpos, conn.pending_write()});
     if (n < 0) break;  // socket buffer full; EPOLLOUT re-arms below
     conn.wpos += static_cast<std::size_t>(n);
+    conn.total_flushed += static_cast<std::uint64_t>(n);
+    sent_total += static_cast<std::uint64_t>(n);
     conn.last_progress = std::chrono::steady_clock::now();
+  }
+  if (sent_total > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.bytes_written += sent_total;
+  }
+  // Replies fully on the wire close their write-queue span and record.
+  while (!conn.pending_traces.empty() &&
+         conn.pending_traces.front().flush_mark <= conn.total_flushed) {
+    Conn::PendingTrace& pt = conn.pending_traces.front();
+    pt.trace.end(pt.slot);
+    service_->trace_recorder().record(pt.trace);
+    conn.pending_traces.pop_front();
   }
   if (conn.pending_write() == 0) {
     conn.wbuf.clear();  // capacity kept for the next reply burst
@@ -616,6 +692,13 @@ void EvalServer::update_epoll(Conn& conn) {
 void EvalServer::close_conn(std::uint64_t conn_id) {
   auto it = conns_.find(conn_id);
   if (it == conns_.end()) return;
+  // Replies that never reached the wire still record: their write-queue
+  // span ends at the close, which is the truthful story of where the
+  // request's time went.
+  for (Conn::PendingTrace& pt : it->second->pending_traces) {
+    pt.trace.end(pt.slot);
+    service_->trace_recorder().record(pt.trace);
+  }
   const bool was_admitted = it->second->admitted;
   (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->conn.fd(), nullptr);
   conns_.erase(it);  // Connection destructor closes the fd
@@ -694,6 +777,11 @@ ServerCounters EvalServer::counters() const {
 std::string EvalServer::metrics_text() const {
   return render_service_metrics(service_->stats()) +
          render_server_metrics(counters());
+}
+
+std::string EvalServer::trace_text() const {
+  return sw::obs::trace_json(service_->trace_recorder().snapshot(),
+                             "sw-worker " + local_endpoint().to_string());
 }
 
 bool EvalServer::shutdown_requested() const {

@@ -21,7 +21,11 @@
 //    rejection is answered with a kOverload error message carrying the
 //    request's tag, never by dropping the connection.
 //  - kMetricsRequest messages are answered with the plain-text metrics
-//    document (service stats, latency percentiles, transport counters).
+//    document (service stats, latency percentiles + histograms, transport
+//    counters); kTraceRequest with the service's trace ring as Chrome
+//    trace-event JSON (obs::trace_json) — each served request carries
+//    wire-decode, admission, plan, kernel, wire-encode and write-queue
+//    spans, recorded once its reply reaches the socket.
 //  - With `registry` set, a heartbeat thread periodically registers a
 //    WorkerAdvert (endpoint, kernel, precision, measured words/s) with a
 //    RegistryServer so coordinators can discover this worker instead of
@@ -122,6 +126,11 @@ class EvalServer {
   /// The metrics document a kMetricsRequest receives (service section +
   /// transport section).
   std::string metrics_text() const;
+
+  /// The Chrome trace-event JSON a kTraceRequest receives: the service
+  /// trace ring (wire decode, admission, plan, kernel, wire encode,
+  /// write-queue spans per request) rendered by obs::trace_json.
+  std::string trace_text() const;
 
   /// True once any client sent kShutdown (sticky). The server keeps
   /// serving — the owner decides when to stop(); the sweep worker example

@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "obs/histogram.h"
+
 namespace sw::net {
 
 namespace {
@@ -34,6 +36,8 @@ std::string render_service_metrics(const sw::serve::ServiceStats& stats) {
   line_f64(out, "sw_serve_latency_p50_seconds", stats.latency.p50_s);
   line_f64(out, "sw_serve_latency_p95_seconds", stats.latency.p95_s);
   line_f64(out, "sw_serve_latency_p99_seconds", stats.latency.p99_s);
+  line_f64(out, "sw_serve_latency_mean_seconds", stats.latency.mean_s);
+  line_f64(out, "sw_serve_latency_max_seconds", stats.latency.max_s);
   line_u64(out, "sw_serve_plan_cache_hits", stats.cache.hits);
   line_u64(out, "sw_serve_plan_cache_misses", stats.cache.misses);
   line_u64(out, "sw_serve_plan_cache_evictions", stats.cache.evictions);
@@ -53,6 +57,17 @@ std::string render_service_metrics(const sw::serve::ServiceStats& stats) {
            mix_total > 0.0
                ? static_cast<double>(stats.cache.f32_detectors) / mix_total
                : 0.0);
+  // The phase histograms: full distributions a scraper can rate() and
+  // aggregate, next to the windowed percentiles above.
+  sw::obs::append_histogram(out, "sw_serve_request_latency_seconds",
+                            stats.request_latency);
+  sw::obs::append_histogram(out, "sw_serve_admission_wait_seconds",
+                            stats.admission_wait);
+  sw::obs::append_histogram(out, "sw_serve_queue_wait_seconds",
+                            stats.queue_wait);
+  sw::obs::append_histogram(out, "sw_serve_kernel_exec_seconds",
+                            stats.kernel_exec);
+  sw::obs::append_histogram(out, "sw_serve_batch_words", stats.batch_words);
   // Identity flags carry their value in a label, Prometheus-style, so the
   // set of metric names stays fixed across hosts and configurations.
   out += "sw_serve_kernel{name=\"" + stats.kernel + "\"} 1\n";
@@ -74,7 +89,23 @@ std::string render_server_metrics(const ServerCounters& counters) {
   line_u64(out, "sw_net_errors_sent", counters.errors_sent);
   line_u64(out, "sw_net_overloads", counters.overloads);
   line_u64(out, "sw_net_metrics_requests", counters.metrics_requests);
+  line_u64(out, "sw_net_trace_requests", counters.trace_requests);
   line_u64(out, "sw_net_backpressure_pauses", counters.backpressure_pauses);
+  line_u64(out, "sw_net_rx_bytes_total", counters.bytes_read);
+  line_u64(out, "sw_net_tx_bytes_total", counters.bytes_written);
+  return out;
+}
+
+std::string render_registry_metrics(const RegistryCounters& counters) {
+  std::string out;
+  out.reserve(256);
+  line_u64(out, "sw_registry_upserts", counters.upserts);
+  line_u64(out, "sw_registry_expirations", counters.expirations);
+  line_u64(out, "sw_registry_requests", counters.registry_requests);
+  line_u64(out, "sw_registry_metrics_requests", counters.metrics_requests);
+  line_u64(out, "sw_registry_live_adverts", counters.live_adverts);
+  line_f64(out, "sw_registry_oldest_advert_age_seconds",
+           counters.oldest_advert_age_s);
   return out;
 }
 

@@ -16,7 +16,7 @@ using sw::serve::detail::append_u64;
 
 bool known_kind(std::uint16_t kind) {
   return kind >= static_cast<std::uint16_t>(MessageKind::kFrame) &&
-         kind <= static_cast<std::uint16_t>(MessageKind::kRegistryResponse);
+         kind <= static_cast<std::uint16_t>(MessageKind::kTraceResponse);
 }
 
 /// The envelope checksum for `kind` over `payload`: kFrame covers only the
@@ -126,8 +126,9 @@ Message make_error_message(ErrorCode code, std::string_view text,
 }
 
 Message make_text_message(MessageKind kind, std::string_view text) {
-  SW_REQUIRE(kind == MessageKind::kMetricsResponse,
-             "only metrics responses carry free text");
+  SW_REQUIRE(kind == MessageKind::kMetricsResponse ||
+                 kind == MessageKind::kTraceResponse,
+             "only metrics and trace responses carry free text");
   Message m;
   m.kind = kind;
   m.payload.assign(text.begin(), text.end());
@@ -151,8 +152,9 @@ ErrorInfo decode_error_message(const Message& message) {
 }
 
 std::string decode_text_message(const Message& message) {
-  SW_REQUIRE(message.kind == MessageKind::kMetricsResponse,
-             "expected a metrics response message");
+  SW_REQUIRE(message.kind == MessageKind::kMetricsResponse ||
+                 message.kind == MessageKind::kTraceResponse,
+             "expected a metrics or trace response message");
   return std::string(message.payload.begin(), message.payload.end());
 }
 
@@ -190,6 +192,25 @@ std::optional<sw::serve::SweepFrame> recv_frame(
   SW_REQUIRE(message->kind == MessageKind::kFrame,
              "expected a frame message");
   return sw::serve::decode_frame(message->payload);
+}
+
+std::string fetch_text(const Endpoint& server, MessageKind kind,
+                       std::chrono::milliseconds timeout) {
+  SW_REQUIRE(kind == MessageKind::kMetricsRequest ||
+                 kind == MessageKind::kTraceRequest,
+             "fetch_text sends kMetricsRequest or kTraceRequest");
+  Connection conn = Connection::connect(server, timeout);
+  Message m;
+  m.kind = kind;
+  send_message(conn, m, timeout);
+  const auto reply = recv_message(conn, timeout);
+  SW_REQUIRE(reply.has_value(),
+             "server closed before answering a text scrape");
+  if (reply->kind == MessageKind::kError) {
+    const ErrorInfo info = decode_error_message(*reply);
+    throw RemoteError(info.code, "text scrape rejected: " + info.text);
+  }
+  return decode_text_message(*reply);
 }
 
 }  // namespace sw::net

@@ -25,8 +25,9 @@
 //
 // Payloads by kind: kFrame carries one encoded serve::wire frame; kError
 // carries a u16 ErrorCode plus UTF-8 text; kMetricsResponse carries plain
-// text; kRegister / kRegistryResponse carry encoded worker adverts
-// (net/registry.h); kMetricsRequest, kRegistryRequest and kShutdown are
+// text and kTraceResponse a Chrome trace-event JSON document; kRegister /
+// kRegistryResponse carry encoded worker adverts (net/registry.h);
+// kMetricsRequest, kRegistryRequest, kTraceRequest and kShutdown are
 // empty. The checksum covers the payload — except for kFrame, where it
 // covers only the payload's first min(64, payload_size) bytes: a wire
 // frame's body already carries its own end-to-end checksum over spec +
@@ -66,6 +67,8 @@ enum class MessageKind : std::uint16_t {
   kRegister = 6,         ///< worker advert (registration / heartbeat)
   kRegistryRequest = 7,  ///< empty; asks the registry for live workers
   kRegistryResponse = 8, ///< encoded worker advert list
+  kTraceRequest = 9,     ///< empty; asks for a trace-ring JSON dump
+  kTraceResponse = 10,   ///< Chrome trace-event JSON (obs::trace_json)
 };
 
 enum class ErrorCode : std::uint16_t {
@@ -165,5 +168,12 @@ std::optional<Message> recv_message(Connection& connection,
 /// the wire frame; a kError message is rethrown as RemoteError.
 std::optional<sw::serve::SweepFrame> recv_frame(
     Connection& connection, std::chrono::milliseconds timeout);
+
+/// One-shot text scrape: connect to `server`, send an empty `kind` message
+/// (kMetricsRequest or kTraceRequest) and return the decoded text reply —
+/// the whole client side of a metrics scrape or a trace dump. Throws
+/// RemoteError on a kError reply.
+std::string fetch_text(const Endpoint& server, MessageKind kind,
+                       std::chrono::milliseconds timeout);
 
 }  // namespace sw::net

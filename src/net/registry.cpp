@@ -119,6 +119,7 @@ void RegistryServer::serve_connection(Connection connection) {
             std::lock_guard<std::mutex> lock(mutex_);
             entries_[key] =
                 Entry{std::move(adverts[0]), std::chrono::steady_clock::now()};
+            ++upserts_;
           }
           Message ack;
           ack.kind = MessageKind::kRegister;
@@ -127,10 +128,25 @@ void RegistryServer::serve_connection(Connection connection) {
           break;
         }
         case MessageKind::kRegistryRequest: {
+          {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++registry_requests_;
+          }
           Message reply;
           reply.kind = MessageKind::kRegistryResponse;
           reply.tag = message->tag;
           reply.payload = encode_adverts(snapshot());
+          send_message(connection, reply, options_.io_timeout);
+          break;
+        }
+        case MessageKind::kMetricsRequest: {
+          {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++metrics_requests_;
+          }
+          Message reply = make_text_message(MessageKind::kMetricsResponse,
+                                            metrics_text());
+          reply.tag = message->tag;
           send_message(connection, reply, options_.io_timeout);
           break;
         }
@@ -163,12 +179,42 @@ std::vector<WorkerAdvert> RegistryServer::snapshot() {
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (now - it->second.last_seen > options_.ttl) {
       it = entries_.erase(it);
+      ++expirations_;
     } else {
       out.push_back(it->second.advert);
       ++it;
     }
   }
   return out;
+}
+
+RegistryCounters RegistryServer::counters() {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  double oldest_s = 0.0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const auto age = now - it->second.last_seen;
+    if (age > options_.ttl) {
+      it = entries_.erase(it);
+      ++expirations_;
+    } else {
+      oldest_s = std::max(
+          oldest_s, std::chrono::duration<double>(age).count());
+      ++it;
+    }
+  }
+  RegistryCounters c;
+  c.upserts = upserts_;
+  c.expirations = expirations_;
+  c.registry_requests = registry_requests_;
+  c.metrics_requests = metrics_requests_;
+  c.live_adverts = entries_.size();
+  c.oldest_advert_age_s = oldest_s;
+  return c;
+}
+
+std::string RegistryServer::metrics_text() {
+  return render_registry_metrics(counters());
 }
 
 bool RegistryServer::wait_shutdown(std::chrono::milliseconds max_wait) {

@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/metrics.h"
 #include "net/protocol.h"
 #include "net/socket.h"
 
@@ -71,7 +72,8 @@ struct RegistryOptions {
 
 /// In-memory TTL registry server. Serves kRegister (upsert + empty
 /// kRegister ack), kRegistryRequest (kRegistryResponse with the live
-/// adverts) and kShutdown.
+/// adverts), kMetricsRequest (plain-text sw_registry_* health counters)
+/// and kShutdown.
 class RegistryServer {
  public:
   explicit RegistryServer(const Endpoint& endpoint,
@@ -86,6 +88,14 @@ class RegistryServer {
   /// The live adverts (expired entries pruned), keyed order by endpoint so
   /// snapshots are deterministic.
   std::vector<WorkerAdvert> snapshot();
+
+  /// Registry-health counters. Prunes expired adverts first (like
+  /// snapshot()), so live_adverts and oldest_advert_age_s describe only
+  /// entries a coordinator could actually discover.
+  RegistryCounters counters();
+
+  /// The text document a kMetricsRequest receives (sw_registry_* lines).
+  std::string metrics_text();
 
   /// Block until a kShutdown message arrives or `max_wait` elapses
   /// (`max_wait` <= 0 waits indefinitely); true when shutdown was
@@ -110,6 +120,10 @@ class RegistryServer {
     std::chrono::steady_clock::time_point last_seen;
   };
   std::map<std::string, Entry> entries_;  ///< keyed by advert endpoint
+  std::uint64_t upserts_ = 0;
+  std::uint64_t expirations_ = 0;
+  std::uint64_t registry_requests_ = 0;
+  std::uint64_t metrics_requests_ = 0;
   std::vector<std::thread> threads_;
   std::thread accept_thread_;
 };

@@ -122,6 +122,18 @@ std::optional<std::size_t> acquire_shard(SweepState& state, std::size_t w,
         ++shard.assignments;
         ++state.resharded;
         state.idle[w] = false;
+        if (options.recorder) {
+          // Zero-length event on the claiming worker's track, arg = how
+          // many times this shard has now been assigned — in Perfetto it
+          // marks exactly where the straggler policy kicked in.
+          sw::obs::TraceContext event;
+          event.id = best;
+          event.track = w;
+          const std::uint64_t ns = sw::obs::now_ns();
+          event.add(sw::obs::Phase::kReshard, ns, ns,
+                    static_cast<std::uint32_t>(shard.assignments));
+          options.recorder->record(event);
+        }
         return best;
       }
     }
@@ -223,9 +235,17 @@ void worker_loop(SweepState& state, std::size_t w, const Endpoint& endpoint,
   bool dead = false;
   bool finished = false;  ///< left the loop with the connection healthy
   while (!dead && !finished) {
+    const std::uint64_t acquire_start = sw::obs::now_ns();
     const auto assigned = acquire_shard(state, w, options);
     if (!assigned) break;
     const std::size_t index = *assigned;
+    // One trace per shard assignment: id = shard index, track = worker
+    // index, so a duplicated shard shows up once per claiming worker.
+    sw::obs::TraceContext trace;
+    trace.id = index;
+    trace.track = w;
+    trace.add(sw::obs::Phase::kShardAssign, acquire_start,
+              sw::obs::now_ns());
     std::size_t offset, words;
     {
       std::lock_guard<std::mutex> lock(state.mutex);
@@ -237,6 +257,7 @@ void worker_loop(SweepState& state, std::size_t w, const Endpoint& endpoint,
     // with the layout hash computed once for the whole sweep.
     const std::span<const std::uint8_t> rows{
         ctx.matrix->data() + offset * ctx.slots, words * ctx.slots};
+    const std::size_t send_slot = trace.begin(sw::obs::Phase::kShardSend);
     try {
       request_bytes.clear();
       append_frame_message(
@@ -247,10 +268,15 @@ void worker_loop(SweepState& state, std::size_t w, const Endpoint& endpoint,
     } catch (const sw::util::Error& e) {
       requeue_shard(state, index);
       mark_dead(state, w, e.what());
+      // The open send span is dropped by the emitter; what was stamped
+      // (the assign span) still lands in the timeline.
+      if (options.recorder) options.recorder->record(trace);
       return;
     }
+    trace.end(send_slot);
     // Wait for this shard's response, tick by tick, so sweep completion,
     // aborts and the wall deadline all preempt a silent peer.
+    std::size_t wait_slot = trace.begin(sw::obs::Phase::kShardWait);
     std::optional<Clock::time_point> grace_deadline;
     for (;;) {
       {
@@ -284,7 +310,12 @@ void worker_loop(SweepState& state, std::size_t w, const Endpoint& endpoint,
         if (!frame) {
           throw sw::util::Error("worker closed the connection mid-sweep");
         }
+        trace.end(wait_slot);
+        wait_slot = sw::obs::TraceContext::kNoSlot;
+        const std::size_t retire_slot =
+            trace.begin(sw::obs::Phase::kShardRetire);
         complete_shard(state, w, index, *frame, ctx.expected_hash);
+        trace.end(retire_slot);
         break;
       } catch (const RemoteError& e) {
         if (e.code() == ErrorCode::kOverload) {
@@ -313,6 +344,8 @@ void worker_loop(SweepState& state, std::size_t w, const Endpoint& endpoint,
         break;
       }
     }
+    if (wait_slot != sw::obs::TraceContext::kNoSlot) trace.end(wait_slot);
+    if (options.recorder) options.recorder->record(trace);
   }
   if (options.shutdown_workers && !dead) {
     bool completed;

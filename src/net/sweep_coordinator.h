@@ -37,6 +37,7 @@
 
 #include "core/gate_design.h"
 #include "net/socket.h"
+#include "obs/trace.h"
 
 namespace sw::net {
 
@@ -67,6 +68,12 @@ struct SweepOptions {
   /// others finish connecting, which makes load distribution — and any
   /// test asserting on it — a race against thread start-up.
   bool wait_for_all_workers = true;
+  /// When set, every shard assignment records a trace (id = shard index,
+  /// track = worker index) with assign/send/wait/retire spans, and each
+  /// straggler duplication records a zero-length "reshard" event — so a
+  /// sweep becomes a per-worker timeline in Perfetto. Borrowed; must
+  /// outlive run().
+  sw::obs::TraceRecorder* recorder = nullptr;
 };
 
 struct SweepReport {

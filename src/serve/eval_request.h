@@ -15,6 +15,7 @@
 
 #include "core/encoding.h"
 #include "core/gate_design.h"
+#include "obs/trace.h"
 #include "wavesim/eval_program.h"
 #include "wavesim/precision.h"
 
@@ -39,6 +40,15 @@ struct EvalRequest {
   /// Per-request precision override; unset uses the service's configured
   /// precision. Distinct precisions cache as distinct plan entries.
   std::optional<sw::wavesim::Precision> precision;
+  /// Carried through the service and returned (with the service's phase
+  /// spans appended) in ResultBatch::trace. A transport that stamps its
+  /// own spans first (wire decode) seeds it here; trace.track survives
+  /// untouched, trace.id is overwritten with the service request id.
+  sw::obs::TraceContext trace;
+  /// When false (default) the service records the finished trace into its
+  /// own TraceRecorder at settle. The event server sets true and records
+  /// the trace itself, after appending wire-encode and write-queue spans.
+  bool defer_trace_record = false;
 
   static EvalRequest for_layout(const sw::core::GateLayout& layout,
                                 std::vector<std::uint8_t> packed_bits,

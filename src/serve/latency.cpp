@@ -48,6 +48,16 @@ LatencySummary LatencyReservoir::summary() const {
   out.p50_s = percentile(sample, 0.50);
   out.p95_s = percentile(sample, 0.95);
   out.p99_s = percentile(sample, 0.99);
+  if (!sample.empty()) {
+    double sum = 0.0;
+    double max = sample.front();
+    for (const double v : sample) {
+      sum += v;
+      max = std::max(max, v);
+    }
+    out.mean_s = sum / static_cast<double>(sample.size());
+    out.max_s = max;
+  }
   return out;
 }
 

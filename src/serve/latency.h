@@ -16,13 +16,17 @@
 namespace sw::serve {
 
 /// Nearest-rank percentiles over the reservoir window, in seconds. `count`
-/// is the total recorded (not the window size); percentiles are 0 until
-/// the first record.
+/// is the total recorded (not the window size); percentiles, mean and max
+/// are 0 until the first record. mean_s/max_s cover the same window as the
+/// percentiles — max_s exists because a single catastrophic outlier hides
+/// inside p99 of a 1024 window.
 struct LatencySummary {
   std::uint64_t count = 0;
   double p50_s = 0.0;
   double p95_s = 0.0;
   double p99_s = 0.0;
+  double mean_s = 0.0;
+  double max_s = 0.0;
 };
 
 class LatencyReservoir {

@@ -18,6 +18,14 @@ namespace {
 /// service running a different precision still gets its line (else an
 /// operator would read the first service's choice as the process's), while
 /// repeated construction at one precision stays quiet.
+/// Seconds covered by an open-and-closed span slot (0 for kNoSlot, so a
+/// truncated trace degrades to missing histogram samples, not UB).
+double span_seconds(const sw::obs::TraceContext& trace, std::size_t slot) {
+  if (slot >= sw::obs::TraceContext::kMaxSpans) return 0.0;
+  const sw::obs::Span& s = trace.span(slot);
+  return static_cast<double>(s.end_ns - s.start_ns) * 1e-9;
+}
+
 void log_kernel_once(sw::wavesim::Precision precision) {
   static std::mutex mutex;
   static bool logged[3] = {};
@@ -49,6 +57,11 @@ struct EvaluatorService::Request {
   sw::core::GateLayout layout;
   sw::wavesim::ProgramSpec program_spec;
   std::vector<std::uint8_t> bits;
+  /// Phase spans, seeded by the transport (wire decode) and grown here.
+  sw::obs::TraceContext trace;
+  bool defer_trace = false;
+  /// Queue-wait span opened at post, closed when a worker picks it up.
+  std::size_t queue_slot = sw::obs::TraceContext::kNoSlot;
   /// Exactly one of the two delivery channels is armed: submit() requests
   /// settle `promise`, submit_async() requests invoke `done`.
   std::promise<ResultBatch> promise;
@@ -71,7 +84,9 @@ EvaluatorService::EvaluatorService(const sw::disp::DispersionModel& model,
              options_.evaluator_options, &designer_),
       admission_(options_.admission),
       latency_(options_.latency_window),
+      trace_recorder_(options_.trace_capacity),
       pool_(options_.num_threads, /*always_spawn=*/true) {
+  trace_recorder_.set_slow_threshold(options_.slow_request_threshold_s);
   log_kernel_once(options_.evaluator_options.precision);
 }
 
@@ -113,10 +128,19 @@ void EvaluatorService::post_request(EvalRequest&& source,
   request->submitted_at = std::chrono::steady_clock::now();
   request->precision = source.precision;
   request->bits = std::move(source.packed_bits);
+  request->trace = std::move(source.trace);
+  request->defer_trace = source.defer_trace_record;
 
+  const std::size_t admit_slot =
+      request->trace.begin(sw::obs::Phase::kAdmission);
   admission_.admit(num_words);  // may block or throw OverloadError
+  request->trace.end(admit_slot);
+  admission_wait_hist_.record(span_seconds(request->trace, admit_slot));
+  batch_words_hist_.record(static_cast<double>(num_words));
   // Resolve the cache entry only once admitted: a shed request must not
   // touch hit counters or LRU recency (and must not pay the hash).
+  const std::size_t lookup_slot =
+      request->trace.begin(sw::obs::Phase::kPlanLookup);
   if (request->is_program) {
     request->program =
         source.precision
@@ -129,11 +153,14 @@ void EvaluatorService::post_request(EvalRequest&& source,
                         : cache_.try_get(*source.layout);
     if (!request->plan) request->layout = *source.layout;
   }
+  request->trace.end(lookup_slot);
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     request->id = next_id_++;
     ++submitted_;
   }
+  request->trace.id = request->id;
+  request->queue_slot = request->trace.begin(sw::obs::Phase::kQueue);
   // Hand the queue a raw pointer: the two-word closure stays within
   // std::function's small-buffer optimisation (no allocation per post),
   // and process() reclaims ownership immediately.
@@ -186,6 +213,8 @@ std::future<ResultBatch> EvaluatorService::submit(
 void EvaluatorService::process(Request* raw) {
   const std::unique_ptr<Request> request(raw);
   admission_.mark_dequeued();
+  request->trace.end(request->queue_slot);
+  queue_wait_hist_.record(span_seconds(request->trace, request->queue_slot));
   ResultBatch out;
   std::exception_ptr error;
   try {
@@ -197,6 +226,7 @@ void EvaluatorService::process(Request* raw) {
     if (request->is_program) {
       PlanCache::ProgramPtr program = request->program;
       if (!program) {
+        const std::uint64_t build_start = sw::obs::now_ns();
         PlanCache::ProgramLookup lookup =
             request->precision
                 ? cache_.get_or_build_program(request->program_spec,
@@ -204,25 +234,57 @@ void EvaluatorService::process(Request* raw) {
                 : cache_.get_or_build_program(request->program_spec);
         program = std::move(lookup.program);
         hit = lookup.hit;
+        if (!hit) {
+          request->trace.add(sw::obs::Phase::kPlanBuild, build_start,
+                             sw::obs::now_ns());
+        }
       }
       out.cache_hit = hit;
       out.num_stages = program->num_stages();
       out.depth = program->depth();
-      out.bits =
-          program->program().evaluate_bits(request->num_words, request->bits);
+      const std::size_t kernel_slot =
+          request->trace.begin(sw::obs::Phase::kKernel);
+      sw::wavesim::StageTimings timings(program->num_stages());
+      out.bits = program->program().evaluate_bits(request->num_words,
+                                                  request->bits, &timings);
+      request->trace.end(kernel_slot);
+      kernel_exec_hist_.record(span_seconds(request->trace, kernel_slot));
+      // Synthesize per-stage child spans laid out sequentially inside the
+      // kernel span. Stage times are accumulated across blocks (and pool
+      // threads), so these are proportional shares, not wall intervals —
+      // which is exactly the "where did the kernel time go" readout.
+      if (kernel_slot != sw::obs::TraceContext::kNoSlot) {
+        std::uint64_t cursor = request->trace.span(kernel_slot).start_ns;
+        for (std::size_t s = 0; s < timings.ns.size(); ++s) {
+          const std::uint64_t d =
+              timings.ns[s].load(std::memory_order_relaxed);
+          request->trace.add(sw::obs::Phase::kStage, cursor, cursor + d,
+                             static_cast<std::uint32_t>(s));
+          cursor += d;
+        }
+      }
     } else {
       PlanCache::PlanPtr plan = request->plan;
       if (!plan) {
+        const std::uint64_t build_start = sw::obs::now_ns();
         PlanCache::Lookup lookup =
             request->precision
                 ? cache_.get_or_build(request->layout, *request->precision)
                 : cache_.get_or_build(request->layout);
         plan = std::move(lookup.plan);
         hit = lookup.hit;
+        if (!hit) {
+          request->trace.add(sw::obs::Phase::kPlanBuild, build_start,
+                             sw::obs::now_ns());
+        }
       }
       out.cache_hit = hit;
+      const std::size_t kernel_slot =
+          request->trace.begin(sw::obs::Phase::kKernel);
       out.bits =
           plan->evaluator().evaluate_bits(request->num_words, request->bits);
+      request->trace.end(kernel_slot);
+      kernel_exec_hist_.record(span_seconds(request->trace, kernel_slot));
     }
   } catch (...) {
     error = std::current_exception();
@@ -242,9 +304,15 @@ void EvaluatorService::process(Request* raw) {
                                     request->submitted_at)
           .count();
   latency_.record(latency_s);
+  request_latency_hist_.record(latency_s);
   if (options_.on_request_finish) {
     options_.on_request_finish(request->id, latency_s);
   }
+  // The trace settles with the request: recorded here for direct callers,
+  // handed back through ResultBatch for transports that append their own
+  // wire/write spans first (defer_trace_record).
+  if (!request->defer_trace) trace_recorder_.record(request->trace);
+  out.trace = std::move(request->trace);
   if (request->done) {
     // Callback delivery: the request has settled either way, so a throwing
     // callback has nothing left to corrupt — swallow it rather than
@@ -276,6 +344,11 @@ ServiceStats EvaluatorService::stats() const {
       sw::wavesim::precision_name(options_.evaluator_options.precision));
   s.latency = latency_.summary();
   s.cache = cache_.stats();
+  s.request_latency = request_latency_hist_.snapshot();
+  s.admission_wait = admission_wait_hist_.snapshot();
+  s.queue_wait = queue_wait_hist_.snapshot();
+  s.kernel_exec = kernel_exec_hist_.snapshot();
+  s.batch_words = batch_words_hist_.snapshot();
   return s;
 }
 

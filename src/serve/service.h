@@ -26,6 +26,8 @@
 #include "core/gate.h"
 #include "core/gate_design.h"
 #include "dispersion/model.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
 #include "serve/admission.h"
 #include "serve/eval_request.h"
 #include "serve/latency.h"
@@ -61,6 +63,12 @@ struct ServiceOptions {
   /// Window of recent request latencies backing ServiceStats::latency
   /// (p50/p95/p99 over the most recent `latency_window` requests).
   std::size_t latency_window = 1024;
+  /// Settled traces kept in the service's TraceRecorder ring (what the
+  /// trace endpoint answers with).
+  std::size_t trace_capacity = 256;
+  /// Any settled request whose trace spans cover at least this many
+  /// seconds logs a per-phase breakdown to stderr; <= 0 disables.
+  double slow_request_threshold_s = 0.0;
 };
 
 /// Decoded output of one request: row-major num_words x num_channels logic
@@ -76,6 +84,10 @@ struct ResultBatch {
   /// Longest stage-to-stage path of the evaluated target (1 for a gate):
   /// the physical cascade latency in stages.
   std::size_t depth = 1;
+  /// The request's phase spans (admission, plan lookup/build, queue,
+  /// kernel, per-stage), settled. Already recorded into the service's
+  /// TraceRecorder unless the request set defer_trace_record.
+  sw::obs::TraceContext trace;
   std::vector<std::uint8_t> bits;
 
   std::uint8_t bit(std::size_t word, std::size_t channel) const {
@@ -107,6 +119,14 @@ struct ServiceStats {
   /// serving benches read these.
   LatencySummary latency;
   PlanCacheStats cache;
+  /// Since-start distributions (log-bucketed, Prometheus-renderable):
+  /// submit-to-settle latency, admission wait, queue wait, kernel
+  /// execution — all seconds — plus the admitted batch sizes in words.
+  sw::obs::HistogramSnapshot request_latency;
+  sw::obs::HistogramSnapshot admission_wait;
+  sw::obs::HistogramSnapshot queue_wait;
+  sw::obs::HistogramSnapshot kernel_exec;
+  sw::obs::HistogramSnapshot batch_words;
 };
 
 class EvaluatorService {
@@ -176,6 +196,14 @@ class EvaluatorService {
   const sw::core::InlineGateDesigner& designer() const { return designer_; }
   std::size_t num_threads() const { return pool_.size(); }
 
+  /// The ring of settled request traces: the trace endpoint snapshots it,
+  /// transports that defer recording (see EvalRequest::defer_trace_record)
+  /// record into it after appending their own spans.
+  sw::obs::TraceRecorder& trace_recorder() { return trace_recorder_; }
+  const sw::obs::TraceRecorder& trace_recorder() const {
+    return trace_recorder_;
+  }
+
  private:
   struct Request;
   void post_request(EvalRequest&& source, std::unique_ptr<Request> request);
@@ -187,6 +215,12 @@ class EvaluatorService {
   PlanCache cache_;
   AdmissionController admission_;
   LatencyReservoir latency_;
+  sw::obs::TraceRecorder trace_recorder_;
+  sw::obs::Histogram request_latency_hist_ = sw::obs::Histogram::for_seconds();
+  sw::obs::Histogram admission_wait_hist_ = sw::obs::Histogram::for_seconds();
+  sw::obs::Histogram queue_wait_hist_ = sw::obs::Histogram::for_seconds();
+  sw::obs::Histogram kernel_exec_hist_ = sw::obs::Histogram::for_seconds();
+  sw::obs::Histogram batch_words_hist_ = sw::obs::Histogram::for_words();
 
   mutable std::mutex stats_mutex_;
   std::uint64_t next_id_ = 1;

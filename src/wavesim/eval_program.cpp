@@ -1,6 +1,7 @@
 #include "wavesim/eval_program.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <limits>
 #include <utility>
@@ -15,6 +16,13 @@ namespace {
 /// stage's output bits stay within L2 while still amortising the per-stage
 /// kernel call over enough words for the SIMD lanes to matter.
 constexpr std::size_t kBlockWords = 1024;
+
+std::uint64_t stage_clock_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 }  // namespace
 
@@ -110,11 +118,13 @@ void EvalProgram::eval_range(const kernels::Kernel& kernel,
                              std::span<const std::uint8_t> bits,
                              std::size_t begin, std::size_t end,
                              std::vector<std::uint8_t>& slot_scratch,
-                             std::vector<std::uint8_t>& stage_bits) const {
+                             std::vector<std::uint8_t>& stage_bits,
+                             StageTimings* timings) const {
   const std::size_t block = end - begin;
   const std::size_t n = num_channels();
   const std::size_t prim = num_primary_slots();
   for (std::size_t s = 0; s < stages_.size(); ++s) {
+    const std::uint64_t stage_start = timings ? stage_clock_ns() : 0;
     const EvalPlan& plan = *stages_[s].plan;
     const auto& sources = spec_.stages[s].sources;
     const std::size_t slots = plan.slot_count();
@@ -154,12 +164,19 @@ void EvalProgram::eval_range(const kernels::Kernel& kernel,
     } else {
       kernel.eval_bits(plan, slot_scratch.data(), 0, block, out);
     }
+    if (timings) {
+      timings->ns[s].fetch_add(stage_clock_ns() - stage_start,
+                               std::memory_order_relaxed);
+    }
   }
 }
 
 std::vector<std::uint8_t> EvalProgram::evaluate_impl(
     std::size_t num_words, std::span<const std::uint8_t> bits,
-    const kernels::Kernel& kernel, bool all_stages) const {
+    const kernels::Kernel& kernel, bool all_stages,
+    StageTimings* timings) const {
+  SW_REQUIRE(timings == nullptr || timings->ns.size() == stages_.size(),
+             "stage timings must be sized num_stages");
   const std::size_t prim = num_primary_slots();
   const std::size_t n = num_channels();
   const std::size_t num_stages = stages_.size();
@@ -183,7 +200,8 @@ std::vector<std::uint8_t> EvalProgram::evaluate_impl(
          begin += kBlockWords) {
       const std::size_t end = std::min(begin + kBlockWords, chunk_end);
       const std::size_t block = end - begin;
-      eval_range(kernel, bits, begin, end, slot_scratch, stage_bits);
+      eval_range(kernel, bits, begin, end, slot_scratch, stage_bits,
+                 timings);
       if (all_stages) {
         for (std::size_t w = 0; w < block; ++w) {
           std::uint8_t* dst = result.data() + (begin + w) * out_cols;
@@ -204,24 +222,33 @@ std::vector<std::uint8_t> EvalProgram::evaluate_impl(
 
 std::vector<std::uint8_t> EvalProgram::evaluate_bits(
     std::size_t num_words, std::span<const std::uint8_t> bits) const {
-  return evaluate_impl(num_words, bits, kernels::active_kernel(), false);
+  return evaluate_impl(num_words, bits, kernels::active_kernel(), false,
+                       nullptr);
 }
 
 std::vector<std::uint8_t> EvalProgram::evaluate_bits(
     std::size_t num_words, std::span<const std::uint8_t> bits,
     const kernels::Kernel& kernel) const {
-  return evaluate_impl(num_words, bits, kernel, false);
+  return evaluate_impl(num_words, bits, kernel, false, nullptr);
+}
+
+std::vector<std::uint8_t> EvalProgram::evaluate_bits(
+    std::size_t num_words, std::span<const std::uint8_t> bits,
+    StageTimings* timings) const {
+  return evaluate_impl(num_words, bits, kernels::active_kernel(), false,
+                       timings);
 }
 
 std::vector<std::uint8_t> EvalProgram::evaluate_all_bits(
     std::size_t num_words, std::span<const std::uint8_t> bits) const {
-  return evaluate_impl(num_words, bits, kernels::active_kernel(), true);
+  return evaluate_impl(num_words, bits, kernels::active_kernel(), true,
+                       nullptr);
 }
 
 std::vector<std::uint8_t> EvalProgram::evaluate_all_bits(
     std::size_t num_words, std::span<const std::uint8_t> bits,
     const kernels::Kernel& kernel) const {
-  return evaluate_impl(num_words, bits, kernel, true);
+  return evaluate_impl(num_words, bits, kernel, true, nullptr);
 }
 
 }  // namespace sw::wavesim

@@ -27,6 +27,7 @@
 // designer and engine, exactly like layouts.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -104,6 +105,16 @@ struct ProgramSpec {
   friend bool operator==(const ProgramSpec&, const ProgramSpec&) = default;
 };
 
+/// Per-stage accumulated evaluation time, filled by evaluate_bits when the
+/// caller passes a collector: ns[s] gains every block's gather+kernel time
+/// for stage s. Accumulators are atomic because the word loop may fan out
+/// across the program's pool threads; the numbers are therefore summed CPU
+/// time per stage, not wall intervals.
+struct StageTimings {
+  explicit StageTimings(std::size_t num_stages) : ns(num_stages) {}
+  std::vector<std::atomic<std::uint64_t>> ns;
+};
+
 class EvalProgram {
  public:
   /// Designs every stage's layout with `designer`, builds the per-stage
@@ -144,6 +155,14 @@ class EvalProgram {
       std::size_t num_words, std::span<const std::uint8_t> bits,
       const kernels::Kernel& kernel) const;
 
+  /// evaluate_bits with per-stage time attribution: `timings` must be
+  /// sized num_stages() (or null for the plain path — identical cost).
+  /// Two steady_clock reads per stage per 1024-word block, so the serving
+  /// layer can always leave collection on.
+  std::vector<std::uint8_t> evaluate_bits(
+      std::size_t num_words, std::span<const std::uint8_t> bits,
+      StageTimings* timings) const;
+
   /// Same pass, keeping every stage's outputs: row-major num_words x
   /// (num_stages() * num_channels()), stage s's channel ch at column
   /// s * num_channels() + ch. The cascade-delegation and oracle-test
@@ -167,12 +186,14 @@ class EvalProgram {
   void eval_range(const kernels::Kernel& kernel,
                   std::span<const std::uint8_t> bits, std::size_t begin,
                   std::size_t end, std::vector<std::uint8_t>& slot_scratch,
-                  std::vector<std::uint8_t>& stage_bits) const;
+                  std::vector<std::uint8_t>& stage_bits,
+                  StageTimings* timings) const;
 
   std::vector<std::uint8_t> evaluate_impl(std::size_t num_words,
                                           std::span<const std::uint8_t> bits,
                                           const kernels::Kernel& kernel,
-                                          bool all_stages) const;
+                                          bool all_stages,
+                                          StageTimings* timings) const;
 
   ProgramSpec spec_;
   std::vector<Stage> stages_;

@@ -15,6 +15,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdlib>
 #include <mutex>
 #include <random>
 #include <span>
@@ -35,6 +36,7 @@
 #include "net/registry.h"
 #include "net/socket.h"
 #include "net/sweep_coordinator.h"
+#include "obs/trace.h"
 #include "serve/layout_hash.h"
 #include "serve/service.h"
 #include "serve/wire.h"
@@ -81,6 +83,21 @@ std::vector<std::uint8_t> random_matrix(std::size_t rows, std::size_t cols,
   std::vector<std::uint8_t> m(rows * cols);
   for (auto& b : m) b = coin(rng) ? 1 : 0;
   return m;
+}
+
+/// Value of a `name value` exposition line, or -1 when absent. Matches at
+/// line starts only, so a name that prefixes another (rx_bytes_total vs a
+/// labelled variant) cannot alias.
+double metric_value(const std::string& text, const std::string& name) {
+  const std::string needle = name + " ";
+  std::size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    if (pos == 0 || text[pos - 1] == '\n') {
+      return std::atof(text.c_str() + pos + needle.size());
+    }
+    pos += needle.size();
+  }
+  return -1.0;
 }
 
 /// Everything a worker end needs: model, designer, service, server.
@@ -293,6 +310,99 @@ TEST(EvalServer, ServesBatchesBitExactWithMetrics) {
   EXPECT_EQ(counters.responses_sent, 3u);
   EXPECT_EQ(counters.metrics_requests, 1u);
   EXPECT_EQ(counters.errors_sent, 0u);
+}
+
+TEST(EvalServer, MetricsHistogramsAndByteCountersScrapeMonotonically) {
+  ServerFixture fx(loopback());
+  const GateLayout layout = fx.designer.design(majority_spec(3, 4));
+  const std::size_t words = 64;
+  const auto matrix = random_matrix(words, 4 * 3, 9);
+
+  auto conn = Connection::connect(fx.server.local_endpoint(), 2000ms);
+  const auto roundtrip = [&] {
+    send_message(conn,
+                 make_frame_message(sw::serve::make_request_frame(
+                     layout, 0, words, matrix)),
+                 2000ms);
+    ASSERT_TRUE(recv_frame(conn, 10000ms).has_value());
+  };
+  roundtrip();
+
+  const std::string first = fetch_text(
+      fx.server.local_endpoint(), MessageKind::kMetricsRequest, 5000ms);
+  // Every histogram family renders in full Prometheus form: cumulative
+  // buckets ending at +Inf, then _sum and _count.
+  for (const std::string fam :
+       {"sw_serve_request_latency_seconds", "sw_serve_admission_wait_seconds",
+        "sw_serve_queue_wait_seconds", "sw_serve_kernel_exec_seconds",
+        "sw_serve_batch_words"}) {
+    EXPECT_NE(first.find(fam + "_bucket{le=\"+Inf\"} "), std::string::npos)
+        << fam << " buckets missing:\n" << first;
+    EXPECT_GE(metric_value(first, fam + "_sum"), 0.0) << fam;
+    EXPECT_GE(metric_value(first, fam + "_count"), 1.0) << fam;
+  }
+  EXPECT_EQ(metric_value(first, "sw_serve_request_latency_seconds_count"),
+            1.0);
+  EXPECT_EQ(metric_value(first, "sw_serve_batch_words_sum"),
+            static_cast<double>(words));
+  // The windowed summary gained mean and max next to the percentiles.
+  EXPECT_GE(metric_value(first, "sw_serve_latency_mean_seconds"), 0.0);
+  EXPECT_GE(metric_value(first, "sw_serve_latency_max_seconds"),
+            metric_value(first, "sw_serve_latency_mean_seconds"));
+  const double rx1 = metric_value(first, "sw_net_rx_bytes_total");
+  const double tx1 = metric_value(first, "sw_net_tx_bytes_total");
+  EXPECT_GT(rx1, 0.0) << first;
+  EXPECT_GT(tx1, 0.0) << first;
+
+  // Counter monotonicity: another request can only grow the totals.
+  roundtrip();
+  const std::string second = fetch_text(
+      fx.server.local_endpoint(), MessageKind::kMetricsRequest, 5000ms);
+  EXPECT_EQ(metric_value(second, "sw_serve_request_latency_seconds_count"),
+            2.0);
+  EXPECT_GT(metric_value(second, "sw_net_rx_bytes_total"), rx1);
+  EXPECT_GT(metric_value(second, "sw_net_tx_bytes_total"), tx1);
+  EXPECT_GE(metric_value(second, "sw_serve_kernel_exec_seconds_sum"),
+            metric_value(first, "sw_serve_kernel_exec_seconds_sum"));
+}
+
+TEST(EvalServer, TraceRequestReturnsPerPhaseSpans) {
+  ServerFixture fx(loopback());
+  const GateLayout layout = fx.designer.design(majority_spec(3, 4));
+  const std::size_t words = 64;
+  const auto matrix = random_matrix(words, 4 * 3, 11);
+
+  auto conn = Connection::connect(fx.server.local_endpoint(), 2000ms);
+  send_message(conn,
+               make_frame_message(sw::serve::make_request_frame(
+                   layout, 0, words, matrix)),
+               2000ms);
+  ASSERT_TRUE(recv_frame(conn, 10000ms).has_value());
+
+  Message trace_request;
+  trace_request.kind = MessageKind::kTraceRequest;
+  trace_request.tag = 9;
+  send_message(conn, trace_request, 2000ms);
+  const auto reply = recv_message(conn, 5000ms);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->kind, MessageKind::kTraceResponse);
+  EXPECT_EQ(reply->tag, 9u);
+  const std::string json = decode_text_message(*reply);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // The served request's full lifetime, phase by phase: decoded off the
+  // wire, admitted, plan looked up, queued, evaluated, encoded, flushed.
+  for (const std::string phase :
+       {"wire_decode", "admission", "plan_lookup", "queue", "kernel",
+        "wire_encode", "write_queue"}) {
+    EXPECT_NE(json.find("\"name\":\"" + phase + "\""), std::string::npos)
+        << "missing " << phase << " span:\n" << json;
+  }
+  EXPECT_EQ(fx.server.counters().trace_requests, 1u);
+
+  // The one-shot client helper fetches the same document.
+  const std::string again = fetch_text(fx.server.local_endpoint(),
+                                       MessageKind::kTraceRequest, 5000ms);
+  EXPECT_NE(again.find("\"name\":\"kernel\""), std::string::npos);
 }
 
 TEST(EvalServer, ShedMapsToErrorFrameNotDroppedConnection) {
@@ -753,7 +863,7 @@ TEST(NetRegistry, EchoesTagsAndRejectsUnsupportedKinds) {
   EXPECT_EQ(ack->tag, 77u);
 
   Message alien;
-  alien.kind = MessageKind::kMetricsRequest;
+  alien.kind = MessageKind::kTraceRequest;
   alien.tag = 78;
   send_message(conn, alien, 2000ms);
   auto refused = recv_message(conn, 5000ms);
@@ -768,6 +878,35 @@ TEST(NetRegistry, EchoesTagsAndRejectsUnsupportedKinds) {
   ack = recv_message(conn, 5000ms);
   ASSERT_TRUE(ack.has_value());
   EXPECT_EQ(ack->tag, 79u);
+}
+
+TEST(NetRegistry, MetricsCountUpsertsLiveAdvertsAndExpirations) {
+  RegistryOptions options;
+  options.ttl = 200ms;
+  RegistryServer registry(loopback(), options);
+  const WorkerAdvert a{"tcp:127.0.0.1:4401", "scalar", "f64", 1e6};
+  const WorkerAdvert b{"tcp:127.0.0.1:4402", "avx2", "f32", 2e6};
+  register_worker(registry.local_endpoint(), a, 2000ms);
+  register_worker(registry.local_endpoint(), b, 2000ms);
+  register_worker(registry.local_endpoint(), a, 2000ms);  // heartbeat
+
+  const std::string text = fetch_text(registry.local_endpoint(),
+                                      MessageKind::kMetricsRequest, 2000ms);
+  EXPECT_EQ(metric_value(text, "sw_registry_upserts"), 3.0) << text;
+  EXPECT_EQ(metric_value(text, "sw_registry_live_adverts"), 2.0) << text;
+  EXPECT_EQ(metric_value(text, "sw_registry_expirations"), 0.0) << text;
+  EXPECT_EQ(metric_value(text, "sw_registry_metrics_requests"), 1.0);
+  EXPECT_GE(metric_value(text, "sw_registry_oldest_advert_age_seconds"),
+            0.0);
+
+  // Both adverts age past the TTL: the counters view prunes like
+  // snapshot() does, so expirations land without any client traffic.
+  std::this_thread::sleep_for(300ms);
+  const auto counters = registry.counters();
+  EXPECT_EQ(counters.live_adverts, 0u);
+  EXPECT_EQ(counters.expirations, 2u);
+  EXPECT_EQ(counters.upserts, 3u);
+  EXPECT_EQ(counters.oldest_advert_age_s, 0.0);
 }
 
 // ------------------------------------------------- distributed sweeping --
@@ -829,6 +968,46 @@ TEST(SweepCoordinator, DistributedExhaustiveSweepMatchesSingleProcess) {
   // flows to whichever worker makes progress is asserted
   // deterministically by the straggler test below (all shards end up on
   // the fast worker when the other is delayed).
+}
+
+TEST(SweepCoordinator, RecorderCapturesPerShardSpans) {
+  const GateSpec spec = majority_spec(3, 4);
+  ServerFixture worker(loopback());
+  const GateLayout layout = worker.designer.design(spec);
+  const std::size_t words = 4096;
+  const auto matrix = random_matrix(words, 4 * 3, 21);
+
+  sw::obs::TraceRecorder recorder(64);
+  SweepOptions options;
+  options.shard_words = 512;
+  options.recorder = &recorder;
+  SweepCoordinator coordinator({worker.server.local_endpoint()}, options);
+  SweepReport report;
+  (void)coordinator.run(layout, matrix, words, &report);
+  ASSERT_EQ(report.shards, 8u);
+
+  // One trace per shard assignment: id = shard index, track = worker
+  // index, with the full assign -> send -> wait -> retire chain closed on
+  // the completion path.
+  const auto traces = recorder.snapshot();
+  ASSERT_GE(traces.size(), 8u);
+  std::vector<bool> retired(8, false);
+  for (const auto& t : traces) {
+    ASSERT_LT(t.id, 8u);
+    EXPECT_EQ(t.track, 0u);
+    if (t.phase_ns(sw::obs::Phase::kShardRetire) == 0) continue;
+    EXPECT_GT(t.phase_ns(sw::obs::Phase::kShardSend), 0u);
+    EXPECT_GT(t.phase_ns(sw::obs::Phase::kShardWait), 0u);
+    retired[static_cast<std::size_t>(t.id)] = true;
+  }
+  for (std::size_t i = 0; i < retired.size(); ++i) {
+    EXPECT_TRUE(retired[i]) << "shard " << i << " has no retire span";
+  }
+  // Healthy single-worker sweep: nothing was duplicated, so no reshard
+  // events (the straggler path is exercised by the smoke script's leg 2).
+  for (const auto& t : traces) {
+    EXPECT_EQ(t.phase_ns(sw::obs::Phase::kReshard), 0u);
+  }
 }
 
 /// A hand-rolled worker for fault injection: serves real evaluations but
